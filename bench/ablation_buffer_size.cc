@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation B (section 6): ring buffer size and wait policy.
+ *
+ * The buffer bounds how far the leader may run ahead of followers:
+ * size 1 disables buffering entirely (the security configuration that
+ * closes the delayed-detection window), larger sizes amortise stalls.
+ * The second table compares busy-waiting with the futex waitlock.
+ */
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "apps/vstore.h"
+#include "benchutil/harness.h"
+#include "benchutil/table.h"
+
+using namespace varan;
+using namespace varan::bench;
+
+namespace {
+
+std::string
+endpointFor(int config)
+{
+    static int counter = 0;
+    return "varan-abl-" + std::to_string(::getpid()) + "-" +
+           std::to_string(config) + "-" + std::to_string(counter++);
+}
+
+double
+run(std::uint32_t capacity, bool busy_only, int config)
+{
+    std::string endpoint = endpointFor(config);
+    ServerCase c;
+    c.server = [endpoint]() {
+        apps::vstore::Options o;
+        o.endpoint = endpoint;
+        return apps::vstore::serve(o);
+    };
+    int requests = scaled(300, 50);
+    c.workload = [endpoint, requests] {
+        return kvBench(endpoint, 2, requests);
+    };
+    c.shutdown = [endpoint] { kvShutdown(endpoint); };
+
+    core::NvxOptions options;
+    options.ring_capacity = capacity;
+    options.shm_bytes = 64 << 20;
+    options.progress_timeout_ns = 120000000000ULL;
+    options.wait.busy_only = busy_only;
+    return runNvx(c, 1, options).ops_per_sec;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation B: ring capacity and wait policy (vstore, one "
+                "follower)\n\n");
+
+    int config = 0;
+    Table sizes({"ring capacity", "ops/s", "note"});
+    for (std::uint32_t capacity : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+        double ops = run(capacity, false, config++);
+        sizes.addRow({std::to_string(capacity), fmt(ops, "%.0f"),
+                      capacity == 1
+                          ? "buffering disabled (security mode, sec. 6)"
+                          : capacity == 256 ? "paper default" : ""});
+        std::fflush(stdout);
+    }
+    sizes.print();
+
+    std::printf("\n");
+    Table waits({"wait policy", "ops/s"});
+    waits.addRow({"spin-then-futex (waitlock)",
+                  fmt(run(256, false, config++), "%.0f")});
+    waits.addRow({"busy-wait only", fmt(run(256, true, config++),
+                                        "%.0f")});
+    waits.print();
+
+    std::printf("\nExpected shape: capacity 1 pays a lockstep-like "
+                "synchronisation cost; throughput\nrecovers quickly with "
+                "modest buffering and saturates near the paper's default "
+                "of 256.\nOn an idle machine busy-waiting and the futex "
+                "waitlock are comparable; the waitlock\nwins once cores "
+                "are oversubscribed (section 3.3.1).\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared driver for Figures 7 and 8: per-kernel runtime overhead of the
+ * engine with 0..N followers, normalised to native execution.
+ */
+
+#ifndef VARAN_BENCH_CPU_OVERHEAD_H
+#define VARAN_BENCH_CPU_OVERHEAD_H
+
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/cpu_kernels.h"
+#include "benchutil/harness.h"
+#include "benchutil/table.h"
+#include "common/clock.h"
+#include "core/nvx.h"
+
+namespace varan::bench {
+
+inline double
+kernelSecondsNative(const apps::cpu::Kernel &kernel, std::uint32_t scale)
+{
+    std::uint64_t t0 = monotonicNs();
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        std::uint64_t sink = kernel.run(scale);
+        ::_exit(static_cast<int>(sink & 0x3f));
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return double(monotonicNs() - t0) / 1e9;
+}
+
+inline double
+kernelSecondsNvx(const apps::cpu::Kernel &kernel, std::uint32_t scale,
+                 int followers)
+{
+    core::NvxOptions options;
+    options.shm_bytes = 64 << 20;
+    options.progress_timeout_ns = 600000000000ULL;
+    core::Nvx nvx(options);
+    auto variant = [&kernel, scale]() -> int {
+        return static_cast<int>(kernel.run(scale) & 0x3f);
+    };
+    std::vector<core::VariantFn> variants(
+        static_cast<std::size_t>(followers) + 1, variant);
+    std::uint64_t t0 = monotonicNs();
+    nvx.run(std::move(variants));
+    return double(monotonicNs() - t0) / 1e9;
+}
+
+inline int
+runCpuFigure(const char *figure, const char *suite_name,
+             const std::vector<apps::cpu::Kernel> &suite, int argc,
+             char **argv)
+{
+    int max_followers = argc > 1 ? std::atoi(argv[1]) : 6;
+    std::uint32_t scale = argc > 2
+                              ? static_cast<std::uint32_t>(
+                                    std::atoi(argv[2]))
+                              : static_cast<std::uint32_t>(scaled(2, 1));
+    if (quickMode() && argc <= 1)
+        max_followers = 2;
+
+    std::printf("%s: %s overhead vs followers (scale %u)\n\n", figure,
+                suite_name, scale);
+    std::vector<std::string> headers = {"kernel", "native s"};
+    for (int f = 0; f <= max_followers; ++f)
+        headers.push_back(std::to_string(f));
+    Table table(headers);
+
+    // Engine start-up (zygote fork, spawn, teardown) is a fixed cost
+    // that would swamp short kernels; measure it per follower count
+    // with an empty variant and subtract, so rows report steady-state
+    // overhead like the paper's (SPEC runs are minutes long).
+    std::vector<double> startup(static_cast<std::size_t>(max_followers) +
+                                1);
+    apps::cpu::Kernel empty = {"empty", [](std::uint32_t) {
+                                   return std::uint64_t{0};
+                               }};
+    for (int f = 0; f <= max_followers; ++f)
+        startup[f] = kernelSecondsNvx(empty, 0, f);
+    double native_startup = kernelSecondsNative(empty, 0);
+
+    for (const auto &kernel : suite) {
+        double native =
+            kernelSecondsNative(kernel, scale) - native_startup;
+        std::vector<std::string> row = {kernel.name,
+                                        fmt(native, "%.3f")};
+        for (int f = 0; f <= max_followers; ++f) {
+            double t = kernelSecondsNvx(kernel, scale, f) - startup[f];
+            row.push_back(
+                fmt(native > 0 ? std::max(t, 0.0) / native : 0, "%.2f"));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\nExpected shape (paper Figures 7/8): near 1x with few "
+                "followers, rising with the\nnumber of copies as memory "
+                "pressure and core oversubscription grow (this host has "
+                "%ld\ncores vs the paper's 8 hardware threads, so the "
+                "rise starts earlier).\n",
+                sysconf(_SC_NPROCESSORS_ONLN));
+    return 0;
+}
+
+} // namespace varan::bench
+
+#endif // VARAN_BENCH_CPU_OVERHEAD_H

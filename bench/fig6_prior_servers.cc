@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 6: overhead on the servers prior systems were evaluated with —
+ * Apache httpd (prefork, ab), thttpd (ab) and Lighttpd (ab and
+ * http_load) — for 0..6 followers. The paper's point: on these lighter
+ * workloads VARAN stays within a few percent of native at every fan-out.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
+#include "apps/vhttpd.h"
+#include "apps/vproxy.h"
+#include "benchutil/harness.h"
+#include "benchutil/stats.h"
+#include "benchutil/table.h"
+
+using namespace varan;
+using namespace varan::bench;
+
+namespace {
+
+std::string
+endpointFor(int config)
+{
+    static int counter = 0;
+    return "varan-fig6-" + std::to_string(::getpid()) + "-" +
+           std::to_string(config) + "-" + std::to_string(counter++);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int max_followers = argc > 1 ? std::atoi(argv[1]) : 6;
+    if (quickMode() && argc <= 1)
+        max_followers = 2;
+
+    struct Case {
+        const char *label;
+        const char *kind;    // vproxy | vhttpd
+        std::size_t page;    // served body bytes
+        int connections;     // driver concurrency (ab vs http_load)
+    };
+    const Case cases[] = {
+        {"Apache httpd (ab)", "vproxy", 4096, 4},
+        {"thttpd (ab)", "vhttpd", 1024, 4},
+        {"Lighttpd (ab)", "vhttpd", 4096, 4},
+        {"Lighttpd (http_load)", "vhttpd", 4096, 8},
+    };
+
+    std::printf("Figure 6: prior-work servers under VARAN, followers "
+                "0..%d\n\n",
+                max_followers);
+
+    std::vector<std::string> headers = {"server (driver)", "native ops/s"};
+    for (int f = 0; f <= max_followers; ++f)
+        headers.push_back(std::to_string(f));
+    Table table(headers);
+
+    int config = 0;
+    for (const Case &c : cases) {
+        auto make = [&](const std::string &endpoint) {
+            ServerCase sc;
+            sc.name = c.label;
+            if (std::string(c.kind) == "vproxy") {
+                std::size_t page = c.page;
+                sc.server = [endpoint, page]() {
+                    apps::vproxy::Options o;
+                    o.endpoint = endpoint;
+                    o.workers = 2;
+                    o.page_bytes = page;
+                    return apps::vproxy::serve(o);
+                };
+            } else {
+                std::size_t page = c.page;
+                sc.server = [endpoint, page]() {
+                    apps::vhttpd::Options o;
+                    o.endpoint = endpoint;
+                    o.page_bytes = page;
+                    return apps::vhttpd::serve(o);
+                };
+            }
+            int reqs = scaled(250, 40);
+            int conns = c.connections;
+            sc.workload = [endpoint, conns, reqs] {
+                return httpBench(endpoint, conns, reqs);
+            };
+            sc.shutdown = [endpoint] { httpShutdown(endpoint); };
+            return sc;
+        };
+
+        ServerCase native_case = make(endpointFor(config++));
+        double native = medianOfRuns(
+            [&] { return runNative(native_case).ops_per_sec; }, 3);
+        std::vector<std::string> row = {c.label, fmt(native, "%.0f")};
+        for (int f = 0; f <= max_followers; ++f) {
+            double tput = medianOfRuns(
+                [&] {
+                    ServerCase sc = make(endpointFor(config++));
+                    core::NvxOptions options;
+                    options.shm_bytes = 64 << 20;
+                    options.progress_timeout_ns = 120000000000ULL;
+                    return runNvx(sc, f, options).ops_per_sec;
+                },
+                2);
+            row.push_back(fmt(overhead(native, tput), "%.2f"));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    table.print();
+
+    std::printf("\nPaper reference (followers 0..6): Apache httpd "
+                "1.00-1.04, thttpd 1.00-1.02,\n  Lighttpd (ab) "
+                "1.00-1.07, Lighttpd (http_load) 1.00-1.08\n");
+    return 0;
+}

@@ -1,0 +1,11 @@
+/** @file Figure 7: SPEC CPU2000-like kernels, overhead vs followers. */
+
+#include "cpu_overhead.h"
+
+int
+main(int argc, char **argv)
+{
+    return varan::bench::runCpuFigure(
+        "Figure 7", "SPEC CPU2000-like suite",
+        varan::apps::cpu::cpu2000Suite(), argc, argv);
+}

@@ -1,0 +1,11 @@
+/** @file Figure 8: SPEC CPU2006-like kernels, overhead vs followers. */
+
+#include "cpu_overhead.h"
+
+int
+main(int argc, char **argv)
+{
+    return varan::bench::runCpuFigure(
+        "Figure 8", "SPEC CPU2006-like suite",
+        varan::apps::cpu::cpu2006Suite(), argc, argv);
+}

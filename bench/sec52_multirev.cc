@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Section 5.2: multi-revision execution.
+ *
+ * Runs the paper's three Lighttpd revision pairs, each introducing a
+ * system-call-sequence divergence no lockstep system can absorb, under
+ * BPF rewrite rules:
+ *
+ *   2435 | 2436  issetugid(): +getuid +getgid      (Listing 1's filter)
+ *   2523 | 2524  extra /dev/urandom read at startup
+ *   2577 | 2578  extra fcntl(FD_CLOEXEC)
+ *
+ * For each pair the bench serves a short workload and reports whether
+ * both revisions survived and how many divergences the rules resolved.
+ */
+
+#include <cstdio>
+#include <fcntl.h>
+#include <string>
+#include <unistd.h>
+
+#include "apps/vhttpd.h"
+#include "benchutil/drivers.h"
+#include "benchutil/harness.h"
+#include "benchutil/table.h"
+#include "core/nvx.h"
+
+using namespace varan;
+using namespace varan::bench;
+
+namespace {
+
+std::string
+endpointFor(int pair)
+{
+    static int counter = 0;
+    return "varan-s52-" + std::to_string(::getpid()) + "-" +
+           std::to_string(pair) + "-" + std::to_string(counter++);
+}
+
+/** Listing 1, verbatim. */
+const char *kListing1 =
+    "ld event[0]\n"
+    "jeq #108, getegid /* __NR_getegid */\n"
+    "jeq #2, open /* __NR_open */\n"
+    "jmp bad\n"
+    "getegid:\n"
+    "ld [0] /* offsetof(struct seccomp_data, nr) */\n"
+    "jeq #102, good /* __NR_getuid */\n"
+    "open:\n"
+    "ld [0] /* offsetof(struct seccomp_data, nr) */\n"
+    "jeq #104, good /* __NR_getgid */\n"
+    "bad: ret #0 /* SECCOMP_RET_KILL */\n"
+    "good: ret #0x7fff0000 /* SECCOMP_RET_ALLOW */\n";
+
+/** 2524: the follower's extra open/read/close of /dev/urandom. */
+const char *kUrandomRule =
+    "ld [0]\n"
+    "jeq #2, good /* open */\n"
+    "jeq #0, good /* read */\n"
+    "jeq #3, good /* close */\n"
+    "ret #0\n"
+    "good: ret #0x7fff0000\n";
+
+/** 2578: the follower's extra fcntl. */
+const char *kFcntlRule =
+    "ld [0]\n"
+    "jeq #72, good /* fcntl */\n"
+    "ret #0\n"
+    "good: ret #0x7fff0000\n";
+
+struct PairResult {
+    bool old_ok = false;
+    bool new_ok = false;
+    std::uint64_t resolved = 0;
+    std::uint64_t fatal = 0;
+    double ops = 0;
+};
+
+PairResult
+runPair(const char *rule, apps::vhttpd::Revision old_rev,
+        apps::vhttpd::Revision new_rev, const std::string &docroot,
+        int pair)
+{
+    std::string endpoint = endpointFor(pair);
+    core::NvxOptions options;
+    options.shm_bytes = 64 << 20;
+    options.progress_timeout_ns = 120000000000ULL;
+    options.rewrite_rules.push_back(rule);
+
+    auto make = [endpoint, docroot](apps::vhttpd::Revision rev) {
+        return [endpoint, docroot, rev]() -> int {
+            apps::vhttpd::Options o;
+            o.endpoint = endpoint;
+            o.docroot_file = docroot;
+            o.revision = rev;
+            return apps::vhttpd::serve(o);
+        };
+    };
+
+    core::Nvx nvx(options);
+    PairResult out;
+    if (!nvx.start({make(old_rev), make(new_rev)}).isOk())
+        return out;
+    auto load = httpBench(endpoint, 2, scaled(60, 15));
+    out.ops = load.total_ops;
+    httpShutdown(endpoint);
+    auto results = nvx.waitFor(60000000000ULL);
+    out.old_ok = !results[0].crashed;
+    out.new_ok = !results[1].crashed;
+    out.resolved = nvx.divergencesResolved();
+    out.fatal = nvx.divergencesFatal();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section 5.2: multi-revision execution with BPF rewrite "
+                "rules\n(old revision leads, new revision follows — the "
+                "configuration lockstep systems cannot run)\n\n");
+
+    char docroot[] = "/tmp/varan-s52-doc-XXXXXX";
+    int doc = ::mkstemp(docroot);
+    if (doc >= 0) {
+        [[maybe_unused]] ssize_t n =
+            ::write(doc, "<html>varan</html>", 18);
+        ::close(doc);
+    }
+
+    Table table({"revisions", "divergence", "rule", "old ok", "new ok",
+                 "resolved", "fatal", "requests"});
+
+    apps::vhttpd::Revision rev2435, rev2436;
+    rev2436.issetugid_checks = true;
+    PairResult p1 = runPair(kListing1, rev2435, rev2436, docroot, 1);
+    table.addRow({"2435 | 2436", "+getuid +getgid", "Listing 1",
+                  p1.old_ok ? "yes" : "NO", p1.new_ok ? "yes" : "NO",
+                  std::to_string(p1.resolved), std::to_string(p1.fatal),
+                  fmt(p1.ops, "%.0f")});
+
+    apps::vhttpd::Revision rev2523, rev2524;
+    rev2524.read_urandom = true;
+    PairResult p2 = runPair(kUrandomRule, rev2523, rev2524, docroot, 2);
+    table.addRow({"2523 | 2524", "+read /dev/urandom", "urandom filter",
+                  p2.old_ok ? "yes" : "NO", p2.new_ok ? "yes" : "NO",
+                  std::to_string(p2.resolved), std::to_string(p2.fatal),
+                  fmt(p2.ops, "%.0f")});
+
+    apps::vhttpd::Revision rev2577, rev2578;
+    rev2578.set_cloexec = true;
+    PairResult p3 = runPair(kFcntlRule, rev2577, rev2578, docroot, 3);
+    table.addRow({"2577 | 2578", "+fcntl FD_CLOEXEC", "fcntl filter",
+                  p3.old_ok ? "yes" : "NO", p3.new_ok ? "yes" : "NO",
+                  std::to_string(p3.resolved), std::to_string(p3.fatal),
+                  fmt(p3.ops, "%.0f")});
+
+    table.print();
+    ::unlink(docroot);
+
+    std::printf("\nPaper reference: all three revision pairs ran "
+                "successfully under VARAN's rewrite\nrules; prior NVX "
+                "systems cannot run any of them (lockstep violation).\n");
+    return 0;
+}

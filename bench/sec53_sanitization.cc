@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Section 5.3: live sanitization.
+ *
+ * The native build of vstore leads; a "sanitized" build (extra checking
+ * work per command, standing in for AddressSanitizer's ~2x slowdown)
+ * follows. Because followers skip all I/O and merely replay, the
+ * sanitized follower keeps up and the leader's client-visible
+ * throughput matches a run with two plain versions. The bench also
+ * samples the leader-follower log distance, the metric the paper
+ * reports as a median of six events.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "apps/vstore.h"
+#include "benchutil/drivers.h"
+#include "benchutil/harness.h"
+#include "benchutil/stats.h"
+#include "benchutil/table.h"
+#include "core/nvx.h"
+
+using namespace varan;
+using namespace varan::bench;
+
+namespace {
+
+std::string
+endpointFor(const char *tag)
+{
+    static int counter = 0;
+    return std::string("varan-s53-") + tag + "-" +
+           std::to_string(::getpid()) + "-" + std::to_string(counter++);
+}
+
+struct Run {
+    double ops = 0;
+    double lag_median = 0;
+    double lag_max = 0;
+};
+
+Run
+measure(int sanitize_passes, const char *tag)
+{
+    std::string endpoint = endpointFor(tag);
+    core::NvxOptions options;
+    options.shm_bytes = 64 << 20;
+    options.progress_timeout_ns = 120000000000ULL;
+
+    auto plain = [endpoint]() -> int {
+        apps::vstore::Options o;
+        o.endpoint = endpoint;
+        return apps::vstore::serve(o);
+    };
+    auto follower = [endpoint, sanitize_passes]() -> int {
+        apps::vstore::Options o;
+        o.endpoint = endpoint;
+        o.revision.sanitize_passes = sanitize_passes;
+        return apps::vstore::serve(o);
+    };
+
+    core::Nvx nvx(options);
+    if (!nvx.start({plain, follower}).isOk())
+        return {};
+
+    // Sample the log distance while the workload runs.
+    std::atomic<bool> done{false};
+    std::vector<double> lags;
+    std::thread sampler([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            lags.push_back(double(nvx.ringLagOf(1)));
+            sleepNs(2000000); // 2 ms
+        }
+    });
+
+    auto load = kvBench(endpoint, 4, scaled(400, 60));
+    done.store(true, std::memory_order_release);
+    sampler.join();
+    kvShutdown(endpoint);
+    nvx.waitFor(60000000000ULL);
+
+    Run run;
+    run.ops = load.ops_per_sec;
+    run.lag_median = median(lags);
+    for (double l : lags)
+        run.lag_max = std::max(run.lag_max, l);
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section 5.3: live sanitization — plain leader, "
+                "sanitized follower\n\n");
+
+    measure(0, "warmup"); // one discarded run to warm path caches
+    Run plain2 = measure(0, "plain");       // two non-sanitized versions
+    Run sanitized = measure(12, "asan");    // ~ASan-grade extra work
+
+    Table table({"configuration", "leader ops/s", "log distance (median)",
+                 "log distance (max)"});
+    table.addRow({"plain + plain follower", fmt(plain2.ops, "%.0f"),
+                  fmt(plain2.lag_median, "%.0f"),
+                  fmt(plain2.lag_max, "%.0f")});
+    table.addRow({"plain + sanitized follower", fmt(sanitized.ops, "%.0f"),
+                  fmt(sanitized.lag_median, "%.0f"),
+                  fmt(sanitized.lag_max, "%.0f")});
+    table.print();
+
+    double slowdown = plain2.ops > 0 ? plain2.ops / sanitized.ops : 0;
+    std::printf("\nleader slowdown from sanitized follower: %.2fx\n",
+                slowdown);
+    std::printf("\nPaper reference: no measurable extra slowdown in the "
+                "leader versus two plain\nversions; median log distance "
+                "of six events. Expected shape: both rows within\nnoise "
+                "of each other; log distance well under the ring "
+                "capacity (256).\n");
+    return 0;
+}

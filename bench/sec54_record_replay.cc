@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Section 5.4: record-replay.
+ *
+ * Three configurations of vstore under a redis-benchmark-like load:
+ *
+ *   native                no monitor at all (baseline)
+ *   varan-record          engine + the artificial recorder follower
+ *                         persisting the event stream to disk
+ *   scribe-like (in-band) synchronous logging inside every system
+ *                         call, the cost structure of kernel
+ *                         record-replay on the critical path
+ *
+ * The paper measured 14% overhead for VARAN vs 53% for Scribe. After
+ * recording, the bench replays the log against a fresh follower and
+ * verifies it runs to completion (replay correctness).
+ */
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/vstore.h"
+#include "benchutil/drivers.h"
+#include "benchutil/harness.h"
+#include "benchutil/table.h"
+#include "core/nvx.h"
+#include "rr/recorder.h"
+#include "rr/replayer.h"
+
+using namespace varan;
+using namespace varan::bench;
+
+namespace {
+
+std::string
+endpointFor(const char *tag)
+{
+    static int counter = 0;
+    return std::string("varan-s54-") + tag + "-" +
+           std::to_string(::getpid()) + "-" + std::to_string(counter++);
+}
+
+} // namespace
+
+int
+main()
+{
+    const int clients = 4;
+    const int requests = scaled(400, 60);
+    const std::string log_path =
+        "/tmp/varan-s54-" + std::to_string(::getpid()) + ".log";
+
+    std::printf("Section 5.4: record-replay overhead (vstore, %d clients "
+                "x %d requests)\n\n",
+                clients, requests);
+
+    // --- native baseline ---
+    double native_ops;
+    {
+        std::string endpoint = endpointFor("native");
+        pid_t pid = ::fork();
+        if (pid == 0) {
+            apps::vstore::Options o;
+            o.endpoint = endpoint;
+            ::_exit(apps::vstore::serve(o));
+        }
+        native_ops = kvBench(endpoint, clients, requests).ops_per_sec;
+        kvShutdown(endpoint);
+        int status;
+        ::waitpid(pid, &status, 0);
+    }
+
+    // --- VARAN record mode ---
+    double varan_ops;
+    std::uint64_t recorded_events = 0;
+    {
+        std::string endpoint = endpointFor("record");
+        core::NvxOptions options;
+        options.shm_bytes = 64 << 20;
+        options.progress_timeout_ns = 120000000000ULL;
+        core::Nvx nvx(options);
+        rr::Recorder recorder(nvx.region(), &nvx.layout(), log_path);
+        auto server = [endpoint]() -> int {
+            apps::vstore::Options o;
+            o.endpoint = endpoint;
+            return apps::vstore::serve(o);
+        };
+        if (!nvx.start({server},
+                       [&](core::Nvx &) {
+                           recorder.attachTaps();
+                           recorder.startDraining();
+                       })
+                 .isOk()) {
+            return 1;
+        }
+        varan_ops = kvBench(endpoint, clients, requests).ops_per_sec;
+        kvShutdown(endpoint);
+        nvx.waitFor(60000000000ULL);
+        auto stats = recorder.finish();
+        if (stats.ok())
+            recorded_events = stats.value().events;
+    }
+
+    // --- Scribe-like in-band recording ---
+    double inband_ops;
+    {
+        std::string endpoint = endpointFor("inband");
+        pid_t pid = ::fork();
+        if (pid == 0) {
+            rr::InBandRecorder recorder("/tmp/varan-s54-inband-" +
+                                        std::to_string(::getpid()) +
+                                        ".log");
+            sys::setDispatcher(&recorder);
+            apps::vstore::Options o;
+            o.endpoint = endpoint;
+            int status = apps::vstore::serve(o);
+            sys::setDispatcher(nullptr);
+            ::_exit(status);
+        }
+        inband_ops = kvBench(endpoint, clients, requests).ops_per_sec;
+        kvShutdown(endpoint);
+        int status;
+        ::waitpid(pid, &status, 0);
+    }
+
+    // --- replay verification ---
+    bool replay_ok = false;
+    {
+        std::string endpoint = endpointFor("replay");
+        core::NvxOptions options;
+        options.shm_bytes = 64 << 20;
+        options.external_leader = true;
+        options.progress_timeout_ns = 120000000000ULL;
+        core::Nvx nvx(options);
+        auto server = [endpoint]() -> int {
+            apps::vstore::Options o;
+            o.endpoint = endpoint;
+            return apps::vstore::serve(o);
+        };
+        if (nvx.start({server}).isOk()) {
+            rr::Replayer replayer(nvx.region(), &nvx.layout(), log_path);
+            auto stats = replayer.replayAll();
+            auto results = nvx.waitFor(120000000000ULL);
+            replay_ok = stats.ok() && !results.empty() &&
+                        !results[0].crashed;
+        }
+    }
+
+    Table table({"configuration", "ops/s", "overhead vs native"});
+    table.addRow({"native", fmt(native_ops, "%.0f"), "1.00x"});
+    table.addRow({"varan record (decoupled)", fmt(varan_ops, "%.0f"),
+                  fmt(overhead(native_ops, varan_ops), "%.2fx")});
+    table.addRow({"scribe-like (in-band)", fmt(inband_ops, "%.0f"),
+                  fmt(overhead(native_ops, inband_ops), "%.2fx")});
+    table.print();
+
+    std::printf("\nrecorded events: %llu; replay of the log against a "
+                "fresh follower: %s\n",
+                static_cast<unsigned long long>(recorded_events),
+                replay_ok ? "completed" : "FAILED");
+    std::printf("\nPaper reference: VARAN 14%% vs Scribe 53%%. Expected "
+                "shape: the decoupled recorder\ncosts less than "
+                "synchronous in-band logging.\n");
+    ::unlink(log_path.c_str());
+    return replay_ok ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Table 2: comparison with prior NVX systems (Mx, Orchestra, Tachyon).
+ *
+ * All three prior systems are ptrace-based centralised lockstep
+ * monitors. This bench runs each of their benchmarks with two versions
+ * under (a) our faithful lockstep baseline (src/lockstep) and (b) the
+ * VARAN engine, and prints the overheads next to the numbers the
+ * papers reported. It also measures the raw per-syscall ptrace tax on
+ * this machine as context.
+ */
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/cpu_kernels.h"
+#include "apps/vhttpd.h"
+#include "apps/vproxy.h"
+#include "apps/vstore.h"
+#include "benchutil/harness.h"
+#include "benchutil/stats.h"
+#include "benchutil/table.h"
+#include "common/clock.h"
+#include "lockstep/lockstep.h"
+
+using namespace varan;
+using namespace varan::bench;
+
+namespace {
+
+std::string
+endpointFor(int config)
+{
+    static int counter = 0;
+    return "varan-t2-" + std::to_string(::getpid()) + "-" +
+           std::to_string(config) + "-" + std::to_string(counter++);
+}
+
+/** CPU suite wall-time under each regime (2 versions). */
+double
+cpuSuiteSeconds(const std::vector<apps::cpu::Kernel> &suite, int mode)
+{
+    // mode 0 = native, 1 = varan (1 follower), 2 = lockstep (2 versions)
+    const std::uint32_t scale = scaled(2, 1);
+    auto variant = [&suite, scale]() -> int {
+        std::uint64_t sink = 0;
+        for (const auto &kernel : suite)
+            sink ^= kernel.run(scale);
+        return static_cast<int>(sink & 0x3f);
+    };
+    std::uint64_t t0 = monotonicNs();
+    if (mode == 0) {
+        pid_t pid = fork();
+        if (pid == 0)
+            ::_exit(variant() & 0xff);
+        int status;
+        ::waitpid(pid, &status, 0);
+    } else if (mode == 1) {
+        core::NvxOptions options;
+        options.shm_bytes = 64 << 20;
+        options.progress_timeout_ns = 600000000000ULL;
+        core::Nvx nvx(options);
+        nvx.run({variant, variant});
+    } else {
+        lockstep::LockstepEngine engine;
+        engine.run({variant, variant});
+    }
+    return double(monotonicNs() - t0) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 2: comparison with prior (ptrace, lockstep) NVX "
+                "systems, two versions each\n\n");
+
+    // Context: the real per-syscall ptrace tax on this machine.
+    lockstep::PtraceCost ptrace_cost =
+        lockstep::measurePtraceCost(scaled(20000, 4000));
+    std::printf("ptrace context: native getpid %.0f cycles, traced %.0f "
+                "cycles (%.1fx)\n\n",
+                ptrace_cost.native_cycles_per_call,
+                ptrace_cost.traced_cycles_per_call,
+                ptrace_cost.native_cycles_per_call > 0
+                    ? ptrace_cost.traced_cycles_per_call /
+                          ptrace_cost.native_cycles_per_call
+                    : 0);
+
+    Table table({"system", "benchmark", "paper overhead",
+                 "lockstep (measured)", "varan (measured)"});
+
+    int config = 0;
+    auto serverRow = [&](const char *system, const char *label,
+                         const char *paper, const char *kind,
+                         int connections) {
+        auto make = [&](const std::string &endpoint) {
+            ServerCase sc;
+            sc.name = label;
+            if (std::string(kind) == "vproxy") {
+                sc.server = [endpoint]() {
+                    apps::vproxy::Options o;
+                    o.endpoint = endpoint;
+                    o.workers = 2;
+                    return apps::vproxy::serve(o);
+                };
+            } else if (std::string(kind) == "vstore") {
+                sc.server = [endpoint]() {
+                    apps::vstore::Options o;
+                    o.endpoint = endpoint;
+                    return apps::vstore::serve(o);
+                };
+            } else {
+                sc.server = [endpoint]() {
+                    apps::vhttpd::Options o;
+                    o.endpoint = endpoint;
+                    return apps::vhttpd::serve(o);
+                };
+            }
+            int reqs = scaled(250, 40);
+            if (std::string(kind) == "vstore") {
+                sc.workload = [endpoint, reqs] {
+                    return kvBench(endpoint, 4, reqs);
+                };
+                sc.shutdown = [endpoint] { kvShutdown(endpoint); };
+            } else {
+                sc.workload = [endpoint, connections, reqs] {
+                    return httpBench(endpoint, connections, reqs);
+                };
+                sc.shutdown = [endpoint] { httpShutdown(endpoint); };
+            }
+            return sc;
+        };
+
+        double native = runNative(make(endpointFor(config++))).ops_per_sec;
+        double ls =
+            runLockstep(make(endpointFor(config++)), 2).ops_per_sec;
+        double nvx = runNvx(make(endpointFor(config++)), 1).ops_per_sec;
+        table.addRow({system, label, paper,
+                      fmt(overhead(native, ls), "%.2fx"),
+                      fmt(overhead(native, nvx), "%.2fx")});
+        std::fflush(stdout);
+    };
+
+    // The benchmarks each prior system reported.
+    serverRow("Mx", "Lighttpd (http_load)", "3.49x", "vhttpd", 8);
+    serverRow("Mx", "Redis (redis-benchmark)", "16.72x", "vstore", 4);
+    serverRow("Orchestra", "Apache httpd (ab)", "1.50x", "vproxy", 4);
+    serverRow("Tachyon", "Lighttpd (ab)", "3.72x", "vhttpd", 4);
+    serverRow("Tachyon", "thttpd (ab)", "1.17x", "vhttpd", 4);
+
+    // SPEC-like CPU suites: wall-time overheads.
+    {
+        double native = cpuSuiteSeconds(apps::cpu::cpu2000Suite(), 0);
+        double ls = cpuSuiteSeconds(apps::cpu::cpu2000Suite(), 2);
+        double nvx = cpuSuiteSeconds(apps::cpu::cpu2000Suite(), 1);
+        table.addRow({"Orchestra", "SPEC CPU2000 (suite)", "17%",
+                      fmt((ls / native - 1) * 100, "%.1f%%"),
+                      fmt((nvx / native - 1) * 100, "%.1f%%")});
+    }
+    {
+        double native = cpuSuiteSeconds(apps::cpu::cpu2006Suite(), 0);
+        double ls = cpuSuiteSeconds(apps::cpu::cpu2006Suite(), 2);
+        double nvx = cpuSuiteSeconds(apps::cpu::cpu2006Suite(), 1);
+        table.addRow({"Mx", "SPEC CPU2006 (suite)", "17.9%",
+                      fmt((ls / native - 1) * 100, "%.1f%%"),
+                      fmt((nvx / native - 1) * 100, "%.1f%%")});
+    }
+    table.print();
+
+    std::printf("\nPaper reference for VARAN on the same benchmarks: "
+                "1.01x, 1.06x, 1.024x, 1.00x, 1.00x,\n  11.3%%, 14.2%%. "
+                "Expected shape: lockstep costs multiples on I/O-bound "
+                "servers while\nVARAN stays near 1x; on CPU-bound suites "
+                "both are small.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Live sanitization (paper section 5.3): the production build leads,
+ * a sanitizer-instrumented build follows. The follower performs no
+ * I/O — it replays the leader's events — so its extra checking work
+ * stays off the service's critical path.
+ *
+ *   $ ./examples/live_sanitizer
+ */
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "apps/vstore.h"
+#include "benchutil/drivers.h"
+#include "core/nvx.h"
+
+using namespace varan;
+
+int
+main()
+{
+    std::string endpoint =
+        "varan-example-sanitizer-" + std::to_string(::getpid());
+
+    auto production = [endpoint]() -> int {
+        apps::vstore::Options o;
+        o.endpoint = endpoint;
+        return apps::vstore::serve(o);
+    };
+    auto sanitized = [endpoint]() -> int {
+        apps::vstore::Options o;
+        o.endpoint = endpoint;
+        o.revision.sanitize_passes = 12; // ~ASan-grade extra work
+        return apps::vstore::serve(o);
+    };
+
+    core::Nvx nvx;
+    if (!nvx.start({production, sanitized}).isOk())
+        return 1;
+
+    auto load = bench::kvBench(endpoint, 2, 200);
+    std::printf("leader throughput with sanitized follower: %.0f ops/s\n",
+                load.ops_per_sec);
+    std::printf("log distance (leader ahead of sanitized follower): %llu "
+                "events\n",
+                static_cast<unsigned long long>(nvx.ringLagOf(1)));
+
+    bench::kvShutdown(endpoint);
+    auto results = nvx.wait();
+    for (const auto &r : results) {
+        std::printf("%s build: %s\n",
+                    r.variant == 0 ? "production" : "sanitized",
+                    r.crashed ? "CRASHED" : "clean exit");
+    }
+    std::printf("\nThe paper measured a median log distance of six "
+                "events and no extra leader\nslowdown — the sanitized "
+                "follower keeps up because it never executes I/O.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A complete C10k scenario: the Redis-archetype server runs as three
+ * versions (one leader, two followers) behind one endpoint while a
+ * client load runs against it — the paper's core deployment model.
+ *
+ *   $ ./examples/nvx_server [followers] [requests-per-client]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
+#include "apps/vstore.h"
+#include "benchutil/drivers.h"
+#include "core/nvx.h"
+
+using namespace varan;
+
+int
+main(int argc, char **argv)
+{
+    int followers = argc > 1 ? std::atoi(argv[1]) : 2;
+    int requests = argc > 2 ? std::atoi(argv[2]) : 300;
+    std::string endpoint =
+        "varan-example-server-" + std::to_string(::getpid());
+
+    auto server = [endpoint]() -> int {
+        apps::vstore::Options o;
+        o.endpoint = endpoint;
+        return apps::vstore::serve(o);
+    };
+
+    core::Nvx nvx;
+    std::vector<core::VariantFn> variants(
+        static_cast<std::size_t>(followers) + 1, server);
+    if (!nvx.start(std::move(variants)).isOk())
+        return 1;
+    std::printf("vstore running as %d versions (leader + %d followers) "
+                "on @%s\n",
+                followers + 1, followers, endpoint.c_str());
+
+    auto load = bench::kvBench(endpoint, 4, requests);
+    std::printf("workload: %.0f ops at %.0f ops/s (p50 %.1f us, p99 %.1f "
+                "us)\n",
+                load.total_ops, load.ops_per_sec, load.latency_us_p50,
+                load.latency_us_p99);
+    std::printf("events streamed: %llu; descriptor transfers: %llu\n",
+                static_cast<unsigned long long>(nvx.eventsStreamed()),
+                static_cast<unsigned long long>(nvx.fdTransfers()));
+
+    bench::kvShutdown(endpoint);
+    auto results = nvx.wait();
+    for (const auto &r : results) {
+        std::printf("variant %d: %s\n", r.variant,
+                    r.crashed ? "crashed" : "clean exit");
+    }
+    return 0;
+}

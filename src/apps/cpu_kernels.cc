@@ -1,0 +1,867 @@
+#include "apps/cpu_kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+#include "syscalls/sys.h"
+
+namespace varan::apps::cpu {
+
+namespace {
+
+/** Deterministic PRNG shared by all kernels. */
+struct Rng {
+    std::uint64_t state;
+    explicit Rng(std::uint64_t seed) : state(seed * 2654435761u + 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next()); }
+};
+
+/** SPEC does a little I/O; one timestamp per outer pass mirrors it. */
+void
+sparseSyscall()
+{
+    long t = 0;
+    sys::vtime(&t);
+}
+
+// --- CPU2000-flavoured kernels ---
+
+/** 164.gzip: LZ77-style greedy compression over synthetic text. */
+std::uint64_t
+kGzip(std::uint32_t scale)
+{
+    Rng rng(164);
+    std::string data;
+    data.reserve(scale * 4096);
+    static const char *words[] = {"the", "quick", "brown", "fox",
+                                  "jumps", "over", "lazy", "dog"};
+    for (std::uint32_t i = 0; i < scale * 512; ++i) {
+        data += words[rng.next() % 8];
+        data += ' ';
+    }
+    std::uint64_t sum = 0;
+    for (std::uint32_t pass = 0; pass < 4; ++pass) {
+        sparseSyscall();
+        std::size_t i = 0;
+        std::size_t emitted = 0;
+        while (i < data.size()) {
+            std::size_t best_len = 0;
+            std::size_t window = i > 4096 ? i - 4096 : 0;
+            for (std::size_t j = window; j + 3 < i; j += 7) {
+                std::size_t len = 0;
+                while (i + len < data.size() && len < 64 &&
+                       data[j + len] == data[i + len]) {
+                    ++len;
+                }
+                if (len > best_len)
+                    best_len = len;
+            }
+            if (best_len >= 4) {
+                i += best_len;
+                emitted += 3;
+            } else {
+                ++i;
+                ++emitted;
+            }
+        }
+        sum += emitted;
+    }
+    return sum;
+}
+
+/** 175.vpr: simulated-annealing placement on a grid. */
+std::uint64_t
+kVpr(std::uint32_t scale)
+{
+    Rng rng(175);
+    const std::uint32_t n = 64 + scale * 16;
+    std::vector<std::uint32_t> cell_x(n), cell_y(n);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> nets;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        cell_x[i] = rng.next32() % 64;
+        cell_y[i] = rng.next32() % 64;
+    }
+    for (std::uint32_t i = 0; i < n * 2; ++i)
+        nets.emplace_back(rng.next32() % n, rng.next32() % n);
+
+    auto cost = [&]() {
+        std::uint64_t c = 0;
+        for (auto &net : nets) {
+            c += std::abs(int(cell_x[net.first]) - int(cell_x[net.second]));
+            c += std::abs(int(cell_y[net.first]) - int(cell_y[net.second]));
+        }
+        return c;
+    };
+    std::uint64_t best = cost();
+    for (std::uint32_t temp = 100; temp > 0; --temp) {
+        if (temp % 20 == 0)
+            sparseSyscall();
+        for (std::uint32_t move = 0; move < n; ++move) {
+            std::uint32_t cell = rng.next32() % n;
+            std::uint32_t ox = cell_x[cell], oy = cell_y[cell];
+            cell_x[cell] = rng.next32() % 64;
+            cell_y[cell] = rng.next32() % 64;
+            std::uint64_t c = cost();
+            if (c < best || rng.next32() % 100 < temp) {
+                best = std::min(best, c);
+            } else {
+                cell_x[cell] = ox;
+                cell_y[cell] = oy;
+            }
+        }
+    }
+    return best;
+}
+
+/** 176.gcc: expression parsing and constant folding. */
+std::uint64_t
+kGcc(std::uint32_t scale)
+{
+    Rng rng(176);
+    std::uint64_t sum = 0;
+    for (std::uint32_t iter = 0; iter < scale * 200; ++iter) {
+        if (iter % 64 == 0)
+            sparseSyscall();
+        // Build a random arithmetic expression in RPN and fold it.
+        std::vector<long long> stack;
+        stack.push_back(static_cast<long long>(rng.next32() % 1000));
+        for (int op = 0; op < 40; ++op) {
+            switch (rng.next32() % 4) {
+              case 0:
+                stack.push_back(
+                    static_cast<long long>(rng.next32() % 1000));
+                break;
+              case 1:
+                if (stack.size() >= 2) {
+                    long long b = stack.back();
+                    stack.pop_back();
+                    stack.back() += b;
+                }
+                break;
+              case 2:
+                if (stack.size() >= 2) {
+                    long long b = stack.back();
+                    stack.pop_back();
+                    stack.back() *= (b % 7 + 1);
+                }
+                break;
+              default:
+                if (!stack.empty())
+                    stack.back() ^= 0x5a5a;
+            }
+        }
+        for (long long v : stack)
+            sum += static_cast<std::uint64_t>(v);
+    }
+    return sum;
+}
+
+/** 181.mcf: Bellman-Ford shortest paths (network simplex stand-in). */
+std::uint64_t
+kMcf(std::uint32_t scale)
+{
+    Rng rng(181);
+    const std::uint32_t n = 128 + scale * 32;
+    struct Edge { std::uint32_t a, b; std::uint32_t w; };
+    std::vector<Edge> edges;
+    for (std::uint32_t i = 0; i < n * 4; ++i)
+        edges.push_back({rng.next32() % n, rng.next32() % n,
+                         rng.next32() % 100 + 1});
+    std::vector<std::uint64_t> dist(n, ~0ULL);
+    dist[0] = 0;
+    for (std::uint32_t round = 0; round + 1 < n; ++round) {
+        if (round % 64 == 0)
+            sparseSyscall();
+        bool changed = false;
+        for (const Edge &e : edges) {
+            if (dist[e.a] != ~0ULL && dist[e.a] + e.w < dist[e.b]) {
+                dist[e.b] = dist[e.a] + e.w;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    std::uint64_t sum = 0;
+    for (std::uint64_t d : dist)
+        sum += d == ~0ULL ? 1 : d;
+    return sum;
+}
+
+/** 186.crafty: bitboard manipulation (population counts, attacks). */
+std::uint64_t
+kCrafty(std::uint32_t scale)
+{
+    Rng rng(186);
+    std::uint64_t sum = 0;
+    for (std::uint32_t iter = 0; iter < scale * 40000; ++iter) {
+        if (iter % 8192 == 0)
+            sparseSyscall();
+        std::uint64_t occ = rng.next();
+        std::uint64_t attacks = 0;
+        std::uint64_t sq = rng.next() % 64;
+        // Rook rays with blocking.
+        for (int d : {1, -1, 8, -8}) {
+            for (int s = static_cast<int>(sq) + d;
+                 s >= 0 && s < 64; s += d) {
+                attacks |= 1ULL << s;
+                if (occ & (1ULL << s))
+                    break;
+                if ((d == 1 || d == -1) && (s % 8 == 0 || s % 8 == 7))
+                    break;
+            }
+        }
+        sum += static_cast<std::uint64_t>(
+            __builtin_popcountll(attacks ^ occ));
+    }
+    return sum;
+}
+
+/** 197.parser: tokenising + bracket matching over generated text. */
+std::uint64_t
+kParser(std::uint32_t scale)
+{
+    Rng rng(197);
+    std::string text;
+    for (std::uint32_t i = 0; i < scale * 2000; ++i) {
+        switch (rng.next32() % 6) {
+          case 0: text += "("; break;
+          case 1: text += ")"; break;
+          case 2: text += "word "; break;
+          case 3: text += "42 "; break;
+          case 4: text += "[x] "; break;
+          default: text += ", "; break;
+        }
+    }
+    std::uint64_t tokens = 0;
+    long depth = 0, max_depth = 0;
+    for (std::uint32_t pass = 0; pass < 8; ++pass) {
+        sparseSyscall();
+        for (char c : text) {
+            if (c == '(') {
+                ++depth;
+                max_depth = std::max(max_depth, depth);
+            } else if (c == ')') {
+                --depth;
+            } else if (c == ' ') {
+                ++tokens;
+            }
+        }
+    }
+    return tokens + static_cast<std::uint64_t>(max_depth);
+}
+
+/** 252.eon: ray-sphere intersection batches (fixed point). */
+std::uint64_t
+kEon(std::uint32_t scale)
+{
+    Rng rng(252);
+    std::uint64_t hits = 0;
+    for (std::uint32_t iter = 0; iter < scale * 20000; ++iter) {
+        if (iter % 4096 == 0)
+            sparseSyscall();
+        long ox = static_cast<long>(rng.next32() % 2000) - 1000;
+        long oy = static_cast<long>(rng.next32() % 2000) - 1000;
+        long oz = static_cast<long>(rng.next32() % 2000) - 1000;
+        long r = static_cast<long>(rng.next32() % 500) + 1;
+        // Ray from origin along +x: hit iff yz-distance <= r and x ahead.
+        if (oy * oy + oz * oz <= r * r && ox > 0)
+            ++hits;
+    }
+    return hits;
+}
+
+/** 253.perlbmk: glob-style pattern matching over strings. */
+std::uint64_t
+kPerlbmk(std::uint32_t scale)
+{
+    Rng rng(253);
+    auto matches = [](const char *pat, const char *str) {
+        // Classic iterative glob with * and ?.
+        const char *star = nullptr, *ss = nullptr;
+        while (*str) {
+            if (*pat == '?' || *pat == *str) {
+                ++pat;
+                ++str;
+            } else if (*pat == '*') {
+                star = pat++;
+                ss = str;
+            } else if (star) {
+                pat = star + 1;
+                str = ++ss;
+            } else {
+                return false;
+            }
+        }
+        while (*pat == '*')
+            ++pat;
+        return *pat == '\0';
+    };
+    static const char *pats[] = {"a*b?c", "*xyz*", "??abc*", "*", "q*q"};
+    std::uint64_t count = 0;
+    for (std::uint32_t iter = 0; iter < scale * 8000; ++iter) {
+        if (iter % 2048 == 0)
+            sparseSyscall();
+        char str[32];
+        std::uint32_t len = 8 + rng.next32() % 20;
+        for (std::uint32_t i = 0; i < len; ++i)
+            str[i] = static_cast<char>('a' + rng.next32() % 26);
+        str[len] = '\0';
+        if (matches(pats[iter % 5], str))
+            ++count;
+    }
+    return count;
+}
+
+/** 254.gap: modular bignum arithmetic (group-order computations). */
+std::uint64_t
+kGap(std::uint32_t scale)
+{
+    std::uint64_t sum = 0;
+    for (std::uint32_t iter = 0; iter < scale * 4000; ++iter) {
+        if (iter % 1024 == 0)
+            sparseSyscall();
+        // Modular exponentiation with 64-bit words.
+        std::uint64_t base = 6364136223846793005ULL + iter;
+        std::uint64_t exp = 0x10001 + iter * 7;
+        std::uint64_t mod = 0xffffffffffc5ULL;
+        __uint128_t acc = 1, b = base % mod;
+        while (exp) {
+            if (exp & 1)
+                acc = acc * b % mod;
+            b = b * b % mod;
+            exp >>= 1;
+        }
+        sum += static_cast<std::uint64_t>(acc);
+    }
+    return sum;
+}
+
+/** 255.vortex: object store insert/lookup/delete transactions. */
+std::uint64_t
+kVortex(std::uint32_t scale)
+{
+    Rng rng(255);
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> db;
+    std::uint64_t sum = 0;
+    for (std::uint32_t txn = 0; txn < scale * 6000; ++txn) {
+        if (txn % 2048 == 0)
+            sparseSyscall();
+        std::uint64_t key = rng.next() % 4096;
+        switch (rng.next32() % 3) {
+          case 0: {
+            auto &obj = db[key];
+            obj.push_back(rng.next32());
+            if (obj.size() > 16)
+                obj.erase(obj.begin());
+            break;
+          }
+          case 1: {
+            auto it = db.find(key);
+            if (it != db.end())
+                for (std::uint32_t v : it->second)
+                    sum += v & 0xff;
+            break;
+          }
+          default:
+            db.erase(key);
+        }
+    }
+    return sum + db.size();
+}
+
+/** 256.bzip2: Burrows-Wheeler transform over blocks. */
+std::uint64_t
+kBzip2(std::uint32_t scale)
+{
+    Rng rng(256);
+    std::uint64_t sum = 0;
+    const std::size_t block = 2048;
+    for (std::uint32_t iter = 0; iter < scale * 4; ++iter) {
+        sparseSyscall();
+        std::string data(block, '\0');
+        for (auto &c : data)
+            c = static_cast<char>('a' + rng.next32() % 4);
+        // Sort rotations (index sort, O(n^2 log n) but n is small).
+        std::vector<std::uint32_t> idx(block);
+        for (std::uint32_t i = 0; i < block; ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      for (std::size_t k = 0; k < block; ++k) {
+                          char ca = data[(a + k) % block];
+                          char cb = data[(b + k) % block];
+                          if (ca != cb)
+                              return ca < cb;
+                      }
+                      return a < b;
+                  });
+        for (std::uint32_t i = 0; i < block; ++i)
+            sum += static_cast<std::uint8_t>(
+                       data[(idx[i] + block - 1) % block]) *
+                   (i + 1);
+    }
+    return sum;
+}
+
+/** 300.twolf: channel-routing cost relaxation on a grid. */
+std::uint64_t
+kTwolf(std::uint32_t scale)
+{
+    Rng rng(300);
+    const std::size_t dim = 64;
+    std::vector<std::uint32_t> grid(dim * dim);
+    for (auto &g : grid)
+        g = rng.next32() % 100;
+    for (std::uint32_t pass = 0; pass < scale * 30; ++pass) {
+        if (pass % 8 == 0)
+            sparseSyscall();
+        for (std::size_t y = 1; y + 1 < dim; ++y) {
+            for (std::size_t x = 1; x + 1 < dim; ++x) {
+                std::uint32_t &c = grid[y * dim + x];
+                std::uint32_t best = std::min(
+                    {grid[(y - 1) * dim + x], grid[(y + 1) * dim + x],
+                     grid[y * dim + x - 1], grid[y * dim + x + 1]});
+                c = std::min(c, best + 1);
+            }
+        }
+    }
+    std::uint64_t sum = 0;
+    for (std::uint32_t g : grid)
+        sum += g;
+    return sum;
+}
+
+// --- CPU2006-flavoured kernels ---
+
+/** 400.perlbench: string hashing and interpolation. */
+std::uint64_t
+kPerlbench(std::uint32_t scale)
+{
+    Rng rng(400);
+    std::unordered_map<std::string, std::uint64_t> hash;
+    std::uint64_t sum = 0;
+    for (std::uint32_t iter = 0; iter < scale * 8000; ++iter) {
+        if (iter % 2048 == 0)
+            sparseSyscall();
+        std::string key = "var" + std::to_string(rng.next32() % 512);
+        hash[key] += iter;
+        std::string interpolated = "value of " + key + " is " +
+                                   std::to_string(hash[key]);
+        sum += interpolated.size();
+    }
+    return sum;
+}
+
+/** 401.bzip2: move-to-front + RLE pipeline. */
+std::uint64_t
+kBzip2b(std::uint32_t scale)
+{
+    Rng rng(401);
+    std::uint64_t sum = 0;
+    for (std::uint32_t iter = 0; iter < scale * 24; ++iter) {
+        if (iter % 8 == 0)
+            sparseSyscall();
+        std::array<std::uint8_t, 256> mtf;
+        for (int i = 0; i < 256; ++i)
+            mtf[i] = static_cast<std::uint8_t>(i);
+        std::uint8_t prev = 0;
+        std::uint32_t run = 0;
+        for (std::uint32_t i = 0; i < 16384; ++i) {
+            std::uint8_t sym =
+                static_cast<std::uint8_t>(rng.next32() % 16);
+            // Move-to-front.
+            int pos = 0;
+            while (mtf[pos] != sym)
+                ++pos;
+            std::memmove(&mtf[1], &mtf[0], static_cast<std::size_t>(pos));
+            mtf[0] = sym;
+            // Run-length accounting.
+            if (pos == static_cast<int>(prev)) {
+                ++run;
+            } else {
+                sum += run * prev;
+                run = 1;
+                prev = static_cast<std::uint8_t>(pos);
+            }
+        }
+        sum += run * prev;
+    }
+    return sum;
+}
+
+/** 403.gcc: control-flow graph dominator-ish dataflow. */
+std::uint64_t
+kGcc06(std::uint32_t scale)
+{
+    Rng rng(403);
+    const std::uint32_t n = 256 + scale * 64;
+    std::vector<std::vector<std::uint32_t>> preds(n);
+    for (std::uint32_t i = 1; i < n; ++i) {
+        preds[i].push_back(rng.next32() % i);
+        if (i > 4)
+            preds[i].push_back(rng.next32() % i);
+    }
+    std::vector<std::uint64_t> in(n, ~0ULL), out(n, 0);
+    out[0] = 1;
+    in[0] = 0;
+    for (std::uint32_t round = 0; round < 40; ++round) {
+        if (round % 8 == 0)
+            sparseSyscall();
+        for (std::uint32_t i = 1; i < n; ++i) {
+            std::uint64_t meet = ~0ULL;
+            for (std::uint32_t p : preds[i])
+                meet &= out[p];
+            in[i] = meet;
+            out[i] = meet | (1ULL << (i % 64));
+        }
+    }
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        sum += __builtin_popcountll(out[i]);
+    return sum;
+}
+
+/** 429.mcf: SPFA relaxation (bigger instance). */
+std::uint64_t
+kMcf06(std::uint32_t scale)
+{
+    return kMcf(scale * 2) ^ 0x2006;
+}
+
+/** 445.gobmk: flood fill + liberty counting on a Go board. */
+std::uint64_t
+kGobmk(std::uint32_t scale)
+{
+    Rng rng(445);
+    constexpr int dim = 19;
+    std::uint64_t sum = 0;
+    for (std::uint32_t game = 0; game < scale * 300; ++game) {
+        if (game % 64 == 0)
+            sparseSyscall();
+        std::array<std::uint8_t, dim * dim> board = {};
+        for (auto &p : board)
+            p = static_cast<std::uint8_t>(rng.next32() % 3);
+        std::array<bool, dim * dim> seen = {};
+        for (int start = 0; start < dim * dim; ++start) {
+            if (seen[start] || board[start] == 0)
+                continue;
+            // Flood fill the group, counting liberties.
+            std::vector<int> stack = {start};
+            int liberties = 0;
+            std::uint8_t colour = board[start];
+            while (!stack.empty()) {
+                int p = stack.back();
+                stack.pop_back();
+                if (seen[p])
+                    continue;
+                seen[p] = true;
+                int x = p % dim, y = p / dim;
+                const int nbr[4][2] = {{x - 1, y}, {x + 1, y},
+                                       {x, y - 1}, {x, y + 1}};
+                for (auto &nb : nbr) {
+                    if (nb[0] < 0 || nb[0] >= dim || nb[1] < 0 ||
+                        nb[1] >= dim) {
+                        continue;
+                    }
+                    int q = nb[1] * dim + nb[0];
+                    if (board[q] == 0)
+                        ++liberties;
+                    else if (board[q] == colour && !seen[q])
+                        stack.push_back(q);
+                }
+            }
+            sum += static_cast<std::uint64_t>(liberties);
+        }
+    }
+    return sum;
+}
+
+/** 456.hmmer: Viterbi over a small profile HMM (integer scores). */
+std::uint64_t
+kHmmer(std::uint32_t scale)
+{
+    Rng rng(456);
+    constexpr int states = 32;
+    std::array<std::array<int, states>, states> trans;
+    for (auto &row : trans)
+        for (int &t : row)
+            t = static_cast<int>(rng.next32() % 16);
+    std::uint64_t sum = 0;
+    for (std::uint32_t seq = 0; seq < scale * 120; ++seq) {
+        if (seq % 32 == 0)
+            sparseSyscall();
+        std::array<long, states> score = {};
+        for (int step = 0; step < 256; ++step) {
+            std::array<long, states> next;
+            int emit = static_cast<int>(rng.next32() % 8);
+            for (int s = 0; s < states; ++s) {
+                long best = -1;
+                for (int p = 0; p < states; ++p)
+                    best = std::max(best, score[p] + trans[p][s]);
+                next[s] = best + emit;
+            }
+            score = next;
+        }
+        sum += static_cast<std::uint64_t>(
+            *std::max_element(score.begin(), score.end()));
+    }
+    return sum;
+}
+
+/** 458.sjeng: alpha-beta search over a synthetic game tree. */
+std::uint64_t
+kSjeng(std::uint32_t scale)
+{
+    std::uint64_t nodes = 0;
+    // Deterministic tree: value from node id hashing.
+    std::function<long(std::uint64_t, int, long, long)> search =
+        [&](std::uint64_t id, int depth, long alpha, long beta) -> long {
+        ++nodes;
+        if (depth == 0)
+            return static_cast<long>((id * 2654435761u) % 200) - 100;
+        for (int move = 0; move < 5; ++move) {
+            long v = -search(id * 5 + move + 1, depth - 1, -beta, -alpha);
+            if (v > alpha)
+                alpha = v;
+            if (alpha >= beta)
+                break;
+        }
+        return alpha;
+    };
+    std::uint64_t sum = 0;
+    for (std::uint32_t root = 0; root < scale * 6; ++root) {
+        sparseSyscall();
+        sum += static_cast<std::uint64_t>(
+            search(root, 6, -100000, 100000) + 100000);
+    }
+    return sum + nodes;
+}
+
+/** 462.libquantum: quantum register gate simulation (bit tricks). */
+std::uint64_t
+kLibquantum(std::uint32_t scale)
+{
+    Rng rng(462);
+    std::vector<std::uint64_t> amplitudes(1 << 12);
+    for (auto &a : amplitudes)
+        a = rng.next();
+    for (std::uint32_t gate = 0; gate < scale * 120; ++gate) {
+        if (gate % 32 == 0)
+            sparseSyscall();
+        unsigned target = rng.next32() % 12;
+        // "CNOT": swap amplitude pairs that differ in the target bit.
+        for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+            std::size_t j = i ^ (1ULL << target);
+            if (i < j)
+                std::swap(amplitudes[i], amplitudes[j]);
+        }
+        // "Phase": mix a rotating constant into half the register.
+        for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+            if (i & (1ULL << target))
+                amplitudes[i] = amplitudes[i] * 6364136223846793005ULL +
+                                1442695040888963407ULL;
+        }
+    }
+    std::uint64_t sum = 0;
+    for (std::uint64_t a : amplitudes)
+        sum ^= a;
+    return sum;
+}
+
+/** 464.h264ref: sum-of-absolute-differences motion search. */
+std::uint64_t
+kH264(std::uint32_t scale)
+{
+    Rng rng(464);
+    constexpr int dim = 128;
+    std::vector<std::uint8_t> frame0(dim * dim), frame1(dim * dim);
+    for (auto &p : frame0)
+        p = static_cast<std::uint8_t>(rng.next32());
+    for (std::size_t i = 0; i < frame1.size(); ++i)
+        frame1[i] = static_cast<std::uint8_t>(
+            frame0[i] + (rng.next32() % 8) - 4);
+    std::uint64_t sum = 0;
+    for (std::uint32_t mb = 0; mb < scale * 200; ++mb) {
+        if (mb % 64 == 0)
+            sparseSyscall();
+        int bx = static_cast<int>(rng.next32() % (dim - 24)) + 8;
+        int by = static_cast<int>(rng.next32() % (dim - 24)) + 8;
+        std::uint32_t best = ~0u;
+        for (int dy = -8; dy <= 8; ++dy) {
+            for (int dx = -8; dx <= 8; ++dx) {
+                std::uint32_t sad = 0;
+                for (int y = 0; y < 8; ++y)
+                    for (int x = 0; x < 8; ++x)
+                        sad += static_cast<std::uint32_t>(std::abs(
+                            int(frame0[(by + y) * dim + bx + x]) -
+                            int(frame1[(by + y + dy) * dim + bx + x +
+                                       dx])));
+                best = std::min(best, sad);
+            }
+        }
+        sum += best;
+    }
+    return sum;
+}
+
+/** 471.omnetpp: discrete-event simulation with a priority queue. */
+std::uint64_t
+kOmnetpp(std::uint32_t scale)
+{
+    Rng rng(471);
+    using Event = std::pair<std::uint64_t, std::uint32_t>; // time, node
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    for (int i = 0; i < 64; ++i)
+        queue.push({rng.next() % 1000, rng.next32() % 64});
+    std::uint64_t processed = 0, clock = 0;
+    const std::uint64_t budget = scale * 120000ULL;
+    while (!queue.empty() && processed < budget) {
+        if (processed % 16384 == 0)
+            sparseSyscall();
+        auto [time, node] = queue.top();
+        queue.pop();
+        clock = time;
+        ++processed;
+        // Each event schedules 0-2 future events; keep the queue fed.
+        std::uint32_t fanout = rng.next32() % 3;
+        if (queue.size() < 32)
+            fanout = 2;
+        for (std::uint32_t f = 0; f < fanout && queue.size() < 512; ++f)
+            queue.push({clock + 1 + rng.next() % 100,
+                        (node + rng.next32()) % 64});
+    }
+    return processed + clock;
+}
+
+/** 473.astar: A* over random grids with obstacles. */
+std::uint64_t
+kAstar(std::uint32_t scale)
+{
+    Rng rng(473);
+    constexpr int dim = 64;
+    std::uint64_t total = 0;
+    for (std::uint32_t map = 0; map < scale * 60; ++map) {
+        if (map % 16 == 0)
+            sparseSyscall();
+        std::array<bool, dim * dim> blocked = {};
+        for (auto &&b : blocked)
+            b = rng.next32() % 100 < 25;
+        blocked[0] = blocked[dim * dim - 1] = false;
+        using Node = std::pair<std::uint32_t, std::uint32_t>; // f, idx
+        std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+        std::array<std::uint32_t, dim * dim> g;
+        g.fill(~0u);
+        g[0] = 0;
+        open.push({0, 0});
+        std::uint32_t expanded = 0;
+        while (!open.empty()) {
+            auto [f, idx] = open.top();
+            open.pop();
+            if (idx == dim * dim - 1)
+                break;
+            ++expanded;
+            int x = static_cast<int>(idx) % dim;
+            int y = static_cast<int>(idx) / dim;
+            const int nbr[4][2] = {{x - 1, y}, {x + 1, y}, {x, y - 1},
+                                   {x, y + 1}};
+            for (auto &nb : nbr) {
+                if (nb[0] < 0 || nb[0] >= dim || nb[1] < 0 ||
+                    nb[1] >= dim) {
+                    continue;
+                }
+                auto q = static_cast<std::uint32_t>(nb[1] * dim + nb[0]);
+                if (blocked[q] || g[q] <= g[idx] + 1)
+                    continue;
+                g[q] = g[idx] + 1;
+                std::uint32_t h = static_cast<std::uint32_t>(
+                    (dim - 1 - nb[0]) + (dim - 1 - nb[1]));
+                open.push({g[q] + h, q});
+            }
+        }
+        total += expanded;
+    }
+    return total;
+}
+
+/** 483.xalancbmk: tree transformation (XML-ish path rewriting). */
+std::uint64_t
+kXalanc(std::uint32_t scale)
+{
+    Rng rng(483);
+    struct Node {
+        std::uint32_t tag;
+        std::vector<std::uint32_t> children; // indices
+    };
+    std::vector<Node> tree(1);
+    for (std::uint32_t i = 1; i < 2000; ++i) {
+        tree.push_back({rng.next32() % 16, {}});
+        tree[rng.next32() % i].children.push_back(i);
+    }
+    std::uint64_t sum = 0;
+    for (std::uint32_t pass = 0; pass < scale * 60; ++pass) {
+        if (pass % 16 == 0)
+            sparseSyscall();
+        // Template: match nodes with tag==pass%16, emit transformed
+        // subtree sizes.
+        std::uint32_t want = pass % 16;
+        std::function<std::uint32_t(std::uint32_t)> walk =
+            [&](std::uint32_t idx) -> std::uint32_t {
+            std::uint32_t size = 1;
+            for (std::uint32_t c : tree[idx].children)
+                size += walk(c);
+            if (tree[idx].tag == want)
+                sum += size;
+            return size;
+        };
+        walk(0);
+    }
+    return sum;
+}
+
+} // namespace
+
+const std::vector<Kernel> &
+cpu2000Suite()
+{
+    static const std::vector<Kernel> suite = {
+        {"164.gzip", kGzip},       {"175.vpr", kVpr},
+        {"176.gcc", kGcc},         {"181.mcf", kMcf},
+        {"186.crafty", kCrafty},   {"197.parser", kParser},
+        {"252.eon", kEon},         {"253.perlbmk", kPerlbmk},
+        {"254.gap", kGap},         {"255.vortex", kVortex},
+        {"256.bzip2", kBzip2},     {"300.twolf", kTwolf},
+    };
+    return suite;
+}
+
+const std::vector<Kernel> &
+cpu2006Suite()
+{
+    static const std::vector<Kernel> suite = {
+        {"400.perlbench", kPerlbench}, {"401.bzip2", kBzip2b},
+        {"403.gcc", kGcc06},           {"429.mcf", kMcf06},
+        {"445.gobmk", kGobmk},         {"456.hmmer", kHmmer},
+        {"458.sjeng", kSjeng},         {"462.libquantum", kLibquantum},
+        {"464.h264ref", kH264},        {"471.omnetpp", kOmnetpp},
+        {"473.astar", kAstar},         {"483.xalancbmk", kXalanc},
+    };
+    return suite;
+}
+
+} // namespace varan::apps::cpu

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CPU-bound kernel suites standing in for SPEC CPU2000 and CPU2006
+ * (Figures 7 and 8). SPEC itself is proprietary; these kernels
+ * reproduce the property the figures measure — compute-dominated
+ * workloads with sparse system calls, where NVX overhead comes from
+ * interception cost amortisation plus the memory pressure of running
+ * N copies — using algorithms in the spirit of each benchmark's
+ * domain (compression, place-and-route, combinatorial search, ...).
+ *
+ * Every kernel is deterministic, returns a checksum (validated across
+ * variants by the engine's exit-status comparison in tests), and emits
+ * one virtual-time syscall per outer iteration to mirror SPEC's low
+ * but non-zero syscall rate.
+ */
+
+#ifndef VARAN_APPS_CPU_KERNELS_H
+#define VARAN_APPS_CPU_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace varan::apps::cpu {
+
+struct Kernel {
+    const char *name;                      ///< SPEC-style label
+    std::uint64_t (*run)(std::uint32_t);   ///< scale -> checksum
+};
+
+/** Twelve kernels mirroring the CPU2000 integer suite (Figure 7). */
+const std::vector<Kernel> &cpu2000Suite();
+
+/** Twelve kernels mirroring the CPU2006 integer suite (Figure 8). */
+const std::vector<Kernel> &cpu2006Suite();
+
+} // namespace varan::apps::cpu
+
+#endif // VARAN_APPS_CPU_KERNELS_H

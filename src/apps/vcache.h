@@ -1,0 +1,61 @@
+/**
+ * @file
+ * vcache: the Memcached archetype — a multi-threaded object cache
+ * speaking the memcached text protocol (set/get/delete/version).
+ *
+ * Threading model mirrors memcached 1.4: one acceptor plus N worker
+ * threads, each worker running its own epoll loop. Connection handoff
+ * from acceptor to worker travels through a pipe *as a system call*,
+ * so under N-version execution the handoff order itself is part of the
+ * replicated event stream and every variant assigns the same
+ * connection to the same worker tuple (section 3.3.3).
+ */
+
+#ifndef VARAN_APPS_VCACHE_H
+#define VARAN_APPS_VCACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace varan::apps::vcache {
+
+/** Cache entry. */
+struct Entry {
+    std::uint32_t flags = 0;
+    std::string data;
+};
+
+/** Sharded cache; shard count fixed so key->shard is deterministic. */
+class Cache
+{
+  public:
+    explicit Cache(std::size_t shards = 8);
+    ~Cache();
+
+    bool set(const std::string &key, std::uint32_t flags,
+             std::string data);
+    bool get(const std::string &key, Entry *out) const;
+    bool erase(const std::string &key);
+    std::size_t size() const;
+
+  private:
+    struct Shard;
+    std::size_t shardOf(const std::string &key) const;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+struct Options {
+    std::string endpoint = "varan-vcache";
+    int workers = 2; ///< worker threads (tuples 1..workers)
+};
+
+/** Run until a client sends "shutdown". */
+int serve(const Options &options);
+
+} // namespace varan::apps::vcache
+
+#endif // VARAN_APPS_VCACHE_H

@@ -1,0 +1,219 @@
+#include "apps/vhttpd.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unordered_map>
+
+#include "netio/eventloop.h"
+#include "netio/socketio.h"
+#include "syscalls/sys.h"
+
+namespace varan::apps::vhttpd {
+
+Request
+parseRequest(const std::string &buffer)
+{
+    Request req;
+    std::size_t end = buffer.find("\r\n\r\n");
+    std::size_t terminator = 4;
+    if (end == std::string::npos) {
+        end = buffer.find("\n\n");
+        terminator = 2;
+    }
+    if (end == std::string::npos)
+        return req;
+    req.complete = true;
+    req.consumed = end + terminator;
+
+    std::size_t line_end = buffer.find('\n');
+    std::string line = buffer.substr(0, line_end);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos) {
+        req.method = line;
+    } else {
+        req.method = line.substr(0, sp1);
+        req.path = sp2 == std::string::npos
+                       ? line.substr(sp1 + 1)
+                       : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+
+    // HTTP/1.1 defaults to keep-alive unless "Connection: close".
+    std::string headers = buffer.substr(0, end);
+    for (char &c : headers)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (headers.find("connection: close") != std::string::npos)
+        req.keep_alive = false;
+    return req;
+}
+
+std::string
+makeResponse(int code, const std::string &reason, const std::string &body,
+             bool keep_alive)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                      "\r\n";
+    out += "Server: vhttpd/1.4.36\r\n";
+    out += "Content-Type: text/html\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+namespace {
+
+struct Client {
+    std::string inbuf;
+};
+
+/** The revisions' permission check before touching a document. */
+void
+permissionChecks(const Revision &revision)
+{
+    if (revision.issetugid_checks) {
+        // Revision 2436: issetugid() — geteuid, getuid, getegid, getgid.
+        sys::vgeteuid();
+        sys::vgetuid();
+        sys::vgetegid();
+        sys::vgetgid();
+    } else {
+        // Revision 2435: geteuid() + getegid() only.
+        sys::vgeteuid();
+        sys::vgetegid();
+    }
+}
+
+} // namespace
+
+int
+serve(const Options &options)
+{
+    if (options.revision.read_urandom) {
+        // Revision 2524: additional entropy source at startup.
+        long fd = sys::vopen("/dev/urandom", O_RDONLY);
+        if (fd >= 0) {
+            char entropy[16];
+            sys::vread(static_cast<int>(fd), entropy, sizeof(entropy));
+            sys::vclose(static_cast<int>(fd));
+        }
+    }
+
+    auto listen = netio::listenAbstract(options.endpoint);
+    if (!listen.ok())
+        return 65;
+    const int listen_fd = listen.value();
+
+    if (options.revision.set_cloexec) {
+        // Revision 2578: one extra fcntl on a descriptor.
+        sys::vfcntl(listen_fd, F_SETFD, FD_CLOEXEC);
+    }
+
+    netio::EventLoop loop;
+    if (!loop.valid())
+        return 66;
+
+    std::string index_page(options.page_bytes, 'x');
+    std::unordered_map<int, Client> clients;
+
+    auto body_for = [&](const std::string &path,
+                        bool *found) -> std::string {
+        *found = true;
+        if (path == "/" || path == "/index.html") {
+            if (options.docroot_file.empty())
+                return index_page;
+            // lighttpd-style: open + read + close per request.
+            long fd = sys::vopen(options.docroot_file.c_str(), O_RDONLY);
+            if (fd < 0) {
+                *found = false;
+                return "<html><body>404</body></html>";
+            }
+            char buf[8192];
+            long n = sys::vread(static_cast<int>(fd), buf, sizeof(buf));
+            sys::vclose(static_cast<int>(fd));
+            return std::string(buf, n > 0 ? static_cast<std::size_t>(n)
+                                          : 0);
+        }
+        auto it = options.docs.find(path);
+        if (it != options.docs.end())
+            return it->second;
+        *found = false;
+        return "<html><body>404</body></html>";
+    };
+
+    std::function<void(int)> close_client = [&](int fd) {
+        loop.remove(fd);
+        clients.erase(fd);
+        sys::vclose(fd);
+    };
+
+    auto on_client = [&](int fd) {
+        return [&, fd](std::uint32_t events) {
+            if (events & (EPOLLHUP | EPOLLERR)) {
+                close_client(fd);
+                return;
+            }
+            char buf[4096];
+            long n = sys::vread(fd, buf, sizeof(buf));
+            if (n <= 0) {
+                close_client(fd);
+                return;
+            }
+            Client &client = clients[fd];
+            client.inbuf.append(buf, static_cast<std::size_t>(n));
+            for (;;) {
+                Request req = parseRequest(client.inbuf);
+                if (!req.complete)
+                    break;
+                client.inbuf.erase(0, req.consumed);
+
+                if (req.path == "/__shutdown") {
+                    std::string bye =
+                        makeResponse(200, "OK", "bye", false);
+                    netio::sendAll(fd, bye.data(), bye.size());
+                    loop.stop();
+                    return;
+                }
+                if (!options.revision.crash_path.empty() &&
+                    req.path == options.revision.crash_path) {
+                    int *bug = nullptr;
+                    *bug = 2438; // the crash revision's fault
+                }
+
+                permissionChecks(options.revision);
+                bool found = false;
+                std::string body = body_for(req.path, &found);
+                std::string response =
+                    found ? makeResponse(200, "OK", body, req.keep_alive)
+                          : makeResponse(404, "Not Found", body,
+                                         req.keep_alive);
+                netio::sendAll(fd, response.data(), response.size());
+                if (!req.keep_alive) {
+                    close_client(fd);
+                    return;
+                }
+            }
+        };
+    };
+
+    loop.add(listen_fd, EPOLLIN, [&](std::uint32_t) {
+        long fd = netio::acceptConnection(listen_fd, false);
+        if (fd < 0)
+            return;
+        clients[static_cast<int>(fd)] = Client{};
+        loop.add(static_cast<int>(fd), EPOLLIN,
+                 on_client(static_cast<int>(fd)));
+    });
+
+    loop.run();
+    for (auto &entry : clients)
+        sys::vclose(entry.first);
+    sys::vclose(listen_fd);
+    return 0;
+}
+
+} // namespace varan::apps::vhttpd

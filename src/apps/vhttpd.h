@@ -1,0 +1,71 @@
+/**
+ * @file
+ * vhttpd: the Lighttpd/thttpd/Apache archetype — a single-threaded,
+ * epoll-driven HTTP/1.1 server with keep-alive, serving an in-memory
+ * document root.
+ *
+ * Revision knobs reproduce the divergences of the paper's
+ * multi-revision experiments (section 5.2):
+ *  - revision 2435 checks geteuid()+getegid() before opening a file;
+ *  - revision 2436 switches to issetugid(), i.e. geteuid, getuid,
+ *    getegid, getgid — two *additional* system calls;
+ *  - revision 2524 reads /dev/urandom at startup for extra entropy;
+ *  - revision 2578 sets FD_CLOEXEC on the listening descriptor with an
+ *    additional fcntl.
+ * And the crash revision used for the failover experiment (a null
+ * dereference on a specific request path).
+ */
+
+#ifndef VARAN_APPS_VHTTPD_H
+#define VARAN_APPS_VHTTPD_H
+
+#include <map>
+#include <string>
+
+namespace varan::apps::vhttpd {
+
+/** Parsed request line + headers (only what a static server needs). */
+struct Request {
+    std::string method;
+    std::string path;
+    bool keep_alive = true;
+    bool complete = false;  ///< saw the end of the header block
+    std::size_t consumed = 0; ///< bytes of input consumed
+};
+
+/** Incremental request parser; exposed for unit tests. */
+Request parseRequest(const std::string &buffer);
+
+/** Build a response with standard headers. */
+std::string makeResponse(int code, const std::string &reason,
+                         const std::string &body, bool keep_alive);
+
+struct Revision {
+    bool issetugid_checks = false; ///< 2436: +getuid +getgid
+    bool read_urandom = false;     ///< 2524: +read of /dev/urandom
+    bool set_cloexec = false;      ///< 2578: +fcntl(FD_CLOEXEC)
+    std::string crash_path;        ///< crash when this path is requested
+};
+
+struct Options {
+    std::string endpoint = "varan-vhttpd";
+    Revision revision;
+    /** Page size served for "/" and "/index.html" (paper uses 4 kB). */
+    std::size_t page_bytes = 4096;
+    /** Extra documents: path -> body. */
+    std::map<std::string, std::string> docs;
+    /**
+     * When set, "/" is served by opening and reading this file on
+     * every request — lighttpd's behaviour, and what makes the
+     * permission checks precede an `open` system call exactly as the
+     * revisions of section 5.2 expect.
+     */
+    std::string docroot_file;
+};
+
+/** Run until a GET /__shutdown request arrives. Returns exit status. */
+int serve(const Options &options);
+
+} // namespace varan::apps::vhttpd
+
+#endif // VARAN_APPS_VHTTPD_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * vproxy: the Nginx archetype — a prefork multi-process HTTP server.
+ * The master opens the listening socket and forks N workers (process
+ * tuples under N-version execution, section 3.3.3); each worker runs
+ * its own epoll loop accepting from the shared descriptor, exactly the
+ * nginx worker model.
+ */
+
+#ifndef VARAN_APPS_VPROXY_H
+#define VARAN_APPS_VPROXY_H
+
+#include <string>
+
+namespace varan::apps::vproxy {
+
+struct Options {
+    std::string endpoint = "varan-vproxy";
+    int workers = 2;          ///< forked worker processes
+    std::size_t page_bytes = 4096;
+};
+
+/** Run until a GET /__shutdown arrives at any worker. */
+int serve(const Options &options);
+
+} // namespace varan::apps::vproxy
+
+#endif // VARAN_APPS_VPROXY_H

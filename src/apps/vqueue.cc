@@ -1,0 +1,168 @@
+#include "apps/vqueue.h"
+
+#include <sys/epoll.h>
+#include <unordered_map>
+
+#include "netio/eventloop.h"
+#include "netio/socketio.h"
+#include "syscalls/sys.h"
+
+namespace varan::apps::vqueue {
+
+std::uint64_t
+JobQueue::put(std::string data)
+{
+    std::uint64_t id = next_id_++;
+    ready_.push_back(Job{id, std::move(data)});
+    return id;
+}
+
+bool
+JobQueue::reserve(Job *out)
+{
+    if (ready_.empty())
+        return false;
+    Job job = std::move(ready_.front());
+    ready_.pop_front();
+    *out = job;
+    reserved_[job.id] = std::move(job);
+    return true;
+}
+
+bool
+JobQueue::erase(std::uint64_t id)
+{
+    if (reserved_.erase(id) > 0)
+        return true;
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (it->id == id) {
+            ready_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+struct Client {
+    std::string inbuf;
+};
+
+} // namespace
+
+int
+serve(const Options &options)
+{
+    auto listen = netio::listenAbstract(options.endpoint);
+    if (!listen.ok())
+        return 65;
+    const int listen_fd = listen.value();
+
+    netio::EventLoop loop;
+    if (!loop.valid())
+        return 66;
+
+    JobQueue queue;
+    std::unordered_map<int, Client> clients;
+
+    std::function<void(int)> close_client = [&](int fd) {
+        loop.remove(fd);
+        clients.erase(fd);
+        sys::vclose(fd);
+    };
+
+    auto on_client = [&](int fd) {
+        return [&, fd](std::uint32_t events) {
+            if (events & (EPOLLHUP | EPOLLERR)) {
+                close_client(fd);
+                return;
+            }
+            char buf[4096];
+            long n = sys::vread(fd, buf, sizeof(buf));
+            if (n <= 0) {
+                close_client(fd);
+                return;
+            }
+            Client &client = clients[fd];
+            client.inbuf.append(buf, static_cast<std::size_t>(n));
+
+            for (;;) {
+                std::size_t eol = client.inbuf.find("\r\n");
+                if (eol == std::string::npos)
+                    break;
+                std::string line = client.inbuf.substr(0, eol);
+
+                if (line.rfind("put ", 0) == 0) {
+                    // put <pri> <delay> <ttr> <bytes>
+                    std::size_t last_sp = line.rfind(' ');
+                    std::size_t bytes = static_cast<std::size_t>(
+                        std::strtoull(line.c_str() + last_sp + 1, nullptr,
+                                      10));
+                    if (client.inbuf.size() < eol + 2 + bytes + 2)
+                        break; // need the body
+                    std::string data =
+                        client.inbuf.substr(eol + 2, bytes);
+                    client.inbuf.erase(0, eol + 2 + bytes + 2);
+                    std::uint64_t id = queue.put(std::move(data));
+                    std::string reply =
+                        "INSERTED " + std::to_string(id) + "\r\n";
+                    netio::sendAll(fd, reply.data(), reply.size());
+                    continue;
+                }
+
+                client.inbuf.erase(0, eol + 2);
+                if (line == "reserve") {
+                    Job job;
+                    if (queue.reserve(&job)) {
+                        std::string reply =
+                            "RESERVED " + std::to_string(job.id) + " " +
+                            std::to_string(job.data.size()) + "\r\n" +
+                            job.data + "\r\n";
+                        netio::sendAll(fd, reply.data(), reply.size());
+                    } else {
+                        netio::sendAll(fd, "TIMED_OUT\r\n", 11);
+                    }
+                } else if (line.rfind("delete ", 0) == 0) {
+                    std::uint64_t id =
+                        std::strtoull(line.c_str() + 7, nullptr, 10);
+                    const char *reply = queue.erase(id)
+                                            ? "DELETED\r\n"
+                                            : "NOT_FOUND\r\n";
+                    netio::sendAll(fd, reply, std::strlen(reply));
+                } else if (line == "stats") {
+                    std::string reply =
+                        "OK " + std::to_string(queue.readyCount()) + " " +
+                        std::to_string(queue.reservedCount()) + "\r\n";
+                    netio::sendAll(fd, reply.data(), reply.size());
+                } else if (line == "quit") {
+                    close_client(fd);
+                    return;
+                } else if (line == "shutdown") {
+                    netio::sendAll(fd, "BYE\r\n", 5);
+                    loop.stop();
+                    return;
+                } else {
+                    netio::sendAll(fd, "UNKNOWN_COMMAND\r\n", 17);
+                }
+            }
+        };
+    };
+
+    loop.add(listen_fd, EPOLLIN, [&](std::uint32_t) {
+        long fd = netio::acceptConnection(listen_fd, false);
+        if (fd < 0)
+            return;
+        clients[static_cast<int>(fd)] = Client{};
+        loop.add(static_cast<int>(fd), EPOLLIN,
+                 on_client(static_cast<int>(fd)));
+    });
+
+    loop.run();
+    for (auto &entry : clients)
+        sys::vclose(entry.first);
+    sys::vclose(listen_fd);
+    return 0;
+}
+
+} // namespace varan::apps::vqueue

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * vqueue: the Beanstalkd archetype — a single-threaded work queue with
+ * the beanstalk text protocol subset the paper's benchmark exercises:
+ *
+ *   put <pri> <delay> <ttr> <bytes>\r\n<data>\r\n -> INSERTED <id>\r\n
+ *   reserve\r\n                      -> RESERVED <id> <bytes>\r\n<data>\r\n
+ *   delete <id>\r\n                  -> DELETED\r\n
+ *   stats\r\n                        -> OK <ready> <reserved>\r\n
+ *   quit\r\n / shutdown\r\n
+ *
+ * Beanstalkd is the paper's worst performer under VARAN (1.52-1.77x)
+ * because its tiny request/response pairs produce the highest syscall
+ * rate per byte of useful work; vqueue reproduces that profile.
+ */
+
+#ifndef VARAN_APPS_VQUEUE_H
+#define VARAN_APPS_VQUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace varan::apps::vqueue {
+
+struct Job {
+    std::uint64_t id;
+    std::string data;
+};
+
+/** Queue logic, unit-testable without sockets. */
+class JobQueue
+{
+  public:
+    std::uint64_t put(std::string data);
+    bool reserve(Job *out);          ///< moves a ready job to reserved
+    bool erase(std::uint64_t id);    ///< delete a reserved/ready job
+    std::size_t readyCount() const { return ready_.size(); }
+    std::size_t reservedCount() const { return reserved_.size(); }
+
+  private:
+    std::uint64_t next_id_ = 1;
+    std::deque<Job> ready_;
+    std::map<std::uint64_t, Job> reserved_;
+};
+
+struct Options {
+    std::string endpoint = "varan-vqueue";
+};
+
+/** Run until a client sends "shutdown". */
+int serve(const Options &options);
+
+} // namespace varan::apps::vqueue
+
+#endif // VARAN_APPS_VQUEUE_H

@@ -1,0 +1,353 @@
+#include "apps/vstore.h"
+
+#include <sys/epoll.h>
+
+#include "netio/eventloop.h"
+#include "netio/socketio.h"
+#include "syscalls/sys.h"
+
+namespace varan::apps::vstore {
+
+std::vector<std::string>
+parseCommand(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        if (i >= line.size())
+            break;
+        std::size_t start = i;
+        if (line[i] == '"') {
+            ++start;
+            ++i;
+            while (i < line.size() && line[i] != '"')
+                ++i;
+            out.push_back(line.substr(start, i - start));
+            if (i < line.size())
+                ++i;
+        } else {
+            while (i < line.size() && line[i] != ' ' && line[i] != '\t')
+                ++i;
+            out.push_back(line.substr(start, i - start));
+        }
+    }
+    return out;
+}
+
+std::string
+replySimple(const std::string &s)
+{
+    return "+" + s + "\r\n";
+}
+
+std::string
+replyError(const std::string &s)
+{
+    return "-ERR " + s + "\r\n";
+}
+
+std::string
+replyInteger(long long v)
+{
+    return ":" + std::to_string(v) + "\r\n";
+}
+
+std::string
+replyBulk(const std::string &s)
+{
+    return "$" + std::to_string(s.size()) + "\r\n" + s + "\r\n";
+}
+
+std::string
+replyNil()
+{
+    return "$-1\r\n";
+}
+
+std::size_t
+Store::size() const
+{
+    return strings_.size() + hashes_.size() + lists_.size();
+}
+
+std::string
+Store::cmdSet(const std::vector<std::string> &args)
+{
+    if (args.size() != 3)
+        return replyError("wrong number of arguments for 'set'");
+    strings_[args[1]] = args[2];
+    return replySimple("OK");
+}
+
+std::string
+Store::cmdGet(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return replyError("wrong number of arguments for 'get'");
+    auto it = strings_.find(args[1]);
+    return it == strings_.end() ? replyNil() : replyBulk(it->second);
+}
+
+std::string
+Store::cmdDel(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return replyError("wrong number of arguments for 'del'");
+    long long removed = 0;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        removed += strings_.erase(args[i]);
+        removed += hashes_.erase(args[i]);
+        removed += lists_.erase(args[i]);
+    }
+    return replyInteger(removed);
+}
+
+std::string
+Store::cmdIncr(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return replyError("wrong number of arguments for 'incr'");
+    auto &value = strings_[args[1]];
+    long long v = 0;
+    if (!value.empty()) {
+        errno = 0;
+        char *end = nullptr;
+        v = std::strtoll(value.c_str(), &end, 10);
+        if (errno != 0 || *end != '\0')
+            return replyError("value is not an integer");
+    }
+    ++v;
+    value = std::to_string(v);
+    return replyInteger(v);
+}
+
+std::string
+Store::cmdHset(const std::vector<std::string> &args)
+{
+    if (args.size() != 4)
+        return replyError("wrong number of arguments for 'hset'");
+    auto &hash = hashes_[args[1]];
+    bool fresh = hash.find(args[2]) == hash.end();
+    hash[args[2]] = args[3];
+    return replyInteger(fresh ? 1 : 0);
+}
+
+std::string
+Store::cmdHget(const std::vector<std::string> &args)
+{
+    if (args.size() != 3)
+        return replyError("wrong number of arguments for 'hget'");
+    auto hit = hashes_.find(args[1]);
+    if (hit == hashes_.end())
+        return replyNil();
+    auto fit = hit->second.find(args[2]);
+    return fit == hit->second.end() ? replyNil() : replyBulk(fit->second);
+}
+
+std::string
+Store::cmdHmget(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return replyError("wrong number of arguments for 'hmget'");
+    std::string out = "*" + std::to_string(args.size() - 2) + "\r\n";
+    auto hit = hashes_.find(args[1]);
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        if (hit == hashes_.end()) {
+            out += replyNil();
+            continue;
+        }
+        auto fit = hit->second.find(args[i]);
+        out += fit == hit->second.end() ? replyNil()
+                                        : replyBulk(fit->second);
+    }
+    return out;
+}
+
+std::string
+Store::cmdLpush(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return replyError("wrong number of arguments for 'lpush'");
+    auto &list = lists_[args[1]];
+    for (std::size_t i = 2; i < args.size(); ++i)
+        list.push_front(args[i]);
+    return replyInteger(static_cast<long long>(list.size()));
+}
+
+std::string
+Store::cmdLrange(const std::vector<std::string> &args)
+{
+    if (args.size() != 4)
+        return replyError("wrong number of arguments for 'lrange'");
+    auto it = lists_.find(args[1]);
+    long long from = std::strtoll(args[2].c_str(), nullptr, 10);
+    long long to = std::strtoll(args[3].c_str(), nullptr, 10);
+    if (it == lists_.end())
+        return "*0\r\n";
+    const auto &list = it->second;
+    long long n = static_cast<long long>(list.size());
+    if (from < 0)
+        from += n;
+    if (to < 0)
+        to += n;
+    from = std::max(from, 0LL);
+    to = std::min(to, n - 1);
+    if (from > to)
+        return "*0\r\n";
+    std::string out = "*" + std::to_string(to - from + 1) + "\r\n";
+    for (long long i = from; i <= to; ++i)
+        out += replyBulk(list[static_cast<std::size_t>(i)]);
+    return out;
+}
+
+std::string
+Store::apply(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return replyError("empty command");
+    std::string cmd = args[0];
+    for (char &c : cmd)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (cmd == "PING")
+        return replySimple("PONG");
+    if (cmd == "ECHO")
+        return args.size() == 2 ? replyBulk(args[1])
+                                : replyError("echo needs one argument");
+    if (cmd == "SET")
+        return cmdSet(args);
+    if (cmd == "GET")
+        return cmdGet(args);
+    if (cmd == "DEL")
+        return cmdDel(args);
+    if (cmd == "INCR")
+        return cmdIncr(args);
+    if (cmd == "HSET")
+        return cmdHset(args);
+    if (cmd == "HGET")
+        return cmdHget(args);
+    if (cmd == "HMGET")
+        return cmdHmget(args);
+    if (cmd == "LPUSH")
+        return cmdLpush(args);
+    if (cmd == "LRANGE")
+        return cmdLrange(args);
+    if (cmd == "DBSIZE")
+        return replyInteger(static_cast<long long>(size()));
+    if (cmd == "FLUSHALL") {
+        strings_.clear();
+        hashes_.clear();
+        lists_.clear();
+        return replySimple("OK");
+    }
+    return replyError("unknown command '" + args[0] + "'");
+}
+
+namespace {
+
+/** Per-connection state for the inline protocol. */
+struct Client {
+    std::string inbuf;
+};
+
+/** Extra checking pass standing in for compiler sanitizer work. */
+void
+sanitizerWork(const std::vector<std::string> &args, int passes)
+{
+    std::uint32_t guard = 0;
+    for (int p = 0; p < passes; ++p) {
+        for (const std::string &a : args) {
+            for (char c : a)
+                guard += static_cast<std::uint8_t>(c) * 31u;
+        }
+    }
+    // Keep the checking work observable to the optimiser.
+    asm volatile("" :: "r"(guard));
+}
+
+} // namespace
+
+int
+serve(const Options &options)
+{
+    auto listen = netio::listenAbstract(options.endpoint);
+    if (!listen.ok())
+        return 65;
+    const int listen_fd = listen.value();
+
+    netio::EventLoop loop;
+    if (!loop.valid())
+        return 66;
+
+    Store store;
+    std::unordered_map<int, Client> clients;
+    int status = 0;
+
+    std::function<void(int)> close_client = [&](int fd) {
+        loop.remove(fd);
+        clients.erase(fd);
+        sys::vclose(fd);
+    };
+
+    auto on_client = [&](int fd) {
+        return [&, fd](std::uint32_t events) {
+            if (events & (EPOLLHUP | EPOLLERR)) {
+                close_client(fd);
+                return;
+            }
+            char buf[4096];
+            long n = sys::vread(fd, buf, sizeof(buf));
+            if (n <= 0) {
+                close_client(fd);
+                return;
+            }
+            Client &client = clients[fd];
+            client.inbuf.append(buf, static_cast<std::size_t>(n));
+            std::size_t pos;
+            while ((pos = client.inbuf.find('\n')) != std::string::npos) {
+                std::string line = client.inbuf.substr(0, pos);
+                client.inbuf.erase(0, pos + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                if (line.empty())
+                    continue;
+                auto args = parseCommand(line);
+                if (!args.empty() &&
+                    (args[0] == "SHUTDOWN" || args[0] == "shutdown")) {
+                    netio::sendAll(fd, "+OK\r\n", 5);
+                    loop.stop();
+                    return;
+                }
+                if (options.revision.crash_on_hmget && !args.empty() &&
+                    (args[0] == "HMGET" || args[0] == "hmget")) {
+                    // Revision 7fb16ba's bug: NULL dereference while
+                    // serving HMGET (section 5.1).
+                    int *bug = nullptr;
+                    *bug = 344;
+                }
+                if (options.revision.sanitize_passes > 0)
+                    sanitizerWork(args, options.revision.sanitize_passes);
+                std::string reply = store.apply(args);
+                netio::sendAll(fd, reply.data(), reply.size());
+            }
+        };
+    };
+
+    loop.add(listen_fd, EPOLLIN, [&](std::uint32_t) {
+        long fd = netio::acceptConnection(listen_fd, false);
+        if (fd < 0)
+            return;
+        clients[static_cast<int>(fd)] = Client{};
+        loop.add(static_cast<int>(fd), EPOLLIN,
+                 on_client(static_cast<int>(fd)));
+    });
+
+    loop.run();
+    for (auto &entry : clients)
+        sys::vclose(entry.first);
+    sys::vclose(listen_fd);
+    return status;
+}
+
+} // namespace varan::apps::vstore

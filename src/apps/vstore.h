@@ -1,0 +1,87 @@
+/**
+ * @file
+ * vstore: the Redis archetype — a single-threaded, epoll-driven,
+ * in-memory key-value data store speaking an inline variant of RESP.
+ *
+ * Commands: PING, ECHO, SET, GET, DEL, INCR, HSET, HGET, HMGET, LPUSH,
+ * LRANGE, DBSIZE, FLUSHALL, SHUTDOWN.
+ *
+ * "Revisions" reproduce the paper's experiments: revision `7fb16ba`
+ * introduced a crash on HMGET (the bug of section 5.1 / Redis issue
+ * 344); a sanitizer build adds per-command checking work (section
+ * 5.3). The store logic is separate from the server so protocol and
+ * data structures unit-test without sockets.
+ */
+
+#ifndef VARAN_APPS_VSTORE_H
+#define VARAN_APPS_VSTORE_H
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace varan::apps::vstore {
+
+/** Split an inline command into arguments (RESP inline syntax). */
+std::vector<std::string> parseCommand(const std::string &line);
+
+/** The data store: string, hash and list types, Redis-style. */
+class Store
+{
+  public:
+    /** Execute one command; returns the RESP-encoded reply. */
+    std::string apply(const std::vector<std::string> &args);
+
+    std::size_t size() const;
+
+  private:
+    std::string cmdSet(const std::vector<std::string> &args);
+    std::string cmdGet(const std::vector<std::string> &args);
+    std::string cmdDel(const std::vector<std::string> &args);
+    std::string cmdIncr(const std::vector<std::string> &args);
+    std::string cmdHset(const std::vector<std::string> &args);
+    std::string cmdHget(const std::vector<std::string> &args);
+    std::string cmdHmget(const std::vector<std::string> &args);
+    std::string cmdLpush(const std::vector<std::string> &args);
+    std::string cmdLrange(const std::vector<std::string> &args);
+
+    std::unordered_map<std::string, std::string> strings_;
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, std::string>>
+        hashes_;
+    std::unordered_map<std::string, std::deque<std::string>> lists_;
+};
+
+// --- RESP reply builders (exposed for tests) ---
+std::string replySimple(const std::string &s);
+std::string replyError(const std::string &s);
+std::string replyInteger(long long v);
+std::string replyBulk(const std::string &s);
+std::string replyNil();
+
+/** Behaviour knobs defining a "revision" of the application. */
+struct Revision {
+    /** Revision 7fb16ba: segfault while serving HMGET (section 5.1). */
+    bool crash_on_hmget = false;
+    /** Sanitizer build: extra checking work per command (section 5.3);
+     *  the value approximates ASan's ~2x slowdown in extra loops. */
+    int sanitize_passes = 0;
+};
+
+/** Server options. */
+struct Options {
+    std::string endpoint = "varan-vstore"; ///< abstract socket name
+    Revision revision;
+    /** Serve until a SHUTDOWN command arrives. */
+};
+
+/**
+ * Run the server (blocking) until a client sends SHUTDOWN.
+ * @return exit status (0 on clean shutdown).
+ */
+int serve(const Options &options);
+
+} // namespace varan::apps::vstore
+
+#endif // VARAN_APPS_VSTORE_H

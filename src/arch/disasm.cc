@@ -1,0 +1,382 @@
+#include "arch/disasm.h"
+
+namespace varan::arch {
+
+namespace {
+
+// Immediate/operand classes for the one-byte opcode map.
+enum ImmClass : std::uint8_t {
+    kNone = 0,
+    kImm8,    ///< 1-byte immediate
+    kImmZ,    ///< 2 or 4 bytes following operand size (4 in 64-bit)
+    kImm16,   ///< always 2 bytes (ret imm16)
+    kImmV,    ///< B8+r: 4 bytes, or 8 with REX.W
+    kMoffs,   ///< A0-A3: 8-byte absolute in 64-bit mode
+    kEnter,   ///< C8: imm16 + imm8
+    kRel8,    ///< 1-byte branch displacement
+    kRel32,   ///< 4-byte branch displacement
+    kGrpF6,   ///< F6: imm8 iff modrm.reg in {0,1}
+    kGrpF7,   ///< F7: immZ iff modrm.reg in {0,1}
+    kBad,     ///< invalid / unsupported in 64-bit mode
+};
+
+struct OpInfo {
+    bool modrm;
+    ImmClass imm;
+    bool branch;
+};
+
+/** One-byte opcode table (64-bit mode). */
+OpInfo
+oneByte(std::uint8_t op)
+{
+    // Regular arithmetic blocks: 00-3F follow an 8-entry pattern:
+    // /r forms (00-03), AL,imm8 (04), eAX,immZ (05); 06/07 invalid in 64.
+    if (op <= 0x3f) {
+        switch (op & 7) {
+          case 0: case 1: case 2: case 3:
+            // 0F is the two-byte escape, handled by the caller; 26/2E/
+            // 36/3E are segment prefixes, also handled by the caller.
+            return {true, kNone, false};
+          case 4:
+            return {false, kImm8, false};
+          case 5:
+            return {false, kImmZ, false};
+          default:
+            return {false, kBad, false}; // push/pop seg: invalid in 64-bit
+        }
+    }
+    if (op >= 0x50 && op <= 0x5f) // push/pop r64
+        return {false, kNone, false};
+    switch (op) {
+      case 0x63: return {true, kNone, false};  // movsxd
+      case 0x68: return {false, kImmZ, false}; // push immZ
+      case 0x69: return {true, kImmZ, false};  // imul r, rm, immZ
+      case 0x6a: return {false, kImm8, false}; // push imm8
+      case 0x6b: return {true, kImm8, false};  // imul r, rm, imm8
+      case 0x6c: case 0x6d: case 0x6e: case 0x6f: // ins/outs
+        return {false, kNone, false};
+      case 0x80: return {true, kImm8, false};
+      case 0x81: return {true, kImmZ, false};
+      case 0x82: return {false, kBad, false};
+      case 0x83: return {true, kImm8, false};
+      case 0x84: case 0x85: case 0x86: case 0x87: // test/xchg
+        return {true, kNone, false};
+      case 0x88: case 0x89: case 0x8a: case 0x8b: // mov
+      case 0x8c: case 0x8d: case 0x8e:            // mov seg / lea
+        return {true, kNone, false};
+      case 0x8f: return {true, kNone, false};     // pop rm
+      case 0x90: case 0x91: case 0x92: case 0x93: // nop/xchg
+      case 0x94: case 0x95: case 0x96: case 0x97:
+        return {false, kNone, false};
+      case 0x98: case 0x99: return {false, kNone, false}; // cwde/cdq
+      case 0x9b: case 0x9c: case 0x9d: case 0x9e: case 0x9f:
+        return {false, kNone, false};
+      case 0xa0: case 0xa1: case 0xa2: case 0xa3:
+        return {false, kMoffs, false};
+      case 0xa4: case 0xa5: case 0xa6: case 0xa7: // movs/cmps
+        return {false, kNone, false};
+      case 0xa8: return {false, kImm8, false};    // test al, imm8
+      case 0xa9: return {false, kImmZ, false};    // test eax, immZ
+      case 0xaa: case 0xab: case 0xac: case 0xad: case 0xae: case 0xaf:
+        return {false, kNone, false};             // stos/lods/scas
+      case 0xc0: case 0xc1: return {true, kImm8, false}; // shift imm8
+      case 0xc2: return {false, kImm16, true};    // ret imm16
+      case 0xc3: return {false, kNone, true};     // ret
+      case 0xc6: return {true, kImm8, false};     // mov rm8, imm8
+      case 0xc7: return {true, kImmZ, false};     // mov rm, immZ
+      case 0xc8: return {false, kEnter, false};
+      case 0xc9: return {false, kNone, false};    // leave
+      case 0xca: return {false, kImm16, true};    // retf imm16
+      case 0xcb: return {false, kNone, true};     // retf
+      case 0xcc: return {false, kNone, false};    // int3
+      case 0xcd: return {false, kImm8, false};    // int imm8
+      case 0xce: return {false, kBad, false};     // into: invalid in 64
+      case 0xcf: return {false, kNone, true};     // iret
+      case 0xd0: case 0xd1: case 0xd2: case 0xd3: // shift group
+        return {true, kNone, false};
+      case 0xd7: return {false, kNone, false};    // xlat
+      case 0xd8: case 0xd9: case 0xda: case 0xdb: // x87
+      case 0xdc: case 0xdd: case 0xde: case 0xdf:
+        return {true, kNone, false};
+      case 0xe0: case 0xe1: case 0xe2: case 0xe3: // loop/jcxz
+        return {false, kRel8, true};
+      case 0xe4: case 0xe5: return {false, kImm8, false}; // in
+      case 0xe6: case 0xe7: return {false, kImm8, false}; // out
+      case 0xe8: return {false, kRel32, true};    // call rel32
+      case 0xe9: return {false, kRel32, true};    // jmp rel32
+      case 0xeb: return {false, kRel8, true};     // jmp rel8
+      case 0xec: case 0xed: case 0xee: case 0xef: // in/out dx
+        return {false, kNone, false};
+      case 0xf1: return {false, kNone, false};    // int1
+      case 0xf4: return {false, kNone, false};    // hlt
+      case 0xf5: return {false, kNone, false};    // cmc
+      case 0xf6: return {true, kGrpF6, false};
+      case 0xf7: return {true, kGrpF7, false};
+      case 0xf8: case 0xf9: case 0xfa: case 0xfb: case 0xfc: case 0xfd:
+        return {false, kNone, false};             // clc..std
+      case 0xfe: return {true, kNone, false};     // inc/dec rm8
+      case 0xff: return {true, kNone, true};      // group 5 (call/jmp/push)
+      default:
+        break;
+    }
+    if (op >= 0x70 && op <= 0x7f) // jcc rel8
+        return {false, kRel8, true};
+    if (op >= 0xb0 && op <= 0xb7) // mov r8, imm8
+        return {false, kImm8, false};
+    if (op >= 0xb8 && op <= 0xbf) // mov r, immV
+        return {false, kImmV, false};
+    return {false, kBad, false};
+}
+
+/** Two-byte (0F xx) opcode table. */
+OpInfo
+twoByte(std::uint8_t op)
+{
+    if (op == 0x05) return {false, kNone, false};  // syscall
+    if (op == 0x0b) return {false, kNone, false};  // ud2
+    if (op == 0x01) return {true, kNone, false};   // lgdt etc.
+    if (op == 0x00) return {true, kNone, false};   // sldt etc.
+    if (op >= 0x10 && op <= 0x17) return {true, kNone, false}; // movups..
+    if (op == 0x18 || op == 0x19 || (op >= 0x1a && op <= 0x1f))
+        return {true, kNone, false};               // prefetch/nop
+    if (op >= 0x28 && op <= 0x2f) return {true, kNone, false}; // movaps..
+    if (op == 0x31) return {false, kNone, false};  // rdtsc
+    if (op == 0x38 || op == 0x3a) return {false, kBad, false}; // escapes
+    if (op >= 0x40 && op <= 0x4f) return {true, kNone, false}; // cmovcc
+    if (op >= 0x50 && op <= 0x6f) return {true, kNone, false}; // SSE
+    if (op == 0x70) return {true, kImm8, false};   // pshufd
+    if (op >= 0x71 && op <= 0x73) return {true, kImm8, false}; // psll etc.
+    if (op >= 0x74 && op <= 0x76) return {true, kNone, false};
+    if (op == 0x77) return {false, kNone, false};  // emms
+    if (op == 0x7e || op == 0x7f) return {true, kNone, false};
+    if (op >= 0x80 && op <= 0x8f) return {false, kRel32, true}; // jcc
+    if (op >= 0x90 && op <= 0x9f) return {true, kNone, false};  // setcc
+    if (op == 0xa0 || op == 0xa1 || op == 0xa8 || op == 0xa9)
+        return {false, kNone, false};              // push/pop fs/gs
+    if (op == 0xa2) return {false, kNone, false};  // cpuid
+    if (op == 0xa3 || op == 0xab || op == 0xb3 || op == 0xbb)
+        return {true, kNone, false};               // bt/bts/btr/btc
+    if (op == 0xa4 || op == 0xac) return {true, kImm8, false}; // shld/shrd
+    if (op == 0xa5 || op == 0xad) return {true, kNone, false};
+    if (op == 0xae) return {true, kNone, false};   // fence group
+    if (op == 0xaf) return {true, kNone, false};   // imul
+    if (op == 0xb0 || op == 0xb1) return {true, kNone, false}; // cmpxchg
+    if (op == 0xb6 || op == 0xb7 || op == 0xbe || op == 0xbf)
+        return {true, kNone, false};               // movzx/movsx
+    if (op == 0xba) return {true, kImm8, false};   // bt group imm8
+    if (op == 0xbc || op == 0xbd) return {true, kNone, false}; // bsf/bsr
+    if (op == 0xc0 || op == 0xc1) return {true, kNone, false}; // xadd
+    if (op == 0xc2) return {true, kImm8, false};   // cmpps
+    if (op == 0xc3) return {true, kNone, false};   // movnti
+    if (op == 0xc4 || op == 0xc5) return {true, kImm8, false}; // pinsrw..
+    if (op == 0xc6) return {true, kImm8, false};   // shufps
+    if (op == 0xc7) return {true, kNone, false};   // cmpxchg8b group
+    if (op >= 0xc8 && op <= 0xcf) return {false, kNone, false}; // bswap
+    if (op >= 0xd0 && op <= 0xfe) return {true, kNone, false};  // MMX/SSE
+    return {false, kBad, false};
+}
+
+bool
+isLegacyPrefix(std::uint8_t b)
+{
+    switch (b) {
+      case 0x26: case 0x2e: case 0x36: case 0x3e: // segment overrides
+      case 0x64: case 0x65:                       // fs/gs
+      case 0x66: case 0x67:                       // operand/address size
+      case 0xf0: case 0xf2: case 0xf3:            // lock/rep
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Insn
+decode(const std::uint8_t *code, std::size_t max_len)
+{
+    Insn out;
+    std::size_t i = 0;
+    bool opsize16 = false;
+    bool rex_w = false;
+
+    auto fail = [&] { return Insn{}; };
+
+    // Legacy prefixes then REX.
+    while (i < max_len && isLegacyPrefix(code[i])) {
+        if (code[i] == 0x66)
+            opsize16 = true;
+        ++i;
+        if (i > 14)
+            return fail();
+    }
+    if (i < max_len && (code[i] & 0xf0) == 0x40) {
+        rex_w = code[i] & 0x08;
+        ++i;
+    }
+    if (i >= max_len)
+        return fail();
+
+    // VEX prefixes (C4/C5). A following byte with top bits set would be
+    // LES/LDS in 32-bit mode, but those are invalid in 64-bit, so C4/C5
+    // here always start a VEX instruction.
+    std::uint8_t vex_map = 0;
+    if (code[i] == 0xc5) {
+        if (i + 2 >= max_len)
+            return fail();
+        i += 2; // C5 + vex byte
+        vex_map = 1;
+    } else if (code[i] == 0xc4) {
+        if (i + 3 >= max_len)
+            return fail();
+        vex_map = code[i + 1] & 0x1f;
+        i += 3; // C4 + 2 vex bytes
+        if (vex_map < 1 || vex_map > 3)
+            return fail();
+    }
+
+    OpInfo info{};
+    if (vex_map) {
+        if (i >= max_len)
+            return fail();
+        out.opcode = code[i];
+        ++i;
+        // All VEX instructions have ModRM; only map 3 carries imm8.
+        info.modrm = true;
+        info.imm = (vex_map == 3) ? kImm8 : kNone;
+        out.two_byte = true;
+    } else if (code[i] == 0x0f) {
+        ++i;
+        if (i >= max_len)
+            return fail();
+        std::uint8_t op = code[i];
+        if (op == 0x38 || op == 0x3a) {
+            // Three-byte maps: ModRM always; 0F 3A carries imm8.
+            bool imm = (op == 0x3a);
+            ++i;
+            if (i >= max_len)
+                return fail();
+            out.opcode = code[i];
+            ++i;
+            info.modrm = true;
+            info.imm = imm ? kImm8 : kNone;
+            out.two_byte = true;
+        } else {
+            out.opcode = op;
+            out.two_byte = true;
+            ++i;
+            info = twoByte(op);
+            if (info.imm == kBad)
+                return fail();
+            out.is_syscall = (op == 0x05);
+            out.is_branch = info.branch;
+        }
+    } else {
+        out.opcode = code[i];
+        ++i;
+        info = oneByte(out.opcode);
+        if (info.imm == kBad)
+            return fail();
+        out.is_branch = info.branch;
+    }
+
+    std::uint8_t modrm = 0;
+    if (info.modrm) {
+        if (i >= max_len)
+            return fail();
+        modrm = code[i];
+        ++i;
+        std::uint8_t mod = modrm >> 6;
+        std::uint8_t rm = modrm & 7;
+        if (mod != 3 && rm == 4) { // SIB
+            if (i >= max_len)
+                return fail();
+            std::uint8_t sib = code[i];
+            ++i;
+            if (mod == 0 && (sib & 7) == 5)
+                i += 4; // disp32 with no base
+        }
+        if (mod == 1) {
+            i += 1;
+        } else if (mod == 2) {
+            i += 4;
+        } else if (mod == 0 && rm == 5) {
+            i += 4;
+            out.rip_relative = true;
+        }
+    }
+
+    // Immediates.
+    switch (info.imm) {
+      case kNone:
+        break;
+      case kImm8:
+        i += 1;
+        break;
+      case kImm16:
+        i += 2;
+        break;
+      case kImmZ:
+        i += opsize16 ? 2 : 4;
+        break;
+      case kImmV:
+        i += rex_w ? 8 : (opsize16 ? 2 : 4);
+        break;
+      case kMoffs:
+        i += 8;
+        break;
+      case kEnter:
+        i += 3;
+        break;
+      case kRel8:
+        i += 1;
+        break;
+      case kRel32:
+        i += 4;
+        break;
+      case kGrpF6:
+        if ((modrm & 0x38) <= 0x08)
+            i += 1;
+        break;
+      case kGrpF7:
+        if ((modrm & 0x38) <= 0x08)
+            i += opsize16 ? 2 : 4;
+        break;
+      case kBad:
+        return fail();
+    }
+
+    if (i > max_len || i > 15)
+        return fail();
+
+    out.length = static_cast<std::uint8_t>(i);
+    out.is_int80 =
+        (!out.two_byte && out.opcode == 0xcd && code[i - 1] == 0x80);
+    return out;
+}
+
+ScanResult
+scan(const std::uint8_t *code, std::size_t len)
+{
+    ScanResult result;
+    std::size_t off = 0;
+    while (off < len) {
+        Insn insn = decode(code + off, len - off);
+        if (!insn.valid()) {
+            result.undecodable_at = off;
+            return result;
+        }
+        ++result.decoded_instructions;
+        if (insn.is_syscall)
+            result.sites.push_back({off, false});
+        else if (insn.is_int80)
+            result.sites.push_back({off, true});
+        off += insn.length;
+    }
+    result.complete = true;
+    result.undecodable_at = len;
+    return result;
+}
+
+} // namespace varan::arch

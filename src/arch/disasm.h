@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A "simple x86 disassembler" (paper section 3.2): a length decoder for
+ * x86-64 machine code, sufficient to walk compiler-generated text
+ * segments instruction by instruction and locate `syscall` / `int 0x80`
+ * sites, plus the properties the binary rewriter needs to decide whether
+ * surrounding instructions can be relocated into a trampoline.
+ */
+
+#ifndef VARAN_ARCH_DISASM_H
+#define VARAN_ARCH_DISASM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace varan::arch {
+
+/** Decoded properties of one instruction. */
+struct Insn {
+    std::uint8_t length = 0;    ///< total bytes; 0 = decode failure
+    std::uint8_t opcode = 0;    ///< primary opcode byte
+    bool two_byte = false;      ///< 0F-escape opcode
+    bool has_modrm = false;
+    bool rip_relative = false;  ///< uses RIP-relative addressing
+    bool is_syscall = false;    ///< 0F 05
+    bool is_int80 = false;      ///< CD 80
+    bool is_branch = false;     ///< any jmp/jcc/call/ret/loop
+    bool valid() const { return length != 0; }
+};
+
+/**
+ * Decode the instruction at @p code.
+ * @param code instruction bytes.
+ * @param max_len bytes available; decoding never reads past this.
+ */
+Insn decode(const std::uint8_t *code, std::size_t max_len);
+
+/** Location of a system-call instruction found by scan(). */
+struct SyscallSite {
+    std::size_t offset = 0;  ///< byte offset of the instruction
+    bool is_int80 = false;   ///< int 0x80 rather than syscall
+};
+
+/** Result of scanning a code buffer. */
+struct ScanResult {
+    std::vector<SyscallSite> sites;
+    std::size_t decoded_instructions = 0;
+    std::size_t undecodable_at = 0; ///< offset where decoding gave up
+    bool complete = false;          ///< reached the end cleanly
+};
+
+/**
+ * Walk @p code from offset 0, recording every syscall instruction.
+ * Stops early (complete=false) if an instruction cannot be decoded.
+ */
+ScanResult scan(const std::uint8_t *code, std::size_t len);
+
+} // namespace varan::arch
+
+#endif // VARAN_ARCH_DISASM_H

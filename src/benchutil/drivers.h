@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Client-side workload generators mirroring the tools the paper used:
+ *
+ *   kvBench      ~ redis-benchmark  (mixed command types, N clients)
+ *   cacheBench   ~ memslap          (initial load + 9:1 get/set)
+ *   httpBench    ~ wrk / ApacheBench / http_load (keep-alive GETs)
+ *   queueBench   ~ beanstalkd-benchmark (put/reserve/delete, 256 B)
+ *
+ * Drivers run in plain processes/threads outside the engine; their
+ * syscalls fall through to the kernel untouched.
+ */
+
+#ifndef VARAN_BENCHUTIL_DRIVERS_H
+#define VARAN_BENCHUTIL_DRIVERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace varan::bench {
+
+/** Result of one workload run. */
+struct LoadResult {
+    double ops_per_sec = 0;
+    double total_ops = 0;
+    double wall_seconds = 0;
+    double latency_us_p50 = 0;
+    double latency_us_p99 = 0;
+    bool ok = false;
+};
+
+/** redis-benchmark-like mixed workload against vstore. */
+LoadResult kvBench(const std::string &endpoint, int clients,
+                   int requests_per_client);
+
+/** Single-command latency probe (e.g. HMGET around a failover). */
+struct LatencyProbe {
+    double us = 0;
+    bool ok = false;
+    std::string reply;
+};
+LatencyProbe kvCommandLatency(const std::string &endpoint,
+                              const std::string &command);
+
+/** Ask a vstore/vqueue/vcache server to shut down. */
+void kvShutdown(const std::string &endpoint);
+void queueShutdown(const std::string &endpoint);
+void cacheShutdown(const std::string &endpoint);
+
+/** memslap-like workload: load pairs, then mixed get/set. */
+LoadResult cacheBench(const std::string &endpoint, int clients,
+                      int initial_pairs, int ops_per_client);
+
+/** wrk/ab-like keep-alive GET workload against vhttpd/vproxy. */
+LoadResult httpBench(const std::string &endpoint, int connections,
+                     int requests_per_connection);
+
+/** Send GET /__shutdown. */
+void httpShutdown(const std::string &endpoint);
+
+/** beanstalkd-benchmark-like: each worker pushes then deletes jobs. */
+LoadResult queueBench(const std::string &endpoint, int workers,
+                      int pushes_per_worker, int payload_bytes);
+
+} // namespace varan::bench
+
+#endif // VARAN_BENCHUTIL_DRIVERS_H

@@ -1,0 +1,72 @@
+#include "benchutil/harness.h"
+
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace varan::bench {
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("VARAN_BENCH_QUICK");
+    return env && env[0] == '1';
+}
+
+int
+scaled(int full, int quick)
+{
+    return quickMode() ? quick : full;
+}
+
+LoadResult
+runNative(const ServerCase &c)
+{
+    pid_t pid = ::fork();
+    VARAN_CHECK(pid >= 0);
+    if (pid == 0) {
+        int status = c.server();
+        ::_exit(status & 0xff);
+    }
+    LoadResult result = c.workload();
+    c.shutdown();
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return result;
+}
+
+LoadResult
+runNvx(const ServerCase &c, int followers, core::NvxOptions options)
+{
+    core::Nvx nvx(std::move(options));
+    std::vector<core::VariantFn> variants(
+        static_cast<std::size_t>(followers) + 1, c.server);
+    Status started = nvx.start(std::move(variants));
+    VARAN_CHECK(started.isOk());
+    LoadResult result = c.workload();
+    c.shutdown();
+    nvx.waitFor(60000000000ULL);
+    return result;
+}
+
+LoadResult
+runLockstep(const ServerCase &c, int variants)
+{
+    lockstep::LockstepEngine engine;
+    LoadResult result;
+    // The lockstep monitor loop runs in this thread, so the workload
+    // needs its own.
+    std::thread driver([&] {
+        result = c.workload();
+        c.shutdown();
+    });
+    std::vector<lockstep::VariantFn> fns(
+        static_cast<std::size_t>(variants), c.server);
+    engine.run(std::move(fns));
+    driver.join();
+    return result;
+}
+
+} // namespace varan::bench

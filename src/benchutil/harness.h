@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Orchestration for server benchmarks: run a server natively, under
+ * the VARAN engine with N followers, or under the lockstep baseline;
+ * drive it with a workload; shut it down; report throughput.
+ */
+
+#ifndef VARAN_BENCHUTIL_HARNESS_H
+#define VARAN_BENCHUTIL_HARNESS_H
+
+#include <functional>
+#include <string>
+
+#include "benchutil/drivers.h"
+#include "core/nvx.h"
+#include "lockstep/lockstep.h"
+
+namespace varan::bench {
+
+/** A server under test + its workload + its shutdown knock. */
+struct ServerCase {
+    std::string name;
+    std::function<int()> server;        ///< variant entry point
+    std::function<LoadResult()> workload;
+    std::function<void()> shutdown;
+};
+
+/** Run the server in a plain forked process (no monitor at all). */
+LoadResult runNative(const ServerCase &c);
+
+/** Run under the event-streaming engine with @p followers followers. */
+LoadResult runNvx(const ServerCase &c, int followers,
+                  core::NvxOptions options = {});
+
+/** Run under the centralised lockstep baseline with @p variants. */
+LoadResult runLockstep(const ServerCase &c, int variants);
+
+/** Normalised overhead: denominator guarded. */
+inline double
+overhead(double native_ops, double monitored_ops)
+{
+    return monitored_ops > 0 ? native_ops / monitored_ops : 0;
+}
+
+/** Scale factors for quick runs: VARAN_BENCH_QUICK=1 shrinks loads. */
+bool quickMode();
+int scaled(int full, int quick);
+
+} // namespace varan::bench
+
+#endif // VARAN_BENCHUTIL_HARNESS_H

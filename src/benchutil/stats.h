@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Measurement statistics for the benchmark harness, following the
+ * paper's protocol (section 4.2): several runs per configuration, the
+ * first discarded as warm-up, the median of the rest reported.
+ */
+
+#ifndef VARAN_BENCHUTIL_STATS_H
+#define VARAN_BENCHUTIL_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace varan::bench {
+
+inline double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+inline double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+/**
+ * Paper-style measurement: run @p runs times, discard the first
+ * (cache warm-up), return the median of the rest.
+ */
+inline double
+medianOfRuns(const std::function<double()> &measure, int runs = 4)
+{
+    std::vector<double> results;
+    for (int i = 0; i < runs; ++i) {
+        double value = measure();
+        if (i > 0)
+            results.push_back(value);
+    }
+    return median(std::move(results));
+}
+
+} // namespace varan::bench
+
+#endif // VARAN_BENCHUTIL_STATS_H

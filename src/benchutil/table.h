@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-width table printer so every bench binary reports rows shaped
+ * like the paper's tables and figure series.
+ */
+
+#ifndef VARAN_BENCHUTIL_TABLE_H
+#define VARAN_BENCHUTIL_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace varan::bench {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t i = 0; i < headers_.size(); ++i)
+            widths[i] = headers_[i].size();
+        for (const auto &row : rows_) {
+            for (std::size_t i = 0; i < row.size() && i < widths.size();
+                 ++i) {
+                widths[i] = std::max(widths[i], row[i].size());
+            }
+        }
+        auto line = [&](const std::vector<std::string> &cells) {
+            std::string out;
+            for (std::size_t i = 0; i < headers_.size(); ++i) {
+                std::string cell = i < cells.size() ? cells[i] : "";
+                out += cell;
+                out.append(widths[i] - cell.size() + 2, ' ');
+            }
+            std::printf("%s\n", out.c_str());
+        };
+        line(headers_);
+        std::string rule;
+        for (std::size_t w : widths)
+            rule += std::string(w, '-') + "  ";
+        std::printf("%s\n", rule.c_str());
+        for (const auto &row : rows_)
+            line(row);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf %.2f into a std::string. */
+inline std::string
+fmt(double value, const char *format = "%.2f")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+} // namespace varan::bench
+
+#endif // VARAN_BENCHUTIL_TABLE_H

@@ -1,0 +1,445 @@
+#include "bpf/asm.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace varan::bpf {
+
+namespace {
+
+struct Line {
+    int number = 0;            ///< 1-based source line
+    std::vector<std::string> labels;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    bool hasInsn() const { return !mnemonic.empty(); }
+};
+
+std::string
+stripComments(std::string_view src)
+{
+    std::string out;
+    out.reserve(src.size());
+    bool in_block = false;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (in_block) {
+            if (src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+                in_block = false;
+                ++i;
+            } else if (src[i] == '\n') {
+                out += '\n'; // keep line numbering intact
+            }
+            continue;
+        }
+        if (src[i] == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            in_block = true;
+            ++i;
+            continue;
+        }
+        if ((src[i] == '/' && i + 1 < src.size() && src[i + 1] == '/') ||
+            src[i] == ';') {
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            if (i < src.size())
+                out += '\n';
+            continue;
+        }
+        out += src[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+isIdent(const std::string &s)
+{
+    if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0])) &&
+                      s[0] != '_'))
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+bool
+parseNumber(const std::string &text, std::uint32_t *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 0);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    if (v > 0xffffffffUL)
+        return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/** Parse one logical line into labels + mnemonic + comma-split operands. */
+Line
+parseLine(const std::string &raw, int number)
+{
+    Line line;
+    line.number = number;
+    std::string rest = trim(raw);
+
+    // Peel leading "label:" prefixes; Listing 1 puts them both on their
+    // own lines and in front of instructions.
+    for (;;) {
+        std::size_t colon = rest.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string head = trim(rest.substr(0, colon));
+        if (!isIdent(head))
+            break;
+        line.labels.push_back(head);
+        rest = trim(rest.substr(colon + 1));
+    }
+    if (rest.empty())
+        return line;
+
+    std::size_t sp = rest.find_first_of(" \t");
+    line.mnemonic = rest.substr(0, sp);
+    for (char &c : line.mnemonic)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (sp != std::string::npos) {
+        std::string ops = rest.substr(sp + 1);
+        std::size_t start = 0;
+        while (start <= ops.size()) {
+            std::size_t comma = ops.find(',', start);
+            std::string piece =
+                comma == std::string::npos
+                    ? ops.substr(start)
+                    : ops.substr(start, comma - start);
+            piece = trim(piece);
+            if (!piece.empty())
+                line.operands.push_back(piece);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+    }
+    return line;
+}
+
+/** Classification of a load operand. */
+struct LoadOperand {
+    enum Kind { Imm, Abs, Mem, EventAbs, Len, Bad } kind = Bad;
+    std::uint32_t k = 0;
+};
+
+LoadOperand
+parseLoadOperand(const std::string &op)
+{
+    LoadOperand out;
+    if (op == "len") {
+        out.kind = LoadOperand::Len;
+        return out;
+    }
+    if (op.size() >= 2 && op[0] == '#') {
+        if (parseNumber(op.substr(1), &out.k))
+            out.kind = LoadOperand::Imm;
+        return out;
+    }
+    auto bracketed = [&](const std::string &prefix,
+                         std::uint32_t *value) -> bool {
+        if (op.size() < prefix.size() + 2 ||
+            op.compare(0, prefix.size(), prefix) != 0 ||
+            op[prefix.size()] != '[' || op.back() != ']') {
+            return false;
+        }
+        std::string inner = op.substr(prefix.size() + 1,
+                                      op.size() - prefix.size() - 2);
+        return parseNumber(trim(inner), value);
+    };
+    std::uint32_t v = 0;
+    if (bracketed("", &v)) {
+        out.kind = LoadOperand::Abs;
+        out.k = v;
+        return out;
+    }
+    if (bracketed("event", &v)) {
+        out.kind = LoadOperand::EventAbs;
+        out.k = kEventExtBase + 4 * v;
+        return out;
+    }
+    if (bracketed("m", &v) || bracketed("M", &v)) {
+        out.kind = LoadOperand::Mem;
+        out.k = v;
+        return out;
+    }
+    return out;
+}
+
+} // namespace
+
+AssembleResult
+assemble(std::string_view source)
+{
+    AssembleResult result;
+    std::string clean = stripComments(source);
+
+    std::vector<Line> lines;
+    {
+        std::istringstream stream(clean);
+        std::string raw;
+        int number = 0;
+        while (std::getline(stream, raw))
+            lines.push_back(parseLine(raw, ++number));
+    }
+
+    auto fail = [&](int line, const std::string &why) {
+        result.error = why;
+        result.error_line = line;
+        return result;
+    };
+
+    // Pass 1: map labels to instruction indices.
+    std::map<std::string, std::size_t> labels;
+    std::size_t insn_index = 0;
+    for (const Line &line : lines) {
+        for (const std::string &label : line.labels) {
+            if (labels.count(label))
+                return fail(line.number, "duplicate label: " + label);
+            labels[label] = insn_index;
+        }
+        if (line.hasInsn())
+            ++insn_index;
+    }
+    const std::size_t total = insn_index;
+
+    // Pass 2: emit instructions.
+    auto resolve = [&](const std::string &name, std::size_t from,
+                       std::uint32_t *disp) -> bool {
+        auto it = labels.find(name);
+        if (it == labels.end() || it->second <= from ||
+            it->second - from - 1 > 255) {
+            return false;
+        }
+        *disp = static_cast<std::uint32_t>(it->second - from - 1);
+        return true;
+    };
+
+    insn_index = 0;
+    for (const Line &line : lines) {
+        if (!line.hasInsn())
+            continue;
+        const std::string &m = line.mnemonic;
+        const auto &ops = line.operands;
+        const std::size_t at = insn_index++;
+
+        auto needOps = [&](std::size_t lo, std::size_t hi) {
+            return ops.size() >= lo && ops.size() <= hi;
+        };
+
+        if (m == "ld" || m == "ldx") {
+            if (!needOps(1, 1))
+                return fail(line.number, m + " needs one operand");
+            LoadOperand lop = parseLoadOperand(ops[0]);
+            std::uint16_t cls = (m == "ld") ? BPF_LD : BPF_LDX;
+            switch (lop.kind) {
+              case LoadOperand::Imm:
+                result.program.push_back(stmt(cls | BPF_W | BPF_IMM, lop.k));
+                break;
+              case LoadOperand::Abs:
+              case LoadOperand::EventAbs:
+                if (m == "ldx")
+                    return fail(line.number, "ldx cannot load absolute");
+                result.program.push_back(stmt(cls | BPF_W | BPF_ABS, lop.k));
+                break;
+              case LoadOperand::Mem:
+                result.program.push_back(stmt(cls | BPF_W | BPF_MEM, lop.k));
+                break;
+              case LoadOperand::Len:
+                result.program.push_back(stmt(cls | BPF_W | BPF_LEN, 0));
+                break;
+              default:
+                return fail(line.number, "bad operand: " + ops[0]);
+            }
+        } else if (m == "st" || m == "stx") {
+            if (!needOps(1, 1))
+                return fail(line.number, m + " needs one operand");
+            LoadOperand lop = parseLoadOperand(ops[0]);
+            if (lop.kind != LoadOperand::Mem &&
+                lop.kind != LoadOperand::Abs) {
+                return fail(line.number, "store needs M[i]");
+            }
+            result.program.push_back(
+                stmt((m == "st" ? BPF_ST : BPF_STX), lop.k));
+        } else if (m == "add" || m == "sub" || m == "mul" || m == "div" ||
+                   m == "mod" || m == "and" || m == "or" || m == "xor" ||
+                   m == "lsh" || m == "rsh") {
+            if (!needOps(1, 1))
+                return fail(line.number, m + " needs one operand");
+            std::uint16_t op =
+                m == "add" ? BPF_ADD : m == "sub" ? BPF_SUB :
+                m == "mul" ? BPF_MUL : m == "div" ? BPF_DIV :
+                m == "mod" ? BPF_MOD : m == "and" ? BPF_AND :
+                m == "or" ? BPF_OR : m == "xor" ? BPF_XOR :
+                m == "lsh" ? BPF_LSH : BPF_RSH;
+            if (ops[0] == "x") {
+                result.program.push_back(stmt(BPF_ALU | op | BPF_X, 0));
+            } else if (ops[0][0] == '#') {
+                std::uint32_t k;
+                if (!parseNumber(ops[0].substr(1), &k))
+                    return fail(line.number, "bad immediate: " + ops[0]);
+                result.program.push_back(stmt(BPF_ALU | op | BPF_K, k));
+            } else {
+                return fail(line.number, "bad operand: " + ops[0]);
+            }
+        } else if (m == "neg") {
+            result.program.push_back(stmt(BPF_ALU | BPF_NEG, 0));
+        } else if (m == "jmp" || m == "ja") {
+            if (!needOps(1, 1))
+                return fail(line.number, "jmp needs a label");
+            std::uint32_t disp;
+            if (!resolve(ops[0], at, &disp))
+                return fail(line.number,
+                            "unresolvable (or backward) label: " + ops[0]);
+            result.program.push_back(stmt(BPF_JMP | BPF_JA, disp));
+        } else if (m == "jeq" || m == "jgt" || m == "jge" ||
+                   m == "jset" || m == "jne" || m == "jlt" ||
+                   m == "jle") {
+            if (!needOps(2, 3))
+                return fail(line.number, m + " needs 2 or 3 operands");
+            // jne/jlt/jle are classic-BPF pseudo-ops: the same
+            // comparison with true/false branches swapped.
+            const bool negated = m == "jne" || m == "jlt" || m == "jle";
+            std::uint16_t op =
+                (m == "jeq" || m == "jne") ? BPF_JEQ :
+                (m == "jgt" || m == "jle") ? BPF_JGT :
+                (m == "jge" || m == "jlt") ? BPF_JGE : BPF_JSET;
+            std::uint16_t src = BPF_K;
+            std::uint32_t k = 0;
+            if (ops[0] == "x") {
+                src = BPF_X;
+            } else if (ops[0][0] == '#') {
+                if (!parseNumber(ops[0].substr(1), &k))
+                    return fail(line.number, "bad immediate: " + ops[0]);
+            } else {
+                return fail(line.number, "bad comparand: " + ops[0]);
+            }
+            std::uint32_t jt;
+            if (!resolve(ops[1], at, &jt))
+                return fail(line.number,
+                            "unresolvable (or backward) label: " + ops[1]);
+            std::uint32_t jf = 0;
+            if (ops.size() == 3 && !resolve(ops[2], at, &jf))
+                return fail(line.number,
+                            "unresolvable (or backward) label: " + ops[2]);
+            if (negated)
+                std::swap(jt, jf);
+            result.program.push_back(jump(BPF_JMP | op | src, k,
+                                          static_cast<std::uint8_t>(jt),
+                                          static_cast<std::uint8_t>(jf)));
+        } else if (m == "ret") {
+            if (!needOps(1, 1))
+                return fail(line.number, "ret needs one operand");
+            if (ops[0] == "a") {
+                result.program.push_back(stmt(BPF_RET | BPF_A, 0));
+            } else if (ops[0][0] == '#') {
+                std::uint32_t k;
+                if (!parseNumber(ops[0].substr(1), &k))
+                    return fail(line.number, "bad immediate: " + ops[0]);
+                result.program.push_back(stmt(BPF_RET | BPF_K, k));
+            } else {
+                return fail(line.number, "bad operand: " + ops[0]);
+            }
+        } else if (m == "tax") {
+            result.program.push_back(stmt(BPF_MISC | BPF_TAX, 0));
+        } else if (m == "txa") {
+            result.program.push_back(stmt(BPF_MISC | BPF_TXA, 0));
+        } else {
+            return fail(line.number, "unknown mnemonic: " + m);
+        }
+    }
+
+    if (result.program.size() != total)
+        return fail(0, "internal: instruction count mismatch");
+    result.ok = true;
+    return result;
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const Insn &insn = prog[i];
+        out << i << ": ";
+        const std::uint16_t cls = insn.code & 0x07;
+        switch (cls) {
+          case BPF_LD:
+            if ((insn.code & 0xe0) == BPF_ABS) {
+                if (insn.k >= kEventExtBase)
+                    out << "ld event[" << (insn.k - kEventExtBase) / 4
+                        << "]";
+                else
+                    out << "ld [" << insn.k << "]";
+            } else if ((insn.code & 0xe0) == BPF_IMM) {
+                out << "ld #" << insn.k;
+            } else if ((insn.code & 0xe0) == BPF_MEM) {
+                out << "ld M[" << insn.k << "]";
+            } else {
+                out << "ld len";
+            }
+            break;
+          case BPF_LDX:
+            out << "ldx ";
+            if ((insn.code & 0xe0) == BPF_IMM)
+                out << "#" << insn.k;
+            else if ((insn.code & 0xe0) == BPF_MEM)
+                out << "M[" << insn.k << "]";
+            else
+                out << "len";
+            break;
+          case BPF_ST:
+            out << "st M[" << insn.k << "]";
+            break;
+          case BPF_STX:
+            out << "stx M[" << insn.k << "]";
+            break;
+          case BPF_ALU:
+            out << "alu(0x" << std::hex << insn.code << std::dec << ") #"
+                << insn.k;
+            break;
+          case BPF_JMP:
+            if ((insn.code & 0xf0) == BPF_JA) {
+                out << "ja +" << insn.k;
+            } else {
+                out << "jcc(0x" << std::hex << insn.code << std::dec
+                    << ") #" << insn.k << ", +" << int(insn.jt) << ", +"
+                    << int(insn.jf);
+            }
+            break;
+          case BPF_RET:
+            if ((insn.code & 0x18) == BPF_A)
+                out << "ret a";
+            else
+                out << "ret #0x" << std::hex << insn.k << std::dec;
+            break;
+          case BPF_MISC:
+            out << ((insn.code & 0xf8) == BPF_TAX ? "tax" : "txa");
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace varan::bpf

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Assembler for the textual BPF rule syntax used in the paper.
+ *
+ * Accepts exactly the dialect of Listing 1:
+ *
+ *     ld event[0]
+ *     jeq #108, getegid        ; two-operand: branch-if-equal, else fall
+ *     jeq #2, open
+ *     jmp bad
+ *     getegid:
+ *     ld [0]                   ; seccomp_data word (0 = nr)
+ *     jeq #102, good
+ *     bad: ret #0              ; SECCOMP_RET_KILL
+ *     good: ret #0x7fff0000    ; SECCOMP_RET_ALLOW
+ *
+ * plus C-style block comments, `;`/`//`/`#`-to-end-of-line comments,
+ * three-operand conditionals (`jeq #k, ltrue, lfalse`), `M[i]` scratch
+ * access, immediate hex/decimal literals, `ret a`, and arithmetic.
+ */
+
+#ifndef VARAN_BPF_ASM_H
+#define VARAN_BPF_ASM_H
+
+#include <string>
+#include <string_view>
+
+#include "bpf/insn.h"
+#include "common/result.h"
+
+namespace varan::bpf {
+
+/** Result of assembling a textual filter. */
+struct AssembleResult {
+    bool ok = false;
+    Program program;
+    std::string error;   ///< human-readable message when !ok
+    int error_line = 0;  ///< 1-based source line of the failure
+};
+
+/** Assemble BPF source text into a program (not yet verified). */
+AssembleResult assemble(std::string_view source);
+
+/** Render a program back to canonical text (debugging/tests). */
+std::string disassemble(const Program &prog);
+
+} // namespace varan::bpf
+
+#endif // VARAN_BPF_ASM_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Classic Berkeley Packet Filter instruction encoding (paper section 3.4).
+ *
+ * VARAN embeds a user-space port of the classic BPF machine — the same
+ * instruction set seccomp "mode 2" filters use — and extends it with an
+ * `event` address space that exposes the leader's current event to the
+ * filter, so rewrite rules can compare the system calls executed across
+ * versions (sections 2.3, 3.4, 5.2).
+ */
+
+#ifndef VARAN_BPF_INSN_H
+#define VARAN_BPF_INSN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace varan::bpf {
+
+/** One classic BPF instruction. */
+struct Insn {
+    std::uint16_t code = 0;
+    std::uint8_t jt = 0;   ///< jump-if-true displacement
+    std::uint8_t jf = 0;   ///< jump-if-false displacement
+    std::uint32_t k = 0;   ///< immediate / offset operand
+};
+
+using Program = std::vector<Insn>;
+
+// --- instruction classes ---
+inline constexpr std::uint16_t BPF_LD = 0x00;
+inline constexpr std::uint16_t BPF_LDX = 0x01;
+inline constexpr std::uint16_t BPF_ST = 0x02;
+inline constexpr std::uint16_t BPF_STX = 0x03;
+inline constexpr std::uint16_t BPF_ALU = 0x04;
+inline constexpr std::uint16_t BPF_JMP = 0x05;
+inline constexpr std::uint16_t BPF_RET = 0x06;
+inline constexpr std::uint16_t BPF_MISC = 0x07;
+
+// --- ld/ldx width ---
+inline constexpr std::uint16_t BPF_W = 0x00;
+inline constexpr std::uint16_t BPF_H = 0x08;
+inline constexpr std::uint16_t BPF_B = 0x10;
+
+// --- addressing modes ---
+inline constexpr std::uint16_t BPF_IMM = 0x00;
+inline constexpr std::uint16_t BPF_ABS = 0x20;
+inline constexpr std::uint16_t BPF_IND = 0x40;
+inline constexpr std::uint16_t BPF_MEM = 0x60;
+inline constexpr std::uint16_t BPF_LEN = 0x80;
+
+// --- ALU/JMP operations ---
+inline constexpr std::uint16_t BPF_ADD = 0x00;
+inline constexpr std::uint16_t BPF_SUB = 0x10;
+inline constexpr std::uint16_t BPF_MUL = 0x20;
+inline constexpr std::uint16_t BPF_DIV = 0x30;
+inline constexpr std::uint16_t BPF_OR = 0x40;
+inline constexpr std::uint16_t BPF_AND = 0x50;
+inline constexpr std::uint16_t BPF_LSH = 0x60;
+inline constexpr std::uint16_t BPF_RSH = 0x70;
+inline constexpr std::uint16_t BPF_NEG = 0x80;
+inline constexpr std::uint16_t BPF_MOD = 0x90;
+inline constexpr std::uint16_t BPF_XOR = 0xa0;
+
+inline constexpr std::uint16_t BPF_JA = 0x00;
+inline constexpr std::uint16_t BPF_JEQ = 0x10;
+inline constexpr std::uint16_t BPF_JGT = 0x20;
+inline constexpr std::uint16_t BPF_JGE = 0x30;
+inline constexpr std::uint16_t BPF_JSET = 0x40;
+
+// --- operand source / return source ---
+inline constexpr std::uint16_t BPF_K = 0x00;
+inline constexpr std::uint16_t BPF_X = 0x08;
+inline constexpr std::uint16_t BPF_A = 0x10;
+
+// --- misc ops ---
+inline constexpr std::uint16_t BPF_TAX = 0x00;
+inline constexpr std::uint16_t BPF_TXA = 0x80;
+
+/** Scratch memory slots available to filters (classic BPF has 16). */
+inline constexpr std::uint32_t kMemWords = 16;
+
+/** Convenience constructors mirroring the kernel's BPF_STMT/BPF_JUMP. */
+inline Insn
+stmt(std::uint16_t code, std::uint32_t k)
+{
+    return Insn{code, 0, 0, k};
+}
+
+inline Insn
+jump(std::uint16_t code, std::uint32_t k, std::uint8_t jt, std::uint8_t jf)
+{
+    return Insn{code, jt, jf, k};
+}
+
+/**
+ * VARAN extension address space (section 3.4): absolute loads at or
+ * beyond this offset read words of the *leader's* current event rather
+ * than the follower's seccomp_data. `ld event[i]` assembles to an
+ * absolute load of kEventExtBase + 4*i.
+ */
+inline constexpr std::uint32_t kEventExtBase = 0x10000;
+
+/** Word indices within the event extension. */
+enum EventWord : std::uint32_t {
+    kEventNr = 0,        ///< leader event's syscall number
+    kEventTypeWord = 1,  ///< EventType as u32
+    kEventArgLo0 = 2,    ///< args[i] low word at 2+2i, high word at 3+2i
+    kEventResultLo = 14,
+    kEventResultHi = 15,
+    kEventWordCount = 16,
+};
+
+} // namespace varan::bpf
+
+#endif // VARAN_BPF_INSN_H

@@ -1,0 +1,180 @@
+#include "bpf/interp.h"
+
+#include <cstring>
+
+namespace varan::bpf {
+
+std::uint32_t
+FilterContext::loadDataWord(std::uint32_t off, bool *ok) const
+{
+    *ok = true;
+    if (off + 4 > sizeof(SeccompData) || (off & 3) != 0) {
+        *ok = false;
+        return 0;
+    }
+    std::uint32_t word;
+    std::memcpy(&word, reinterpret_cast<const char *>(&data) + off, 4);
+    return word;
+}
+
+std::uint32_t
+FilterContext::loadEventWord(std::uint32_t index, bool *ok) const
+{
+    *ok = true;
+    if (!event || index >= kEventWordCount) {
+        *ok = false;
+        return 0;
+    }
+    switch (index) {
+      case kEventNr:
+        return event->nr;
+      case kEventTypeWord:
+        return static_cast<std::uint32_t>(event->type);
+      case kEventResultLo:
+        return static_cast<std::uint32_t>(event->result & 0xffffffff);
+      case kEventResultHi:
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(event->result)) >> 32);
+      default: {
+        // args[i] low/high pairs starting at word 2.
+        std::uint32_t slot = (index - kEventArgLo0) / 2;
+        bool high = (index - kEventArgLo0) & 1;
+        if (slot >= ring::kInlineArgs) {
+            *ok = false;
+            return 0;
+        }
+        std::uint64_t v = event->args[slot];
+        return high ? static_cast<std::uint32_t>(v >> 32)
+                    : static_cast<std::uint32_t>(v & 0xffffffff);
+      }
+    }
+}
+
+std::uint32_t
+run(const Program &prog, const FilterContext &ctx)
+{
+    std::uint32_t acc = 0;
+    std::uint32_t x = 0;
+    std::uint32_t mem[kMemWords] = {};
+
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        const Insn &insn = prog[pc];
+        const std::uint16_t cls = insn.code & 0x07;
+        switch (cls) {
+          case BPF_LD: {
+            const std::uint16_t mode = insn.code & 0xe0;
+            bool ok = true;
+            switch (mode) {
+              case BPF_IMM:
+                acc = insn.k;
+                break;
+              case BPF_ABS:
+                acc = insn.k >= kEventExtBase
+                          ? ctx.loadEventWord((insn.k - kEventExtBase) / 4,
+                                              &ok)
+                          : ctx.loadDataWord(insn.k, &ok);
+                break;
+              case BPF_IND:
+                acc = ctx.loadDataWord(insn.k + x, &ok);
+                break;
+              case BPF_MEM:
+                acc = mem[insn.k];
+                break;
+              case BPF_LEN:
+                acc = sizeof(SeccompData);
+                break;
+              default:
+                ok = false;
+            }
+            if (!ok)
+                return 0; // defensive KILL
+            break;
+          }
+          case BPF_LDX: {
+            const std::uint16_t mode = insn.code & 0xe0;
+            switch (mode) {
+              case BPF_IMM:
+                x = insn.k;
+                break;
+              case BPF_MEM:
+                x = mem[insn.k];
+                break;
+              case BPF_LEN:
+                x = sizeof(SeccompData);
+                break;
+              default:
+                return 0;
+            }
+            break;
+          }
+          case BPF_ST:
+            mem[insn.k] = acc;
+            break;
+          case BPF_STX:
+            mem[insn.k] = x;
+            break;
+          case BPF_ALU: {
+            const std::uint16_t op = insn.code & 0xf0;
+            const std::uint32_t src =
+                (insn.code & BPF_X) ? x : insn.k;
+            switch (op) {
+              case BPF_ADD: acc += src; break;
+              case BPF_SUB: acc -= src; break;
+              case BPF_MUL: acc *= src; break;
+              case BPF_DIV:
+                if (src == 0)
+                    return 0;
+                acc /= src;
+                break;
+              case BPF_MOD:
+                if (src == 0)
+                    return 0;
+                acc %= src;
+                break;
+              case BPF_OR: acc |= src; break;
+              case BPF_AND: acc &= src; break;
+              case BPF_XOR: acc ^= src; break;
+              case BPF_LSH: acc = src < 32 ? acc << src : 0; break;
+              case BPF_RSH: acc = src < 32 ? acc >> src : 0; break;
+              case BPF_NEG: acc = -acc; break;
+              default:
+                return 0;
+            }
+            break;
+          }
+          case BPF_JMP: {
+            const std::uint16_t op = insn.code & 0xf0;
+            if (op == BPF_JA) {
+                pc += insn.k;
+                break;
+            }
+            const std::uint32_t src =
+                (insn.code & BPF_X) ? x : insn.k;
+            bool taken = false;
+            switch (op) {
+              case BPF_JEQ: taken = acc == src; break;
+              case BPF_JGT: taken = acc > src; break;
+              case BPF_JGE: taken = acc >= src; break;
+              case BPF_JSET: taken = (acc & src) != 0; break;
+              default:
+                return 0;
+            }
+            pc += taken ? insn.jt : insn.jf;
+            break;
+          }
+          case BPF_RET:
+            return (insn.code & 0x18) == BPF_A ? acc : insn.k;
+          case BPF_MISC:
+            if ((insn.code & 0xf8) == BPF_TAX)
+                x = acc;
+            else
+                acc = x;
+            break;
+          default:
+            return 0;
+        }
+    }
+    return 0; // verified programs cannot fall off the end
+}
+
+} // namespace varan::bpf

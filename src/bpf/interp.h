@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interpreter for verified BPF filters, with the seccomp_data view of
+ * the follower's pending system call and VARAN's `event` extension for
+ * peeking at the leader's event stream (section 3.4).
+ */
+
+#ifndef VARAN_BPF_INTERP_H
+#define VARAN_BPF_INTERP_H
+
+#include <cstdint>
+#include <optional>
+
+#include "bpf/insn.h"
+#include "ring/event.h"
+
+namespace varan::bpf {
+
+/** Layout-compatible with the kernel's struct seccomp_data. */
+struct SeccompData {
+    std::int32_t nr = 0;
+    std::uint32_t arch = 0xc000003e; // AUDIT_ARCH_X86_64
+    std::uint64_t instruction_pointer = 0;
+    std::uint64_t args[6] = {};
+};
+
+/**
+ * Everything a rewrite-rule filter can observe: the system call the
+ * follower is about to make and the event at the head of the leader's
+ * stream (null when the stream is drained).
+ */
+struct FilterContext {
+    SeccompData data;
+    const ring::Event *event = nullptr;
+
+    /** Word view over seccomp_data, as kernel filters see it. */
+    std::uint32_t loadDataWord(std::uint32_t off, bool *ok) const;
+
+    /** Word view over the leader event (extension space). */
+    std::uint32_t loadEventWord(std::uint32_t index, bool *ok) const;
+};
+
+/**
+ * Execute a filter over a context.
+ *
+ * The program must have been accepted by verify(); run() still refuses
+ * out-of-range accesses defensively (returning 0 = KILL, the safe
+ * default for a malfunctioning rule).
+ *
+ * @return the filter's 32-bit return value.
+ */
+std::uint32_t run(const Program &prog, const FilterContext &ctx);
+
+} // namespace varan::bpf
+
+#endif // VARAN_BPF_INTERP_H

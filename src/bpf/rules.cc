@@ -1,0 +1,66 @@
+#include "bpf/rules.h"
+
+#include "bpf/asm.h"
+#include "bpf/verifier.h"
+
+namespace varan::bpf {
+
+RuleDecision
+decodeAction(std::uint32_t ret)
+{
+    RuleDecision d;
+    switch (ret & kActionMask) {
+      case kRetAllow:
+        d.action = RuleAction::Allow;
+        break;
+      case kRetSkip:
+        d.action = RuleAction::Skip;
+        break;
+      case kRetErrno:
+        d.action = RuleAction::Errno;
+        d.err = static_cast<int>(ret & kDataMask);
+        break;
+      default:
+        d.action = RuleAction::Kill;
+        break;
+    }
+    return d;
+}
+
+Status
+RuleSet::addRule(std::string_view source)
+{
+    AssembleResult assembled = assemble(source);
+    if (!assembled.ok) {
+        last_error_ = "line " + std::to_string(assembled.error_line) +
+                      ": " + assembled.error;
+        return Status(Errno{EINVAL});
+    }
+    return addProgram(std::move(assembled.program));
+}
+
+Status
+RuleSet::addProgram(Program prog)
+{
+    VerifyResult verdict = verify(prog);
+    if (!verdict.ok()) {
+        last_error_ = "insn " + std::to_string(verdict.offending_insn) +
+                      ": " + verdict.reason;
+        return Status(Errno{EINVAL});
+    }
+    programs_.push_back(std::move(prog));
+    return Status::ok();
+}
+
+RuleDecision
+RuleSet::evaluate(const FilterContext &ctx) const
+{
+    for (const Program &prog : programs_) {
+        RuleDecision d = decodeAction(run(prog, ctx));
+        if (d.action != RuleAction::Kill)
+            return d;
+    }
+    return RuleDecision{}; // KILL
+}
+
+} // namespace varan::bpf

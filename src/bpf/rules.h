@@ -1,0 +1,87 @@
+/**
+ * @file
+ * System-call sequence rewrite rules (paper sections 2.3, 3.4, 5.2).
+ *
+ * When a follower's next system call diverges from the event at the
+ * head of the leader's stream, VARAN runs the installed BPF rules over
+ * a FilterContext and acts on the verdict:
+ *
+ *  - ALLOW: the follower executes its additional system call locally
+ *    (the "addition" divergence class — e.g. revision 2436's getuid).
+ *  - SKIP: the leader-only event is consumed without the follower
+ *    executing anything (the "removal" class).
+ *  - ERRNO|e: the follower's call is absorbed and fails with -e without
+ *    executing (useful for coalescing patterns).
+ *  - KILL: the follower is terminated, the lockstep-equivalent default.
+ */
+
+#ifndef VARAN_BPF_RULES_H
+#define VARAN_BPF_RULES_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bpf/insn.h"
+#include "bpf/interp.h"
+#include "common/result.h"
+
+namespace varan::bpf {
+
+// Action encodings; ALLOW/KILL match seccomp's constants so Listing 1
+// runs unmodified, SKIP sits in seccomp's reserved action space.
+inline constexpr std::uint32_t kRetKill = 0x00000000;
+inline constexpr std::uint32_t kRetErrno = 0x00050000;
+inline constexpr std::uint32_t kRetSkip = 0x7ffd0000;
+inline constexpr std::uint32_t kRetAllow = 0x7fff0000;
+inline constexpr std::uint32_t kActionMask = 0xffff0000;
+inline constexpr std::uint32_t kDataMask = 0x0000ffff;
+
+enum class RuleAction { Kill, Allow, Skip, Errno };
+
+/** Decoded filter verdict. */
+struct RuleDecision {
+    RuleAction action = RuleAction::Kill;
+    int err = 0; ///< errno payload for RuleAction::Errno
+
+    bool operator==(const RuleDecision &) const = default;
+};
+
+/** Decode a raw 32-bit filter return value. */
+RuleDecision decodeAction(std::uint32_t ret);
+
+/**
+ * An ordered collection of verified rewrite-rule filters.
+ *
+ * Rules are consulted in insertion order; the first verdict other than
+ * KILL wins. With no rules installed every divergence is fatal for the
+ * follower, which is exactly the classic lockstep behaviour.
+ */
+class RuleSet
+{
+  public:
+    /**
+     * Assemble, verify and append a textual rule.
+     * @return error status with EINVAL if it fails to assemble/verify
+     *         (details via lastError()).
+     */
+    Status addRule(std::string_view source);
+
+    /** Append an already-built program; must pass verification. */
+    Status addProgram(Program prog);
+
+    /** Run the rules over a divergence context. */
+    RuleDecision evaluate(const FilterContext &ctx) const;
+
+    std::size_t size() const { return programs_.size(); }
+    bool empty() const { return programs_.empty(); }
+    const std::string &lastError() const { return last_error_; }
+
+  private:
+    std::vector<Program> programs_;
+    std::string last_error_;
+};
+
+} // namespace varan::bpf
+
+#endif // VARAN_BPF_RULES_H

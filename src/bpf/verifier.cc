@@ -1,0 +1,122 @@
+#include "bpf/verifier.h"
+
+namespace varan::bpf {
+
+namespace {
+
+bool
+validAluOp(std::uint16_t op)
+{
+    switch (op) {
+      case BPF_ADD: case BPF_SUB: case BPF_MUL: case BPF_DIV:
+      case BPF_OR: case BPF_AND: case BPF_LSH: case BPF_RSH:
+      case BPF_NEG: case BPF_MOD: case BPF_XOR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+validJmpOp(std::uint16_t op)
+{
+    switch (op) {
+      case BPF_JA: case BPF_JEQ: case BPF_JGT: case BPF_JGE:
+      case BPF_JSET:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+VerifyResult
+verify(const Program &prog)
+{
+    if (prog.empty())
+        return VerifyResult::bad(0, "empty program");
+    if (prog.size() > kMaxProgramLen)
+        return VerifyResult::bad(0, "program too long");
+
+    const std::size_t len = prog.size();
+    for (std::size_t i = 0; i < len; ++i) {
+        const Insn &insn = prog[i];
+        const std::uint16_t cls = insn.code & 0x07;
+        switch (cls) {
+          case BPF_LD:
+          case BPF_LDX: {
+            const std::uint16_t mode = insn.code & 0xe0;
+            const std::uint16_t size = insn.code & 0x18;
+            if (size != BPF_W && size != BPF_H && size != BPF_B)
+                return VerifyResult::bad(i, "bad load width");
+            if (mode != BPF_IMM && mode != BPF_ABS && mode != BPF_IND &&
+                mode != BPF_MEM && mode != BPF_LEN) {
+                return VerifyResult::bad(i, "bad addressing mode");
+            }
+            if (mode == BPF_MEM && insn.k >= kMemWords)
+                return VerifyResult::bad(i, "scratch index out of range");
+            break;
+          }
+          case BPF_ST:
+          case BPF_STX:
+            if (insn.k >= kMemWords)
+                return VerifyResult::bad(i, "scratch index out of range");
+            break;
+          case BPF_ALU: {
+            const std::uint16_t op = insn.code & 0xf0;
+            if (!validAluOp(op))
+                return VerifyResult::bad(i, "bad ALU op");
+            const bool from_k = (insn.code & BPF_X) == 0;
+            if ((op == BPF_DIV || op == BPF_MOD) && from_k && insn.k == 0)
+                return VerifyResult::bad(i, "constant division by zero");
+            if ((op == BPF_LSH || op == BPF_RSH) && from_k && insn.k > 31)
+                return VerifyResult::bad(i, "shift out of range");
+            break;
+          }
+          case BPF_JMP: {
+            const std::uint16_t op = insn.code & 0xf0;
+            if (!validJmpOp(op))
+                return VerifyResult::bad(i, "bad jump op");
+            // Forward-only displacements make termination structural.
+            // A displacement d from instruction i targets i + 1 + d,
+            // which must stay within the program.
+            const std::size_t max_disp = len - i - 1;
+            if (op == BPF_JA) {
+                if (insn.k >= max_disp)
+                    return VerifyResult::bad(i, "jump out of bounds");
+            } else {
+                if (insn.jt >= max_disp)
+                    return VerifyResult::bad(i, "true branch out of bounds");
+                if (insn.jf >= max_disp)
+                    return VerifyResult::bad(i,
+                                             "false branch out of bounds");
+                // A conditional whose both arms fall through to the next
+                // instruction is fine; one that can only loop is
+                // impossible since displacements are unsigned.
+            }
+            break;
+          }
+          case BPF_RET:
+            break;
+          case BPF_MISC: {
+            const std::uint16_t op = insn.code & 0xf8;
+            if (op != BPF_TAX && op != BPF_TXA)
+                return VerifyResult::bad(i, "bad misc op");
+            break;
+          }
+          default:
+            return VerifyResult::bad(i, "unknown instruction class");
+        }
+
+        // Every straight-line fall off the end must be impossible: the
+        // last reachable instruction has to be RET or an unconditional
+        // jump (which, being forward-only, cannot target past the end —
+        // checked above). The kernel requires last == RET; we do too.
+        if (i == len - 1 && cls != BPF_RET)
+            return VerifyResult::bad(i, "program does not end in RET");
+    }
+    return VerifyResult::good();
+}
+
+} // namespace varan::bpf

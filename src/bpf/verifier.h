@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Static verifier for BPF filters.
+ *
+ * Mirrors the kernel's checker the paper relies on: "all filters are
+ * statically verified when loaded to ensure termination" (section 3.4).
+ * Verification guarantees: bounded length, only known opcodes, all jumps
+ * forward and in-bounds, every path ends in RET, scratch-memory indices
+ * in range, and no constant division by zero.
+ */
+
+#ifndef VARAN_BPF_VERIFIER_H
+#define VARAN_BPF_VERIFIER_H
+
+#include <string>
+
+#include "bpf/insn.h"
+
+namespace varan::bpf {
+
+/** Outcome of verification; ok() is true when the filter is safe. */
+struct VerifyResult {
+    bool accepted = false;
+    std::size_t offending_insn = 0; ///< index of the rejected instruction
+    std::string reason;
+
+    bool ok() const { return accepted; }
+
+    static VerifyResult
+    good()
+    {
+        VerifyResult r;
+        r.accepted = true;
+        return r;
+    }
+
+    static VerifyResult
+    bad(std::size_t at, std::string why)
+    {
+        VerifyResult r;
+        r.offending_insn = at;
+        r.reason = std::move(why);
+        return r;
+    }
+};
+
+/** Maximum program length accepted (same bound as the kernel). */
+inline constexpr std::size_t kMaxProgramLen = 4096;
+
+/** Statically verify @p prog. Never executes the filter. */
+VerifyResult verify(const Program &prog);
+
+} // namespace varan::bpf
+
+#endif // VARAN_BPF_VERIFIER_H

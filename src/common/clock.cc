@@ -1,0 +1,44 @@
+#include "common/clock.h"
+
+#include <cerrno>
+#include <ctime>
+
+namespace varan {
+
+namespace {
+
+std::uint64_t
+readClock(clockid_t id)
+{
+    struct timespec ts;
+    ::clock_gettime(id, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+} // namespace
+
+std::uint64_t
+monotonicNs()
+{
+    return readClock(CLOCK_MONOTONIC);
+}
+
+std::uint64_t
+realtimeNs()
+{
+    return readClock(CLOCK_REALTIME);
+}
+
+void
+sleepNs(std::uint64_t ns)
+{
+    struct timespec req;
+    req.tv_sec = static_cast<time_t>(ns / 1000000000ULL);
+    req.tv_nsec = static_cast<long>(ns % 1000000000ULL);
+    while (::nanosleep(&req, &req) < 0 && errno == EINTR) {
+        // keep sleeping the remainder
+    }
+}
+
+} // namespace varan

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Time sources: cycle counter (rdtsc) for microbenchmarks and a
+ * monotonic nanosecond clock for deadlines and throughput measurement.
+ */
+
+#ifndef VARAN_COMMON_CLOCK_H
+#define VARAN_COMMON_CLOCK_H
+
+#include <cstdint>
+
+namespace varan {
+
+/** Serialising read of the time-stamp counter (as the paper's Fig. 4). */
+inline std::uint64_t
+rdtsc()
+{
+    std::uint32_t lo, hi;
+    asm volatile("lfence\n\trdtsc" : "=a"(lo), "=d"(hi) :: "memory");
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/** CLOCK_MONOTONIC in nanoseconds. */
+std::uint64_t monotonicNs();
+
+/** CLOCK_REALTIME in nanoseconds (used by the virtual-time syscalls). */
+std::uint64_t realtimeNs();
+
+/** Simple start/stop cycle stopwatch. */
+class CycleTimer
+{
+  public:
+    void start() { begin_ = rdtsc(); }
+    std::uint64_t stop() const { return rdtsc() - begin_; }
+
+  private:
+    std::uint64_t begin_ = 0;
+};
+
+/** Sleep the calling thread for the given nanoseconds (EINTR-safe). */
+void sleepNs(std::uint64_t ns);
+
+} // namespace varan
+
+#endif // VARAN_COMMON_CLOCK_H

@@ -1,0 +1,95 @@
+#include "common/fd.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace varan {
+
+void
+Fd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+Result<Fd>
+Fd::duplicate() const
+{
+    int nfd = ::fcntl(fd_, F_DUPFD_CLOEXEC, 0);
+    if (nfd < 0)
+        return errnoResult<Fd>();
+    return Fd(nfd);
+}
+
+Result<Fd>
+Fd::duplicateTo(int target_fd) const
+{
+    int nfd = ::dup2(fd_, target_fd);
+    if (nfd < 0)
+        return errnoResult<Fd>();
+    return Fd(nfd);
+}
+
+Result<SocketPair>
+SocketPair::create(int type)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, type, 0, sv) < 0)
+        return errnoResult<SocketPair>();
+    return SocketPair(Fd(sv[0]), Fd(sv[1]));
+}
+
+Status
+writeAll(int fd, const void *buf, size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::fromErrno();
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return Status::ok();
+}
+
+Status
+readAll(int fd, void *buf, size_t len)
+{
+    char *p = static_cast<char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::fromErrno();
+        }
+        if (n == 0)
+            return Status(Errno{EPIPE});
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return Status::ok();
+}
+
+Status
+setNonBlocking(int fd, bool enable)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return Status::fromErrno();
+    if (enable)
+        flags |= O_NONBLOCK;
+    else
+        flags &= ~O_NONBLOCK;
+    if (::fcntl(fd, F_SETFL, flags) < 0)
+        return Status::fromErrno();
+    return Status::ok();
+}
+
+} // namespace varan

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * RAII wrappers for POSIX file descriptors and descriptor pairs.
+ */
+
+#ifndef VARAN_COMMON_FD_H
+#define VARAN_COMMON_FD_H
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace varan {
+
+/**
+ * Owning file descriptor. Closes on destruction; movable, not copyable.
+ */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    VARAN_NO_COPY(Fd);
+
+    Fd(Fd &&other) noexcept : fd_(other.release()) {}
+
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    explicit operator bool() const { return valid(); }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+    /** Close (if open) and optionally adopt a new descriptor. */
+    void reset(int fd = -1);
+
+    /** dup() this descriptor into a new owning Fd. */
+    Result<Fd> duplicate() const;
+
+    /** dup2() this descriptor onto target_fd, returning the new owner. */
+    Result<Fd> duplicateTo(int target_fd) const;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * A connected AF_UNIX SOCK_SEQPACKET/STREAM pair; end(0) and end(1) are
+ * symmetric. Used for coordinator<->variant control and data channels.
+ */
+class SocketPair
+{
+  public:
+    /** Create a connected pair; type is SOCK_STREAM or SOCK_SEQPACKET. */
+    static Result<SocketPair> create(int type);
+
+    SocketPair() = default;
+    SocketPair(Fd a, Fd b) : a_(std::move(a)), b_(std::move(b)) {}
+
+    Fd &end(int i) { return i == 0 ? a_ : b_; }
+    /** Move one end out, e.g. to keep in a child after fork. */
+    Fd takeEnd(int i) { return std::move(i == 0 ? a_ : b_); }
+
+  private:
+    Fd a_;
+    Fd b_;
+};
+
+/** write() until all bytes are out or a real error occurs. */
+Status writeAll(int fd, const void *buf, size_t len);
+
+/** read() until len bytes are in, EOF (error EPIPE), or a real error. */
+Status readAll(int fd, void *buf, size_t len);
+
+/** Set or clear O_NONBLOCK. */
+Status setNonBlocking(int fd, bool enable);
+
+} // namespace varan
+
+#endif // VARAN_COMMON_FD_H

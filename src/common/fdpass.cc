@@ -1,0 +1,76 @@
+#include "common/fdpass.h"
+
+#include <cstring>
+#include <sys/socket.h>
+
+namespace varan {
+
+Status
+sendFd(int sock, int fd, std::uint64_t tag)
+{
+    struct msghdr msg = {};
+    struct iovec iov;
+    iov.iov_base = &tag;
+    iov.iov_len = sizeof(tag);
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+
+    alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))] = {};
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+
+    struct cmsghdr *cm = CMSG_FIRSTHDR(&msg);
+    cm->cmsg_level = SOL_SOCKET;
+    cm->cmsg_type = SCM_RIGHTS;
+    cm->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
+
+    for (;;) {
+        ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+        if (n >= 0)
+            return Status::ok();
+        if (errno != EINTR)
+            return Status::fromErrno();
+    }
+}
+
+Result<ReceivedFd>
+recvFd(int sock)
+{
+    std::uint64_t tag = 0;
+    struct msghdr msg = {};
+    struct iovec iov;
+    iov.iov_base = &tag;
+    iov.iov_len = sizeof(tag);
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+
+    alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))] = {};
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+
+    for (;;) {
+        ssize_t n = ::recvmsg(sock, &msg, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoResult<ReceivedFd>();
+        }
+        if (n == 0)
+            return Result<ReceivedFd>(Errno{EPIPE});
+        break;
+    }
+
+    struct cmsghdr *cm = CMSG_FIRSTHDR(&msg);
+    if (!cm || cm->cmsg_level != SOL_SOCKET || cm->cmsg_type != SCM_RIGHTS)
+        return Result<ReceivedFd>(Errno{EPROTO});
+
+    int fd = -1;
+    std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+    ReceivedFd out;
+    out.fd = Fd(fd);
+    out.tag = tag;
+    return out;
+}
+
+} // namespace varan

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * File-descriptor passing over UNIX domain sockets (SCM_RIGHTS).
+ *
+ * This is the paper's "data channel" primitive (section 3.3.2): whenever
+ * the leader obtains a new descriptor it duplicates it into every
+ * follower so a promoted leader can keep serving live connections.
+ */
+
+#ifndef VARAN_COMMON_FDPASS_H
+#define VARAN_COMMON_FDPASS_H
+
+#include <cstdint>
+
+#include "common/fd.h"
+#include "common/result.h"
+
+namespace varan {
+
+/**
+ * Send one descriptor plus an 8-byte tag over a UNIX socket.
+ *
+ * @param sock connected AF_UNIX socket.
+ * @param fd descriptor to duplicate into the peer process.
+ * @param tag application-defined value (VARAN uses the leader's fd number
+ *            so the follower can mirror it with dup2).
+ */
+Status sendFd(int sock, int fd, std::uint64_t tag);
+
+/** Result of recvFd: the received descriptor and the sender's tag. */
+struct ReceivedFd {
+    Fd fd;
+    std::uint64_t tag = 0;
+};
+
+/** Receive one descriptor+tag sent by sendFd(). Blocks. */
+Result<ReceivedFd> recvFd(int sock);
+
+} // namespace varan
+
+#endif // VARAN_COMMON_FDPASS_H

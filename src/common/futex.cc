@@ -1,0 +1,56 @@
+#include "common/futex.h"
+
+#include <cerrno>
+#include <ctime>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace varan {
+
+namespace {
+
+long
+sysFutex(const void *addr, int op, std::uint32_t val,
+         const struct timespec *timeout)
+{
+    return ::syscall(SYS_futex, addr, op, val, timeout, nullptr, 0);
+}
+
+} // namespace
+
+FutexResult
+futexWait(const std::atomic<std::uint32_t> *addr, std::uint32_t expected,
+          std::uint64_t timeout_ns)
+{
+    struct timespec ts;
+    struct timespec *tsp = nullptr;
+    if (timeout_ns > 0) {
+        ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ULL);
+        ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ULL);
+        tsp = &ts;
+    }
+    long rc = sysFutex(addr, FUTEX_WAIT, expected, tsp);
+    if (rc == 0)
+        return FutexResult::Woken;
+    switch (errno) {
+      case EAGAIN:
+        return FutexResult::ValueChanged;
+      case ETIMEDOUT:
+        return FutexResult::TimedOut;
+      case EINTR:
+        return FutexResult::Interrupted;
+      default:
+        return FutexResult::Woken;
+    }
+}
+
+int
+futexWake(const std::atomic<std::uint32_t> *addr, int count)
+{
+    long rc = sysFutex(addr, FUTEX_WAKE, static_cast<std::uint32_t>(count),
+                       nullptr);
+    return rc < 0 ? 0 : static_cast<int>(rc);
+}
+
+} // namespace varan

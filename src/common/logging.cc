@@ -1,0 +1,106 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <unistd.h>
+
+namespace varan {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      default: return "?";
+    }
+}
+
+void
+vlogf(LogLevel level, const char *fmt, va_list ap)
+{
+    if (level < g_level.load(std::memory_order_relaxed))
+        return;
+    char buf[1024];
+    int off = std::snprintf(buf, sizeof(buf), "varan[%d] %s: ",
+                            static_cast<int>(::getpid()), levelTag(level));
+    if (off < 0)
+        return;
+    int n = std::vsnprintf(buf + off, sizeof(buf) - off - 1, fmt, ap);
+    if (n < 0)
+        return;
+    std::size_t len = std::min(sizeof(buf) - 2,
+                               static_cast<std::size_t>(off + n));
+    buf[len] = '\n';
+    // Single write keeps lines atomic across the many processes VARAN runs.
+    [[maybe_unused]] ssize_t rc = ::write(STDERR_FILENO, buf, len + 1);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogf(level, fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogf(LogLevel::Info, fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogf(LogLevel::Warn, fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogf(LogLevel::Error, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogf(LogLevel::Error, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace varan

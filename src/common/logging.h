@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Logging and error-termination helpers.
+ *
+ * Follows the gem5 discipline: panic() is for internal invariant
+ * violations (aborts, core-dumpable), fatal() is for unrecoverable
+ * user/environment errors (clean exit(1)), warn()/inform() never stop
+ * execution.
+ */
+
+#ifndef VARAN_COMMON_LOGGING_H
+#define VARAN_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace varan {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/** Set the minimum level that actually reaches stderr. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** printf-style leveled logging; a '\n' is appended automatically. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informative message users should see but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something is off but execution can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user/environment error: message, then exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal bug: message, then abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace varan
+
+/** Assert-like invariant check that survives NDEBUG builds. */
+#define VARAN_CHECK(cond, ...) \
+    do { \
+        if (VARAN_UNLIKELY(!(cond))) { \
+            ::varan::panic("check failed at %s:%d: %s", __FILE__, \
+                           __LINE__, #cond); \
+        } \
+    } while (0)
+
+/** Check a syscall-style return value, panicking with errno detail. */
+#define VARAN_CHECK_ERRNO(expr) \
+    do { \
+        if (VARAN_UNLIKELY((expr) < 0)) { \
+            ::varan::panic("%s failed at %s:%d: errno=%d", #expr, \
+                           __FILE__, __LINE__, errno); \
+        } \
+    } while (0)
+
+#include "common/macros.h"
+
+#endif // VARAN_COMMON_LOGGING_H

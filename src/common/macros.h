@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Foundational macros and constants shared by every VARAN module.
+ */
+
+#ifndef VARAN_COMMON_MACROS_H
+#define VARAN_COMMON_MACROS_H
+
+#include <cstddef>
+
+namespace varan {
+
+/** Cache line size assumed throughout (x86-64). Events are sized to it. */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+} // namespace varan
+
+#define VARAN_LIKELY(x) __builtin_expect(!!(x), 1)
+#define VARAN_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/** Delete copy operations; the class remains movable if it says so. */
+#define VARAN_NO_COPY(Cls) \
+    Cls(const Cls &) = delete; \
+    Cls &operator=(const Cls &) = delete
+
+/** Delete both copy and move operations. */
+#define VARAN_NO_COPY_NO_MOVE(Cls) \
+    VARAN_NO_COPY(Cls); \
+    Cls(Cls &&) = delete; \
+    Cls &operator=(Cls &&) = delete
+
+#endif // VARAN_COMMON_MACROS_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal expected-style result type carrying an errno code on failure.
+ *
+ * C++20 lacks std::expected; this is the small subset VARAN needs. An
+ * Errno of 0 means success.
+ */
+
+#ifndef VARAN_COMMON_RESULT_H
+#define VARAN_COMMON_RESULT_H
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace varan {
+
+/** Error wrapper so Result<int> can distinguish value from error. */
+struct Errno {
+    int code = 0;
+
+    std::string
+    message() const
+    {
+        return std::strerror(code);
+    }
+
+    bool operator==(const Errno &) const = default;
+};
+
+/** Value-or-errno. Default construction is not provided on purpose. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : repr_(std::move(value)) {}
+    Result(Errno err) : repr_(err) {}
+
+    bool ok() const { return std::holds_alternative<T>(repr_); }
+    explicit operator bool() const { return ok(); }
+
+    /** Access the value; panics when called on an error. */
+    T &
+    value()
+    {
+        VARAN_CHECK(ok());
+        return std::get<T>(repr_);
+    }
+
+    const T &
+    value() const
+    {
+        VARAN_CHECK(ok());
+        return std::get<T>(repr_);
+    }
+
+    /** Access the error; panics when called on a success. */
+    Errno
+    error() const
+    {
+        VARAN_CHECK(!ok());
+        return std::get<Errno>(repr_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(repr_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Errno> repr_;
+};
+
+/** Result for operations that return no value. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(Errno err) : err_(err) {}
+
+    static Status ok() { return Status(); }
+    static Status fromErrno() { return Status(Errno{errno}); }
+
+    bool isOk() const { return err_.code == 0; }
+    explicit operator bool() const { return isOk(); }
+    Errno error() const { return err_; }
+
+  private:
+    Errno err_{};
+};
+
+/** Build a Result<T> error from the current errno. */
+template <typename T>
+Result<T>
+errnoResult()
+{
+    return Result<T>(Errno{errno});
+}
+
+} // namespace varan
+
+#endif // VARAN_COMMON_RESULT_H

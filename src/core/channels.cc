@@ -1,0 +1,143 @@
+#include "core/channels.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace varan::core {
+
+Status
+sendCtrl(int fd, const CtrlMsg &msg)
+{
+    for (;;) {
+        ssize_t n = ::send(fd, &msg, sizeof(msg), MSG_NOSIGNAL);
+        if (n == sizeof(msg))
+            return Status::ok();
+        if (n < 0 && errno == EINTR)
+            continue;
+        return Status::fromErrno();
+    }
+}
+
+Result<CtrlMsg>
+recvCtrl(int fd)
+{
+    CtrlMsg msg;
+    for (;;) {
+        ssize_t n = ::recv(fd, &msg, sizeof(msg), 0);
+        if (n == sizeof(msg))
+            return msg;
+        if (n == 0)
+            return Result<CtrlMsg>(Errno{EPIPE});
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0)
+            return errnoResult<CtrlMsg>();
+        return Result<CtrlMsg>(Errno{EPROTO});
+    }
+}
+
+Result<ChannelSet>
+ChannelSet::create(std::uint32_t num_variants)
+{
+    VARAN_CHECK(num_variants <= kMaxVariants);
+    ChannelSet set;
+    set.num_variants_ = num_variants;
+
+    auto zygote = SocketPair::create(SOCK_SEQPACKET);
+    if (!zygote.ok())
+        return Result<ChannelSet>(zygote.error());
+    set.zygote_ = std::move(zygote.value());
+
+    for (std::uint32_t v = 0; v < num_variants; ++v) {
+        auto pair = SocketPair::create(SOCK_SEQPACKET);
+        if (!pair.ok())
+            return Result<ChannelSet>(pair.error());
+        set.control_[v] = std::move(pair.value());
+    }
+    for (std::uint32_t i = 0; i < num_variants; ++i) {
+        for (std::uint32_t j = i + 1; j < num_variants; ++j) {
+            auto pair = SocketPair::create(SOCK_STREAM);
+            if (!pair.ok())
+                return Result<ChannelSet>(pair.error());
+            set.mesh_[i][j] = std::move(pair.value());
+        }
+    }
+    return set;
+}
+
+int
+ChannelSet::controlCoordinatorEnd(std::uint32_t v) const
+{
+    return const_cast<SocketPair &>(control_[v]).end(0).get();
+}
+
+int
+ChannelSet::controlVariantEnd(std::uint32_t v) const
+{
+    return const_cast<SocketPair &>(control_[v]).end(1).get();
+}
+
+int
+ChannelSet::data(std::uint32_t self, std::uint32_t peer) const
+{
+    VARAN_CHECK(self != peer);
+    std::uint32_t lo = self < peer ? self : peer;
+    std::uint32_t hi = self < peer ? peer : self;
+    auto &pair = const_cast<SocketPair &>(mesh_[lo][hi]);
+    // Convention: the lower id holds end 0.
+    return self == lo ? pair.end(0).get() : pair.end(1).get();
+}
+
+void
+ChannelSet::closeAllExceptVariant(std::uint32_t self)
+{
+    zygote_.end(0).reset();
+    zygote_.end(1).reset();
+    for (std::uint32_t v = 0; v < num_variants_; ++v) {
+        control_[v].end(0).reset();
+        if (v != self)
+            control_[v].end(1).reset();
+    }
+    for (std::uint32_t i = 0; i < num_variants_; ++i) {
+        for (std::uint32_t j = i + 1; j < num_variants_; ++j) {
+            if (i != self)
+                mesh_[i][j].end(0).reset();
+            if (j != self)
+                mesh_[i][j].end(1).reset();
+        }
+    }
+}
+
+void
+ChannelSet::closeCoordinatorEnds()
+{
+    zygote_.end(0).reset();
+    for (std::uint32_t v = 0; v < num_variants_; ++v)
+        control_[v].end(0).reset();
+}
+
+void
+ChannelSet::relocateVariantEndsHigh(std::uint32_t self, int base)
+{
+    auto move = [&](Fd &fd, int target) {
+        if (!fd.valid() || fd.get() == target)
+            return;
+        int rc = ::dup2(fd.get(), target);
+        VARAN_CHECK(rc == target);
+        fd.reset(rc); // close the old number, own the new one
+    };
+
+    // Deterministic targets: control at base, peer p's mesh at
+    // base + 1 + p. Every variant ends up with the same occupied set.
+    move(control_[self].end(1), base);
+    for (std::uint32_t p = 0; p < num_variants_; ++p) {
+        if (p == self)
+            continue;
+        std::uint32_t lo = self < p ? self : p;
+        std::uint32_t hi = self < p ? p : self;
+        move(mesh_[lo][hi].end(self == lo ? 0 : 1),
+             base + 1 + static_cast<int>(p));
+    }
+}
+
+} // namespace varan::core

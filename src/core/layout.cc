@@ -1,0 +1,77 @@
+#include "core/layout.h"
+
+#include <new>
+
+namespace varan::core {
+
+EngineLayout
+EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
+                     std::uint32_t leader_id, std::uint32_t ring_capacity)
+{
+    VARAN_CHECK(num_variants >= 1 && num_variants <= kMaxVariants);
+    VARAN_CHECK(leader_id < num_variants || leader_id == kNoLeader);
+    VARAN_CHECK(ring_capacity > 0 &&
+                (ring_capacity & (ring_capacity - 1)) == 0);
+
+    EngineLayout layout;
+    layout.control = region->carve(sizeof(ControlBlock));
+    auto *cb = new (region->bytesAt(layout.control, sizeof(ControlBlock)))
+        ControlBlock();
+    cb->num_variants = num_variants;
+    cb->ring_capacity = ring_capacity;
+    cb->leader_id.store(leader_id, std::memory_order_relaxed);
+    cb->epoch.store(0, std::memory_order_relaxed);
+    cb->num_tuples.store(1, std::memory_order_relaxed); // tuple 0 = main
+    cb->shutdown.store(0, std::memory_order_relaxed);
+    std::uint32_t mask = 0;
+    for (std::uint32_t v = 0; v < num_variants; ++v)
+        mask |= 1u << v;
+    cb->live_mask.store(mask, std::memory_order_relaxed);
+
+    for (std::uint32_t v = 0; v < kMaxVariants; ++v) {
+        cb->variants[v].state.store(
+            static_cast<std::uint32_t>(v < num_variants
+                                           ? VariantState::Running
+                                           : VariantState::Empty),
+            std::memory_order_relaxed);
+        cb->variants[v].exit_status.store(0, std::memory_order_relaxed);
+        cb->variants[v].pid.store(0, std::memory_order_relaxed);
+        cb->variants[v].syscalls.store(0, std::memory_order_relaxed);
+        ring::LamportClock::initialize(
+            region, region->offsetOf(&cb->clocks[v]));
+    }
+
+    // Rings and payload shadows for every possible tuple, with follower
+    // cursors pre-attached so no start-up race can lose events.
+    for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+        shmem::Offset ring_off =
+            region->carve(ring::RingBuffer::bytesRequired(ring_capacity));
+        ring::RingBuffer ring =
+            ring::RingBuffer::initialize(region, ring_off, ring_capacity);
+        shmem::Offset shadow_off =
+            region->carve(sizeof(std::uint64_t) * ring_capacity);
+        auto *shadow = static_cast<std::uint64_t *>(
+            region->bytesAt(shadow_off,
+                            sizeof(std::uint64_t) * ring_capacity));
+        for (std::uint32_t i = 0; i < ring_capacity; ++i)
+            shadow[i] = 0;
+        cb->tuples[t].ring = ring_off;
+        cb->tuples[t].shadow = shadow_off;
+        cb->tuples[t].active.store(t == 0 ? 1 : 0,
+                                   std::memory_order_relaxed);
+        for (std::uint32_t v = 0; v < num_variants; ++v) {
+            if (v == leader_id)
+                continue;
+            VARAN_CHECK(ring.attachConsumerAt(static_cast<int>(v)));
+        }
+    }
+
+    // Everything left belongs to the payload pool.
+    layout.pool_header = region->carve(sizeof(shmem::PoolHeader));
+    shmem::Offset pool_begin = region->carve(kCacheLineSize);
+    shmem::PoolAllocator::initialize(region, layout.pool_header,
+                                     pool_begin, region->size());
+    return layout;
+}
+
+} // namespace varan::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared-memory layout of an N-version execution engine instance.
+ *
+ * The coordinator carves one Region (Figure 2's "shm" segment) into:
+ *
+ *   [ControlBlock][tuple rings][payload shadows][pool]
+ *
+ * The ControlBlock holds variant/tuple bookkeeping, the per-variant
+ * Lamport clocks (section 3.3.3) and the election state consulted
+ * during transparent failover (section 5.1). Everything is offset-
+ * addressed and process-shared.
+ */
+
+#ifndef VARAN_CORE_LAYOUT_H
+#define VARAN_CORE_LAYOUT_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "ring/lamport.h"
+#include "ring/ring_buffer.h"
+#include "shmem/pool.h"
+#include "shmem/region.h"
+
+namespace varan::core {
+
+/** Compile-time bounds; the paper evaluates up to 1 leader + 6. */
+inline constexpr std::uint32_t kMaxVariants = 8;
+inline constexpr std::uint32_t kMaxTuples = 16;
+
+/** Consumer-slot ids >= kMaxVariants are reserved for taps (rr). */
+inline constexpr int kTapConsumerSlot = static_cast<int>(kMaxVariants);
+
+/** leader_id sentinel: no in-process leader (record-replay's artificial
+ *  leader publishes from outside, section 5.4). */
+inline constexpr std::uint32_t kNoLeader = 0xffffffffu;
+
+enum class VariantState : std::uint32_t {
+    Empty = 0,
+    Running,
+    Crashed,
+    Exited,
+};
+
+enum class Role : std::uint32_t { Leader = 0, Follower = 1 };
+
+/** Per-variant status, written by variants and the coordinator. */
+struct VariantSlot {
+    std::atomic<std::uint32_t> state;   ///< VariantState
+    std::atomic<std::int32_t> exit_status;
+    std::atomic<std::uint32_t> pid;
+    std::atomic<std::uint64_t> syscalls; ///< dispatched call count (stats)
+};
+
+/** One thread/process tuple: ring + payload shadow (section 3.3.3). */
+struct TupleSlot {
+    std::atomic<std::uint32_t> active;
+    shmem::Offset ring;    ///< RingBuffer offset in the region
+    shmem::Offset shadow;  ///< u64[capacity]: payload owned by each slot
+};
+
+/** Engine-wide shared control state. */
+struct ControlBlock {
+    std::uint32_t num_variants;
+    std::uint32_t ring_capacity;
+
+    std::atomic<std::uint32_t> leader_id;
+    std::atomic<std::uint32_t> epoch;     ///< bumped on every election
+    std::atomic<std::uint32_t> live_mask; ///< bit per running variant
+    std::atomic<std::uint32_t> num_tuples;
+    std::atomic<std::uint32_t> shutdown;
+
+    // Statistics surfaced by the coordinator API.
+    std::atomic<std::uint64_t> events_streamed;
+    std::atomic<std::uint64_t> divergences_resolved;
+    std::atomic<std::uint64_t> divergences_fatal;
+    std::atomic<std::uint64_t> fd_transfers;
+
+    VariantSlot variants[kMaxVariants];
+    TupleSlot tuples[kMaxTuples];
+    ring::ClockState clocks[kMaxVariants]; ///< per-variant Lamport clocks
+};
+
+/** Offsets of the carved structures inside the Region. */
+struct EngineLayout {
+    shmem::Offset control = 0;
+    shmem::Offset pool_header = 0;
+
+    /**
+     * Carve and initialise an engine layout in @p region.
+     *
+     * Pre-attaches every follower's consumer slot (slot id == variant
+     * id) on every tuple ring so the leader can never outrun a follower
+     * that has not started yet.
+     */
+    static EngineLayout create(shmem::Region *region,
+                               std::uint32_t num_variants,
+                               std::uint32_t leader_id,
+                               std::uint32_t ring_capacity);
+
+    ControlBlock *
+    controlBlock(const shmem::Region *region) const
+    {
+        return region->at<ControlBlock>(control);
+    }
+
+    ring::RingBuffer
+    tupleRing(const shmem::Region *region, std::uint32_t tuple) const
+    {
+        ControlBlock *cb = controlBlock(region);
+        return ring::RingBuffer(region, cb->tuples[tuple].ring);
+    }
+
+    /** Payload shadow array of a tuple (u64 per ring slot). */
+    std::uint64_t *
+    tupleShadow(const shmem::Region *region, std::uint32_t tuple) const
+    {
+        ControlBlock *cb = controlBlock(region);
+        return static_cast<std::uint64_t *>(region->bytesAt(
+            cb->tuples[tuple].shadow,
+            sizeof(std::uint64_t) * cb->ring_capacity));
+    }
+
+    ring::LamportClock
+    variantClock(const shmem::Region *region, std::uint32_t variant) const
+    {
+        ControlBlock *cb = controlBlock(region);
+        return ring::LamportClock(
+            region, region->offsetOf(&cb->clocks[variant]));
+    }
+
+    shmem::PoolAllocator
+    pool(const shmem::Region *region) const
+    {
+        return shmem::PoolAllocator(region, pool_header);
+    }
+};
+
+} // namespace varan::core
+
+#endif // VARAN_CORE_LAYOUT_H

@@ -1,0 +1,769 @@
+#include "core/monitor.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/fdpass.h"
+#include "common/logging.h"
+#include "syscalls/raw.h"
+
+namespace varan::core {
+
+namespace {
+
+Monitor *g_monitor = nullptr;
+int g_crash_control_fd = -1;
+std::uint32_t g_crash_variant_id = 0;
+ControlBlock *g_crash_control_block = nullptr;
+
+thread_local int t_tuple = 0; // main thread produces/consumes tuple 0
+
+// Set in the child side of an intercepted fork: such a process owns
+// only its own tuple and must not tear down variant-wide state on exit.
+bool g_fork_child = false;
+
+/** Publisher variant id travels in the event flags' top nibble. */
+constexpr std::uint32_t kPublisherShift = 24;
+
+std::uint32_t
+publisherOf(const ring::Event &event)
+{
+    return (event.flags >> kPublisherShift) & 0xf;
+}
+
+/** FNV-1a, used to cross-check IN-buffer contents across variants. */
+std::uint32_t
+fnv1a(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t h = 2166136261u;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+/** write-family calls whose buffer contents we can cross-check. */
+bool
+hashableInBuffer(long nr, const std::uint64_t args[6], std::uint32_t *len)
+{
+    switch (nr) {
+      case SYS_write:
+      case SYS_pwrite64:
+      case SYS_sendto:
+        if (args[1] == 0)
+            return false;
+        *len = static_cast<std::uint32_t>(args[2]);
+        return true;
+      default:
+        return false;
+    }
+}
+
+constexpr std::uint32_t kChunkAbsent = 0xffffffffu;
+
+/** Leader-side length of one OUT chunk; kChunkAbsent when not filled. */
+std::uint32_t
+outChunkLen(const sys::OutBufferSpec &spec, const std::uint64_t args[6],
+            long result)
+{
+    if (spec.arg < 0 || args[spec.arg] == 0)
+        return kChunkAbsent;
+    switch (spec.len_from) {
+      case sys::LenFrom::Result:
+        return result >= 0 ? static_cast<std::uint32_t>(result)
+                           : kChunkAbsent;
+      case sys::LenFrom::ResultTimesSize:
+        return result >= 0
+                   ? static_cast<std::uint32_t>(result) * spec.fixed
+                   : kChunkAbsent;
+      case sys::LenFrom::Arg:
+        return static_cast<std::uint32_t>(args[spec.len_arg]) * spec.fixed;
+      case sys::LenFrom::Fixed:
+        return spec.fixed;
+      case sys::LenFrom::DerefArg: {
+        if (args[spec.len_arg] == 0 || result < 0)
+            return kChunkAbsent;
+        std::uint32_t n;
+        std::memcpy(&n, reinterpret_cast<const void *>(args[spec.len_arg]),
+                    sizeof(n));
+        return n;
+      }
+      case sys::LenFrom::None:
+      default:
+        return kChunkAbsent;
+    }
+}
+
+void
+crashHandler(int sig, siginfo_t *, void *)
+{
+    // Async-signal-safe: mark shared state, one write(), re-raise.
+    if (g_crash_control_block) {
+        VariantSlot &slot =
+            g_crash_control_block->variants[g_crash_variant_id];
+        slot.state.store(static_cast<std::uint32_t>(VariantState::Crashed),
+                         std::memory_order_release);
+        slot.exit_status.store(128 + sig, std::memory_order_release);
+    }
+    if (g_crash_control_fd >= 0) {
+        CtrlMsg msg;
+        msg.type = CtrlMsg::VariantCrashed;
+        msg.variant = static_cast<std::int32_t>(g_crash_variant_id);
+        msg.value = sig;
+        [[maybe_unused]] ssize_t rc =
+            ::send(g_crash_control_fd, &msg, sizeof(msg), MSG_NOSIGNAL);
+    }
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+Monitor::Monitor(const shmem::Region *region, EngineLayout layout,
+                 ChannelSet *channels, Config config)
+    : region_(region), layout_(layout),
+      cb_(layout.controlBlock(region)), channels_(channels),
+      config_(config),
+      role_(cb_->leader_id.load(std::memory_order_acquire) ==
+                    config.variant_id
+                ? Role::Leader
+                : Role::Follower),
+      pool_(layout.pool(region)),
+      clock_(layout.variantClock(region, config.variant_id))
+{
+    for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+        rings_[t] = layout.tupleRing(region, t);
+        shadows_[t] = layout.tupleShadow(region, t);
+    }
+    for (const std::string &text : config_.rules_text) {
+        if (!rules_.addRule(text).isOk())
+            fatal("invalid rewrite rule: %s", rules_.lastError().c_str());
+    }
+    tick_wait_ = config_.wait;
+    tick_wait_.timeout_ns = config_.tick_ns;
+}
+
+Monitor *
+Monitor::initVariant(const shmem::Region *region, EngineLayout layout,
+                     ChannelSet *channels, Config config)
+{
+    VARAN_CHECK(g_monitor == nullptr);
+    g_monitor = new Monitor(region, layout, channels, config);
+    g_monitor->cb_->variants[config.variant_id].pid.store(
+        static_cast<std::uint32_t>(::getpid()), std::memory_order_release);
+    t_tuple = 0;
+    g_monitor->installCrashHandlers();
+    sys::setDispatcher(g_monitor);
+    return g_monitor;
+}
+
+Monitor *
+Monitor::instance()
+{
+    return g_monitor;
+}
+
+void
+Monitor::installCrashHandlers()
+{
+    g_crash_control_fd =
+        channels_->controlVariantEnd(config_.variant_id);
+    g_crash_variant_id = config_.variant_id;
+    g_crash_control_block = cb_;
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = crashHandler;
+    action.sa_flags = SA_SIGINFO;
+    ::sigemptyset(&action.sa_mask);
+    for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+        ::sigaction(sig, &action, nullptr);
+}
+
+void
+Monitor::notifyCoordinator(CtrlMsg::Type type, std::int64_t value)
+{
+    CtrlMsg msg;
+    msg.type = type;
+    msg.variant = static_cast<std::int32_t>(config_.variant_id);
+    msg.value = value;
+    sendCtrl(channels_->controlVariantEnd(config_.variant_id), msg);
+}
+
+int
+Monitor::currentTuple()
+{
+    return t_tuple;
+}
+
+void
+Monitor::bindThreadToTuple(int tuple)
+{
+    t_tuple = tuple;
+}
+
+int
+Monitor::openTuple()
+{
+    const int tuple = currentTuple();
+    const int slot = static_cast<int>(config_.variant_id);
+    const bool backlog = rings_[tuple].consumerActive(slot) &&
+                         rings_[tuple].lag(slot) > 0;
+    if (isLeader() && !backlog) {
+        if (rings_[tuple].consumerActive(slot))
+            rings_[tuple].detachConsumer(slot);
+        std::uint32_t t =
+            cb_->num_tuples.fetch_add(1, std::memory_order_acq_rel);
+        VARAN_CHECK(t < kMaxTuples);
+        cb_->tuples[t].active.store(1, std::memory_order_release);
+        ring::Event event = {};
+        event.type = ring::EventType::Fork;
+        event.nr = 0;
+        event.args[0] = t;
+        event.result = 0;
+        publishEvent(tuple, event, 0);
+        return static_cast<int>(t);
+    }
+    // Follower: the tuple id arrives as a Fork event in the stream.
+    const std::uint64_t dummy_args[6] = {};
+    long t = dispatchFollower(tuple, /*nr=*/-1, dummy_args,
+                              sys::syscallInfo(-1));
+    return static_cast<int>(t);
+}
+
+long
+Monitor::dispatch(long nr, const std::uint64_t args[6])
+{
+    const sys::SyscallInfo &info = sys::syscallInfo(nr);
+    cb_->variants[config_.variant_id].syscalls.fetch_add(
+        1, std::memory_order_relaxed);
+
+    switch (info.cls) {
+      case sys::SyscallClass::Local:
+        return sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                               args[4], args[5]);
+      case sys::SyscallClass::Unhandled:
+        // Footnote 8: surface unhandled calls loudly, then fall through
+        // to local execution so development can continue.
+        warn("unhandled syscall %ld executed locally", nr);
+        return sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                               args[4], args[5]);
+      case sys::SyscallClass::Fork:
+        return handleFork(currentTuple(), nr, args);
+      case sys::SyscallClass::Exit:
+        return handleExit(currentTuple(), nr, args);
+      default:
+        break;
+    }
+
+    const int tuple = currentTuple();
+    // A promoted leader keeps replaying a tuple until its backlog of
+    // buffered events is drained; only then does it start recording.
+    const int slot = static_cast<int>(config_.variant_id);
+    const bool backlog = rings_[tuple].consumerActive(slot) &&
+                         rings_[tuple].lag(slot) > 0;
+    if (isLeader() && !backlog) {
+        // Before producing, release this variant's own cursor (it was
+        // pre-attached when someone else led) — otherwise the new
+        // leader would gate on, and eventually consume, its own events.
+        if (rings_[tuple].consumerActive(slot))
+            rings_[tuple].detachConsumer(slot);
+        return dispatchLeader(tuple, nr, args, info);
+    }
+    return dispatchFollower(tuple, nr, args, info);
+}
+
+shmem::Offset
+Monitor::buildPayload(const sys::SyscallInfo &info, long nr,
+                      const std::uint64_t args[6], long result,
+                      std::uint32_t *size_out)
+{
+    // Wire format: [out0: u32 len + bytes][out1: ...][fd numbers i32x2].
+    std::uint32_t lens[2] = {kChunkAbsent, kChunkAbsent};
+    std::size_t total = 0;
+    for (int i = 0; i < 2; ++i) {
+        if (info.out[i].arg < 0)
+            continue;
+        lens[i] = outChunkLen(info.out[i], args, result);
+        total += sizeof(std::uint32_t);
+        if (lens[i] != kChunkAbsent)
+            total += lens[i];
+    }
+    const bool fd_array = info.fd_array_arg >= 0 && result >= 0;
+    if (fd_array)
+        total += 2 * sizeof(std::int32_t);
+    if (total == 0) {
+        *size_out = 0;
+        return 0;
+    }
+
+    shmem::Offset payload = pool_.allocate(total, 1);
+    if (payload == 0) {
+        // Pool exhausted: fail the transfer loudly rather than corrupt.
+        panic("payload pool exhausted (%zu bytes requested)", total);
+    }
+    auto *p = static_cast<std::uint8_t *>(pool_.pointer(payload, total));
+    for (int i = 0; i < 2; ++i) {
+        if (info.out[i].arg < 0)
+            continue;
+        std::memcpy(p, &lens[i], sizeof(std::uint32_t));
+        p += sizeof(std::uint32_t);
+        if (lens[i] != kChunkAbsent && lens[i] > 0) {
+            std::memcpy(p,
+                        reinterpret_cast<const void *>(
+                            args[info.out[i].arg]),
+                        lens[i]);
+            p += lens[i];
+        }
+    }
+    if (fd_array) {
+        const auto *fds = reinterpret_cast<const std::int32_t *>(
+            args[info.fd_array_arg]);
+        std::memcpy(p, fds, 2 * sizeof(std::int32_t));
+        p += 2 * sizeof(std::int32_t);
+    }
+    *size_out = static_cast<std::uint32_t>(total);
+    return payload;
+}
+
+void
+Monitor::publishEvent(int tuple, ring::Event &event, shmem::Offset payload)
+{
+    event.timestamp = clock_.tick();
+    event.flags |= config_.variant_id << kPublisherShift;
+
+    // Free the payload that previously lived in this ring slot: the
+    // gating protocol guarantees every consumer is done with it.
+    ring::RingBuffer &ring = rings_[tuple];
+    std::uint64_t seq = ring.headSeq();
+    std::uint64_t *shadow = shadows_[tuple];
+    std::uint64_t slot_index = seq & (cb_->ring_capacity - 1);
+    if (shadow[slot_index] != 0)
+        pool_.release(shadow[slot_index]);
+    shadow[slot_index] = payload;
+
+    ring::WaitSpec publish_wait = config_.wait;
+    publish_wait.timeout_ns = 120000000000ULL; // 2 min hard ceiling
+    if (!ring.publish(event, publish_wait))
+        panic("ring publish stalled: follower wedged?");
+    cb_->events_streamed.fetch_add(1, std::memory_order_relaxed);
+}
+
+long
+Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
+                        const sys::SyscallInfo &info)
+{
+    long result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                                  args[4], args[5]);
+    if (result == sys::kErestartsys) {
+        // Restart support (section 3.2): retry the interrupted call.
+        result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                                 args[4], args[5]);
+    }
+
+    ring::Event event = {};
+    event.type = ring::EventType::Syscall;
+    event.nr = static_cast<std::uint16_t>(nr);
+    event.result = result;
+    for (unsigned i = 0; i < ring::kInlineArgs; ++i)
+        event.args[i] = args[i];
+
+    std::uint32_t payload_size = 0;
+    shmem::Offset payload = buildPayload(info, nr, args, result,
+                                         &payload_size);
+    if (payload != 0) {
+        event.flags |= ring::kHasPayload;
+        event.payload = static_cast<std::uint32_t>(payload);
+        event.payload_size = payload_size;
+    } else if (config_.verify_divergence) {
+        std::uint32_t hash_len = 0;
+        if (hashableInBuffer(nr, args, &hash_len)) {
+            event.flags |= ring::kDataHash;
+            event.payload = fnv1a(
+                reinterpret_cast<const void *>(args[1]), hash_len);
+            event.payload_size = hash_len;
+        }
+    }
+
+    // Descriptor transfer happens before publication so a follower that
+    // sees the event will always find the descriptor in its channel.
+    if (info.cls == sys::SyscallClass::FdCreating && result >= 0) {
+        event.flags |= ring::kFdTransfer;
+        std::uint32_t live = cb_->live_mask.load(std::memory_order_acquire);
+        for (std::uint32_t v = 0; v < cb_->num_variants; ++v) {
+            if (v == config_.variant_id || !(live & (1u << v)))
+                continue;
+            int channel = channels_->data(config_.variant_id, v);
+            if (info.fd_array_arg >= 0) {
+                const auto *fds = reinterpret_cast<const std::int32_t *>(
+                    args[info.fd_array_arg]);
+                sendFd(channel, fds[0],
+                       static_cast<std::uint64_t>(fds[0]));
+                sendFd(channel, fds[1],
+                       static_cast<std::uint64_t>(fds[1]));
+            } else {
+                sendFd(channel, static_cast<int>(result),
+                       static_cast<std::uint64_t>(result));
+            }
+            cb_->fd_transfers.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    publishEvent(tuple, event, payload);
+    return result;
+}
+
+void
+Monitor::applyPayload(const ring::Event &event,
+                      const sys::SyscallInfo &info,
+                      const std::uint64_t args[6])
+{
+    if (!event.hasPayload())
+        return;
+    const auto *p = static_cast<const std::uint8_t *>(
+        pool_.pointer(event.payload, event.payload_size));
+    for (int i = 0; i < 2; ++i) {
+        if (info.out[i].arg < 0)
+            continue;
+        std::uint32_t len;
+        std::memcpy(&len, p, sizeof(len));
+        p += sizeof(len);
+        if (len == kChunkAbsent)
+            continue;
+        void *dst = reinterpret_cast<void *>(args[info.out[i].arg]);
+        if (dst && len > 0)
+            std::memcpy(dst, p, len);
+        if (info.out[i].len_from == sys::LenFrom::DerefArg &&
+            args[info.out[i].len_arg] != 0) {
+            std::memcpy(reinterpret_cast<void *>(args[info.out[i].len_arg]),
+                        &len, sizeof(len));
+        }
+        p += len;
+    }
+}
+
+void
+Monitor::receiveFds(const ring::Event &event,
+                    const sys::SyscallInfo &info,
+                    const std::uint64_t args[6])
+{
+    if (!event.transfersFd() || event.result < 0)
+        return;
+    const std::uint32_t publisher = publisherOf(event);
+    int channel = channels_->data(config_.variant_id, publisher);
+
+    auto mirror = [&](std::int32_t leader_number) {
+        auto got = recvFd(channel);
+        if (!got.ok()) {
+            warn("fd transfer from variant %u failed: %s", publisher,
+                 got.error().message().c_str());
+            return;
+        }
+        int received = got.value().fd.get();
+        if (received != leader_number) {
+            // Mirror the leader's numbering so later events (close,
+            // epoll_ctl, ...) refer to the same descriptor here.
+            sys::rawSyscall(SYS_dup2, received, leader_number);
+            // got.value().fd closes the temporary on scope exit.
+        } else {
+            got.value().fd.release(); // already at the right number
+        }
+    };
+
+    if (info.fd_array_arg >= 0) {
+        // The leader's two descriptor numbers are at the payload tail.
+        VARAN_CHECK(event.hasPayload());
+        const auto *tail = static_cast<const std::uint8_t *>(
+                               pool_.pointer(event.payload,
+                                             event.payload_size)) +
+                           event.payload_size - 2 * sizeof(std::int32_t);
+        std::int32_t fds[2];
+        std::memcpy(fds, tail, sizeof(fds));
+        mirror(fds[0]);
+        mirror(fds[1]);
+        auto *mine = reinterpret_cast<std::int32_t *>(
+            args[info.fd_array_arg]);
+        if (mine) {
+            mine[0] = fds[0];
+            mine[1] = fds[1];
+        }
+    } else {
+        mirror(static_cast<std::int32_t>(event.result));
+    }
+}
+
+Monitor::DivergenceOutcome
+Monitor::resolveDivergence(const ring::Event &event, long nr,
+                           const std::uint64_t args[6], long *result_out)
+{
+    bpf::FilterContext ctx;
+    ctx.data.nr = static_cast<std::int32_t>(nr);
+    for (int i = 0; i < 6; ++i)
+        ctx.data.args[i] = args[i];
+    ctx.event = &event;
+
+    bpf::RuleDecision decision = rules_.evaluate(ctx);
+    switch (decision.action) {
+      case bpf::RuleAction::Allow:
+        // The follower performs its additional system call itself
+        // (section 5.2); the leader's event stays queued.
+        *result_out = sys::rawSyscall(nr, args[0], args[1], args[2],
+                                      args[3], args[4], args[5]);
+        cb_->divergences_resolved.fetch_add(1, std::memory_order_relaxed);
+        return DivergenceOutcome::ExecutedLocally;
+      case bpf::RuleAction::Skip:
+        cb_->divergences_resolved.fetch_add(1, std::memory_order_relaxed);
+        return DivergenceOutcome::SkippedEvent;
+      case bpf::RuleAction::Errno:
+        *result_out = -decision.err;
+        cb_->divergences_resolved.fetch_add(1, std::memory_order_relaxed);
+        return DivergenceOutcome::SyntheticErrno;
+      case bpf::RuleAction::Kill:
+      default:
+        fatalDivergence(event, nr);
+    }
+}
+
+void
+Monitor::fatalDivergence(const ring::Event &event, long nr)
+{
+    cb_->divergences_fatal.fetch_add(1, std::memory_order_relaxed);
+    warn("fatal divergence: follower %u wants syscall %ld, leader "
+         "streamed %u (type %u)",
+         config_.variant_id, nr, event.nr,
+         static_cast<unsigned>(event.type));
+    VariantSlot &slot = cb_->variants[config_.variant_id];
+    slot.state.store(static_cast<std::uint32_t>(VariantState::Crashed),
+                     std::memory_order_release);
+    slot.exit_status.store(kDivergenceExitStatus,
+                           std::memory_order_release);
+    notifyCoordinator(CtrlMsg::VariantCrashed, kDivergenceExitStatus);
+    ::_exit(kDivergenceExitStatus);
+}
+
+bool
+Monitor::maybePromote()
+{
+    std::lock_guard<std::mutex> guard(promote_mutex_);
+    if (isLeader())
+        return true;
+    if (cb_->leader_id.load(std::memory_order_acquire) !=
+        config_.variant_id) {
+        return false;
+    }
+    // Switch the system call table (section 5.1): from here on this
+    // variant records instead of replaying. Per-tuple backlogs drain
+    // before each thread starts producing (see dispatch()).
+    role_.store(Role::Leader, std::memory_order_release);
+    inform("variant %u promoted to leader (epoch %u)", config_.variant_id,
+           cb_->epoch.load(std::memory_order_acquire));
+    return true;
+}
+
+long
+Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
+                          const sys::SyscallInfo &info)
+{
+    const int slot = static_cast<int>(config_.variant_id);
+    const bool expect_fork = nr < 0;
+    const std::uint64_t deadline =
+        monotonicNs() + config_.progress_timeout_ns;
+    ring::RingBuffer &ring = rings_[tuple];
+
+    for (;;) {
+        // Promoted (and this tuple's backlog is drained)?
+        if (isLeader() && ring.lag(slot) == 0) {
+            if (ring.consumerActive(slot))
+                ring.detachConsumer(slot);
+            if (expect_fork) {
+                // Re-run as leader: allocate and announce the tuple.
+                std::uint32_t t = cb_->num_tuples.fetch_add(
+                    1, std::memory_order_acq_rel);
+                VARAN_CHECK(t < kMaxTuples);
+                cb_->tuples[t].active.store(1, std::memory_order_release);
+                ring::Event event = {};
+                event.type = ring::EventType::Fork;
+                event.args[0] = t;
+                publishEvent(tuple, event, 0);
+                return static_cast<long>(t);
+            }
+            return dispatchLeader(tuple, nr, args, info);
+        }
+
+        ring::Event event = {};
+        if (!ring.peek(slot, &event, tick_wait_)) {
+            if (cb_->leader_id.load(std::memory_order_acquire) ==
+                config_.variant_id) {
+                maybePromote();
+                continue;
+            }
+            if (monotonicNs() > deadline) {
+                panic("follower %u made no progress for %llu ms "
+                      "(tuple %d, waiting for syscall %ld)",
+                      config_.variant_id,
+                      static_cast<unsigned long long>(
+                          config_.progress_timeout_ns / 1000000),
+                      tuple, nr);
+            }
+            continue;
+        }
+
+        // Enforce the leader's total order across tuples (Figure 3).
+        if (!clock_.awaitTurn(event.timestamp, tick_wait_))
+            continue; // re-check promotion/shutdown, then retry
+
+        const bool matches =
+            expect_fork
+                ? event.type == ring::EventType::Fork
+                : (event.type == ring::EventType::Syscall &&
+                   event.nr == static_cast<std::uint16_t>(nr));
+        if (!matches) {
+            long result = 0;
+            switch (resolveDivergence(event, expect_fork ? -1 : nr, args,
+                                      &result)) {
+              case DivergenceOutcome::ExecutedLocally:
+              case DivergenceOutcome::SyntheticErrno:
+                return result;
+              case DivergenceOutcome::SkippedEvent:
+                ring.advance(slot);
+                clock_.advanceTo(event.timestamp);
+                continue;
+            }
+        }
+
+        if (expect_fork) {
+            ring.advance(slot);
+            clock_.advanceTo(event.timestamp);
+            return static_cast<long>(event.args[0]);
+        }
+
+        // Content cross-check for write-family calls (section 2.2's
+        // divergent-behaviour detection).
+        if ((event.flags & ring::kDataHash) && config_.verify_divergence) {
+            std::uint32_t my_hash = fnv1a(
+                reinterpret_cast<const void *>(args[1]),
+                event.payload_size);
+            if (my_hash != event.payload)
+                fatalDivergence(event, nr);
+        }
+
+        applyPayload(event, info, args);
+        receiveFds(event, info, args);
+
+        // The follower closes its own duplicate so descriptor tables
+        // stay mirrored.
+        if (nr == SYS_close)
+            sys::rawSyscall(SYS_close, args[0]);
+
+        ring.advance(slot);
+        clock_.advanceTo(event.timestamp);
+        return event.result;
+    }
+}
+
+long
+Monitor::handleFork(int tuple, long nr, const std::uint64_t args[6])
+{
+    // clone() with thread flags is the VThread path; plain fork/clone
+    // spawns a process tuple.
+    int child_tuple = openTuple();
+    long result = sys::rawSyscall(SYS_fork);
+    if (result == 0) {
+        // The child keeps the parent's role: leader children lead their
+        // tuple, follower children follow it.
+        bindThreadToTuple(child_tuple);
+        g_fork_child = true;
+    }
+    return result;
+}
+
+long
+Monitor::handleExit(int tuple, long nr, const std::uint64_t args[6])
+{
+    const int status = static_cast<int>(args[0]);
+    const int slot = static_cast<int>(config_.variant_id);
+
+    if (!isLeader()) {
+        // Replay until the Exit event is at the head, resolving any
+        // trailing divergences on the way.
+        ring::RingBuffer &ring = rings_[tuple];
+        const std::uint64_t deadline =
+            monotonicNs() + config_.progress_timeout_ns;
+        for (;;) {
+            if (isLeader())
+                break; // promoted mid-exit: just leave
+            ring::Event event = {};
+            if (!ring.peek(slot, &event, tick_wait_)) {
+                if (cb_->leader_id.load(std::memory_order_acquire) ==
+                    config_.variant_id) {
+                    maybePromote();
+                    continue;
+                }
+                if (monotonicNs() > deadline)
+                    break; // give up waiting; exit anyway
+                continue;
+            }
+            if (!clock_.awaitTurn(event.timestamp, tick_wait_))
+                continue;
+            ring.advance(slot);
+            clock_.advanceTo(event.timestamp);
+            if (event.type == ring::EventType::Exit)
+                break;
+        }
+    }
+
+    if (g_fork_child) {
+        // A forked child owns only its tuple: announce/consume the
+        // tuple's Exit, release just this tuple's cursor, and leave the
+        // variant-wide state to the main process.
+        if (isLeader()) {
+            ring::Event event = {};
+            event.type = ring::EventType::Exit;
+            event.nr = static_cast<std::uint16_t>(nr);
+            event.result = status;
+            publishEvent(tuple, event, 0);
+        } else if (rings_[tuple].consumerActive(slot)) {
+            rings_[tuple].detachConsumer(slot);
+        }
+        sys::rawSyscall(nr, status);
+        ::_exit(status);
+    }
+
+    finishVariant(status);
+    sys::rawSyscall(nr, status);
+    ::_exit(status); // unreachable for exit_group; belt and braces
+}
+
+void
+Monitor::finishVariant(int status)
+{
+    VariantSlot &slot = cb_->variants[config_.variant_id];
+    std::uint32_t running =
+        static_cast<std::uint32_t>(VariantState::Running);
+    if (!slot.state.compare_exchange_strong(
+            running, static_cast<std::uint32_t>(VariantState::Exited))) {
+        return; // already crashed/exited
+    }
+    slot.exit_status.store(status, std::memory_order_release);
+
+    // Stop gating producers (and never gate on our own publishes).
+    for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+        if (rings_[t].consumerActive(static_cast<int>(config_.variant_id)))
+            rings_[t].detachConsumer(static_cast<int>(config_.variant_id));
+    }
+    if (isLeader()) {
+        ring::Event event = {};
+        event.type = ring::EventType::Exit;
+        event.nr = SYS_exit_group;
+        event.result = status;
+        publishEvent(currentTuple(), event, 0);
+    }
+    sys::setDispatcher(nullptr);
+    notifyCoordinator(CtrlMsg::VariantExited, status);
+}
+
+} // namespace varan::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The per-variant monitor runtime (sections 3.1-3.3).
+ *
+ * One Monitor lives inside every variant process. It implements the
+ * sys::Dispatcher interface, so every intercepted system call flows
+ * through dispatch():
+ *
+ *  - the leader executes calls and streams them as events through the
+ *    thread tuple's ring buffer, transferring descriptors over the data
+ *    channels and payloads through the shared pool;
+ *  - followers replay the stream, gated by the variant's Lamport clock,
+ *    resolving system-call sequence divergences with BPF rewrite rules
+ *    (section 3.4) and mirroring descriptors with dup2;
+ *  - on leader crash, the follower elected by the coordinator drains
+ *    the remaining buffered events and promotes itself, switching its
+ *    dispatch table to the leader's and restarting the pending system
+ *    call (section 5.1).
+ */
+
+#ifndef VARAN_CORE_MONITOR_H
+#define VARAN_CORE_MONITOR_H
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bpf/rules.h"
+#include "core/channels.h"
+#include "core/layout.h"
+#include "ring/ring_buffer.h"
+#include "syscalls/classify.h"
+#include "syscalls/sys.h"
+
+namespace varan::core {
+
+/** Exit codes the runtime uses for engine-detected conditions. */
+inline constexpr int kDivergenceExitStatus = 86;
+
+class Monitor : public sys::Dispatcher
+{
+  public:
+    struct Config {
+        std::uint32_t variant_id = 0;
+        ring::WaitSpec wait;              ///< event wait policy
+        std::uint64_t tick_ns = 20000000; ///< promotion/shutdown poll tick
+        std::uint64_t progress_timeout_ns = 30000000000ULL; ///< 30 s
+        bool verify_divergence = true;    ///< hash write buffers
+        std::vector<std::string> rules_text; ///< BPF rewrite rules
+    };
+
+    /**
+     * Initialise the runtime inside a freshly forked variant process
+     * and install it as the process dispatcher. Also installs crash
+     * handlers that notify the coordinator (transparent failover).
+     */
+    static Monitor *initVariant(const shmem::Region *region,
+                                EngineLayout layout,
+                                ChannelSet *channels, Config config);
+
+    /** The process's monitor, or nullptr outside variants. */
+    static Monitor *instance();
+
+    // --- sys::Dispatcher ---
+    long dispatch(long nr, const std::uint64_t args[6]) override;
+
+    std::uint32_t variantId() const { return config_.variant_id; }
+
+    Role
+    role() const
+    {
+        return role_.load(std::memory_order_acquire);
+    }
+
+    bool isLeader() const { return role() == Role::Leader; }
+
+    /**
+     * Called when the variant's application code returns: the leader
+     * publishes the Exit event, followers detach, everyone reports to
+     * the coordinator.
+     */
+    void finishVariant(int status);
+
+    /**
+     * Thread/process tuple protocol (section 3.3.3): the parent calls
+     * openTuple() *before* starting the child execution context; the
+     * id travels through the event stream so every variant binds the
+     * same tuple to the same logical thread.
+     */
+    int openTuple();
+
+    /** Bind the calling thread to a tuple id returned by openTuple. */
+    static void bindThreadToTuple(int tuple);
+
+    /** The calling thread's tuple (main thread = 0). */
+    static int currentTuple();
+
+  private:
+    Monitor(const shmem::Region *region, EngineLayout layout,
+            ChannelSet *channels, Config config);
+
+    long dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
+                        const sys::SyscallInfo &info);
+    long dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
+                          const sys::SyscallInfo &info);
+    long handleFork(int tuple, long nr, const std::uint64_t args[6]);
+    long handleExit(int tuple, long nr, const std::uint64_t args[6]);
+
+    /** Assemble and publish one leader event. */
+    void publishEvent(int tuple, ring::Event &event,
+                      shmem::Offset payload);
+
+    /** Leader-side payload assembly; returns pool offset (0 = none). */
+    shmem::Offset buildPayload(const sys::SyscallInfo &info, long nr,
+                               const std::uint64_t args[6], long result,
+                               std::uint32_t *size_out);
+
+    /** Follower-side payload application into local buffers. */
+    void applyPayload(const ring::Event &event,
+                      const sys::SyscallInfo &info,
+                      const std::uint64_t args[6]);
+
+    /** Follower-side descriptor mirroring (dup2 to leader numbers). */
+    void receiveFds(const ring::Event &event,
+                    const sys::SyscallInfo &info,
+                    const std::uint64_t args[6]);
+
+    /** Resolve a sequence divergence; may not return (fatal). */
+    enum class DivergenceOutcome { ExecutedLocally, SkippedEvent,
+                                   SyntheticErrno };
+    DivergenceOutcome resolveDivergence(const ring::Event &event, long nr,
+                                        const std::uint64_t args[6],
+                                        long *result_out);
+
+    /** Check for and perform leader promotion; true if promoted. */
+    bool maybePromote();
+
+    void installCrashHandlers();
+    void notifyCoordinator(CtrlMsg::Type type, std::int64_t value);
+
+    [[noreturn]] void fatalDivergence(const ring::Event &event, long nr);
+
+    const shmem::Region *region_;
+    EngineLayout layout_;
+    ControlBlock *cb_;
+    ChannelSet *channels_;
+    Config config_;
+    std::atomic<Role> role_;
+    shmem::PoolAllocator pool_;
+    ring::LamportClock clock_;
+    ring::RingBuffer rings_[kMaxTuples];
+    std::uint64_t *shadows_[kMaxTuples];
+    bpf::RuleSet rules_;
+    std::mutex promote_mutex_;
+    ring::WaitSpec tick_wait_;
+};
+
+} // namespace varan::core
+
+#endif // VARAN_CORE_MONITOR_H

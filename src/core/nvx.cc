@@ -1,0 +1,418 @@
+#include "core/nvx.h"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace varan::core {
+
+Nvx::Nvx(NvxOptions options) : options_(std::move(options))
+{
+    auto region = shmem::Region::create(options_.shm_bytes);
+    if (!region.ok())
+        fatal("cannot create shared region: %s",
+              region.error().message().c_str());
+    region_ = std::move(region.value());
+}
+
+Nvx::~Nvx()
+{
+    if (started_ && !finished_)
+        shutdownZygote();
+    if (monitor_thread_.joinable())
+        monitor_thread_.join();
+    if (zygote_pid_ > 0) {
+        int status = 0;
+        ::waitpid(zygote_pid_, &status, 0);
+    }
+}
+
+ControlBlock *
+Nvx::controlBlock() const
+{
+    return layout_.controlBlock(&region_);
+}
+
+Status
+Nvx::start(std::vector<VariantFn> variants)
+{
+    return start(std::move(variants), {});
+}
+
+Status
+Nvx::start(std::vector<VariantFn> variants,
+           const std::function<void(Nvx &)> &pre_spawn)
+{
+    VARAN_CHECK(!started_);
+    VARAN_CHECK(!variants.empty() && variants.size() <= kMaxVariants);
+    VARAN_CHECK(options_.leader_index < variants.size());
+    variants_ = std::move(variants);
+    num_variants_ = static_cast<std::uint32_t>(variants_.size());
+    results_.assign(num_variants_, VariantResult{});
+    reaped_.assign(num_variants_, false);
+    for (std::uint32_t v = 0; v < num_variants_; ++v)
+        results_[v].variant = static_cast<int>(v);
+
+    layout_ = EngineLayout::create(&region_, num_variants_,
+                                   options_.external_leader
+                                       ? kNoLeader
+                                       : options_.leader_index,
+                                   options_.ring_capacity);
+    if (pre_spawn)
+        pre_spawn(*this);
+
+    auto channels = ChannelSet::create(num_variants_);
+    if (!channels.ok())
+        return Status(channels.error());
+    channels_ = std::move(channels.value());
+
+    // Fork the zygote (Figure 2 step B) while the address space still
+    // holds everything a variant will need.
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return Status::fromErrno();
+    if (pid == 0)
+        zygoteMain(); // never returns
+    zygote_pid_ = pid;
+
+    // Ask the zygote to spawn each variant (steps C/D) and wait for
+    // the acknowledgements so start() returning means "all running".
+    int zfd = channels_.zygoteCoordinatorEnd();
+    for (std::uint32_t v = 0; v < num_variants_; ++v) {
+        CtrlMsg msg;
+        msg.type = CtrlMsg::SpawnRequest;
+        msg.variant = static_cast<std::int32_t>(v);
+        Status sent = sendCtrl(zfd, msg);
+        if (!sent.isOk())
+            return sent;
+    }
+    // A variant may run to completion before we even collected all the
+    // spawn acknowledgements; exit notifications that race ahead are
+    // stashed for the monitor loop.
+    std::uint32_t acked = 0;
+    while (acked < num_variants_) {
+        auto reply = recvCtrl(zfd);
+        if (!reply.ok())
+            return Status(reply.error());
+        if (reply.value().type == CtrlMsg::SpawnReply) {
+            controlBlock()
+                ->variants[reply.value().variant]
+                .pid.store(
+                    static_cast<std::uint32_t>(reply.value().value),
+                    std::memory_order_release);
+            ++acked;
+        } else {
+            early_zygote_msgs_.push_back(reply.value());
+        }
+    }
+
+    started_ = true;
+    monitor_thread_ = std::thread([this] { monitorLoop(); });
+    return Status::ok();
+}
+
+void
+Nvx::zygoteMain()
+{
+    channels_.closeCoordinatorEnds();
+    const int zfd = channels_.zygoteZygoteEnd();
+    std::vector<pid_t> child_of(num_variants_, -1);
+    std::uint32_t alive_children = 0;
+    bool accepting = true;
+
+    auto reap = [&]() {
+        for (;;) {
+            int status = 0;
+            pid_t dead = ::waitpid(-1, &status, WNOHANG);
+            if (dead <= 0)
+                return;
+            for (std::uint32_t v = 0; v < num_variants_; ++v) {
+                if (child_of[v] == dead) {
+                    child_of[v] = -1;
+                    --alive_children;
+                    CtrlMsg note;
+                    note.type = CtrlMsg::VariantExited;
+                    note.variant = static_cast<std::int32_t>(v);
+                    note.value = status;
+                    sendCtrl(zfd, note);
+                    break;
+                }
+            }
+        }
+    };
+
+    for (;;) {
+        struct pollfd pfd = {zfd, POLLIN, 0};
+        int n = ::poll(&pfd, 1, 50);
+        reap();
+        if (n <= 0) {
+            if (!accepting && alive_children == 0)
+                ::_exit(0);
+            continue;
+        }
+        auto msg = recvCtrl(zfd);
+        if (!msg.ok() || msg.value().type == CtrlMsg::Shutdown) {
+            // Coordinator is gone or wants teardown: kill stragglers.
+            for (std::uint32_t v = 0; v < num_variants_; ++v) {
+                if (child_of[v] > 0)
+                    ::kill(child_of[v], SIGKILL);
+            }
+            accepting = false;
+            if (alive_children == 0)
+                ::_exit(0);
+            continue;
+        }
+        if (msg.value().type != CtrlMsg::SpawnRequest)
+            continue;
+        const auto v =
+            static_cast<std::uint32_t>(msg.value().variant);
+
+        pid_t pid = ::fork();
+        if (pid == 0) {
+            // ---- variant process (Figure 2 right-hand side) ----
+            channels_.closeAllExceptVariant(v);
+            channels_.relocateVariantEndsHigh(v);
+            region_.closeBackingFd();
+
+            Monitor::Config config;
+            config.variant_id = v;
+            config.wait = options_.wait;
+            config.verify_divergence = options_.verify_divergence;
+            config.rules_text = options_.rewrite_rules;
+            config.progress_timeout_ns = options_.progress_timeout_ns;
+            config.tick_ns = options_.tick_ns;
+            Monitor *monitor =
+                Monitor::initVariant(&region_, layout_, &channels_,
+                                     config);
+
+            int status = variants_[v]();
+            monitor->finishVariant(status);
+            ::_exit(status & 0xff);
+        }
+        child_of[v] = pid;
+        ++alive_children;
+        CtrlMsg reply;
+        reply.type = CtrlMsg::SpawnReply;
+        reply.variant = msg.value().variant;
+        reply.value = pid;
+        sendCtrl(zfd, reply);
+    }
+}
+
+void
+Nvx::markVariantDead(std::uint32_t variant, bool crashed)
+{
+    ControlBlock *cb = controlBlock();
+    std::uint32_t bit = 1u << variant;
+    std::uint32_t live =
+        cb->live_mask.fetch_and(~bit, std::memory_order_acq_rel);
+    if (!(live & bit))
+        return; // already dealt with
+
+    // Unsubscribe the dead follower from every ring so it stops gating
+    // the producer (section 5.1: "discards it without affecting other
+    // followers").
+    for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+        ring::RingBuffer ring = layout_.tupleRing(&region_, t);
+        if (ring.consumerActive(static_cast<int>(variant)))
+            ring.detachConsumer(static_cast<int>(variant));
+    }
+
+    // Election: when the leader dies, the lowest live id takes over.
+    if (cb->leader_id.load(std::memory_order_acquire) == variant) {
+        std::uint32_t remaining = live & ~bit;
+        if (remaining != 0) {
+            std::uint32_t new_leader = 0;
+            while (!(remaining & (1u << new_leader)))
+                ++new_leader;
+            cb->epoch.fetch_add(1, std::memory_order_acq_rel);
+            cb->leader_id.store(new_leader, std::memory_order_release);
+            inform("leader %u %s; elected variant %u", variant,
+                   crashed ? "crashed" : "exited", new_leader);
+        }
+    }
+}
+
+void
+Nvx::monitorLoop()
+{
+    std::vector<struct pollfd> pfds;
+    pfds.push_back({channels_.zygoteCoordinatorEnd(), POLLIN, 0});
+    for (std::uint32_t v = 0; v < num_variants_; ++v)
+        pfds.push_back(
+            {channels_.controlCoordinatorEnd(v), POLLIN, 0});
+
+    std::uint32_t reaped = 0;
+    auto handleZygoteMsg = [&](const CtrlMsg &msg) {
+        if (msg.type != CtrlMsg::VariantExited)
+            return;
+        const auto v = static_cast<std::uint32_t>(msg.variant);
+        const int status = static_cast<int>(msg.value);
+        ControlBlock *cb = controlBlock();
+        bool crashed =
+            WIFSIGNALED(status) ||
+            cb->variants[v].state.load(std::memory_order_acquire) ==
+                static_cast<std::uint32_t>(VariantState::Crashed);
+        markVariantDead(v, crashed);
+        if (!reaped_[v]) {
+            reaped_[v] = true;
+            ++reaped;
+            results_[v].crashed = crashed;
+            results_[v].status = WIFSIGNALED(status)
+                                     ? 128 + WTERMSIG(status)
+                                     : WEXITSTATUS(status);
+        }
+    };
+    for (const CtrlMsg &msg : early_zygote_msgs_)
+        handleZygoteMsg(msg);
+    early_zygote_msgs_.clear();
+
+    while (reaped < num_variants_) {
+        for (auto &p : pfds)
+            p.revents = 0;
+        int n = ::poll(pfds.data(), pfds.size(), 100);
+        if (n < 0 && errno != EINTR)
+            break;
+        if (n <= 0)
+            continue;
+
+        // Zygote notifications: authoritative exit/reap info.
+        if (pfds[0].revents & POLLIN) {
+            auto msg = recvCtrl(pfds[0].fd);
+            if (msg.ok())
+                handleZygoteMsg(msg.value());
+            else
+                break; // zygote died; stop monitoring
+        }
+        // Variant control messages: fast crash signal for election.
+        for (std::uint32_t v = 0; v < num_variants_; ++v) {
+            if (!(pfds[1 + v].revents & POLLIN))
+                continue;
+            auto msg = recvCtrl(pfds[1 + v].fd);
+            if (!msg.ok())
+                continue;
+            switch (msg.value().type) {
+              case CtrlMsg::VariantCrashed:
+                markVariantDead(v, true);
+                break;
+              case CtrlMsg::VariantExited:
+                markVariantDead(v, false);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+std::vector<VariantResult>
+Nvx::wait()
+{
+    VARAN_CHECK(started_);
+    if (monitor_thread_.joinable())
+        monitor_thread_.join();
+    finished_ = true;
+    shutdownZygote();
+    return results_;
+}
+
+std::vector<VariantResult>
+Nvx::waitFor(std::uint64_t timeout_ns)
+{
+    VARAN_CHECK(started_);
+    const std::uint64_t deadline = monotonicNs() + timeout_ns;
+    while (monotonicNs() < deadline) {
+        bool all = true;
+        for (std::uint32_t v = 0; v < num_variants_; ++v)
+            all = all && reaped_[v];
+        if (all)
+            return wait();
+        sleepNs(5000000);
+    }
+    warn("engine wait timed out; killing surviving variants");
+    shutdownZygote();
+    if (monitor_thread_.joinable())
+        monitor_thread_.join();
+    finished_ = true;
+    return results_;
+}
+
+std::vector<VariantResult>
+Nvx::run(std::vector<VariantFn> variants)
+{
+    Status status = start(std::move(variants));
+    if (!status.isOk())
+        fatal("engine start failed: %s", status.error().message().c_str());
+    return wait();
+}
+
+void
+Nvx::shutdownZygote()
+{
+    if (zygote_pid_ <= 0)
+        return;
+    CtrlMsg msg;
+    msg.type = CtrlMsg::Shutdown;
+    sendCtrl(channels_.zygoteCoordinatorEnd(), msg);
+}
+
+int
+Nvx::currentLeader() const
+{
+    return static_cast<int>(
+        controlBlock()->leader_id.load(std::memory_order_acquire));
+}
+
+std::uint32_t
+Nvx::epoch() const
+{
+    return controlBlock()->epoch.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+Nvx::eventsStreamed() const
+{
+    return controlBlock()->events_streamed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::divergencesResolved() const
+{
+    return controlBlock()->divergences_resolved.load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::divergencesFatal() const
+{
+    return controlBlock()->divergences_fatal.load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::fdTransfers() const
+{
+    return controlBlock()->fd_transfers.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::ringLagOf(std::uint32_t variant) const
+{
+    std::uint64_t max_lag = 0;
+    ControlBlock *cb = controlBlock();
+    std::uint32_t tuples = cb->num_tuples.load(std::memory_order_acquire);
+    for (std::uint32_t t = 0; t < tuples && t < kMaxTuples; ++t) {
+        ring::RingBuffer ring = layout_.tupleRing(&region_, t);
+        if (!ring.consumerActive(static_cast<int>(variant)))
+            continue;
+        std::uint64_t lag = ring.lag(static_cast<int>(variant));
+        if (lag > max_lag)
+            max_lag = lag;
+    }
+    return max_lag;
+}
+
+} // namespace varan::core

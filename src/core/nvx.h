@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The coordinator: VARAN's only centralised component (section 2.2).
+ *
+ * Nvx owns the shared region, creates every communication channel of
+ * Figure 2, forks the zygote, asks it to spawn variants, and then gets
+ * out of the fast path entirely — during execution it only watches the
+ * control channels to reap exits, unsubscribe crashed followers from
+ * the rings and run leader elections for transparent failover
+ * (section 5.1).
+ */
+
+#ifndef VARAN_CORE_NVX_H
+#define VARAN_CORE_NVX_H
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/channels.h"
+#include "core/layout.h"
+#include "core/monitor.h"
+#include "shmem/region.h"
+
+namespace varan::core {
+
+/** A variant's application entry point ("main"). */
+using VariantFn = std::function<int()>;
+
+/** Engine configuration. */
+struct NvxOptions {
+    std::uint32_t ring_capacity = 256; ///< events per tuple ring (paper)
+    std::size_t shm_bytes = 64 << 20;  ///< total shared region size
+    std::uint32_t leader_index = 0;    ///< initial leader (section 2.2)
+    ring::WaitSpec wait;               ///< follower wait policy
+    bool verify_divergence = true;     ///< hash write buffers
+    std::vector<std::string> rewrite_rules; ///< BPF rules (section 3.4)
+    std::uint64_t progress_timeout_ns = 30000000000ULL;
+
+    /** Follower poll tick: bounds how quickly an elected follower
+     *  notices its promotion (transparent-failover latency). */
+    std::uint64_t tick_ns = 5000000; // 5 ms
+
+    /**
+     * Run every variant as a follower; events come from an artificial
+     * leader outside the variant set (record-replay, section 5.4).
+     */
+    bool external_leader = false;
+};
+
+/** Final state of one variant. */
+struct VariantResult {
+    int variant = -1;
+    bool crashed = false;
+    int status = 0; ///< exit status, or 128+signal when crashed
+};
+
+class Nvx
+{
+  public:
+    explicit Nvx(NvxOptions options = NvxOptions{});
+    ~Nvx();
+
+    VARAN_NO_COPY_NO_MOVE(Nvx);
+
+    /** Spawn all variants (index 0..n-1). Returns once all run. */
+    Status start(std::vector<VariantFn> variants);
+
+    /**
+     * Like start(), invoking @p pre_spawn after the shared layout is
+     * initialised but before any variant forks — the hook point where
+     * record-replay taps attach their ring cursors so they can never
+     * miss an event.
+     */
+    Status start(std::vector<VariantFn> variants,
+                 const std::function<void(Nvx &)> &pre_spawn);
+
+    /** Block until every variant exited or crashed. */
+    std::vector<VariantResult> wait();
+
+    /**
+     * wait() with a deadline; on expiry the engine is shut down (all
+     * surviving variants killed) and partial results are returned.
+     */
+    std::vector<VariantResult> waitFor(std::uint64_t timeout_ns);
+
+    /** start() + wait(). */
+    std::vector<VariantResult> run(std::vector<VariantFn> variants);
+
+    // --- live statistics (readable while variants run) ---
+    int currentLeader() const;
+    std::uint32_t epoch() const;
+    std::uint64_t eventsStreamed() const;
+    std::uint64_t divergencesResolved() const;
+    std::uint64_t divergencesFatal() const;
+    std::uint64_t fdTransfers() const;
+
+    /** Leader-to-follower distance in events (the "log size" of
+     *  section 5.3), maximised over tuples for one follower. */
+    std::uint64_t ringLagOf(std::uint32_t variant) const;
+
+    /** Access for record-replay taps and tests. */
+    const shmem::Region *region() const { return &region_; }
+    const EngineLayout &layout() const { return layout_; }
+    ControlBlock *controlBlock() const;
+
+  private:
+    [[noreturn]] void zygoteMain();
+    void monitorLoop();
+    void markVariantDead(std::uint32_t variant, bool crashed);
+    void shutdownZygote();
+
+    NvxOptions options_;
+    shmem::Region region_;
+    EngineLayout layout_;
+    ChannelSet channels_;
+    std::vector<VariantFn> variants_;
+    std::uint32_t num_variants_ = 0;
+    pid_t zygote_pid_ = -1;
+    std::thread monitor_thread_;
+    bool started_ = false;
+    bool finished_ = false;
+    std::vector<VariantResult> results_;
+    std::vector<bool> reaped_;
+    /** Zygote messages that raced ahead of the spawn acknowledgements. */
+    std::vector<CtrlMsg> early_zygote_msgs_;
+};
+
+/**
+ * std::thread wrapper that carries the thread-tuple protocol (section
+ * 3.3.3): the parent announces the tuple through the event stream, the
+ * new thread binds to it, and the same logical thread in every variant
+ * ends up wired to the same ring buffer.
+ */
+class VThread
+{
+  public:
+    template <typename Fn>
+    explicit VThread(Fn fn)
+    {
+        Monitor *monitor = Monitor::instance();
+        if (!monitor) {
+            thread_ = std::thread(std::move(fn));
+            return;
+        }
+        int tuple = monitor->openTuple();
+        thread_ = std::thread([tuple, fn = std::move(fn)]() mutable {
+            Monitor::bindThreadToTuple(tuple);
+            fn();
+        });
+    }
+
+    void
+    join()
+    {
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    ~VThread() { join(); }
+
+  private:
+    std::thread thread_;
+};
+
+} // namespace varan::core
+
+#endif // VARAN_CORE_NVX_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The prior-work baseline: a centralised, lockstep NVX monitor with
+ * ptrace's cost structure (sections 2.1-2.2, Table 2).
+ *
+ * Mx, Orchestra and Tachyon all stop every variant at every system
+ * call, switch to a central monitor process, copy buffers in and out,
+ * and only proceed once all variants reached the same call. This
+ * module reproduces that architecture faithfully over UNIX sockets:
+ *
+ *   variant -> monitor : request (context switch #1)
+ *   monitor -> executor: go
+ *   executor -> monitor: result + buffers (+fds)
+ *   monitor -> variants: result + buffers   (context switch #2..N)
+ *
+ * Every call — including process-local ones ptrace cannot help but
+ * trap — pays the round trip, and the lockstep barrier makes the whole
+ * group run at the speed of its slowest member. Both properties are
+ * exactly what VARAN's event-streaming design eliminates.
+ */
+
+#ifndef VARAN_LOCKSTEP_LOCKSTEP_H
+#define VARAN_LOCKSTEP_LOCKSTEP_H
+
+#include <functional>
+#include <vector>
+
+#include "common/fd.h"
+#include "syscalls/classify.h"
+#include "syscalls/sys.h"
+
+namespace varan::lockstep {
+
+using VariantFn = std::function<int()>;
+
+struct VariantResult {
+    int variant = -1;
+    bool crashed = false;
+    int status = 0;
+};
+
+/** Engine options. */
+struct Options {
+    std::uint64_t progress_timeout_ns = 30000000000ULL;
+    /** Kill followers whose syscall number diverges (lockstep rule). */
+    bool strict_lockstep = true;
+};
+
+/**
+ * Runs N variants in classic lockstep under a centralised monitor.
+ * Supports single-threaded, single-process variants (which matches
+ * every benchmark the prior systems were evaluated on).
+ */
+class LockstepEngine
+{
+  public:
+    explicit LockstepEngine(Options options = Options{});
+
+    std::vector<VariantResult> run(std::vector<VariantFn> variants);
+
+    /** Syscalls that went through the monitor (after run()). */
+    std::uint64_t monitoredCalls() const { return monitored_calls_; }
+
+  private:
+    Options options_;
+    std::uint64_t monitored_calls_ = 0;
+};
+
+/**
+ * Measure the real thing: cycles per system call for a child running
+ * under PTRACE_SYSCALL supervision vs. running natively. Used by the
+ * Table 2 bench to report the genuine ptrace tax on this machine.
+ */
+struct PtraceCost {
+    double native_cycles_per_call = 0;
+    double traced_cycles_per_call = 0;
+    bool ptrace_available = false;
+};
+
+PtraceCost measurePtraceCost(std::size_t iterations);
+
+} // namespace varan::lockstep
+
+#endif // VARAN_LOCKSTEP_LOCKSTEP_H

@@ -1,0 +1,77 @@
+#include "netio/eventloop.h"
+
+#include <sys/epoll.h>
+
+#include "syscalls/sys.h"
+
+namespace varan::netio {
+
+EventLoop::EventLoop()
+{
+    long fd = sys::vepoll_create1(0);
+    epoll_fd_ = fd >= 0 ? static_cast<int>(fd) : -1;
+}
+
+EventLoop::~EventLoop()
+{
+    if (epoll_fd_ >= 0)
+        sys::vclose(epoll_fd_);
+}
+
+Status
+EventLoop::add(int fd, std::uint32_t events, Handler handler)
+{
+    struct epoll_event ev = {};
+    ev.events = events;
+    ev.data.fd = fd;
+    long rc = sys::vepoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (rc < 0)
+        return Status(Errno{static_cast<int>(-rc)});
+    handlers_[fd] = std::move(handler);
+    return Status::ok();
+}
+
+Status
+EventLoop::modify(int fd, std::uint32_t events)
+{
+    struct epoll_event ev = {};
+    ev.events = events;
+    ev.data.fd = fd;
+    long rc = sys::vepoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    if (rc < 0)
+        return Status(Errno{static_cast<int>(-rc)});
+    return Status::ok();
+}
+
+void
+EventLoop::remove(int fd)
+{
+    sys::vepoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(fd);
+}
+
+int
+EventLoop::runOnce(int timeout_ms)
+{
+    struct epoll_event events[64];
+    long n = sys::vepoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n <= 0)
+        return 0;
+    for (long i = 0; i < n; ++i) {
+        auto it = handlers_.find(events[i].data.fd);
+        if (it != handlers_.end())
+            it->second(events[i].events);
+    }
+    ++iterations_;
+    return static_cast<int>(n);
+}
+
+void
+EventLoop::run(int tick_ms)
+{
+    stopping_ = false;
+    while (!stopping_)
+        runOnce(tick_ms);
+}
+
+} // namespace varan::netio

@@ -1,0 +1,191 @@
+#include "netio/socketio.h"
+
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include "common/clock.h"
+#include "syscalls/sys.h"
+
+namespace varan::netio {
+
+namespace {
+
+socklen_t
+fillAbstract(struct sockaddr_un *addr, const std::string &name)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    addr->sun_path[0] = '\0';
+    std::size_t n = std::min(name.size(), sizeof(addr->sun_path) - 2);
+    std::memcpy(addr->sun_path + 1, name.data(), n);
+    return static_cast<socklen_t>(offsetof(struct sockaddr_un, sun_path) +
+                                  1 + n);
+}
+
+} // namespace
+
+Result<int>
+listenAbstract(const std::string &name, int backlog)
+{
+    long fd = sys::vsocket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Result<int>(Errno{static_cast<int>(-fd)});
+    struct sockaddr_un addr;
+    socklen_t len = fillAbstract(&addr, name);
+    long rc = sys::vbind(static_cast<int>(fd),
+                         reinterpret_cast<struct sockaddr *>(&addr), len);
+    if (rc < 0) {
+        sys::vclose(static_cast<int>(fd));
+        return Result<int>(Errno{static_cast<int>(-rc)});
+    }
+    rc = sys::vlisten(static_cast<int>(fd), backlog);
+    if (rc < 0) {
+        sys::vclose(static_cast<int>(fd));
+        return Result<int>(Errno{static_cast<int>(-rc)});
+    }
+    return static_cast<int>(fd);
+}
+
+Result<int>
+connectAbstract(const std::string &name, int timeout_ms)
+{
+    struct sockaddr_un addr;
+    socklen_t len = fillAbstract(&addr, name);
+    const std::uint64_t deadline =
+        monotonicNs() + std::uint64_t(timeout_ms) * 1000000ULL;
+    for (;;) {
+        long fd = sys::vsocket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return Result<int>(Errno{static_cast<int>(-fd)});
+        long rc = sys::vconnect(static_cast<int>(fd),
+                                reinterpret_cast<struct sockaddr *>(&addr),
+                                len);
+        if (rc >= 0)
+            return static_cast<int>(fd);
+        sys::vclose(static_cast<int>(fd));
+        if (rc != -ECONNREFUSED || monotonicNs() >= deadline)
+            return Result<int>(Errno{static_cast<int>(-rc)});
+        sleepNs(2000000); // server still booting; retry in 2 ms
+    }
+}
+
+Result<int>
+listenTcp(std::uint16_t port, int backlog)
+{
+    long fd = sys::vsocket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Result<int>(Errno{static_cast<int>(-fd)});
+    int one = 1;
+    sys::vsetsockopt(static_cast<int>(fd), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    long rc = sys::vbind(static_cast<int>(fd),
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr));
+    if (rc < 0) {
+        sys::vclose(static_cast<int>(fd));
+        return Result<int>(Errno{static_cast<int>(-rc)});
+    }
+    rc = sys::vlisten(static_cast<int>(fd), backlog);
+    if (rc < 0) {
+        sys::vclose(static_cast<int>(fd));
+        return Result<int>(Errno{static_cast<int>(-rc)});
+    }
+    return static_cast<int>(fd);
+}
+
+Result<int>
+connectTcp(std::uint16_t port, int timeout_ms)
+{
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const std::uint64_t deadline =
+        monotonicNs() + std::uint64_t(timeout_ms) * 1000000ULL;
+    for (;;) {
+        long fd = sys::vsocket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return Result<int>(Errno{static_cast<int>(-fd)});
+        long rc = sys::vconnect(static_cast<int>(fd),
+                                reinterpret_cast<struct sockaddr *>(&addr),
+                                sizeof(addr));
+        if (rc >= 0) {
+            int one = 1;
+            sys::vsetsockopt(static_cast<int>(fd), IPPROTO_TCP,
+                             TCP_NODELAY, &one, sizeof(one));
+            return static_cast<int>(fd);
+        }
+        sys::vclose(static_cast<int>(fd));
+        if (rc != -ECONNREFUSED || monotonicNs() >= deadline)
+            return Result<int>(Errno{static_cast<int>(-rc)});
+        sleepNs(2000000);
+    }
+}
+
+long
+acceptConnection(int listen_fd, bool nonblocking)
+{
+    return sys::vaccept4(listen_fd, nullptr, nullptr,
+                         nonblocking ? SOCK_NONBLOCK : 0);
+}
+
+Status
+sendAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        long n = sys::vwrite(fd, p, len);
+        if (n < 0) {
+            if (n == -EINTR)
+                continue;
+            return Status(Errno{static_cast<int>(-n)});
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+}
+
+Result<std::string>
+recvSome(int fd, std::size_t max)
+{
+    std::string buf(max, '\0');
+    for (;;) {
+        long n = sys::vread(fd, buf.data(), max);
+        if (n == -EINTR)
+            continue;
+        if (n < 0)
+            return Result<std::string>(Errno{static_cast<int>(-n)});
+        buf.resize(static_cast<std::size_t>(n));
+        return buf;
+    }
+}
+
+Result<std::string>
+recvUntil(int fd, const std::string &delim, std::size_t max_bytes)
+{
+    std::string out;
+    char chunk[1024];
+    while (out.size() < max_bytes) {
+        long n = sys::vread(fd, chunk, sizeof(chunk));
+        if (n == -EINTR)
+            continue;
+        if (n < 0)
+            return Result<std::string>(Errno{static_cast<int>(-n)});
+        if (n == 0)
+            return out; // EOF
+        out.append(chunk, static_cast<std::size_t>(n));
+        if (out.find(delim) != std::string::npos)
+            return out;
+    }
+    return out;
+}
+
+} // namespace varan::netio

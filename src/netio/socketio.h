@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Socket plumbing for the in-tree server applications and workload
+ * drivers. Servers route everything through varan::sys so the NVX
+ * engine intercepts it; drivers run outside the engine where the same
+ * calls fall through to raw syscalls.
+ *
+ * Listening endpoints use abstract-namespace UNIX sockets (no
+ * filesystem cleanup, no port collisions between benchmarks) with TCP
+ * loopback available where a bench wants it.
+ */
+
+#ifndef VARAN_NETIO_SOCKETIO_H
+#define VARAN_NETIO_SOCKETIO_H
+
+#include <string>
+
+#include "common/result.h"
+
+namespace varan::netio {
+
+/** Create, bind and listen on an abstract UNIX socket. */
+Result<int> listenAbstract(const std::string &name, int backlog = 64);
+
+/** Connect to an abstract UNIX socket (retries while the server is
+ *  still starting, up to @p timeout_ms). */
+Result<int> connectAbstract(const std::string &name,
+                            int timeout_ms = 5000);
+
+/** Create, bind and listen on 127.0.0.1:@p port. */
+Result<int> listenTcp(std::uint16_t port, int backlog = 64);
+
+/** Connect to 127.0.0.1:@p port. */
+Result<int> connectTcp(std::uint16_t port, int timeout_ms = 5000);
+
+/** accept4 with CLOEXEC; returns the connection fd. */
+long acceptConnection(int listen_fd, bool nonblocking);
+
+/** Blocking send/recv helpers over the sys layer. */
+Status sendAll(int fd, const void *data, std::size_t len);
+Result<std::string> recvSome(int fd, std::size_t max = 4096);
+
+/** Read until @p delim appears (or EOF/error); returns everything. */
+Result<std::string> recvUntil(int fd, const std::string &delim,
+                              std::size_t max_bytes = 1 << 20);
+
+} // namespace varan::netio
+
+#endif // VARAN_NETIO_SOCKETIO_H

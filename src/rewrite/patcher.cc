@@ -1,0 +1,320 @@
+#include "rewrite/patcher.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include "arch/disasm.h"
+#include "common/logging.h"
+
+namespace varan::rewrite {
+
+namespace {
+
+std::atomic<SyscallEntryFn> g_entry{nullptr};
+
+// Interrupt-site registry; append-only, scanned by the signal handler,
+// so it must be async-signal-safe (no locks, fixed storage).
+constexpr std::size_t kMaxInterruptSites = 4096;
+std::atomic<std::uintptr_t> g_int_sites[kMaxInterruptSites];
+std::atomic<std::size_t> g_int_site_count{0};
+
+struct sigaction g_previous_trap_action;
+std::atomic<bool> g_handler_installed{false};
+
+void
+registerInterruptSite(std::uintptr_t addr)
+{
+    std::size_t idx = g_int_site_count.fetch_add(1,
+                                                 std::memory_order_acq_rel);
+    VARAN_CHECK(idx < kMaxInterruptSites);
+    g_int_sites[idx].store(addr, std::memory_order_release);
+}
+
+void
+trapHandler(int sig, siginfo_t *info, void *ucontext_void)
+{
+    auto *uc = static_cast<ucontext_t *>(ucontext_void);
+    auto *gregs = uc->uc_mcontext.gregs;
+    std::uintptr_t rip = static_cast<std::uintptr_t>(gregs[REG_RIP]);
+
+    // `int $3` (CD 03) leaves RIP just past the 2-byte instruction.
+    if (isInterruptSite(rip - 2)) {
+        SyscallFrame frame;
+        frame.nr = static_cast<std::uint64_t>(gregs[REG_RAX]);
+        frame.args[0] = static_cast<std::uint64_t>(gregs[REG_RDI]);
+        frame.args[1] = static_cast<std::uint64_t>(gregs[REG_RSI]);
+        frame.args[2] = static_cast<std::uint64_t>(gregs[REG_RDX]);
+        frame.args[3] = static_cast<std::uint64_t>(gregs[REG_R10]);
+        frame.args[4] = static_cast<std::uint64_t>(gregs[REG_R8]);
+        frame.args[5] = static_cast<std::uint64_t>(gregs[REG_R9]);
+        SyscallEntryFn entry = g_entry.load(std::memory_order_acquire);
+        long result = entry ? entry(&frame) : -ENOSYS;
+        gregs[REG_RAX] = result;
+        return; // sigreturn resumes right after the interrupt
+    }
+
+    // Not one of ours: fall through to whoever was there before.
+    if (g_previous_trap_action.sa_flags & SA_SIGINFO) {
+        if (g_previous_trap_action.sa_sigaction)
+            g_previous_trap_action.sa_sigaction(sig, info, ucontext_void);
+        return;
+    }
+    if (g_previous_trap_action.sa_handler == SIG_IGN)
+        return;
+    if (g_previous_trap_action.sa_handler != SIG_DFL) {
+        g_previous_trap_action.sa_handler(sig);
+        return;
+    }
+    ::sigaction(SIGTRAP, &g_previous_trap_action, nullptr);
+    ::raise(SIGTRAP);
+}
+
+/** mprotect() covering whole pages around [addr, addr+len). */
+Status
+protectRange(void *addr, std::size_t len, int prot)
+{
+    const auto page = static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    auto begin = reinterpret_cast<std::uintptr_t>(addr) & ~(page - 1);
+    auto end = (reinterpret_cast<std::uintptr_t>(addr) + len + page - 1) &
+               ~(page - 1);
+    if (::mprotect(reinterpret_cast<void *>(begin), end - begin, prot) < 0)
+        return Status::fromErrno();
+    return Status::ok();
+}
+
+/** Emit a movabs r11, imm64. */
+std::uint8_t *
+emitMovR11(std::uint8_t *p, std::uint64_t value)
+{
+    *p++ = 0x49;
+    *p++ = 0xbb;
+    std::memcpy(p, &value, 8);
+    return p + 8;
+}
+
+/**
+ * Emit the detour stub. Layout (see header): capture registers into a
+ * SyscallFrame on the stack, call the entry point with a 16-byte
+ * aligned stack, restore the argument registers exactly as the kernel
+ * would have, run the relocated instructions, jump back.
+ */
+std::size_t
+emitStub(std::uint8_t *stub, SyscallEntryFn entry,
+         const std::uint8_t *relocated, std::size_t relocated_len,
+         std::uintptr_t return_to)
+{
+    std::uint8_t *p = stub;
+    auto emit = [&](std::initializer_list<std::uint8_t> bytes) {
+        for (std::uint8_t b : bytes)
+            *p++ = b;
+    };
+
+    emit({0x41, 0x51});             // push r9   -> frame.args[5]
+    emit({0x41, 0x50});             // push r8   -> frame.args[4]
+    emit({0x41, 0x52});             // push r10  -> frame.args[3]
+    emit({0x52});                   // push rdx  -> frame.args[2]
+    emit({0x56});                   // push rsi  -> frame.args[1]
+    emit({0x57});                   // push rdi  -> frame.args[0]
+    emit({0x50});                   // push rax  -> frame.nr
+    emit({0x48, 0x89, 0xe7});       // mov rdi, rsp (frame pointer)
+    emit({0x55});                   // push rbp
+    emit({0x48, 0x89, 0xe5});       // mov rbp, rsp
+    emit({0x48, 0x83, 0xe4, 0xf0}); // and rsp, -16 (ABI alignment)
+    p = emitMovR11(p, reinterpret_cast<std::uint64_t>(entry));
+    emit({0x41, 0xff, 0xd3});       // call r11
+    emit({0x48, 0x89, 0xec});       // mov rsp, rbp
+    emit({0x5d});                   // pop rbp
+    // Result is in RAX; drop the saved RAX slot and restore the
+    // argument registers the kernel preserves across syscalls.
+    emit({0x48, 0x83, 0xc4, 0x08}); // add rsp, 8
+    emit({0x5f});                   // pop rdi
+    emit({0x5e});                   // pop rsi
+    emit({0x5a});                   // pop rdx
+    emit({0x41, 0x5a});             // pop r10
+    emit({0x41, 0x58});             // pop r8
+    emit({0x41, 0x59});             // pop r9
+    if (relocated_len > 0) {
+        std::memcpy(p, relocated, relocated_len);
+        p += relocated_len;
+    }
+    p = emitMovR11(p, return_to);
+    emit({0x41, 0xff, 0xe3});       // jmp r11
+    return static_cast<std::size_t>(p - stub);
+}
+
+/** Upper bound on stub size for pool allocation. */
+constexpr std::size_t kStubMaxBytes = 96;
+
+} // namespace
+
+void
+setSyscallEntry(SyscallEntryFn entry)
+{
+    g_entry.store(entry, std::memory_order_release);
+}
+
+SyscallEntryFn
+syscallEntry()
+{
+    return g_entry.load(std::memory_order_acquire);
+}
+
+bool
+isInterruptSite(std::uintptr_t addr)
+{
+    std::size_t count = g_int_site_count.load(std::memory_order_acquire);
+    if (count > kMaxInterruptSites)
+        count = kMaxInterruptSites;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (g_int_sites[i].load(std::memory_order_acquire) == addr)
+            return true;
+    }
+    return false;
+}
+
+void
+installInterruptHandler()
+{
+    bool expected = false;
+    if (!g_handler_installed.compare_exchange_strong(expected, true))
+        return;
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = trapHandler;
+    action.sa_flags = SA_SIGINFO | SA_NODEFER;
+    ::sigemptyset(&action.sa_mask);
+    VARAN_CHECK_ERRNO(
+        ::sigaction(SIGTRAP, &action, &g_previous_trap_action));
+}
+
+Rewriter::Rewriter(SyscallEntryFn entry) : Rewriter(entry, Options{}) {}
+
+Rewriter::Rewriter(SyscallEntryFn entry, Options options)
+    : options_(options)
+{
+    setSyscallEntry(entry);
+    if (options_.allow_int_fallback)
+        installInterruptHandler();
+}
+
+bool
+Rewriter::patchSite(std::uint8_t *code, std::size_t len, std::size_t off,
+                    PatchStats *stats)
+{
+    // Grow a window of whole instructions, starting at the 2-byte
+    // syscall, until a 5-byte jmp fits. Everything after the syscall in
+    // the window gets relocated into the stub, so it must be safe to
+    // move: decodable, not a branch, not RIP-relative, not another
+    // syscall (its bytes would never be patched).
+    std::size_t window = 2;
+    std::size_t cursor = off + 2;
+    bool relocatable = true;
+    while (window < 5) {
+        arch::Insn insn = arch::decode(code + cursor, len - cursor);
+        if (!insn.valid() || insn.is_branch || insn.rip_relative ||
+            insn.is_syscall || insn.is_int80) {
+            relocatable = false;
+            break;
+        }
+        window += insn.length;
+        cursor += insn.length;
+    }
+
+    const auto site = reinterpret_cast<std::uintptr_t>(code + off);
+    if (relocatable) {
+        // Stub pool must be emitted RW, then sealed RX later.
+        // The pool for this rewriter is owned by rewriteRegion.
+        std::uint8_t *stub = stub_pool_->allocate(site, kStubMaxBytes);
+        if (stub) {
+            std::size_t stub_len = emitStub(
+                stub, syscallEntry(), code + off + 2, window - 2,
+                site + window);
+            VARAN_CHECK(stub_len <= kStubMaxBytes);
+            std::int64_t disp =
+                static_cast<std::int64_t>(
+                    reinterpret_cast<std::uintptr_t>(stub)) -
+                static_cast<std::int64_t>(site + 5);
+            if (disp >= INT32_MIN && disp <= INT32_MAX) {
+                code[off] = 0xe9; // jmp rel32
+                std::int32_t disp32 = static_cast<std::int32_t>(disp);
+                std::memcpy(code + off + 1, &disp32, 4);
+                for (std::size_t i = off + 5; i < off + window; ++i)
+                    code[i] = 0x90; // nop padding
+                ++stats->detours;
+                return true;
+            }
+        }
+    }
+
+    if (options_.allow_int_fallback) {
+        // Same-size replacement: `int $3` (CD 03) over `syscall` (0F 05).
+        code[off] = 0xcd;
+        code[off + 1] = 0x03;
+        registerInterruptSite(site);
+        ++stats->interrupts;
+        return true;
+    }
+    ++stats->failed;
+    return false;
+}
+
+Result<PatchStats>
+Rewriter::rewriteRegion(void *region, std::size_t len)
+{
+    auto *code = static_cast<std::uint8_t *>(region);
+    PatchStats stats;
+
+    if (!stub_pool_)
+        stub_pool_ = std::make_unique<TrampolinePool>();
+    Status unsealed = stub_pool_->unseal();
+    if (!unsealed.isOk())
+        return Result<PatchStats>(unsealed.error());
+
+    if (options_.enforce_wx) {
+        Status writable = protectRange(code, len, PROT_READ | PROT_WRITE);
+        if (!writable.isOk())
+            return Result<PatchStats>(writable.error());
+    }
+
+    // Scan-and-patch loop. Rescan after each patch so instruction
+    // boundaries stay consistent with what is actually in memory.
+    std::size_t off = 0;
+    while (off < len) {
+        arch::Insn insn = arch::decode(code + off, len - off);
+        if (!insn.valid()) {
+            if (!options_.resync_on_error)
+                break;
+            ++off;
+            continue;
+        }
+        ++stats.scanned_insns;
+        if (insn.is_syscall || insn.is_int80) {
+            ++stats.sites_found;
+            patchSite(code, len, off, &stats);
+            // Whatever we wrote is at least 2 bytes; re-decode from the
+            // patched site to follow the new instruction stream.
+            arch::Insn patched = arch::decode(code + off, len - off);
+            off += patched.valid() ? patched.length : insn.length;
+            continue;
+        }
+        off += insn.length;
+    }
+    stats.scan_complete = off >= len;
+
+    if (options_.enforce_wx) {
+        Status sealed = protectRange(code, len, PROT_READ | PROT_EXEC);
+        if (!sealed.isOk())
+            return Result<PatchStats>(sealed.error());
+    }
+    Status pool_sealed = stub_pool_->seal();
+    if (!pool_sealed.isOk())
+        return Result<PatchStats>(pool_sealed.error());
+    return stats;
+}
+
+} // namespace varan::rewrite

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Selective binary rewriting of system-call instructions (section 3.2).
+ *
+ * The rewriter scans executable code with the arch disassembler and
+ * replaces every 2-byte `syscall` with a detour: a 5-byte `jmp rel32`
+ * to a generated stub that captures the syscall registers into a
+ * SyscallFrame, calls the installed entry point, restores the result
+ * into RAX, executes any instructions that were relocated to make room,
+ * and jumps back.
+ *
+ * When the surrounding bytes cannot be relocated (potential branch
+ * targets, RIP-relative code, another syscall in the window), the
+ * syscall is replaced by a same-size software interrupt instead — the
+ * paper's INT fallback — whose SIGTRAP handler redirects to the same
+ * entry point and resumes via sigreturn.
+ */
+
+#ifndef VARAN_REWRITE_PATCHER_H
+#define VARAN_REWRITE_PATCHER_H
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "rewrite/trampoline.h"
+
+namespace varan::rewrite {
+
+/** Register state of an intercepted system call (x86-64 convention). */
+struct SyscallFrame {
+    std::uint64_t nr;      ///< RAX
+    std::uint64_t args[6]; ///< RDI, RSI, RDX, R10, R8, R9
+};
+
+/**
+ * The system-call entry point (section 3.2): receives every intercepted
+ * call; the return value is placed in the application's RAX.
+ */
+using SyscallEntryFn = long (*)(SyscallFrame *frame);
+
+/**
+ * Install the process-wide entry point used by detour stubs emitted
+ * after this call and by the interrupt fallback handler.
+ */
+void setSyscallEntry(SyscallEntryFn entry);
+SyscallEntryFn syscallEntry();
+
+/** Counters describing what a rewrite pass did. */
+struct PatchStats {
+    std::size_t sites_found = 0;  ///< syscall instructions discovered
+    std::size_t detours = 0;      ///< patched with jmp to a stub
+    std::size_t interrupts = 0;   ///< patched with the INT fallback
+    std::size_t failed = 0;       ///< left untouched (no stub space)
+    std::size_t scanned_insns = 0;
+    bool scan_complete = false;   ///< decoder reached the region's end
+};
+
+/**
+ * Rewrites syscall sites inside executable regions.
+ *
+ * One Rewriter owns the trampoline pool backing its stubs; keep it
+ * alive as long as the patched code may run.
+ */
+class Rewriter
+{
+  public:
+    struct Options {
+        bool allow_int_fallback = true;
+        /** Keep pages W^X: RW while patching, RX afterwards. */
+        bool enforce_wx = true;
+        /** Stop at the first undecodable instruction (default) or skip
+         *  a byte and retry (aggressive mode for stripped binaries). */
+        bool resync_on_error = false;
+    };
+
+    explicit Rewriter(SyscallEntryFn entry);
+    Rewriter(SyscallEntryFn entry, Options options);
+
+    /**
+     * Scan and patch every syscall instruction in [code, code+len).
+     * The region must be page-aligned executable memory.
+     */
+    Result<PatchStats> rewriteRegion(void *code, std::size_t len);
+
+  private:
+    bool patchSite(std::uint8_t *code, std::size_t len, std::size_t off,
+                   PatchStats *stats);
+
+    Options options_;
+    std::unique_ptr<TrampolinePool> stub_pool_;
+};
+
+/**
+ * Registry for interrupt-patched sites, consulted by the SIGTRAP
+ * handler. Exposed for tests.
+ */
+bool isInterruptSite(std::uintptr_t addr);
+
+/** Install the SIGTRAP handler (idempotent). Called by Rewriter. */
+void installInterruptHandler();
+
+} // namespace varan::rewrite
+
+#endif // VARAN_REWRITE_PATCHER_H

@@ -1,0 +1,124 @@
+#include "rewrite/trampoline.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace varan::rewrite {
+
+namespace {
+
+constexpr std::size_t kPoolPageSize = 1 << 16; // 64 KiB per pool page
+
+std::intptr_t
+distance(std::uintptr_t a, std::uintptr_t b)
+{
+    return a >= b ? static_cast<std::intptr_t>(a - b)
+                  : -static_cast<std::intptr_t>(b - a);
+}
+
+} // namespace
+
+bool
+reachableRel32(std::uintptr_t site, std::uintptr_t target)
+{
+    // rel32 is measured from the end of the 5-byte jmp.
+    std::intptr_t disp = distance(target, site + 5);
+    return disp >= INT32_MIN && disp <= INT32_MAX;
+}
+
+TrampolinePool::~TrampolinePool()
+{
+    for (Page &page : pages_)
+        ::munmap(page.base, page.size);
+}
+
+TrampolinePool::Page *
+TrampolinePool::pageNear(std::uintptr_t anchor, std::size_t need)
+{
+    for (Page &page : pages_) {
+        if (page.size - page.used >= need &&
+            reachableRel32(anchor, reinterpret_cast<std::uintptr_t>(
+                                       page.base + page.used))) {
+            return &page;
+        }
+    }
+
+    // Ask the kernel for mappings at hints spiralling out from the
+    // anchor; without MAP_FIXED a hint is only advisory, so verify the
+    // resulting address is actually in rel32 range.
+    const long page_size = ::sysconf(_SC_PAGESIZE);
+    for (int attempt = 1; attempt <= 128; ++attempt) {
+        std::intptr_t delta = static_cast<std::intptr_t>(attempt) *
+                              (16 << 20); // 16 MiB steps
+        if (attempt % 2 == 0)
+            delta = -delta;
+        std::uintptr_t hint =
+            (anchor + static_cast<std::uintptr_t>(delta)) &
+            ~static_cast<std::uintptr_t>(page_size - 1);
+        void *mem = ::mmap(reinterpret_cast<void *>(hint), kPoolPageSize,
+                           PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (mem == MAP_FAILED)
+            continue;
+        auto addr = reinterpret_cast<std::uintptr_t>(mem);
+        if (!reachableRel32(anchor, addr) ||
+            !reachableRel32(anchor, addr + kPoolPageSize)) {
+            ::munmap(mem, kPoolPageSize);
+            continue;
+        }
+        pages_.push_back(Page{static_cast<std::uint8_t *>(mem), 0,
+                              kPoolPageSize});
+        return &pages_.back();
+    }
+    // Last resort: take whatever mmap gives us (works when the code
+    // segment and the default mmap area are already close).
+    void *mem = ::mmap(nullptr, kPoolPageSize, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED)
+        return nullptr;
+    auto addr = reinterpret_cast<std::uintptr_t>(mem);
+    if (!reachableRel32(anchor, addr)) {
+        ::munmap(mem, kPoolPageSize);
+        return nullptr;
+    }
+    pages_.push_back(Page{static_cast<std::uint8_t *>(mem), 0,
+                          kPoolPageSize});
+    return &pages_.back();
+}
+
+std::uint8_t *
+TrampolinePool::allocate(std::uintptr_t anchor, std::size_t size)
+{
+    // Keep stubs 16-byte aligned for decode friendliness.
+    size = (size + 15) & ~std::size_t{15};
+    Page *page = pageNear(anchor, size);
+    if (!page)
+        return nullptr;
+    std::uint8_t *out = page->base + page->used;
+    page->used += size;
+    return out;
+}
+
+Status
+TrampolinePool::seal()
+{
+    for (Page &page : pages_) {
+        if (::mprotect(page.base, page.size, PROT_READ | PROT_EXEC) < 0)
+            return Status::fromErrno();
+    }
+    return Status::ok();
+}
+
+Status
+TrampolinePool::unseal()
+{
+    for (Page &page : pages_) {
+        if (::mprotect(page.base, page.size, PROT_READ | PROT_WRITE) < 0)
+            return Status::fromErrno();
+    }
+    return Status::ok();
+}
+
+} // namespace varan::rewrite

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Executable memory pool for detour stubs.
+ *
+ * Detour patches use 5-byte `jmp rel32` instructions, so stub code must
+ * live within +/-2 GiB of the patched site. The pool requests mappings
+ * near a caller-supplied anchor address and bump-allocates stubs from
+ * them, flipping pages between RW (while emitting) and RX (while
+ * executing) to keep the W^X discipline of section 3.2.
+ */
+
+#ifndef VARAN_REWRITE_TRAMPOLINE_H
+#define VARAN_REWRITE_TRAMPOLINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace varan::rewrite {
+
+class TrampolinePool
+{
+  public:
+    TrampolinePool() = default;
+    ~TrampolinePool();
+    VARAN_NO_COPY(TrampolinePool);
+    TrampolinePool(TrampolinePool &&) = delete;
+
+    /**
+     * Reserve stub space reachable from @p anchor with a rel32 branch.
+     * @return pointer to @p size bytes of RW memory, or nullptr if no
+     *         mapping close enough could be obtained.
+     */
+    std::uint8_t *allocate(std::uintptr_t anchor, std::size_t size);
+
+    /** Flip every pool page to RX. Call after emitting stubs. */
+    Status seal();
+
+    /** Flip every pool page back to RW (to emit more stubs). */
+    Status unseal();
+
+    std::size_t pagesMapped() const { return pages_.size(); }
+
+  private:
+    struct Page {
+        std::uint8_t *base = nullptr;
+        std::size_t used = 0;
+        std::size_t size = 0;
+    };
+
+    Page *pageNear(std::uintptr_t anchor, std::size_t need);
+
+    std::vector<Page> pages_;
+};
+
+/** True if @p target is reachable from a rel32 branch at @p site. */
+bool reachableRel32(std::uintptr_t site, std::uintptr_t target);
+
+} // namespace varan::rewrite
+
+#endif // VARAN_REWRITE_TRAMPOLINE_H

@@ -1,0 +1,112 @@
+#include "rewrite/vdso.h"
+
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "arch/disasm.h"
+#include "common/logging.h"
+
+namespace varan::rewrite {
+
+namespace {
+
+Status
+protectRange(void *addr, std::size_t len, int prot)
+{
+    const auto page = static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    auto begin = reinterpret_cast<std::uintptr_t>(addr) & ~(page - 1);
+    auto end = (reinterpret_cast<std::uintptr_t>(addr) + len + page - 1) &
+               ~(page - 1);
+    if (::mprotect(reinterpret_cast<void *>(begin), end - begin, prot) < 0)
+        return Status::fromErrno();
+    return Status::ok();
+}
+
+std::uint8_t *
+emitAbsJump(std::uint8_t *p, std::uint64_t target)
+{
+    *p++ = 0x49; // movabs r11, target
+    *p++ = 0xbb;
+    std::memcpy(p, &target, 8);
+    p += 8;
+    *p++ = 0x41; // jmp r11
+    *p++ = 0xff;
+    *p++ = 0xe3;
+    return p;
+}
+
+} // namespace
+
+Result<FunctionHook>
+FunctionHooker::hook(void *function, void *replacement)
+{
+    auto *entry = static_cast<std::uint8_t *>(function);
+    const auto entry_addr = reinterpret_cast<std::uintptr_t>(entry);
+
+    // Measure a relocatable prologue of at least 5 bytes.
+    std::size_t prologue = 0;
+    while (prologue < 5) {
+        arch::Insn insn = arch::decode(entry + prologue, 16);
+        if (!insn.valid() || insn.is_branch || insn.rip_relative ||
+            insn.is_syscall || insn.is_int80) {
+            return Result<FunctionHook>(Errno{EFAULT});
+        }
+        prologue += insn.length;
+    }
+
+    if (!pool_.unseal().isOk())
+        return Result<FunctionHook>(Errno{ENOMEM});
+
+    // Trampoline to the original: relocated prologue + jump past it.
+    std::uint8_t *original_stub = pool_.allocate(entry_addr,
+                                                 prologue + 13 + 16);
+    if (!original_stub)
+        return Result<FunctionHook>(Errno{ENOMEM});
+    std::memcpy(original_stub, entry, prologue);
+    emitAbsJump(original_stub + prologue,
+                static_cast<std::uint64_t>(entry_addr + prologue));
+
+    // Dispatch stub to the replacement (reachable with rel32 from the
+    // entry even when the replacement itself is far away).
+    std::uint8_t *dispatch = pool_.allocate(entry_addr, 13 + 16);
+    if (!dispatch)
+        return Result<FunctionHook>(Errno{ENOMEM});
+    emitAbsJump(dispatch,
+                reinterpret_cast<std::uint64_t>(replacement));
+
+    Status sealed = pool_.seal();
+    if (!sealed.isOk())
+        return Result<FunctionHook>(sealed.error());
+
+    // Patch the entry with `jmp rel32` to the dispatch stub.
+    if (enforce_wx_) {
+        Status writable = protectRange(entry, prologue,
+                                       PROT_READ | PROT_WRITE);
+        if (!writable.isOk())
+            return Result<FunctionHook>(writable.error());
+    }
+    std::int64_t disp =
+        static_cast<std::int64_t>(
+            reinterpret_cast<std::uintptr_t>(dispatch)) -
+        static_cast<std::int64_t>(entry_addr + 5);
+    VARAN_CHECK(disp >= INT32_MIN && disp <= INT32_MAX);
+    entry[0] = 0xe9;
+    auto disp32 = static_cast<std::int32_t>(disp);
+    std::memcpy(entry + 1, &disp32, 4);
+    for (std::size_t i = 5; i < prologue; ++i)
+        entry[i] = 0x90;
+    if (enforce_wx_) {
+        Status executable = protectRange(entry, prologue,
+                                         PROT_READ | PROT_EXEC);
+        if (!executable.isOk())
+            return Result<FunctionHook>(executable.error());
+    }
+
+    FunctionHook hook;
+    hook.call_original = original_stub;
+    hook.prologue_bytes = prologue;
+    return hook;
+}
+
+} // namespace varan::rewrite

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Virtual-system-call interception (paper section 3.2.1).
+ *
+ * vDSO functions never execute a `syscall` instruction, so the scanner
+ * cannot find anything to patch; instead VARAN hooks the *entry point*
+ * of each exported function: the first instructions are relocated into
+ * a trampoline (through which the original implementation can still be
+ * invoked — letting VARAN keep the vDSO's speed when it wants it) and
+ * the entry is overwritten with a jump to dynamically generated code
+ * that dispatches to a replacement.
+ *
+ * This module implements that mechanism generically; the engine uses it
+ * for its virtual-time functions, and tests exercise it on generated
+ * and real functions.
+ */
+
+#ifndef VARAN_REWRITE_VDSO_H
+#define VARAN_REWRITE_VDSO_H
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "rewrite/trampoline.h"
+
+namespace varan::rewrite {
+
+/** A successfully installed function hook. */
+struct FunctionHook {
+    /** Call this to reach the original implementation (the paper's
+     *  "trampoline, which allows the invocation of the original
+     *  function"). Cast to the hooked function's type. */
+    void *call_original = nullptr;
+    std::size_t prologue_bytes = 0; ///< bytes relocated from the entry
+};
+
+/**
+ * Hooks function entry points, replacing them with jumps to
+ * replacements while preserving callable originals.
+ */
+class FunctionHooker
+{
+  public:
+    explicit FunctionHooker(bool enforce_wx = true)
+        : enforce_wx_(enforce_wx)
+    {
+    }
+
+    /**
+     * Redirect @p function to @p replacement.
+     *
+     * Fails with EFAULT if the prologue cannot be safely relocated
+     * (branches or RIP-relative code within the first 5 bytes) and
+     * ENOMEM if no reachable stub memory is available.
+     */
+    Result<FunctionHook> hook(void *function, void *replacement);
+
+  private:
+    TrampolinePool pool_;
+    bool enforce_wx_;
+};
+
+} // namespace varan::rewrite
+
+#endif // VARAN_REWRITE_VDSO_H

@@ -1,0 +1,149 @@
+#include "rewrite/vdso_image.h"
+
+#include <cstring>
+#include <elf.h>
+#include <sys/auxv.h>
+
+namespace varan::rewrite {
+
+namespace {
+
+/** Symbol count from the classic DT_HASH table (nchain). */
+std::size_t
+hashSymbolCount(const std::uint32_t *hash)
+{
+    return hash ? hash[1] : 0;
+}
+
+/**
+ * Symbol count from DT_GNU_HASH: the highest chain index reachable
+ * from any bucket, plus however far its chain runs (chains end at an
+ * entry with the low bit set).
+ */
+std::size_t
+gnuHashSymbolCount(const std::uint32_t *gnu)
+{
+    if (!gnu)
+        return 0;
+    const std::uint32_t nbuckets = gnu[0];
+    const std::uint32_t symoffset = gnu[1];
+    const std::uint32_t bloom_size = gnu[2];
+    const auto *bloom = reinterpret_cast<const std::uint64_t *>(gnu + 4);
+    const std::uint32_t *buckets =
+        reinterpret_cast<const std::uint32_t *>(bloom + bloom_size);
+    const std::uint32_t *chains = buckets + nbuckets;
+
+    std::uint32_t last = 0;
+    for (std::uint32_t b = 0; b < nbuckets; ++b)
+        last = std::max(last, buckets[b]);
+    if (last < symoffset)
+        return symoffset;
+    while (!(chains[last - symoffset] & 1))
+        ++last;
+    return last + 1;
+}
+
+} // namespace
+
+Result<VdsoImage>
+VdsoImage::fromAuxv()
+{
+    unsigned long ehdr = ::getauxval(AT_SYSINFO_EHDR);
+    if (ehdr == 0)
+        return Result<VdsoImage>(Errno{ENOENT});
+    return fromMemory(reinterpret_cast<const void *>(ehdr));
+}
+
+Result<VdsoImage>
+VdsoImage::fromMemory(const void *base_ptr)
+{
+    const auto base = reinterpret_cast<std::uintptr_t>(base_ptr);
+    const auto *ehdr = static_cast<const Elf64_Ehdr *>(base_ptr);
+    if (std::memcmp(ehdr->e_ident, ELFMAG, SELFMAG) != 0 ||
+        ehdr->e_ident[EI_CLASS] != ELFCLASS64) {
+        return Result<VdsoImage>(Errno{ENOEXEC});
+    }
+
+    const auto *phdrs = reinterpret_cast<const Elf64_Phdr *>(
+        base + ehdr->e_phoff);
+
+    // The vDSO's link-time addresses are relative to its first PT_LOAD
+    // vaddr; the in-memory slide is base - that vaddr.
+    std::uintptr_t load_vaddr = 0;
+    const Elf64_Phdr *dynamic = nullptr;
+    bool have_load = false;
+    for (int i = 0; i < ehdr->e_phnum; ++i) {
+        if (phdrs[i].p_type == PT_LOAD && !have_load) {
+            load_vaddr = phdrs[i].p_vaddr;
+            have_load = true;
+        } else if (phdrs[i].p_type == PT_DYNAMIC) {
+            dynamic = &phdrs[i];
+        }
+    }
+    if (!dynamic || !have_load)
+        return Result<VdsoImage>(Errno{ENOEXEC});
+    const std::uintptr_t slide = base - load_vaddr;
+
+    const auto *dyn = reinterpret_cast<const Elf64_Dyn *>(
+        slide + dynamic->p_vaddr);
+    const Elf64_Sym *symtab = nullptr;
+    const char *strtab = nullptr;
+    const std::uint32_t *hash = nullptr;
+    const std::uint32_t *gnu_hash = nullptr;
+    for (const Elf64_Dyn *d = dyn; d->d_tag != DT_NULL; ++d) {
+        // vDSO dynamic pointers are link-time addresses; slide them.
+        const std::uintptr_t addr = slide + d->d_un.d_ptr;
+        switch (d->d_tag) {
+          case DT_SYMTAB:
+            symtab = reinterpret_cast<const Elf64_Sym *>(addr);
+            break;
+          case DT_STRTAB:
+            strtab = reinterpret_cast<const char *>(addr);
+            break;
+          case DT_HASH:
+            hash = reinterpret_cast<const std::uint32_t *>(addr);
+            break;
+          case DT_GNU_HASH:
+            gnu_hash = reinterpret_cast<const std::uint32_t *>(addr);
+            break;
+          default:
+            break;
+        }
+    }
+    if (!symtab || !strtab)
+        return Result<VdsoImage>(Errno{ENOEXEC});
+
+    std::size_t count = hashSymbolCount(hash);
+    if (count == 0)
+        count = gnuHashSymbolCount(gnu_hash);
+    if (count == 0)
+        return Result<VdsoImage>(Errno{ENOEXEC});
+
+    VdsoImage image;
+    image.base_ = base;
+    for (std::size_t i = 0; i < count; ++i) {
+        const Elf64_Sym &sym = symtab[i];
+        if (sym.st_name == 0 || sym.st_value == 0)
+            continue;
+        if (ELF64_ST_TYPE(sym.st_info) != STT_FUNC)
+            continue;
+        VdsoSymbol out;
+        out.name = strtab + sym.st_name;
+        out.address = reinterpret_cast<void *>(slide + sym.st_value);
+        out.size = sym.st_size;
+        image.symbols_.push_back(std::move(out));
+    }
+    return image;
+}
+
+void *
+VdsoImage::find(const std::string &name) const
+{
+    for (const VdsoSymbol &sym : symbols_) {
+        if (sym.name == name)
+            return sym.address;
+    }
+    return nullptr;
+}
+
+} // namespace varan::rewrite

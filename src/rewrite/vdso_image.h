@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Discovery of the live vDSO segment (paper section 3.2.1).
+ *
+ * "To handle vDSO calls, we first need to determine the base address
+ * of the vDSO segment; this address is passed by the kernel in the ELF
+ * auxiliary vector via the AT_SYSINFO_EHDR flag. Second, we need to
+ * examine the ELF headers of the vDSO segment to find all symbols."
+ *
+ * VdsoImage does exactly that: reads AT_SYSINFO_EHDR, walks the ELF64
+ * program headers to the dynamic segment, resolves the dynamic symbol
+ * table and enumerates every exported function with its resolved
+ * in-memory address — the inputs the function hooker needs to redirect
+ * virtual system calls.
+ */
+
+#ifndef VARAN_REWRITE_VDSO_IMAGE_H
+#define VARAN_REWRITE_VDSO_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace varan::rewrite {
+
+struct VdsoSymbol {
+    std::string name;
+    void *address = nullptr;
+    std::uint64_t size = 0;
+};
+
+class VdsoImage
+{
+  public:
+    /** Locate and parse this process's vDSO via the auxiliary vector. */
+    static Result<VdsoImage> fromAuxv();
+
+    /** Parse an ELF shared object image already in memory (testable on
+     *  any mapped DSO, not just the vDSO). */
+    static Result<VdsoImage> fromMemory(const void *base);
+
+    std::uintptr_t base() const { return base_; }
+    const std::vector<VdsoSymbol> &symbols() const { return symbols_; }
+
+    /** Resolve one exported symbol (e.g. "__vdso_clock_gettime"). */
+    void *find(const std::string &name) const;
+
+  private:
+    std::uintptr_t base_ = 0;
+    std::vector<VdsoSymbol> symbols_;
+};
+
+} // namespace varan::rewrite
+
+#endif // VARAN_REWRITE_VDSO_IMAGE_H

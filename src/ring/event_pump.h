@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The design VARAN started with and abandoned (section 3.3.1): one SPSC
+ * queue per follower with a central event pump copying events from the
+ * leader's queue into every follower's queue. Kept as a faithful
+ * baseline for the ring-vs-pump ablation benchmark — at high syscall
+ * rates the pump becomes the bottleneck the paper describes.
+ */
+
+#ifndef VARAN_RING_EVENT_PUMP_H
+#define VARAN_RING_EVENT_PUMP_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ring/event.h"
+#include "ring/wait.h"
+#include "shmem/region.h"
+
+namespace varan::ring {
+
+/** Single-producer single-consumer event queue in shared memory. */
+class SpscQueue
+{
+  public:
+    SpscQueue() = default;
+    SpscQueue(const shmem::Region *region, shmem::Offset off);
+
+    static std::size_t bytesRequired(std::uint32_t capacity);
+    static SpscQueue initialize(const shmem::Region *region,
+                                shmem::Offset off, std::uint32_t capacity);
+
+    /** Producer: enqueue; false when full past the deadline. */
+    bool push(const Event &event, const WaitSpec &wait = {});
+
+    /** Consumer: dequeue; false when empty past the deadline. */
+    bool pop(Event *out, const WaitSpec &wait = {});
+
+    /** Non-blocking variants. */
+    bool tryPush(const Event &event);
+    bool tryPop(Event *out);
+
+    std::uint64_t size() const;
+
+  private:
+    struct Control {
+        std::uint32_t capacity;
+        std::uint32_t mask;
+        alignas(kCacheLineSize) std::atomic<std::uint64_t> head; ///< produced
+        alignas(kCacheLineSize) std::atomic<std::uint64_t> tail; ///< consumed
+    };
+
+    Control *control() const;
+    Event *slots() const;
+
+    const shmem::Region *region_ = nullptr;
+    shmem::Offset off_ = 0;
+};
+
+/**
+ * Central pump: drains the leader queue and replicates each event into
+ * every follower queue. Run this on a dedicated thread (the coordinator
+ * played this role in the abandoned design).
+ */
+class EventPump
+{
+  public:
+    EventPump(SpscQueue leader, std::vector<SpscQueue> followers)
+        : leader_(leader), followers_(std::move(followers))
+    {
+    }
+
+    /**
+     * Move up to @p budget events; returns how many were pumped.
+     * A zero return with stop() unset just means the queue was empty.
+     */
+    std::size_t pumpSome(std::size_t budget);
+
+    /** Run until stop() is called; returns total events pumped. */
+    std::uint64_t run();
+
+    void stop() { stopping_.store(true, std::memory_order_release); }
+
+  private:
+    SpscQueue leader_;
+    std::vector<SpscQueue> followers_;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace varan::ring
+
+#endif // VARAN_RING_EVENT_PUMP_H

@@ -1,0 +1,298 @@
+#include "ring/ring_buffer.h"
+
+#include <new>
+
+#include "common/clock.h"
+#include "common/futex.h"
+
+namespace varan::ring {
+
+namespace {
+
+constexpr std::size_t kControlSize =
+    (sizeof(RingControl) + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+
+bool
+deadlinePassed(std::uint64_t deadline_ns)
+{
+    return deadline_ns != 0 && monotonicNs() >= deadline_ns;
+}
+
+std::uint64_t
+deadlineFor(const WaitSpec &wait)
+{
+    return wait.timeout_ns == 0 ? 0 : monotonicNs() + wait.timeout_ns;
+}
+
+} // namespace
+
+RingBuffer::RingBuffer(const shmem::Region *region, shmem::Offset off)
+    : region_(region), off_(off)
+{
+}
+
+std::size_t
+RingBuffer::bytesRequired(std::uint32_t capacity)
+{
+    return kControlSize + static_cast<std::size_t>(capacity) * sizeof(Event);
+}
+
+RingBuffer
+RingBuffer::initialize(const shmem::Region *region, shmem::Offset off,
+                       std::uint32_t capacity)
+{
+    VARAN_CHECK(capacity > 0 && (capacity & (capacity - 1)) == 0);
+    auto *ctl = new (region->bytesAt(off, sizeof(RingControl))) RingControl();
+    ctl->capacity = capacity;
+    ctl->mask = capacity - 1;
+    ctl->head.store(0, std::memory_order_relaxed);
+    ctl->data_seq.store(0, std::memory_order_relaxed);
+    ctl->consumers_waiting.store(0, std::memory_order_relaxed);
+    ctl->space_seq.store(0, std::memory_order_relaxed);
+    ctl->producer_waiting.store(0, std::memory_order_relaxed);
+    ctl->attach_bitmap.store(0, std::memory_order_relaxed);
+    for (auto &cur : ctl->cursors) {
+        cur.seq.store(0, std::memory_order_relaxed);
+        cur.active.store(0, std::memory_order_relaxed);
+    }
+    return RingBuffer(region, off);
+}
+
+RingControl *
+RingBuffer::control() const
+{
+    return region_->at<RingControl>(off_);
+}
+
+Event *
+RingBuffer::slots() const
+{
+    return static_cast<Event *>(
+        region_->bytesAt(off_ + kControlSize,
+                         static_cast<std::size_t>(control()->capacity) *
+                             sizeof(Event)));
+}
+
+std::uint64_t
+RingBuffer::gatingSequence(std::uint64_t head) const
+{
+    RingControl *ctl = control();
+    std::uint64_t min_seq = head;
+    for (std::uint32_t i = 0; i < kMaxConsumers; ++i) {
+        const ConsumerCursor &cur = ctl->cursors[i];
+        if (!cur.active.load(std::memory_order_acquire))
+            continue;
+        std::uint64_t s = cur.seq.load(std::memory_order_acquire);
+        if (s < min_seq)
+            min_seq = s;
+    }
+    return min_seq;
+}
+
+bool
+RingBuffer::publish(const Event &event, const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    const std::uint64_t seq = ctl->head.load(std::memory_order_relaxed);
+    const std::uint64_t deadline = deadlineFor(wait);
+
+    // Gate on the slowest active consumer; followers that crash get
+    // deactivated by the coordinator so they stop holding us back.
+    std::uint32_t spins = 0;
+    while (seq - gatingSequence(seq) >= ctl->capacity) {
+        if (deadlinePassed(deadline))
+            return false;
+        if (wait.busy_only || spins++ < wait.spin_iterations) {
+            __builtin_ia32_pause();
+            continue;
+        }
+        ctl->producer_waiting.store(1, std::memory_order_seq_cst);
+        // Re-check after announcing, otherwise a consumer that advanced
+        // in between would leave us sleeping forever.
+        if (seq - gatingSequence(seq) < ctl->capacity) {
+            ctl->producer_waiting.store(0, std::memory_order_release);
+            break;
+        }
+        std::uint32_t observed =
+            ctl->space_seq.load(std::memory_order_acquire);
+        if (seq - gatingSequence(seq) < ctl->capacity) {
+            ctl->producer_waiting.store(0, std::memory_order_release);
+            break;
+        }
+        futexWait(&ctl->space_seq, observed, 1000000); // 1 ms tick
+        ctl->producer_waiting.store(0, std::memory_order_release);
+    }
+
+    slots()[seq & ctl->mask] = event;
+    ctl->head.store(seq + 1, std::memory_order_release);
+    ctl->data_seq.fetch_add(1, std::memory_order_release);
+    if (ctl->consumers_waiting.load(std::memory_order_seq_cst) > 0)
+        futexWake(&ctl->data_seq, kMaxConsumers);
+    return true;
+}
+
+std::uint64_t
+RingBuffer::headSeq() const
+{
+    return control()->head.load(std::memory_order_acquire);
+}
+
+int
+RingBuffer::attachConsumer()
+{
+    RingControl *ctl = control();
+    for (std::uint32_t i = 0; i < kMaxConsumers; ++i) {
+        std::uint32_t bit = 1u << i;
+        std::uint32_t old = ctl->attach_bitmap.fetch_or(
+            bit, std::memory_order_acq_rel);
+        if (!(old & bit)) {
+            // Start reading at the current head: a late-attaching
+            // consumer must not see stale history.
+            ctl->cursors[i].seq.store(
+                ctl->head.load(std::memory_order_acquire),
+                std::memory_order_release);
+            ctl->cursors[i].active.store(1, std::memory_order_release);
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+bool
+RingBuffer::attachConsumerAt(int id)
+{
+    RingControl *ctl = control();
+    VARAN_CHECK(id >= 0 && id < static_cast<int>(kMaxConsumers));
+    std::uint32_t bit = 1u << id;
+    std::uint32_t old =
+        ctl->attach_bitmap.fetch_or(bit, std::memory_order_acq_rel);
+    if (old & bit)
+        return false;
+    ctl->cursors[id].seq.store(ctl->head.load(std::memory_order_acquire),
+                               std::memory_order_release);
+    ctl->cursors[id].active.store(1, std::memory_order_release);
+    return true;
+}
+
+void
+RingBuffer::detachConsumer(int id)
+{
+    RingControl *ctl = control();
+    VARAN_CHECK(id >= 0 && id < static_cast<int>(kMaxConsumers));
+    ctl->cursors[id].active.store(0, std::memory_order_release);
+    ctl->attach_bitmap.fetch_and(~(1u << id), std::memory_order_acq_rel);
+    // The producer may be blocked waiting for this consumer's cursor.
+    ctl->space_seq.fetch_add(1, std::memory_order_release);
+    futexWake(&ctl->space_seq, 1);
+}
+
+bool
+RingBuffer::poll(int id, Event *out)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    if (ctl->head.load(std::memory_order_acquire) <= c)
+        return false;
+    *out = slots()[c & ctl->mask];
+    cur.seq.store(c + 1, std::memory_order_release);
+    ctl->space_seq.fetch_add(1, std::memory_order_release);
+    if (ctl->producer_waiting.load(std::memory_order_seq_cst))
+        futexWake(&ctl->space_seq, 1);
+    return true;
+}
+
+bool
+RingBuffer::consume(int id, Event *out, const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    const std::uint64_t deadline = deadlineFor(wait);
+
+    std::uint32_t spins = 0;
+    while (ctl->head.load(std::memory_order_acquire) <= c) {
+        if (deadlinePassed(deadline))
+            return false;
+        if (wait.busy_only || spins++ < wait.spin_iterations) {
+            __builtin_ia32_pause();
+            continue;
+        }
+        // Waitlock path (section 3.3.1): sleep until the leader wakes us.
+        ctl->consumers_waiting.fetch_add(1, std::memory_order_seq_cst);
+        std::uint32_t observed =
+            ctl->data_seq.load(std::memory_order_acquire);
+        if (ctl->head.load(std::memory_order_acquire) > c) {
+            ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
+            break;
+        }
+        futexWait(&ctl->data_seq, observed, 1000000); // 1 ms tick
+        ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
+    }
+
+    *out = slots()[c & ctl->mask];
+    cur.seq.store(c + 1, std::memory_order_release);
+    ctl->space_seq.fetch_add(1, std::memory_order_release);
+    if (ctl->producer_waiting.load(std::memory_order_seq_cst))
+        futexWake(&ctl->space_seq, 1);
+    return true;
+}
+
+bool
+RingBuffer::peek(int id, Event *out, const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    const std::uint64_t deadline = deadlineFor(wait);
+
+    std::uint32_t spins = 0;
+    while (ctl->head.load(std::memory_order_acquire) <= c) {
+        if (deadlinePassed(deadline))
+            return false;
+        if (wait.busy_only || spins++ < wait.spin_iterations) {
+            __builtin_ia32_pause();
+            continue;
+        }
+        ctl->consumers_waiting.fetch_add(1, std::memory_order_seq_cst);
+        std::uint32_t observed =
+            ctl->data_seq.load(std::memory_order_acquire);
+        if (ctl->head.load(std::memory_order_acquire) > c) {
+            ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
+            break;
+        }
+        futexWait(&ctl->data_seq, observed, 1000000);
+        ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
+    }
+    *out = slots()[c & ctl->mask];
+    return true;
+}
+
+void
+RingBuffer::advance(int id)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    cur.seq.store(c + 1, std::memory_order_release);
+    ctl->space_seq.fetch_add(1, std::memory_order_release);
+    if (ctl->producer_waiting.load(std::memory_order_seq_cst))
+        futexWake(&ctl->space_seq, 1);
+}
+
+std::uint64_t
+RingBuffer::lag(int id) const
+{
+    RingControl *ctl = control();
+    std::uint64_t head = ctl->head.load(std::memory_order_acquire);
+    std::uint64_t c = ctl->cursors[id].seq.load(std::memory_order_acquire);
+    return head > c ? head - c : 0;
+}
+
+bool
+RingBuffer::consumerActive(int id) const
+{
+    return control()->cursors[id].active.load(std::memory_order_acquire);
+}
+
+} // namespace varan::ring

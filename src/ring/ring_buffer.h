@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Disruptor-style shared-memory ring buffer (paper section 3.3.1).
+ *
+ * One ring connects a thread tuple: the leader's thread is the single
+ * producer, each follower's corresponding thread is an independent
+ * consumer with its own cursor. The producer may run ahead of the
+ * slowest *active* consumer by at most `capacity` events — this bounded
+ * run-ahead is the "log distance" measured in section 5.3 and the
+ * buffering window discussed in section 6.
+ *
+ * Lock-free except for futex sleeps: publishing is a store + release,
+ * consuming is a load + cursor advance. Crashed or deliberately slow
+ * followers are deactivated so they stop gating the producer
+ * (transparent failover, section 5.1).
+ */
+
+#ifndef VARAN_RING_RING_BUFFER_H
+#define VARAN_RING_RING_BUFFER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "ring/event.h"
+#include "ring/wait.h"
+#include "shmem/region.h"
+
+namespace varan::ring {
+
+/** Upper bound on simultaneously attached consumers (followers). */
+inline constexpr std::uint32_t kMaxConsumers = 15;
+
+/** Per-consumer cursor, cache-line isolated to avoid false sharing. */
+struct alignas(kCacheLineSize) ConsumerCursor {
+    std::atomic<std::uint64_t> seq;   ///< next sequence this consumer reads
+    std::atomic<std::uint32_t> active;
+};
+
+/** Shared control block; events follow immediately after. */
+struct RingControl {
+    std::uint32_t capacity;  ///< power of two
+    std::uint32_t mask;
+
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> head; ///< published
+    alignas(kCacheLineSize) std::atomic<std::uint32_t> data_seq;
+    std::atomic<std::uint32_t> consumers_waiting;
+    alignas(kCacheLineSize) std::atomic<std::uint32_t> space_seq;
+    std::atomic<std::uint32_t> producer_waiting;
+    alignas(kCacheLineSize) std::atomic<std::uint32_t> attach_bitmap;
+
+    ConsumerCursor cursors[kMaxConsumers];
+};
+
+/**
+ * Value-type handle over a ring living in a shared Region.
+ */
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+    RingBuffer(const shmem::Region *region, shmem::Offset off);
+
+    /** Bytes a ring of @p capacity events needs inside a Region. */
+    static std::size_t bytesRequired(std::uint32_t capacity);
+
+    /** Format a carved area as an empty ring (coordinator, pre-fork). */
+    static RingBuffer initialize(const shmem::Region *region,
+                                 shmem::Offset off, std::uint32_t capacity);
+
+    bool valid() const { return region_ != nullptr; }
+    shmem::Offset offset() const { return off_; }
+    std::uint32_t capacity() const { return control()->capacity; }
+
+    // --- producer side (exactly one thread) ---
+
+    /**
+     * Publish one event; blocks (per @p wait) while the ring is full.
+     * @return false if the deadline expired before space appeared.
+     */
+    bool publish(const Event &event, const WaitSpec &wait = {});
+
+    /** Sequence number the next publish will use. */
+    std::uint64_t headSeq() const;
+
+    // --- consumer side ---
+
+    /** Claim a consumer slot; returns slot id or -1 if all are taken. */
+    int attachConsumer();
+
+    /** Attach at a specific slot id (used when follower ids are fixed). */
+    bool attachConsumerAt(int id);
+
+    /** Release a slot and stop gating the producer on it. */
+    void detachConsumer(int id);
+
+    /** Non-blocking read; true if an event was copied out. */
+    bool poll(int id, Event *out);
+
+    /**
+     * Blocking read honouring the wait policy.
+     * @return false on deadline expiry (no event copied).
+     */
+    bool consume(int id, Event *out, const WaitSpec &wait = {});
+
+    /**
+     * Two-phase consumption: peek() copies the next event without
+     * advancing, so the consumer can finish reading any pool payload it
+     * references before advance() releases the slot back to the
+     * producer (which may free the payload when the slot is reused).
+     */
+    bool peek(int id, Event *out, const WaitSpec &wait = {});
+
+    /** Complete a peek(); advances exactly one event. */
+    void advance(int id);
+
+    /** Events published but not yet consumed by slot @p id. */
+    std::uint64_t lag(int id) const;
+
+    /** True if the slot is attached and gating the producer. */
+    bool consumerActive(int id) const;
+
+  private:
+    RingControl *control() const;
+    Event *slots() const;
+    std::uint64_t gatingSequence(std::uint64_t head) const;
+
+    const shmem::Region *region_ = nullptr;
+    shmem::Offset off_ = 0;
+};
+
+} // namespace varan::ring
+
+#endif // VARAN_RING_RING_BUFFER_H

@@ -1,0 +1,41 @@
+#include "rr/log.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace varan::rr {
+
+Result<std::vector<LogRecord>>
+readLog(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return errnoResult<std::vector<LogRecord>>();
+
+    LogHeader header = {};
+    if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+        std::memcmp(header.magic, kLogMagic, sizeof(kLogMagic)) != 0) {
+        std::fclose(file);
+        return Result<std::vector<LogRecord>>(Errno{EPROTO});
+    }
+
+    std::vector<LogRecord> records;
+    RecordHeader rec = {};
+    while (std::fread(&rec, sizeof(rec), 1, file) == 1) {
+        LogRecord out;
+        out.tuple = rec.tuple;
+        out.event = rec.event;
+        out.payload.resize(rec.payload_size);
+        if (rec.payload_size > 0 &&
+            std::fread(out.payload.data(), 1, rec.payload_size, file) !=
+                rec.payload_size) {
+            std::fclose(file);
+            return Result<std::vector<LogRecord>>(Errno{EPROTO});
+        }
+        records.push_back(std::move(out));
+    }
+    std::fclose(file);
+    return records;
+}
+
+} // namespace varan::rr

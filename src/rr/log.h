@@ -1,0 +1,52 @@
+/**
+ * @file
+ * On-disk log format for record-replay (paper section 5.4).
+ *
+ * VARAN's in-memory ring is deallocated as soon as followers consume
+ * it; full record-replay adds two artificial clients: a *recorder*
+ * follower that persists the stream, and a *replayer* leader that
+ * publishes a persisted stream back into the rings. This header defines
+ * the byte format both share.
+ */
+
+#ifndef VARAN_RR_LOG_H
+#define VARAN_RR_LOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ring/event.h"
+
+namespace varan::rr {
+
+inline constexpr char kLogMagic[8] = {'V', 'R', 'R', 'L', 'O', 'G', '1',
+                                      '\0'};
+
+struct LogHeader {
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t reserved;
+};
+
+/** One record: which tuple ring the event came from, plus payload. */
+struct RecordHeader {
+    std::uint32_t tuple;
+    std::uint32_t payload_size; ///< bytes following the event
+    ring::Event event;
+};
+
+/** In-memory form of a parsed record. */
+struct LogRecord {
+    std::uint32_t tuple = 0;
+    ring::Event event = {};
+    std::vector<std::uint8_t> payload;
+};
+
+/** Parse an entire log file (tests and offline analysis). */
+Result<std::vector<LogRecord>> readLog(const std::string &path);
+
+} // namespace varan::rr
+
+#endif // VARAN_RR_LOG_H

@@ -1,0 +1,178 @@
+#include "rr/recorder.h"
+
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "syscalls/raw.h"
+
+namespace varan::rr {
+
+Recorder::Recorder(const shmem::Region *region,
+                   const core::EngineLayout *layout, std::string path)
+    : region_(region), layout_(layout), path_(std::move(path))
+{
+    for (auto &slot : tap_slot_)
+        slot = -1;
+}
+
+Recorder::~Recorder()
+{
+    if (thread_.joinable())
+        finish();
+    if (file_)
+        std::fclose(file_);
+}
+
+Status
+Recorder::attachTaps()
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_)
+        return Status::fromErrno();
+    LogHeader header = {};
+    std::memcpy(header.magic, kLogMagic, sizeof(kLogMagic));
+    header.version = 1;
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        return Status::fromErrno();
+
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        ring::RingBuffer ring = layout_->tupleRing(region_, t);
+        tap_slot_[t] = -1;
+        for (int slot = core::kTapConsumerSlot;
+             slot < static_cast<int>(ring::kMaxConsumers); ++slot) {
+            if (ring.attachConsumerAt(slot)) {
+                tap_slot_[t] = slot;
+                break;
+            }
+        }
+        if (tap_slot_[t] < 0)
+            return Status(Errno{EBUSY});
+    }
+    return Status::ok();
+}
+
+std::size_t
+Recorder::drainOnce()
+{
+    shmem::PoolAllocator pool = layout_->pool(region_);
+    std::size_t drained = 0;
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    std::uint32_t tuples = cb->num_tuples.load(std::memory_order_acquire);
+    for (std::uint32_t t = 0; t < tuples && t < core::kMaxTuples; ++t) {
+        ring::RingBuffer ring = layout_->tupleRing(region_, t);
+        ring::Event event = {};
+        ring::WaitSpec nowait;
+        nowait.spin_iterations = 0;
+        nowait.timeout_ns = 1; // poll
+        while (ring.peek(tap_slot_[t], &event, nowait)) {
+            RecordHeader rec = {};
+            rec.tuple = t;
+            rec.event = event;
+            rec.payload_size =
+                event.hasPayload() ? event.payload_size : 0;
+            std::fwrite(&rec, sizeof(rec), 1, file_);
+            if (rec.payload_size > 0) {
+                const void *payload =
+                    pool.pointer(event.payload, rec.payload_size);
+                std::fwrite(payload, 1, rec.payload_size, file_);
+                stats_.payload_bytes += rec.payload_size;
+            }
+            ring.advance(tap_slot_[t]);
+            ++stats_.events;
+            ++drained;
+        }
+    }
+    return drained;
+}
+
+void
+Recorder::drainLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        if (drainOnce() == 0)
+            sleepNs(200000); // 0.2 ms idle poll
+    }
+    drainOnce(); // final sweep
+}
+
+void
+Recorder::startDraining()
+{
+    VARAN_CHECK(file_ != nullptr);
+    thread_ = std::thread([this] { drainLoop(); });
+}
+
+Result<Recorder::Stats>
+Recorder::finish()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    // Detach taps so they never gate future producers.
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        if (tap_slot_[t] >= 0) {
+            ring::RingBuffer ring = layout_->tupleRing(region_, t);
+            ring.detachConsumer(tap_slot_[t]);
+            tap_slot_[t] = -1;
+        }
+    }
+    if (file_) {
+        if (std::fflush(file_) != 0)
+            return errnoResult<Stats>();
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    return stats_;
+}
+
+InBandRecorder::InBandRecorder(const std::string &path)
+{
+    fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    VARAN_CHECK(fd_ >= 0);
+    LogHeader header = {};
+    std::memcpy(header.magic, kLogMagic, sizeof(kLogMagic));
+    header.version = 1;
+    [[maybe_unused]] ssize_t n = ::write(fd_, &header, sizeof(header));
+}
+
+InBandRecorder::~InBandRecorder()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+long
+InBandRecorder::dispatch(long nr, const std::uint64_t args[6])
+{
+    long result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                                  args[4], args[5]);
+    // The defining property of the baseline: the record write happens
+    // synchronously, inside the intercepted call, before returning.
+    RecordHeader rec = {};
+    rec.tuple = 0;
+    rec.event.type = ring::EventType::Syscall;
+    rec.event.nr = static_cast<std::uint16_t>(nr);
+    rec.event.result = result;
+    for (unsigned i = 0; i < ring::kInlineArgs; ++i)
+        rec.event.args[i] = args[i];
+
+    const sys::SyscallInfo &info = sys::syscallInfo(nr);
+    const std::uint8_t *extra = nullptr;
+    if (info.out[0].arg >= 0 && info.out[0].len_from ==
+            sys::LenFrom::Result && result > 0 &&
+        args[info.out[0].arg] != 0) {
+        rec.payload_size = static_cast<std::uint32_t>(result);
+        extra = reinterpret_cast<const std::uint8_t *>(
+            args[info.out[0].arg]);
+    }
+    [[maybe_unused]] ssize_t n = ::write(fd_, &rec, sizeof(rec));
+    if (extra)
+        n = ::write(fd_, extra, rec.payload_size);
+    ++events_;
+    return result;
+}
+
+} // namespace varan::rr

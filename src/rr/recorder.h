@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The record side of section 5.4: an artificial follower that drains
+ * every tuple ring through tap cursors and persists events + payloads
+ * to disk, off the application's critical path.
+ *
+ * Also provides the in-band baseline used for the Scribe comparison:
+ * a dispatcher wrapper that logs synchronously inside each system call,
+ * which is the cost structure VARAN's decoupled design avoids.
+ */
+
+#ifndef VARAN_RR_RECORDER_H
+#define VARAN_RR_RECORDER_H
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/layout.h"
+#include "rr/log.h"
+#include "syscalls/classify.h"
+#include "syscalls/sys.h"
+
+namespace varan::rr {
+
+class Recorder
+{
+  public:
+    struct Stats {
+        std::uint64_t events = 0;
+        std::uint64_t payload_bytes = 0;
+    };
+
+    Recorder(const shmem::Region *region, const core::EngineLayout *layout,
+             std::string path);
+    ~Recorder();
+
+    VARAN_NO_COPY_NO_MOVE(Recorder);
+
+    /**
+     * Claim tap cursors on every tuple ring. Must run before the
+     * variants start publishing (use Nvx::start's pre-spawn hook).
+     */
+    Status attachTaps();
+
+    /** Start the drain thread (the artificial follower). */
+    void startDraining();
+
+    /** Stop draining (after variants finished), flush, close. */
+    Result<Stats> finish();
+
+  private:
+    void drainLoop();
+    std::size_t drainOnce();
+
+    const shmem::Region *region_;
+    const core::EngineLayout *layout_;
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    Stats stats_;
+    int tap_slot_[core::kMaxTuples];
+};
+
+/**
+ * Scribe-style baseline: execute the call and synchronously append the
+ * record before returning to the application.
+ */
+class InBandRecorder : public sys::Dispatcher
+{
+  public:
+    explicit InBandRecorder(const std::string &path);
+    ~InBandRecorder() override;
+
+    long dispatch(long nr, const std::uint64_t args[6]) override;
+
+    std::uint64_t eventsLogged() const { return events_; }
+
+  private:
+    int fd_ = -1;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace varan::rr
+
+#endif // VARAN_RR_RECORDER_H

@@ -1,0 +1,114 @@
+#include "rr/replayer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace varan::rr {
+
+namespace {
+
+/** Shared with Monitor::publishEvent: recycle the slot's old payload. */
+void
+publishWithShadow(const shmem::Region *region,
+                  const core::EngineLayout *layout, std::uint32_t tuple,
+                  ring::Event &event, shmem::Offset payload)
+{
+    core::ControlBlock *cb = layout->controlBlock(region);
+    shmem::PoolAllocator pool = layout->pool(region);
+    ring::RingBuffer ring = layout->tupleRing(region, tuple);
+    std::uint64_t *shadow = layout->tupleShadow(region, tuple);
+    std::uint64_t idx = ring.headSeq() & (cb->ring_capacity - 1);
+    if (shadow[idx] != 0)
+        pool.release(shadow[idx]);
+    shadow[idx] = payload;
+    ring::WaitSpec wait;
+    wait.timeout_ns = 120000000000ULL;
+    if (!ring.publish(event, wait))
+        panic("replay publish stalled");
+    cb->events_streamed.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+Replayer::Replayer(const shmem::Region *region,
+                   const core::EngineLayout *layout, std::string path)
+    : region_(region), layout_(layout), path_(std::move(path))
+{
+}
+
+Result<Replayer::Stats>
+Replayer::replayAll()
+{
+    std::FILE *file = std::fopen(path_.c_str(), "rb");
+    if (!file)
+        return errnoResult<Stats>();
+
+    LogHeader header = {};
+    if (std::fread(&header, sizeof(header), 1, file) != 1 ||
+        std::memcmp(header.magic, kLogMagic, sizeof(kLogMagic)) != 0) {
+        std::fclose(file);
+        return Result<Stats>(Errno{EPROTO});
+    }
+
+    shmem::PoolAllocator pool = layout_->pool(region_);
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    Stats stats;
+    RecordHeader rec = {};
+    std::vector<std::uint8_t> payload_buf;
+    while (std::fread(&rec, sizeof(rec), 1, file) == 1) {
+        shmem::Offset payload = 0;
+        if (rec.payload_size > 0) {
+            payload_buf.resize(rec.payload_size);
+            if (std::fread(payload_buf.data(), 1, rec.payload_size,
+                           file) != rec.payload_size) {
+                std::fclose(file);
+                return Result<Stats>(Errno{EPROTO});
+            }
+            payload = pool.allocate(rec.payload_size, 1);
+            if (payload == 0) {
+                std::fclose(file);
+                return Result<Stats>(Errno{ENOMEM});
+            }
+            std::memcpy(pool.pointer(payload, rec.payload_size),
+                        payload_buf.data(), rec.payload_size);
+            stats.payload_bytes += rec.payload_size;
+        }
+
+        ring::Event event = rec.event;
+        // Virtualise descriptor transfer: replayed followers replay
+        // results only; there is no live leader to duplicate fds from.
+        event.flags &= ~static_cast<std::uint32_t>(ring::kFdTransfer);
+        if (payload != 0) {
+            event.payload = static_cast<std::uint32_t>(payload);
+            event.payload_size = rec.payload_size;
+            event.flags |= ring::kHasPayload;
+        } else if (event.hasPayload()) {
+            event.flags &= ~static_cast<std::uint32_t>(ring::kHasPayload);
+            event.payload = 0;
+            event.payload_size = 0;
+        }
+
+        // Fork events activate tuples exactly as a live leader would.
+        if (event.type == ring::EventType::Fork) {
+            auto t = static_cast<std::uint32_t>(event.args[0]);
+            VARAN_CHECK(t < core::kMaxTuples);
+            std::uint32_t current =
+                cb->num_tuples.load(std::memory_order_acquire);
+            while (current <= t &&
+                   !cb->num_tuples.compare_exchange_weak(
+                       current, t + 1, std::memory_order_acq_rel)) {
+            }
+            cb->tuples[t].active.store(1, std::memory_order_release);
+        }
+
+        publishWithShadow(region_, layout_, rec.tuple, event, payload);
+        ++stats.events;
+    }
+    std::fclose(file);
+    return stats;
+}
+
+} // namespace varan::rr

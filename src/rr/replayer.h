@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The replay side of section 5.4: an artificial leader that reads a
+ * persisted log and publishes its events back into the tuple rings for
+ * follower variants to consume. Because VARAN was designed to run
+ * multiple instances at once, several variants can be replayed against
+ * one log simultaneously — e.g. to find which revisions in a range are
+ * susceptible to a reported crash.
+ */
+
+#ifndef VARAN_RR_REPLAYER_H
+#define VARAN_RR_REPLAYER_H
+
+#include <string>
+
+#include "core/layout.h"
+#include "rr/log.h"
+
+namespace varan::rr {
+
+class Replayer
+{
+  public:
+    struct Stats {
+        std::uint64_t events = 0;
+        std::uint64_t payload_bytes = 0;
+    };
+
+    Replayer(const shmem::Region *region, const core::EngineLayout *layout,
+             std::string path);
+
+    /**
+     * Publish the whole log into the rings, honouring backpressure
+     * from the replaying followers. Descriptor-transfer flags are
+     * virtualised away (replayed followers never touch real fds).
+     */
+    Result<Stats> replayAll();
+
+  private:
+    const shmem::Region *region_;
+    const core::EngineLayout *layout_;
+    std::string path_;
+};
+
+} // namespace varan::rr
+
+#endif // VARAN_RR_REPLAYER_H

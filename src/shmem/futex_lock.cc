@@ -1,0 +1,16 @@
+#include "shmem/futex_lock.h"
+
+namespace varan::shmem {
+
+void
+FutexLock::lockSlow()
+{
+    // Announce contention, then sleep until the holder hands off.
+    std::uint32_t c = state_.exchange(2, std::memory_order_acquire);
+    while (c != 0) {
+        futexWait(&state_, 2, 0);
+        c = state_.exchange(2, std::memory_order_acquire);
+    }
+}
+
+} // namespace varan::shmem

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A mutex that lives in shared memory and synchronises across processes.
+ *
+ * Implements the classic three-state futex mutex (0 = free, 1 = locked,
+ * 2 = locked with waiters). The paper uses such locks only around pool
+ * allocation/deallocation (section 3.3.1: "locks are used only during
+ * memory allocation and deallocation").
+ */
+
+#ifndef VARAN_SHMEM_FUTEX_LOCK_H
+#define VARAN_SHMEM_FUTEX_LOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/futex.h"
+#include "common/macros.h"
+
+namespace varan::shmem {
+
+class FutexLock
+{
+  public:
+    FutexLock() = default;
+    VARAN_NO_COPY_NO_MOVE(FutexLock);
+
+    void
+    lock()
+    {
+        std::uint32_t expected = 0;
+        if (state_.compare_exchange_strong(expected, 1,
+                                           std::memory_order_acquire))
+            return;
+        lockSlow();
+    }
+
+    void
+    unlock()
+    {
+        if (state_.exchange(0, std::memory_order_release) == 2)
+            futexWake(&state_, 1);
+    }
+
+    /** Try once without blocking. */
+    bool
+    tryLock()
+    {
+        std::uint32_t expected = 0;
+        return state_.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acquire);
+    }
+
+  private:
+    void lockSlow();
+
+    std::atomic<std::uint32_t> state_{0};
+};
+
+/** RAII guard for FutexLock. */
+class FutexLockGuard
+{
+  public:
+    explicit FutexLockGuard(FutexLock &lock) : lock_(lock) { lock_.lock(); }
+    ~FutexLockGuard() { lock_.unlock(); }
+    VARAN_NO_COPY_NO_MOVE(FutexLockGuard);
+
+  private:
+    FutexLock &lock_;
+};
+
+} // namespace varan::shmem
+
+#endif // VARAN_SHMEM_FUTEX_LOCK_H

@@ -1,0 +1,188 @@
+#include "shmem/pool.h"
+
+#include <new>
+
+namespace varan::shmem {
+
+namespace {
+
+constexpr std::size_t kHeaderSize =
+    (sizeof(ChunkHeader) + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+
+/** Bucket index for a payload size: 64 << idx bytes. */
+std::size_t
+bucketIndexFor(std::size_t size)
+{
+    std::size_t idx = 0;
+    std::size_t cap = kMinChunkPayload;
+    while (cap < size) {
+        cap <<= 1;
+        ++idx;
+    }
+    return idx;
+}
+
+/** How many chunks each fresh segment of a bucket contains. */
+std::uint32_t
+segmentChunkCount(std::size_t chunk_payload)
+{
+    // Small chunks come 64 to a segment; huge ones one at a time.
+    if (chunk_payload <= 4096)
+        return 64;
+    if (chunk_payload <= 65536)
+        return 8;
+    return 1;
+}
+
+} // namespace
+
+PoolAllocator::PoolAllocator(const Region *region, Offset header_off)
+    : region_(region), header_off_(header_off)
+{
+}
+
+PoolAllocator
+PoolAllocator::initialize(const Region *region, Offset header_off,
+                          Offset pool_begin, Offset pool_end)
+{
+    VARAN_CHECK(pool_begin < pool_end);
+    auto *hdr = new (region->bytesAt(header_off, sizeof(PoolHeader)))
+        PoolHeader();
+    hdr->pool_begin = pool_begin;
+    hdr->pool_end = pool_end;
+    hdr->bump.store(pool_begin, std::memory_order_relaxed);
+    std::size_t payload = kMinChunkPayload;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        Bucket &b = hdr->buckets[i];
+        b.free_head = 0;
+        b.chunk_size = static_cast<std::uint32_t>(payload);
+        b.chunks_per_segment = segmentChunkCount(payload);
+        b.allocated.store(0, std::memory_order_relaxed);
+        b.total_chunks.store(0, std::memory_order_relaxed);
+        payload <<= 1;
+    }
+    return PoolAllocator(region, header_off);
+}
+
+Bucket &
+PoolAllocator::bucket(std::size_t idx) const
+{
+    auto *hdr = region_->at<PoolHeader>(header_off_);
+    VARAN_CHECK(idx < kNumBuckets);
+    return hdr->buckets[idx];
+}
+
+ChunkHeader *
+PoolAllocator::header(Offset payload) const
+{
+    auto *ch = region_->at<ChunkHeader>(payload - kHeaderSize);
+    VARAN_CHECK(ch->magic == kChunkMagic);
+    return ch;
+}
+
+std::size_t
+PoolAllocator::chunkSizeFor(std::size_t size)
+{
+    return kMinChunkPayload << bucketIndexFor(size);
+}
+
+bool
+PoolAllocator::refillBucket(std::size_t idx)
+{
+    auto *hdr = region_->at<PoolHeader>(header_off_);
+    Bucket &b = bucket(idx);
+    const std::size_t stride = kHeaderSize + b.chunk_size;
+    const std::size_t seg_bytes = stride * b.chunks_per_segment;
+
+    Offset seg = hdr->bump.fetch_add(seg_bytes, std::memory_order_relaxed);
+    if (seg + seg_bytes > hdr->pool_end) {
+        // Give the space back on a best-effort basis and fail.
+        hdr->bump.fetch_sub(seg_bytes, std::memory_order_relaxed);
+        return false;
+    }
+
+    // Thread the fresh chunks onto the free list (lock already held).
+    for (std::uint32_t i = 0; i < b.chunks_per_segment; ++i) {
+        Offset chunk_off = seg + i * stride;
+        auto *ch = new (region_->bytesAt(chunk_off, sizeof(ChunkHeader)))
+            ChunkHeader();
+        ch->bucket = static_cast<std::uint32_t>(idx);
+        ch->refcount.store(0, std::memory_order_relaxed);
+        ch->magic = kChunkMagic;
+        ch->next_free = b.free_head;
+        b.free_head = chunk_off + kHeaderSize;
+    }
+    b.total_chunks.fetch_add(b.chunks_per_segment,
+                             std::memory_order_relaxed);
+    return true;
+}
+
+Offset
+PoolAllocator::allocate(std::size_t size, std::uint32_t refs)
+{
+    if (size == 0)
+        size = 1;
+    std::size_t idx = bucketIndexFor(size);
+    if (idx >= kNumBuckets)
+        return 0; // larger than the biggest size class
+    Bucket &b = bucket(idx);
+
+    FutexLockGuard guard(b.lock);
+    if (b.free_head == 0 && !refillBucket(idx))
+        return 0;
+    Offset payload = b.free_head;
+    ChunkHeader *ch = header(payload);
+    b.free_head = ch->next_free;
+    ch->next_free = 0;
+    ch->requested = static_cast<std::uint32_t>(size);
+    ch->refcount.store(refs, std::memory_order_release);
+    b.allocated.fetch_add(1, std::memory_order_relaxed);
+    return payload;
+}
+
+void
+PoolAllocator::addRef(Offset payload, std::uint32_t n)
+{
+    header(payload)->refcount.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+PoolAllocator::release(Offset payload)
+{
+    ChunkHeader *ch = header(payload);
+    std::uint32_t prev = ch->refcount.fetch_sub(1,
+                                                std::memory_order_acq_rel);
+    VARAN_CHECK(prev > 0);
+    if (prev != 1)
+        return;
+    Bucket &b = bucket(ch->bucket);
+    FutexLockGuard guard(b.lock);
+    ch->next_free = b.free_head;
+    b.free_head = payload;
+    b.allocated.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint32_t
+PoolAllocator::refcount(Offset payload) const
+{
+    return header(payload)->refcount.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+PoolAllocator::liveAllocations() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        sum += bucket(i).allocated.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+PoolAllocator::bytesUncarved() const
+{
+    auto *hdr = region_->at<PoolHeader>(header_off_);
+    Offset bump = hdr->bump.load(std::memory_order_relaxed);
+    return bump >= hdr->pool_end ? 0 : hdr->pool_end - bump;
+}
+
+} // namespace varan::shmem

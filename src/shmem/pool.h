@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared-memory pool allocator (paper section 3.3.4).
+ *
+ * The allocator has buckets for different allocation sizes; each bucket
+ * holds a free list of fixed-size chunks and grows by carving segments
+ * out of the pool area, dividing each new segment into chunks that are
+ * pushed onto the free list. A per-bucket futex lock guards allocation
+ * and deallocation, matching the paper's locking discipline.
+ *
+ * Payload blocks carry a reference count so the leader can publish one
+ * buffer to N followers and have the last consumer release it.
+ */
+
+#ifndef VARAN_SHMEM_POOL_H
+#define VARAN_SHMEM_POOL_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "shmem/futex_lock.h"
+#include "shmem/region.h"
+
+namespace varan::shmem {
+
+/** Allocation size classes; chunk payloads range 64 B .. 1 MiB. */
+inline constexpr std::size_t kNumBuckets = 15;
+inline constexpr std::size_t kMinChunkPayload = 64;
+
+/** Per-bucket bookkeeping, resident in shared memory. */
+struct alignas(kCacheLineSize) Bucket {
+    FutexLock lock;
+    Offset free_head;           ///< first free chunk, 0 when empty
+    std::uint32_t chunk_size;   ///< payload bytes per chunk
+    std::uint32_t chunks_per_segment;
+    std::atomic<std::uint64_t> allocated;  ///< live allocations (stats)
+    std::atomic<std::uint64_t> total_chunks; ///< chunks ever carved
+};
+
+/** Header preceding every chunk payload in memory. */
+struct ChunkHeader {
+    std::uint32_t bucket;                 ///< owning bucket index
+    std::atomic<std::uint32_t> refcount;  ///< live references
+    Offset next_free;                     ///< intrusive free-list link
+    std::uint32_t requested;              ///< bytes asked for (debug/stats)
+    std::uint32_t magic;                  ///< corruption canary
+};
+
+static constexpr std::uint32_t kChunkMagic = 0x564e5658; // "VNVX"
+
+/** Pool control area, resident at a fixed offset in the Region. */
+struct PoolHeader {
+    Offset pool_begin;   ///< first byte the pool may carve
+    Offset pool_end;     ///< one past the last byte
+    std::atomic<Offset> bump; ///< segment carve cursor
+    std::array<Bucket, kNumBuckets> buckets;
+};
+
+/**
+ * Handle over a PoolHeader living inside a Region.
+ *
+ * The handle itself is a cheap value object private to each process; all
+ * shared state sits behind the Region mapping, so every process
+ * constructs its own PoolAllocator over the same offsets.
+ */
+class PoolAllocator
+{
+  public:
+    PoolAllocator() = default;
+    PoolAllocator(const Region *region, Offset header_off);
+
+    /**
+     * One-time initialisation by the coordinator.
+     *
+     * @param region the shared region.
+     * @param header_off offset of a PoolHeader-sized carve.
+     * @param pool_begin first pool byte, @param pool_end last + 1.
+     */
+    static PoolAllocator initialize(const Region *region, Offset header_off,
+                                    Offset pool_begin, Offset pool_end);
+
+    /**
+     * Allocate @p size bytes with an initial refcount of @p refs.
+     * @return offset of the payload (not the header), or 0 on exhaustion.
+     */
+    Offset allocate(std::size_t size, std::uint32_t refs = 1);
+
+    /** Increment the payload's reference count. */
+    void addRef(Offset payload, std::uint32_t n = 1);
+
+    /** Drop one reference; frees the chunk when it reaches zero. */
+    void release(Offset payload);
+
+    /** Payload pointer helper. */
+    void *
+    pointer(Offset payload, std::size_t len) const
+    {
+        return region_->bytesAt(payload, len);
+    }
+
+    /** Current refcount (for tests). */
+    std::uint32_t refcount(Offset payload) const;
+
+    /** Number of live allocations across all buckets. */
+    std::uint64_t liveAllocations() const;
+
+    /** Bytes of pool space not yet carved into segments. */
+    std::uint64_t bytesUncarved() const;
+
+    /** Size class (chunk payload bytes) used for a request. */
+    static std::size_t chunkSizeFor(std::size_t size);
+
+  private:
+    Bucket &bucket(std::size_t idx) const;
+    ChunkHeader *header(Offset payload) const;
+    bool refillBucket(std::size_t idx);
+
+    const Region *region_ = nullptr;
+    Offset header_off_ = 0;
+};
+
+} // namespace varan::shmem
+
+#endif // VARAN_SHMEM_POOL_H

@@ -1,0 +1,91 @@
+#include "shmem/region.h"
+
+#include <cerrno>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#ifndef MFD_CLOEXEC
+#define MFD_CLOEXEC 0x0001U
+#endif
+
+namespace varan::shmem {
+
+namespace {
+
+/** memfd_create via raw syscall so we do not depend on libc coverage. */
+int
+makeMemfd(const char *name)
+{
+    return static_cast<int>(::syscall(SYS_memfd_create, name, MFD_CLOEXEC));
+}
+
+} // namespace
+
+Region::~Region()
+{
+    if (base_)
+        ::munmap(base_, size_);
+}
+
+Region::Region(Region &&other) noexcept
+    : base_(other.base_), size_(other.size_), fd_(std::move(other.fd_)),
+      carve_cursor_(other.carve_cursor_)
+{
+    other.base_ = nullptr;
+    other.size_ = 0;
+}
+
+Region &
+Region::operator=(Region &&other) noexcept
+{
+    if (this != &other) {
+        if (base_)
+            ::munmap(base_, size_);
+        base_ = other.base_;
+        size_ = other.size_;
+        fd_ = std::move(other.fd_);
+        carve_cursor_ = other.carve_cursor_;
+        other.base_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+Result<Region>
+Region::create(std::size_t size)
+{
+    int mfd = makeMemfd("varan-shm");
+    if (mfd < 0)
+        return errnoResult<Region>();
+    Fd fd(mfd);
+    if (::ftruncate(fd.get(), static_cast<off_t>(size)) < 0)
+        return errnoResult<Region>();
+    return fromFd(std::move(fd), size);
+}
+
+Result<Region>
+Region::fromFd(Fd fd, std::size_t size)
+{
+    void *p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd.get(), 0);
+    if (p == MAP_FAILED)
+        return errnoResult<Region>();
+    Region r;
+    r.base_ = p;
+    r.size_ = size;
+    r.fd_ = std::move(fd);
+    return r;
+}
+
+Offset
+Region::carve(std::size_t size, std::size_t align)
+{
+    VARAN_CHECK(align > 0 && (align & (align - 1)) == 0);
+    std::size_t off = (carve_cursor_ + align - 1) & ~(align - 1);
+    VARAN_CHECK(off + size <= size_);
+    carve_cursor_ = off + size;
+    return off;
+}
+
+} // namespace varan::shmem

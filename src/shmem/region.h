@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared-memory region mapped into every variant's address space.
+ *
+ * The coordinator creates one Region before forking variants (the "shm"
+ * segment of Figure 2); the ring buffers, Lamport clocks, control block
+ * and payload pool are all carved out of it. Everything stored inside is
+ * position-independent: structures reference each other by byte offset,
+ * never by pointer, so the region works across fork and exec.
+ */
+
+#ifndef VARAN_SHMEM_REGION_H
+#define VARAN_SHMEM_REGION_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/fd.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace varan::shmem {
+
+/** Byte offset into a Region. Offset 0 is reserved as "null". */
+using Offset = std::uint64_t;
+
+/**
+ * An anonymous shared mapping backed by a memfd.
+ *
+ * The backing fd is retained so the segment can be duplicated into a
+ * process that did not inherit the mapping (exec-mode variants), exactly
+ * like the descriptor the coordinator sends to freshly spawned versions
+ * in section 3.1.
+ */
+class Region
+{
+  public:
+    Region() = default;
+    ~Region();
+
+    VARAN_NO_COPY(Region);
+    Region(Region &&other) noexcept;
+    Region &operator=(Region &&other) noexcept;
+
+    /** Create a zero-filled shared region of @p size bytes. */
+    static Result<Region> create(std::size_t size);
+
+    /** Map an existing region from its backing descriptor. */
+    static Result<Region> fromFd(Fd fd, std::size_t size);
+
+    void *base() const { return base_; }
+    std::size_t size() const { return size_; }
+    int fd() const { return fd_.get(); }
+    bool valid() const { return base_ != nullptr; }
+
+    /** Close the backing descriptor; the mapping stays valid. Variants
+     *  do this after fork so the descriptor number is free for the
+     *  application (descriptor-table mirroring needs identical layouts
+     *  in every variant). */
+    void closeBackingFd() { fd_.reset(); }
+
+    /** Resolve an offset to a typed pointer in this mapping. */
+    template <typename T>
+    T *
+    at(Offset off) const
+    {
+        VARAN_CHECK(off != 0 && off + sizeof(T) <= size_);
+        return reinterpret_cast<T *>(static_cast<char *>(base_) + off);
+    }
+
+    /** Resolve an offset to raw bytes. */
+    void *
+    bytesAt(Offset off, std::size_t len) const
+    {
+        VARAN_CHECK(off != 0 && off + len <= size_);
+        return static_cast<char *>(base_) + off;
+    }
+
+    /** Inverse of at(): offset of a pointer inside this mapping. */
+    Offset
+    offsetOf(const void *p) const
+    {
+        auto c = static_cast<const char *>(p);
+        auto b = static_cast<const char *>(base_);
+        VARAN_CHECK(c >= b && c < b + size_);
+        return static_cast<Offset>(c - b);
+    }
+
+    /**
+     * Bump-allocate @p size bytes (aligned) during setup.
+     *
+     * Only the coordinator uses this, before any variant runs; it is not
+     * thread-safe and exists to carve the static layout (control block,
+     * rings, clocks). The pool allocator owns everything after the
+     * final carve.
+     */
+    Offset carve(std::size_t size, std::size_t align = kCacheLineSize);
+
+    /** Bytes still available for carve(). */
+    std::size_t carveRemaining() const { return size_ - carve_cursor_; }
+
+  private:
+    void *base_ = nullptr;
+    std::size_t size_ = 0;
+    Fd fd_;
+    std::size_t carve_cursor_ = kCacheLineSize; // offset 0 stays unused
+};
+
+} // namespace varan::shmem
+
+#endif // VARAN_SHMEM_REGION_H

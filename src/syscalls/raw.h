@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Raw system-call invocation, bypassing libc.
+ *
+ * The monitor must issue real system calls without routing through the
+ * interception layer (the real VARAN links its own Bionic-derived libc
+ * for the same reason, section 3.1). Results follow kernel convention:
+ * negative values in [-4095, -1] are -errno.
+ */
+
+#ifndef VARAN_SYSCALLS_RAW_H
+#define VARAN_SYSCALLS_RAW_H
+
+#include <cstdint>
+
+namespace varan::sys {
+
+/** Kernel-convention error check. */
+inline bool
+isError(long result)
+{
+    return result < 0 && result >= -4095;
+}
+
+/** Issue a raw syscall; returns the kernel's value (-errno on failure). */
+inline long
+rawSyscall(long nr, long a1 = 0, long a2 = 0, long a3 = 0, long a4 = 0,
+           long a5 = 0, long a6 = 0)
+{
+    register long r10 asm("r10") = a4;
+    register long r8 asm("r8") = a5;
+    register long r9 asm("r9") = a6;
+    long ret;
+    asm volatile("syscall"
+                 : "=a"(ret)
+                 : "a"(nr), "D"(a1), "S"(a2), "d"(a3), "r"(r10), "r"(r8),
+                   "r"(r9)
+                 : "rcx", "r11", "memory");
+    return ret;
+}
+
+/** -ERESTARTSYS is what interrupted calls report inside the kernel; at
+ *  user level interrupted calls surface as -EINTR, which the restart
+ *  logic (section 3.2) maps back to a retry. */
+inline constexpr long kErestartsys = -512;
+
+} // namespace varan::sys
+
+#endif // VARAN_SYSCALLS_RAW_H

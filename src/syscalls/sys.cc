@@ -1,0 +1,51 @@
+#include "syscalls/sys.h"
+
+#include <atomic>
+
+namespace varan::sys {
+
+namespace {
+
+std::atomic<Dispatcher *> g_dispatcher{nullptr};
+
+} // namespace
+
+void
+setDispatcher(Dispatcher *dispatcher)
+{
+    g_dispatcher.store(dispatcher, std::memory_order_release);
+}
+
+Dispatcher *
+dispatcher()
+{
+    return g_dispatcher.load(std::memory_order_acquire);
+}
+
+long
+invoke(long nr, long a1, long a2, long a3, long a4, long a5, long a6)
+{
+    Dispatcher *d = g_dispatcher.load(std::memory_order_acquire);
+    if (VARAN_LIKELY(d == nullptr))
+        return rawSyscall(nr, a1, a2, a3, a4, a5, a6);
+    const std::uint64_t args[6] = {
+        static_cast<std::uint64_t>(a1), static_cast<std::uint64_t>(a2),
+        static_cast<std::uint64_t>(a3), static_cast<std::uint64_t>(a4),
+        static_cast<std::uint64_t>(a5), static_cast<std::uint64_t>(a6),
+    };
+    return d->dispatch(nr, args);
+}
+
+long
+rewriteEntry(rewrite::SyscallFrame *frame)
+{
+    return invoke(static_cast<long>(frame->nr),
+                  static_cast<long>(frame->args[0]),
+                  static_cast<long>(frame->args[1]),
+                  static_cast<long>(frame->args[2]),
+                  static_cast<long>(frame->args[3]),
+                  static_cast<long>(frame->args[4]),
+                  static_cast<long>(frame->args[5]));
+}
+
+} // namespace varan::sys

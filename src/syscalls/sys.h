@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The system-call entry layer.
+ *
+ * Every in-tree application routes its system calls through
+ * varan::sys::invoke(). Under native execution that is a raw syscall;
+ * under N-version execution the per-process Monitor installs a
+ * Dispatcher and every call flows through the engine (leader records,
+ * followers replay). The binary rewriter produces exactly the same
+ * entry: its detour stubs call rewriteEntry(), which lands in invoke().
+ *
+ * This mirrors the paper's design where the "system call entry point
+ * ... consults an internal system call table" (section 3.2): the
+ * Dispatcher is that table's incarnation, swapped when a follower is
+ * promoted to leader.
+ */
+
+#ifndef VARAN_SYSCALLS_SYS_H
+#define VARAN_SYSCALLS_SYS_H
+
+#include <cstdint>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+
+#include "rewrite/patcher.h"
+#include "syscalls/classify.h"
+#include "syscalls/raw.h"
+
+namespace varan::sys {
+
+/** Receives every intercepted system call of this process. */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    /** @return kernel-convention result (-errno on failure). */
+    virtual long dispatch(long nr, const std::uint64_t args[6]) = 0;
+};
+
+/** Install (or clear, with nullptr) the process dispatcher. */
+void setDispatcher(Dispatcher *dispatcher);
+Dispatcher *dispatcher();
+
+/** The single entry point: dispatcher if installed, raw otherwise. */
+long invoke(long nr, long a1 = 0, long a2 = 0, long a3 = 0, long a4 = 0,
+            long a5 = 0, long a6 = 0);
+
+/** Adapter wired into the binary rewriter's detour stubs. */
+long rewriteEntry(rewrite::SyscallFrame *frame);
+
+// --- typed convenience wrappers (kernel convention results) ---
+
+inline long
+vopen(const char *path, int flags, int mode = 0)
+{
+    return invoke(SYS_open, reinterpret_cast<long>(path), flags, mode);
+}
+
+inline long
+vclose(int fd)
+{
+    return invoke(SYS_close, fd);
+}
+
+inline long
+vread(int fd, void *buf, std::size_t len)
+{
+    return invoke(SYS_read, fd, reinterpret_cast<long>(buf),
+                  static_cast<long>(len));
+}
+
+inline long
+vwrite(int fd, const void *buf, std::size_t len)
+{
+    return invoke(SYS_write, fd, reinterpret_cast<long>(buf),
+                  static_cast<long>(len));
+}
+
+inline long
+vlseek(int fd, long off, int whence)
+{
+    return invoke(SYS_lseek, fd, off, whence);
+}
+
+inline long
+vsocket(int domain, int type, int protocol)
+{
+    return invoke(SYS_socket, domain, type, protocol);
+}
+
+inline long
+vbind(int fd, const struct sockaddr *addr, socklen_t len)
+{
+    return invoke(SYS_bind, fd, reinterpret_cast<long>(addr), len);
+}
+
+inline long
+vlisten(int fd, int backlog)
+{
+    return invoke(SYS_listen, fd, backlog);
+}
+
+inline long
+vaccept4(int fd, struct sockaddr *addr, socklen_t *len, int flags)
+{
+    return invoke(SYS_accept4, fd, reinterpret_cast<long>(addr),
+                  reinterpret_cast<long>(len), flags);
+}
+
+inline long
+vconnect(int fd, const struct sockaddr *addr, socklen_t len)
+{
+    return invoke(SYS_connect, fd, reinterpret_cast<long>(addr), len);
+}
+
+inline long
+vsetsockopt(int fd, int level, int opt, const void *val, socklen_t len)
+{
+    return invoke(SYS_setsockopt, fd, level, opt,
+                  reinterpret_cast<long>(val), len);
+}
+
+inline long
+vshutdown(int fd, int how)
+{
+    return invoke(SYS_shutdown, fd, how);
+}
+
+inline long
+vepoll_create1(int flags)
+{
+    return invoke(SYS_epoll_create1, flags);
+}
+
+inline long
+vepoll_ctl(int epfd, int op, int fd, struct epoll_event *ev)
+{
+    return invoke(SYS_epoll_ctl, epfd, op, fd,
+                  reinterpret_cast<long>(ev));
+}
+
+inline long
+vepoll_wait(int epfd, struct epoll_event *events, int maxevents,
+            int timeout_ms)
+{
+    return invoke(SYS_epoll_wait, epfd, reinterpret_cast<long>(events),
+                  maxevents, timeout_ms);
+}
+
+inline long
+vfcntl(int fd, int cmd, long arg = 0)
+{
+    return invoke(SYS_fcntl, fd, cmd, arg);
+}
+
+inline long
+vgetpid()
+{
+    return invoke(SYS_getpid);
+}
+
+inline long
+vgetuid()
+{
+    return invoke(SYS_getuid);
+}
+
+inline long
+vgeteuid()
+{
+    return invoke(SYS_geteuid);
+}
+
+inline long
+vgetgid()
+{
+    return invoke(SYS_getgid);
+}
+
+inline long
+vgetegid()
+{
+    return invoke(SYS_getegid);
+}
+
+inline long
+vtime(long *out)
+{
+    return invoke(SYS_time, reinterpret_cast<long>(out));
+}
+
+inline long
+vgettimeofday(struct timeval *tv)
+{
+    return invoke(SYS_gettimeofday, reinterpret_cast<long>(tv), 0);
+}
+
+inline long
+vclock_gettime(int clk, struct timespec *ts)
+{
+    return invoke(SYS_clock_gettime, clk, reinterpret_cast<long>(ts));
+}
+
+inline long
+vnanosleep(const struct timespec *req, struct timespec *rem)
+{
+    return invoke(SYS_nanosleep, reinterpret_cast<long>(req),
+                  reinterpret_cast<long>(rem));
+}
+
+inline long
+vpipe2(int fds[2], int flags)
+{
+    return invoke(SYS_pipe2, reinterpret_cast<long>(fds), flags);
+}
+
+inline long
+vdup2(int oldfd, int newfd)
+{
+    return invoke(SYS_dup2, oldfd, newfd);
+}
+
+inline long
+vunlink(const char *path)
+{
+    return invoke(SYS_unlink, reinterpret_cast<long>(path));
+}
+
+inline long
+vfork_call()
+{
+    return invoke(SYS_fork);
+}
+
+inline long
+vgetrandom(void *buf, std::size_t len, unsigned flags)
+{
+    return invoke(SYS_getrandom, reinterpret_cast<long>(buf),
+                  static_cast<long>(len), static_cast<long>(flags));
+}
+
+[[noreturn]] inline void
+vexit(int status)
+{
+    invoke(SYS_exit_group, status);
+    __builtin_unreachable();
+}
+
+} // namespace varan::sys
+
+#endif // VARAN_SYSCALLS_SYS_H

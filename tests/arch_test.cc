@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the x86-64 length disassembler: encodings the rewriter must
+ * get right, syscall/int80 discovery, and scan behaviour.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/disasm.h"
+
+namespace varan::arch {
+namespace {
+
+Insn
+decodeBytes(std::initializer_list<std::uint8_t> bytes)
+{
+    std::vector<std::uint8_t> v(bytes);
+    return decode(v.data(), v.size());
+}
+
+struct LengthCase {
+    const char *name;
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t length;
+    bool branch = false;
+    bool rip = false;
+};
+
+class LengthTest : public ::testing::TestWithParam<LengthCase>
+{
+};
+
+TEST_P(LengthTest, DecodesExpectedLength)
+{
+    const LengthCase &c = GetParam();
+    Insn insn = decode(c.bytes.data(), c.bytes.size());
+    ASSERT_TRUE(insn.valid()) << c.name;
+    EXPECT_EQ(insn.length, c.length) << c.name;
+    EXPECT_EQ(insn.is_branch, c.branch) << c.name;
+    EXPECT_EQ(insn.rip_relative, c.rip) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommonEncodings, LengthTest,
+    ::testing::Values(
+        LengthCase{"nop", {0x90}, 1},
+        LengthCase{"ret", {0xc3}, 1, true},
+        LengthCase{"ret_imm16", {0xc2, 0x10, 0x00}, 3, true},
+        LengthCase{"push_rax", {0x50}, 1},
+        LengthCase{"push_r8", {0x41, 0x50}, 2},
+        LengthCase{"pop_rbp", {0x5d}, 1},
+        LengthCase{"mov_rr", {0x48, 0x89, 0xc2}, 3},
+        LengthCase{"mov_eax_imm", {0xb8, 1, 0, 0, 0}, 5},
+        LengthCase{"movabs", {0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8}, 10},
+        LengthCase{"mov_rm_imm32",
+                   {0x48, 0xc7, 0xc0, 0x27, 0, 0, 0}, 7},
+        LengthCase{"lea_sib_disp32",
+                   {0x48, 0x8d, 0x04, 0x25, 0, 0, 0, 0}, 8},
+        LengthCase{"mov_mem_disp8", {0x48, 0x89, 0x45, 0xf8}, 4},
+        LengthCase{"mov_mem_disp32",
+                   {0x48, 0x89, 0x85, 0, 1, 0, 0}, 7},
+        LengthCase{"add_eax_imm", {0x05, 1, 0, 0, 0}, 5},
+        LengthCase{"add_rm_imm8", {0x48, 0x83, 0xc4, 0x38}, 4},
+        LengthCase{"test_al_imm8", {0xa8, 0x01}, 2},
+        LengthCase{"grp_f6_test", {0xf6, 0xc0, 0x01}, 3},
+        LengthCase{"grp_f7_test", {0xf7, 0xc0, 1, 0, 0, 0}, 6},
+        LengthCase{"grp_f7_neg", {0xf7, 0xd8}, 2},
+        LengthCase{"call_rel32", {0xe8, 0, 0, 0, 0}, 5, true},
+        LengthCase{"jmp_rel32", {0xe9, 0, 0, 0, 0}, 5, true},
+        LengthCase{"jmp_rel8", {0xeb, 0x01}, 2, true},
+        LengthCase{"jcc_rel8", {0x74, 0x05}, 2, true},
+        LengthCase{"jcc_rel32", {0x0f, 0x84, 0, 0, 0, 0}, 6, true},
+        LengthCase{"jmp_rm_rip",
+                   {0xff, 0x25, 0, 0, 0, 0}, 6, true, true},
+        LengthCase{"mov_rip_rel",
+                   {0x8b, 0x05, 0x10, 0, 0, 0}, 6, false, true},
+        LengthCase{"opsize_nop", {0x66, 0x90}, 2},
+        LengthCase{"rep_movsb", {0xf3, 0xa4}, 2},
+        LengthCase{"cpuid", {0x0f, 0xa2}, 2},
+        LengthCase{"rdtsc", {0x0f, 0x31}, 2},
+        LengthCase{"movzx", {0x0f, 0xb6, 0xc0}, 3},
+        LengthCase{"imul_rr", {0x0f, 0xaf, 0xc2}, 3},
+        LengthCase{"setcc", {0x0f, 0x94, 0xc0}, 3},
+        LengthCase{"cmov", {0x48, 0x0f, 0x44, 0xc2}, 4},
+        LengthCase{"bt_imm8", {0x0f, 0xba, 0xe0, 0x05}, 4},
+        LengthCase{"movq_xmm", {0x66, 0x0f, 0x7e, 0xc0}, 4},
+        LengthCase{"pshufd", {0x66, 0x0f, 0x70, 0xc0, 0x1b}, 5},
+        LengthCase{"vex2_vxorps", {0xc5, 0xf8, 0x57, 0xc0}, 4},
+        LengthCase{"vex3_andn", {0xc4, 0xe2, 0x78, 0xf2, 0xc2}, 5},
+        LengthCase{"enter", {0xc8, 0x10, 0x00, 0x01}, 4},
+        LengthCase{"xchg_rr", {0x48, 0x87, 0xd8}, 3},
+        LengthCase{"leave", {0xc9}, 1},
+        LengthCase{"int3", {0xcc}, 1},
+        LengthCase{"int_imm", {0xcd, 0x03}, 2},
+        LengthCase{"syscall", {0x0f, 0x05}, 2},
+        LengthCase{"loop", {0xe2, 0xfe}, 2, true}),
+    [](const ::testing::TestParamInfo<LengthCase> &info) {
+        return info.param.name;
+    });
+
+TEST(DecodeTest, SyscallIsRecognised)
+{
+    Insn insn = decodeBytes({0x0f, 0x05});
+    ASSERT_TRUE(insn.valid());
+    EXPECT_TRUE(insn.is_syscall);
+    EXPECT_FALSE(insn.is_int80);
+}
+
+TEST(DecodeTest, Int80IsRecognised)
+{
+    Insn insn = decodeBytes({0xcd, 0x80});
+    ASSERT_TRUE(insn.valid());
+    EXPECT_TRUE(insn.is_int80);
+    EXPECT_FALSE(insn.is_syscall);
+    // Other interrupt numbers are not int80.
+    EXPECT_FALSE(decodeBytes({0xcd, 0x03}).is_int80);
+}
+
+TEST(DecodeTest, TruncatedBufferFails)
+{
+    EXPECT_FALSE(decodeBytes({0x48}).valid());
+    EXPECT_FALSE(decodeBytes({0xe8, 0x01, 0x02}).valid());
+    EXPECT_FALSE(decodeBytes({0x0f}).valid());
+}
+
+TEST(DecodeTest, InvalidIn64BitFails)
+{
+    EXPECT_FALSE(decodeBytes({0x06}).valid()); // push es
+    EXPECT_FALSE(decodeBytes({0xce}).valid()); // into
+    EXPECT_FALSE(decodeBytes({0x9a, 0, 0, 0, 0, 0, 0}).valid()); // callf
+}
+
+TEST(DecodeTest, RipRelativeDetected)
+{
+    // mov rax, [rip+0x10]
+    Insn insn = decodeBytes({0x48, 0x8b, 0x05, 0x10, 0, 0, 0});
+    ASSERT_TRUE(insn.valid());
+    EXPECT_EQ(insn.length, 7);
+    EXPECT_TRUE(insn.rip_relative);
+}
+
+TEST(ScanTest, FindsAllSyscallSites)
+{
+    // mov rax,39; syscall; mov rdi,0; syscall; int 0x80; ret
+    std::vector<std::uint8_t> code = {
+        0x48, 0xc7, 0xc0, 0x27, 0, 0, 0, // 0: mov rax, 39
+        0x0f, 0x05,                      // 7: syscall
+        0x48, 0xc7, 0xc7, 0, 0, 0, 0,    // 9: mov rdi, 0
+        0x0f, 0x05,                      // 16: syscall
+        0xcd, 0x80,                      // 18: int 0x80
+        0xc3,                            // 20: ret
+    };
+    ScanResult r = scan(code.data(), code.size());
+    EXPECT_TRUE(r.complete);
+    ASSERT_EQ(r.sites.size(), 3u);
+    EXPECT_EQ(r.sites[0].offset, 7u);
+    EXPECT_FALSE(r.sites[0].is_int80);
+    EXPECT_EQ(r.sites[1].offset, 16u);
+    EXPECT_EQ(r.sites[2].offset, 18u);
+    EXPECT_TRUE(r.sites[2].is_int80);
+    EXPECT_EQ(r.decoded_instructions, 6u);
+}
+
+TEST(ScanTest, StopsAtUndecodableBytes)
+{
+    std::vector<std::uint8_t> code = {
+        0x90,       // nop
+        0x06,       // invalid in 64-bit
+        0x0f, 0x05, // never reached
+    };
+    ScanResult r = scan(code.data(), code.size());
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.undecodable_at, 1u);
+    EXPECT_TRUE(r.sites.empty());
+}
+
+TEST(ScanTest, EmptyBufferIsComplete)
+{
+    std::uint8_t byte = 0;
+    ScanResult r = scan(&byte, 0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.decoded_instructions, 0u);
+}
+
+TEST(ScanTest, DataInCodeDoesNotCrash)
+{
+    // 64 bytes of pseudo-random data; scan must terminate either way.
+    std::vector<std::uint8_t> junk;
+    std::uint32_t state = 0xdeadbeef;
+    for (int i = 0; i < 64; ++i) {
+        state = state * 1664525u + 1013904223u;
+        junk.push_back(static_cast<std::uint8_t>(state >> 24));
+    }
+    ScanResult r = scan(junk.data(), junk.size());
+    EXPECT_LE(r.undecodable_at, junk.size());
+}
+
+} // namespace
+} // namespace varan::arch

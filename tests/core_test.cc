@@ -1,0 +1,568 @@
+/**
+ * @file
+ * End-to-end tests of the N-version execution engine: leader/follower
+ * streaming, result replication, fd mirroring, write-once semantics,
+ * virtual time, divergence handling with BPF rules, transparent
+ * failover with leader promotion, multi-threaded tuples and forked
+ * process tuples.
+ *
+ * Variant functions run in forked processes, so all verification
+ * happens through exit statuses, pipes created before the engine
+ * starts (inherited at identical descriptor numbers), and coordinator
+ * statistics.
+ */
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/nvx.h"
+#include "syscalls/sys.h"
+
+namespace varan::core {
+namespace {
+
+NvxOptions
+fastOptions()
+{
+    NvxOptions options;
+    options.ring_capacity = 64;
+    options.shm_bytes = 16 << 20;
+    options.progress_timeout_ns = 10000000000ULL; // 10 s test safety
+    return options;
+}
+
+/** Read exactly @p len bytes with a deadline; returns what arrived. */
+std::string
+readExactly(int fd, std::size_t len, int timeout_ms = 20000)
+{
+    std::string out;
+    std::uint64_t deadline = monotonicNs() +
+                             std::uint64_t(timeout_ms) * 1000000ULL;
+    while (out.size() < len && monotonicNs() < deadline) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 100) <= 0)
+            continue;
+        char buf[256];
+        ssize_t n = ::read(fd, buf,
+                           std::min(sizeof(buf), len - out.size()));
+        if (n > 0)
+            out.append(buf, static_cast<std::size_t>(n));
+        else if (n == 0)
+            break;
+    }
+    return out;
+}
+
+TEST(NvxTest, SingleVariantRunsToCompletion)
+{
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({[]() -> int { return 17; }});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].crashed);
+    EXPECT_EQ(results[0].status, 17);
+}
+
+TEST(NvxTest, AllVariantsReportTheirStatus)
+{
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({
+        []() -> int { return 1; },
+        []() -> int { return 1; },
+        []() -> int { return 1; },
+    });
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed) << "variant " << r.variant;
+        EXPECT_EQ(r.status, 1);
+    }
+}
+
+TEST(NvxTest, WriteExecutesExactlyOnce)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    auto app = [fds]() -> int {
+        const char msg[] = "hello";
+        long n = sys::vwrite(fds[1], msg, 5);
+        return n == 5 ? 0 : 9;
+    };
+
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 0);
+    }
+    // Three variants, one leader: the pipe carries the message once.
+    EXPECT_EQ(readExactly(fds[0], 5), "hello");
+    struct pollfd pfd = {fds[0], POLLIN, 0};
+    EXPECT_EQ(::poll(&pfd, 1, 200), 0) << "extra bytes in the pipe";
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(NvxTest, FollowersSeeLeadersReadData)
+{
+    // The leader reads a scratch file; followers must observe the same
+    // bytes without touching the file. Sum of bytes becomes the status.
+    char path[] = "/tmp/varan-core-read-XXXXXX";
+    int tmp = ::mkstemp(path);
+    ASSERT_GE(tmp, 0);
+    ASSERT_EQ(::write(tmp, "\x01\x02\x03\x04", 4), 4);
+    ::close(tmp);
+
+    std::string file(path);
+    auto app = [file]() -> int {
+        long fd = sys::vopen(file.c_str(), O_RDONLY);
+        if (fd < 0)
+            return 90;
+        unsigned char buf[4] = {};
+        long n = sys::vread(static_cast<int>(fd), buf, 4);
+        sys::vclose(static_cast<int>(fd));
+        if (n != 4)
+            return 91;
+        return buf[0] + buf[1] + buf[2] + buf[3]; // 10
+    };
+
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    ::unlink(path);
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 10) << "variant " << r.variant;
+    }
+    EXPECT_GT(nvx.fdTransfers(), 0u);
+}
+
+TEST(NvxTest, GetpidIsVirtualisedToLeader)
+{
+    // Real pids differ across variants; the streamed getpid must not.
+    auto app = []() -> int {
+        return static_cast<int>(sys::vgetpid() & 0x7f);
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].status, results[1].status);
+    EXPECT_EQ(results[1].status, results[2].status);
+}
+
+TEST(NvxTest, VirtualTimeComesFromLeader)
+{
+    auto app = []() -> int {
+        struct timespec ts = {};
+        sys::vclock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<int>(ts.tv_nsec % 251);
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    EXPECT_EQ(results[0].status, results[1].status);
+}
+
+TEST(NvxTest, FdNumbersMirrorAcrossVariants)
+{
+    auto app = []() -> int {
+        long fd1 = sys::vopen("/dev/null", O_RDONLY);
+        long fd2 = sys::vopen("/dev/zero", O_RDONLY);
+        sys::vclose(static_cast<int>(fd1));
+        long fd3 = sys::vopen("/dev/null", O_WRONLY);
+        // fd numbers must be identical in every variant; fold them into
+        // the status byte.
+        return static_cast<int>((fd1 * 49 + fd2 * 7 + fd3) & 0x7f);
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    EXPECT_EQ(results[0].status, results[1].status);
+    EXPECT_EQ(results[1].status, results[2].status);
+    EXPECT_FALSE(results[0].crashed);
+}
+
+TEST(NvxTest, PipeSyscallMirrorsBothEnds)
+{
+    auto app = []() -> int {
+        int fds[2] = {-1, -1};
+        if (sys::vpipe2(fds, 0) < 0)
+            return 80;
+        const char byte = 'x';
+        if (sys::vwrite(fds[1], &byte, 1) != 1)
+            return 81;
+        char in = 0;
+        if (sys::vread(fds[0], &in, 1) != 1)
+            return 82;
+        sys::vclose(fds[0]);
+        sys::vclose(fds[1]);
+        return in == 'x' ? 0 : 83;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 0) << "variant " << r.variant;
+    }
+}
+
+TEST(NvxTest, StatsCountStreamedEvents)
+{
+    auto app = []() -> int {
+        for (int i = 0; i < 10; ++i)
+            sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    EXPECT_FALSE(results[0].crashed);
+    // 10 getpids + exit event, at least.
+    EXPECT_GE(nvx.eventsStreamed(), 11u);
+    EXPECT_EQ(nvx.divergencesFatal(), 0u);
+}
+
+TEST(NvxTest, SmallRingBackpressureStillCompletes)
+{
+    NvxOptions options = fastOptions();
+    options.ring_capacity = 4; // tiny: leader must block on followers
+    auto app = []() -> int {
+        for (int i = 0; i < 200; ++i)
+            sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(options);
+    auto results = nvx.run({app, app});
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 0);
+    }
+}
+
+TEST(NvxTest, FollowerCrashLeavesOthersRunning)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        for (int i = 0; i < 20; ++i) {
+            if (i == 10 && Monitor::instance()->variantId() == 2) {
+                int *p = nullptr;
+                *p = 1; // follower 2 dies here
+            }
+            char c = static_cast<char>('a' + i);
+            sys::vwrite(fds[1], &c, 1);
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    EXPECT_FALSE(results[0].crashed);
+    EXPECT_EQ(results[0].status, 0);
+    EXPECT_FALSE(results[1].crashed);
+    EXPECT_TRUE(results[2].crashed);
+    // All 20 writes made it out exactly once.
+    std::string got = readExactly(fds[0], 20);
+    EXPECT_EQ(got, "abcdefghijklmnopqrst");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(NvxTest, LeaderCrashFailsOverTransparently)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        for (int i = 0; i < 10; ++i) {
+            // The *original* leader dies after message 5; the follower
+            // must be promoted and finish messages 6..10.
+            if (i == 5 && Monitor::instance()->variantId() == 0) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            char c = static_cast<char>('0' + i);
+            sys::vwrite(fds[1], &c, 1);
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_FALSE(results[1].crashed);
+    EXPECT_EQ(results[1].status, 0);
+    EXPECT_EQ(nvx.currentLeader(), 1);
+    EXPECT_GE(nvx.epoch(), 1u);
+    // Every message exactly once, in order, across the failover.
+    EXPECT_EQ(readExactly(fds[0], 10), "0123456789");
+    struct pollfd pfd = {fds[0], POLLIN, 0};
+    EXPECT_EQ(::poll(&pfd, 1, 200), 0) << "duplicated writes";
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(NvxTest, FailoverWithThreeVariantsElectsLowestLive)
+{
+    auto app = []() -> int {
+        for (int i = 0; i < 30; ++i) {
+            if (i == 7 && Monitor::instance()->variantId() == 0) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            sys::vgetpid();
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_FALSE(results[1].crashed);
+    EXPECT_FALSE(results[2].crashed);
+    // Leadership moved off the crashed variant (and then passes down
+    // the live set as leaders exit normally at the end of the run).
+    EXPECT_NE(nvx.currentLeader(), 0);
+    EXPECT_GE(nvx.epoch(), 1u);
+}
+
+TEST(NvxTest, DivergenceWithoutRulesKillsFollower)
+{
+    auto app = []() -> int {
+        // The follower performs an extra syscall the leader never
+        // makes: a sequence divergence.
+        if (Monitor::instance() &&
+            Monitor::instance()->variantId() == 1) {
+            sys::vgetuid();
+        }
+        sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    EXPECT_FALSE(results[0].crashed);
+    EXPECT_TRUE(results[1].crashed);
+    EXPECT_EQ(results[1].status, kDivergenceExitStatus);
+    EXPECT_GE(nvx.divergencesFatal(), 1u);
+}
+
+TEST(NvxTest, AllowRuleExecutesFollowerExtraCallLocally)
+{
+    NvxOptions options = fastOptions();
+    // Allow a getuid the leader did not make when the leader is at
+    // getpid — modelled on the paper's Listing 1 (section 5.2).
+    options.rewrite_rules.push_back(
+        "ld event[0]\n"
+        "jeq #39, checkmine /* leader at getpid */\n"
+        "jmp bad\n"
+        "checkmine:\n"
+        "ld [0]\n"
+        "jeq #102, good /* follower wants getuid */\n"
+        "bad: ret #0\n"
+        "good: ret #0x7fff0000\n");
+    auto app = []() -> int {
+        if (Monitor::instance() &&
+            Monitor::instance()->variantId() == 1) {
+            sys::vgetuid(); // extra call, resolved by the rule
+        }
+        sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(options);
+    auto results = nvx.run({app, app});
+    EXPECT_FALSE(results[0].crashed);
+    EXPECT_FALSE(results[1].crashed) << "rule should have resolved it";
+    EXPECT_GE(nvx.divergencesResolved(), 1u);
+    EXPECT_EQ(nvx.divergencesFatal(), 0u);
+}
+
+TEST(NvxTest, SkipRuleDropsLeaderOnlyEvent)
+{
+    NvxOptions options = fastOptions();
+    // The leader performs an extra getuid; followers skip that event.
+    options.rewrite_rules.push_back(
+        "ld event[0]\n"
+        "jeq #102, skip /* leader-only getuid */\n"
+        "ret #0\n"
+        "skip: ret #0x7ffd0000\n");
+    auto app = []() -> int {
+        if (Monitor::instance() &&
+            Monitor::instance()->variantId() == 0) {
+            sys::vgetuid(); // leader-only call
+        }
+        sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(options);
+    auto results = nvx.run({app, app});
+    EXPECT_FALSE(results[0].crashed);
+    EXPECT_FALSE(results[1].crashed);
+    EXPECT_GE(nvx.divergencesResolved(), 1u);
+}
+
+TEST(NvxTest, ErrnoRuleSynthesisesResult)
+{
+    NvxOptions options = fastOptions();
+    // Follower's extra getuid is absorbed with -ENOSYS (38).
+    options.rewrite_rules.push_back(
+        "ld [0]\n"
+        "jeq #102, synth\n"
+        "ret #0\n"
+        "synth: ret #0x00050026\n"); // ERRNO | 38
+    auto app = []() -> int {
+        if (Monitor::instance() &&
+            Monitor::instance()->variantId() == 1) {
+            long r = sys::vgetuid();
+            if (r != -38)
+                return 70; // must observe the synthetic errno
+        }
+        sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(options);
+    auto results = nvx.run({app, app});
+    EXPECT_FALSE(results[1].crashed);
+    EXPECT_EQ(results[1].status, 0);
+}
+
+TEST(NvxTest, WriteContentDivergenceIsDetected)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        const bool follower = Monitor::instance()->variantId() == 1;
+        const char *msg = follower ? "EVIL!" : "good.";
+        sys::vwrite(fds[1], msg, 5);
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    EXPECT_FALSE(results[0].crashed);
+    EXPECT_TRUE(results[1].crashed) << "content divergence missed";
+    EXPECT_EQ(readExactly(fds[0], 5), "good.");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(NvxTest, MultiThreadedTuplesStreamIndependently)
+{
+    int pipe_a[2];
+    int pipe_b[2];
+    ASSERT_EQ(::pipe(pipe_a), 0);
+    ASSERT_EQ(::pipe(pipe_b), 0);
+
+    auto app = [pipe_a, pipe_b]() -> int {
+        VThread worker([pipe_b] {
+            for (int i = 0; i < 25; ++i) {
+                char c = static_cast<char>('A' + (i % 26));
+                sys::vwrite(pipe_b[1], &c, 1);
+            }
+        });
+        for (int i = 0; i < 25; ++i) {
+            char c = static_cast<char>('a' + (i % 26));
+            sys::vwrite(pipe_a[1], &c, 1);
+        }
+        worker.join();
+        return 0;
+    };
+
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 0);
+    }
+    std::string a = readExactly(pipe_a[0], 25);
+    std::string b = readExactly(pipe_b[0], 25);
+    EXPECT_EQ(a, "abcdefghijklmnopqrstuvwxy");
+    EXPECT_EQ(b, "ABCDEFGHIJKLMNOPQRSTUVWXY");
+    for (int fd : {pipe_a[0], pipe_a[1], pipe_b[0], pipe_b[1]})
+        ::close(fd);
+}
+
+TEST(NvxTest, ForkedProcessTupleStreams)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        long child = sys::invoke(SYS_fork);
+        if (child == 0) {
+            sys::vwrite(fds[1], "C", 1);
+            sys::vexit(0);
+        }
+        sys::vwrite(fds[1], "P", 1);
+        // wait4 is Local: each variant reaps its own child.
+        int status = 0;
+        ::waitpid(static_cast<pid_t>(child), &status, 0);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : 77;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 0) << "variant " << r.variant;
+    }
+    std::string got = readExactly(fds[0], 2);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, "CP"); // each written exactly once, either order
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(NvxTest, SixFollowersComplete)
+{
+    // The paper's maximum configuration: one leader + six followers.
+    auto app = []() -> int {
+        for (int i = 0; i < 50; ++i)
+            sys::vgetpid();
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    std::vector<VariantFn> variants(7, app);
+    auto results = nvx.run(variants);
+    ASSERT_EQ(results.size(), 7u);
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed) << "variant " << r.variant;
+        EXPECT_EQ(r.status, 0);
+    }
+}
+
+TEST(NvxTest, NonDefaultLeaderIndex)
+{
+    NvxOptions options = fastOptions();
+    options.leader_index = 1; // e.g. newest revision leads (section 2.2)
+    auto app = []() -> int {
+        sys::vgetpid();
+        return Monitor::instance()->isLeader() ? 50 : 51;
+    };
+    Nvx nvx(options);
+    auto results = nvx.run({app, app});
+    EXPECT_EQ(results[0].status, 51);
+    EXPECT_EQ(results[1].status, 50);
+}
+
+TEST(NvxTest, SlowFollowerIsBoundedByRingCapacity)
+{
+    NvxOptions options = fastOptions();
+    options.ring_capacity = 8;
+    auto app = []() -> int {
+        const bool slow = Monitor::instance()->variantId() == 1;
+        for (int i = 0; i < 40; ++i) {
+            if (slow && i % 8 == 0)
+                sleepNs(2000000); // sanitizer-style lag (section 5.3)
+            sys::vgetpid();
+        }
+        return 0;
+    };
+    Nvx nvx(options);
+    Status started = nvx.start({app, app});
+    ASSERT_TRUE(started.isOk());
+    // While running, the log distance can never exceed the capacity.
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 50; ++i) {
+        max_seen = std::max(max_seen, nvx.ringLagOf(1));
+        sleepNs(1000000);
+    }
+    auto results = nvx.wait();
+    EXPECT_LE(max_seen, 8u);
+    for (const auto &r : results)
+        EXPECT_FALSE(r.crashed);
+}
+
+} // namespace
+} // namespace varan::core

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Failover robustness: sequential double failover, crash while the
+ * ring is saturated (backpressure + election interplay), crash during
+ * descriptor transfer, and a follower crashing at the same instant as
+ * the leader. These are the corner cases a production NVX deployment
+ * hits that the paper's protocol (section 5.1) must absorb.
+ */
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/nvx.h"
+#include "syscalls/sys.h"
+
+namespace varan::core {
+namespace {
+
+NvxOptions
+fastOptions(std::uint32_t ring = 64)
+{
+    NvxOptions options;
+    options.ring_capacity = ring;
+    options.shm_bytes = 16 << 20;
+    options.progress_timeout_ns = 15000000000ULL;
+    options.tick_ns = 2000000; // 2 ms: quick promotions
+    return options;
+}
+
+std::string
+readExactly(int fd, std::size_t len, int timeout_ms = 20000)
+{
+    std::string out;
+    std::uint64_t deadline = monotonicNs() +
+                             std::uint64_t(timeout_ms) * 1000000ULL;
+    while (out.size() < len && monotonicNs() < deadline) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 100) <= 0)
+            continue;
+        char buf[256];
+        ssize_t n = ::read(fd, buf,
+                           std::min(sizeof(buf), len - out.size()));
+        if (n > 0)
+            out.append(buf, static_cast<std::size_t>(n));
+        else if (n == 0)
+            break;
+    }
+    return out;
+}
+
+TEST(FailoverRobustnessTest, TwoSequentialLeaderCrashes)
+{
+    // Leadership must survive two elections: 0 crashes, 1 takes over
+    // and crashes too, 2 finishes the stream alone.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        for (int i = 0; i < 12; ++i) {
+            std::uint32_t id = Monitor::instance()->variantId();
+            if (i == 3 && id == 0) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            if (i == 7 && id == 1) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            char c = static_cast<char>('a' + i);
+            sys::vwrite(fds[1], &c, 1);
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_TRUE(results[1].crashed);
+    EXPECT_FALSE(results[2].crashed);
+    EXPECT_EQ(results[2].status, 0);
+    EXPECT_GE(nvx.epoch(), 2u);
+    // Every message exactly once across both failovers.
+    EXPECT_EQ(readExactly(fds[0], 12), "abcdefghijkl");
+    struct pollfd pfd = {fds[0], POLLIN, 0};
+    EXPECT_EQ(::poll(&pfd, 1, 200), 0) << "duplicated writes";
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FailoverRobustnessTest, LeaderCrashWhileRingSaturated)
+{
+    // A slow follower keeps the tiny ring full; the leader dies while
+    // backpressured. The promoted follower must drain its backlog and
+    // finish the sequence exactly once.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        Monitor *monitor = Monitor::instance();
+        for (int i = 0; i < 40; ++i) {
+            if (i == 20 && monitor->variantId() == 0) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            if (monitor->variantId() == 1 && i % 4 == 0)
+                sleepNs(3000000); // slow follower: fills the ring
+            char c = static_cast<char>('A' + (i % 26));
+            sys::vwrite(fds[1], &c, 1);
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions(8));
+    auto results = nvx.run({app, app});
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_FALSE(results[1].crashed);
+    std::string got = readExactly(fds[0], 40);
+    ASSERT_EQ(got.size(), 40u);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(got[i], static_cast<char>('A' + (i % 26))) << i;
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FailoverRobustnessTest, PromotedLeaderContinuesFdStream)
+{
+    // The original leader opens a file and crashes; the promoted
+    // follower must keep using the *mirrored* descriptor (same number,
+    // same open file description) and open new ones itself.
+    char path[] = "/tmp/varan-failover-fd-XXXXXX";
+    int tmp = ::mkstemp(path);
+    ASSERT_GE(tmp, 0);
+    ASSERT_EQ(::write(tmp, "0123456789", 10), 10);
+    ::close(tmp);
+    std::string file(path);
+
+    auto app = [file]() -> int {
+        long fd = sys::vopen(file.c_str(), O_RDONLY);
+        if (fd < 0)
+            return 90;
+        char a[2] = {};
+        if (sys::vread(static_cast<int>(fd), a, 2) != 2)
+            return 91;
+        // Original leader dies between two reads on the same fd.
+        if (Monitor::instance()->variantId() == 0) {
+            int *p = nullptr;
+            *p = 1;
+        }
+        char b[2] = {};
+        // Promoted leader re-executes this read on its dup: the file
+        // offset lives in the shared open file description, so it
+        // continues where the dead leader stopped.
+        if (sys::vread(static_cast<int>(fd), b, 2) != 2)
+            return 92;
+        sys::vclose(static_cast<int>(fd));
+        return (a[0] - '0') * 10 + (b[0] - '0');
+    };
+
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    ::unlink(path);
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_FALSE(results[1].crashed);
+    // a = "01", b = "23" -> 0*10 + 2.
+    EXPECT_EQ(results[1].status, 2);
+}
+
+TEST(FailoverRobustnessTest, AllVariantsCrashReportsCleanly)
+{
+    auto app = []() -> int {
+        sys::vgetpid();
+        int *p = nullptr;
+        *p = 1;
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_TRUE(results[1].crashed);
+    EXPECT_EQ(results[0].status, 128 + SIGSEGV);
+}
+
+TEST(FailoverRobustnessTest, FollowerCrashDuringLeaderElection)
+{
+    // Leader and one follower crash at nearly the same stream point;
+    // the remaining follower must still win the election and finish.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    auto app = [fds]() -> int {
+        std::uint32_t id = Monitor::instance()->variantId();
+        for (int i = 0; i < 10; ++i) {
+            if (i == 4 && id == 0) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            if (i == 5 && id == 1) {
+                int *p = nullptr;
+                *p = 1;
+            }
+            char c = static_cast<char>('0' + i);
+            sys::vwrite(fds[1], &c, 1);
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app, app});
+    EXPECT_TRUE(results[0].crashed);
+    EXPECT_FALSE(results[2].crashed);
+    EXPECT_EQ(results[2].status, 0);
+    EXPECT_EQ(readExactly(fds[0], 10), "0123456789");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+} // namespace
+} // namespace varan::core

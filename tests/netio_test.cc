@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the netio substrate: abstract-socket listeners, blocking
+ * send/recv helpers and the epoll event loop (the C10k servers' engine
+ * room). Everything runs natively here; the NVX path is exercised by
+ * the app integration tests.
+ */
+
+#include <sys/epoll.h>
+#include <thread>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "netio/eventloop.h"
+#include "netio/socketio.h"
+#include "syscalls/sys.h"
+
+namespace varan::netio {
+namespace {
+
+std::string
+uniqueName(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    return std::string("varan-netio-") + tag + "-" +
+           std::to_string(::getpid()) + "-" +
+           std::to_string(counter.fetch_add(1));
+}
+
+TEST(SocketIoTest, AbstractListenAndConnect)
+{
+    std::string name = uniqueName("basic");
+    auto listener = listenAbstract(name);
+    ASSERT_TRUE(listener.ok()) << listener.error().message();
+
+    std::thread client([&] {
+        auto conn = connectAbstract(name);
+        ASSERT_TRUE(conn.ok());
+        ASSERT_TRUE(sendAll(conn.value(), "ping", 4).isOk());
+        auto reply = recvUntil(conn.value(), "!");
+        EXPECT_EQ(reply.valueOr(""), "pong!");
+        sys::vclose(conn.value());
+    });
+
+    long fd = acceptConnection(listener.value(), false);
+    ASSERT_GE(fd, 0);
+    auto got = recvSome(static_cast<int>(fd));
+    EXPECT_EQ(got.valueOr(""), "ping");
+    ASSERT_TRUE(sendAll(static_cast<int>(fd), "pong!", 5).isOk());
+    client.join();
+    sys::vclose(static_cast<int>(fd));
+    sys::vclose(listener.value());
+}
+
+TEST(SocketIoTest, ConnectToMissingEndpointFails)
+{
+    auto conn = connectAbstract(uniqueName("missing"), 200);
+    EXPECT_FALSE(conn.ok());
+}
+
+TEST(SocketIoTest, DuplicateBindFails)
+{
+    std::string name = uniqueName("dup");
+    auto first = listenAbstract(name);
+    ASSERT_TRUE(first.ok());
+    auto second = listenAbstract(name);
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.error().code, EADDRINUSE);
+    sys::vclose(first.value());
+}
+
+TEST(SocketIoTest, TcpLoopbackRoundTrip)
+{
+    // Pick an uncommon fixed port; retry a couple in case of conflicts.
+    int listen_fd = -1;
+    std::uint16_t port = 0;
+    for (std::uint16_t candidate : {38741, 38743, 38747}) {
+        auto listener = listenTcp(candidate);
+        if (listener.ok()) {
+            listen_fd = listener.value();
+            port = candidate;
+            break;
+        }
+    }
+    if (listen_fd < 0)
+        GTEST_SKIP() << "no free loopback port";
+
+    std::thread client([&] {
+        auto conn = connectTcp(port);
+        ASSERT_TRUE(conn.ok());
+        ASSERT_TRUE(sendAll(conn.value(), "tcp", 3).isOk());
+        sys::vclose(conn.value());
+    });
+    long fd = acceptConnection(listen_fd, false);
+    ASSERT_GE(fd, 0);
+    auto got = recvSome(static_cast<int>(fd));
+    EXPECT_EQ(got.valueOr(""), "tcp");
+    client.join();
+    sys::vclose(static_cast<int>(fd));
+    sys::vclose(listen_fd);
+}
+
+TEST(SocketIoTest, RecvUntilStopsAtDelimiterOrEof)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(sendAll(fds[0], "line one\r\nrest", 14).isOk());
+    auto got = recvUntil(fds[1], "\r\n");
+    EXPECT_NE(got.valueOr("").find("line one\r\n"), std::string::npos);
+    ::close(fds[0]); // EOF for the second read
+    auto rest = recvUntil(fds[1], "\r\n");
+    EXPECT_TRUE(rest.ok()); // returns what it has at EOF
+    ::close(fds[1]);
+}
+
+TEST(EventLoopTest, DispatchesReadEvents)
+{
+    EventLoop loop;
+    ASSERT_TRUE(loop.valid());
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    int hits = 0;
+    ASSERT_TRUE(loop.add(fds[0], EPOLLIN, [&](std::uint32_t events) {
+                        EXPECT_TRUE(events & EPOLLIN);
+                        char c;
+                        sys::vread(fds[0], &c, 1);
+                        ++hits;
+                    })
+                    .isOk());
+    EXPECT_EQ(loop.runOnce(0), 0); // nothing pending
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    EXPECT_EQ(loop.runOnce(1000), 1);
+    EXPECT_EQ(hits, 1);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(EventLoopTest, RemoveStopsDispatch)
+{
+    EventLoop loop;
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    int hits = 0;
+    loop.add(fds[0], EPOLLIN, [&](std::uint32_t) { ++hits; });
+    loop.remove(fds[0]);
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    loop.runOnce(100);
+    EXPECT_EQ(hits, 0);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(EventLoopTest, StopFromHandlerEndsRun)
+{
+    EventLoop loop;
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    loop.add(fds[0], EPOLLIN, [&](std::uint32_t) {
+        char c;
+        sys::vread(fds[0], &c, 1);
+        loop.stop();
+    });
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    loop.run(10); // returns because the handler stops it
+    SUCCEED();
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(EventLoopTest, MultipleFdsEachReachTheirHandler)
+{
+    EventLoop loop;
+    int a[2], b[2];
+    ASSERT_EQ(::pipe(a), 0);
+    ASSERT_EQ(::pipe(b), 0);
+    std::string order;
+    loop.add(a[0], EPOLLIN, [&](std::uint32_t) {
+        char c;
+        sys::vread(a[0], &c, 1);
+        order += 'a';
+    });
+    loop.add(b[0], EPOLLIN, [&](std::uint32_t) {
+        char c;
+        sys::vread(b[0], &c, 1);
+        order += 'b';
+    });
+    ASSERT_EQ(::write(a[1], "x", 1), 1);
+    ASSERT_EQ(::write(b[1], "x", 1), 1);
+    while (order.size() < 2)
+        loop.runOnce(1000);
+    std::sort(order.begin(), order.end());
+    EXPECT_EQ(order, "ab");
+    for (int fd : {a[0], a[1], b[0], b[1]})
+        ::close(fd);
+}
+
+} // namespace
+} // namespace varan::netio

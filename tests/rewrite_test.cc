@@ -1,0 +1,429 @@
+/**
+ * @file
+ * End-to-end tests for selective binary rewriting: real machine code is
+ * generated, patched and *executed*, proving that intercepted syscall
+ * sites reach the entry point with the right register frame, that the
+ * detour preserves registers the kernel would preserve, that the INT
+ * fallback path works through SIGTRAP, and that vDSO-style entry-point
+ * hooks call both replacement and original.
+ */
+
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/disasm.h"
+#include "rewrite/patcher.h"
+#include "rewrite/vdso.h"
+
+namespace varan::rewrite {
+namespace {
+
+/** Records every intercepted call; the test entry point. */
+struct EntryRecorder {
+    static inline std::vector<SyscallFrame> calls;
+    static inline long next_result = 0;
+
+    static long
+    entry(SyscallFrame *frame)
+    {
+        calls.push_back(*frame);
+        return next_result;
+    }
+
+    static void
+    reset(long result)
+    {
+        calls.clear();
+        next_result = result;
+    }
+};
+
+/** Page of generated executable code. */
+class CodePage
+{
+  public:
+    CodePage()
+    {
+        mem_ = static_cast<std::uint8_t *>(
+            ::mmap(nullptr, kSize, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0));
+        EXPECT_NE(mem_, MAP_FAILED);
+    }
+
+    ~CodePage()
+    {
+        if (mem_ != MAP_FAILED)
+            ::munmap(mem_, kSize);
+    }
+
+    std::uint8_t *
+    emit(std::initializer_list<std::uint8_t> bytes)
+    {
+        std::uint8_t *at = mem_ + used_;
+        for (std::uint8_t b : bytes)
+            mem_[used_++] = b;
+        return at;
+    }
+
+    void
+    makeExecutable()
+    {
+        ASSERT_EQ(::mprotect(mem_, kSize, PROT_READ | PROT_EXEC), 0);
+    }
+
+    std::uint8_t *base() const { return mem_; }
+    std::size_t used() const { return used_; }
+
+    template <typename Fn>
+    Fn
+    function(std::uint8_t *at) const
+    {
+        return reinterpret_cast<Fn>(at);
+    }
+
+  private:
+    static constexpr std::size_t kSize = 4096;
+    std::uint8_t *mem_ = nullptr;
+    std::size_t used_ = 0;
+};
+
+using Fn0 = long (*)();
+
+TEST(RewriterTest, DetourInterceptsAndReturnsEntryResult)
+{
+    CodePage page;
+    // long f() { rax=39; syscall; rdx=rax; rax=rdx; ret }
+    std::uint8_t *fn = page.emit({
+        0x48, 0xc7, 0xc0, 0x27, 0, 0, 0, // mov rax, 39 (getpid)
+        0x0f, 0x05,                      // syscall
+        0x48, 0x89, 0xc2,                // mov rdx, rax  (relocated)
+        0x48, 0x89, 0xd0,                // mov rax, rdx
+        0xc3,                            // ret
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(4242);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().sites_found, 1u);
+    EXPECT_EQ(stats.value().detours, 1u);
+    EXPECT_EQ(stats.value().interrupts, 0u);
+    EXPECT_TRUE(stats.value().scan_complete);
+
+    long r = page.function<Fn0>(fn)();
+    EXPECT_EQ(r, 4242);
+    ASSERT_EQ(EntryRecorder::calls.size(), 1u);
+    EXPECT_EQ(EntryRecorder::calls[0].nr, 39u);
+}
+
+TEST(RewriterTest, FrameCarriesAllSixArguments)
+{
+    CodePage page;
+    std::uint8_t *fn = page.emit({
+        0x48, 0xc7, 0xc0, 0x2a, 0, 0, 0,  // mov rax, 42
+        0x48, 0xc7, 0xc7, 0x01, 0, 0, 0,  // mov rdi, 1
+        0x48, 0xc7, 0xc6, 0x02, 0, 0, 0,  // mov rsi, 2
+        0x48, 0xc7, 0xc2, 0x03, 0, 0, 0,  // mov rdx, 3
+        0x49, 0xc7, 0xc2, 0x04, 0, 0, 0,  // mov r10, 4
+        0x49, 0xc7, 0xc0, 0x05, 0, 0, 0,  // mov r8, 5
+        0x49, 0xc7, 0xc1, 0x06, 0, 0, 0,  // mov r9, 6
+        0x0f, 0x05,                       // syscall
+        0x90, 0x90, 0x90,                 // nops (relocation fodder)
+        0xc3,                             // ret
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(0);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats.value().detours, 1u);
+
+    page.function<Fn0>(fn)();
+    ASSERT_EQ(EntryRecorder::calls.size(), 1u);
+    const SyscallFrame &f = EntryRecorder::calls[0];
+    EXPECT_EQ(f.nr, 42u);
+    EXPECT_EQ(f.args[0], 1u);
+    EXPECT_EQ(f.args[1], 2u);
+    EXPECT_EQ(f.args[2], 3u);
+    EXPECT_EQ(f.args[3], 4u);
+    EXPECT_EQ(f.args[4], 5u);
+    EXPECT_EQ(f.args[5], 6u);
+}
+
+TEST(RewriterTest, ArgumentRegistersSurviveTheDetour)
+{
+    CodePage page;
+    // The kernel preserves rdi across syscall; code after the call may
+    // rely on it. mov rax, rdi after the syscall must see 0x7777.
+    std::uint8_t *fn = page.emit({
+        0x48, 0xc7, 0xc0, 0x27, 0, 0, 0,       // mov rax, 39
+        0x48, 0xc7, 0xc7, 0x77, 0x77, 0, 0,    // mov rdi, 0x7777
+        0x0f, 0x05,                            // syscall
+        0x48, 0x89, 0xf8,                      // mov rax, rdi
+        0xc3,                                  // ret
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(-1); // entry result must be overwritten
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats.value().detours, 1u);
+
+    EXPECT_EQ(page.function<Fn0>(fn)(), 0x7777);
+}
+
+TEST(RewriterTest, IntFallbackWhenFollowedByBranch)
+{
+    CodePage page;
+    // syscall immediately followed by ret: the window cannot grow, so
+    // the site must fall back to the 2-byte interrupt patch.
+    std::uint8_t *fn = page.emit({
+        0x48, 0xc7, 0xc0, 0x27, 0, 0, 0, // mov rax, 39
+        0x0f, 0x05,                      // syscall
+        0xc3,                            // ret
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(777);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().detours, 0u);
+    EXPECT_EQ(stats.value().interrupts, 1u);
+
+    // Executing rides the SIGTRAP path end to end.
+    EXPECT_EQ(page.function<Fn0>(fn)(), 777);
+    ASSERT_EQ(EntryRecorder::calls.size(), 1u);
+    EXPECT_EQ(EntryRecorder::calls[0].nr, 39u);
+}
+
+TEST(RewriterTest, IntFallbackCarriesArguments)
+{
+    CodePage page;
+    std::uint8_t *fn = page.emit({
+        0x48, 0xc7, 0xc0, 0x01, 0, 0, 0,    // mov rax, 1 (write)
+        0x48, 0xc7, 0xc7, 0x02, 0, 0, 0,    // mov rdi, 2
+        0x48, 0xc7, 0xc6, 0x33, 0, 0, 0,    // mov rsi, 0x33
+        0x48, 0xc7, 0xc2, 0x40, 0, 0, 0,    // mov rdx, 0x40
+        0x0f, 0x05,                         // syscall
+        0xc3,                               // ret
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(64);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats.value().interrupts, 1u);
+
+    EXPECT_EQ(page.function<Fn0>(fn)(), 64);
+    ASSERT_EQ(EntryRecorder::calls.size(), 1u);
+    EXPECT_EQ(EntryRecorder::calls[0].nr, 1u);
+    EXPECT_EQ(EntryRecorder::calls[0].args[0], 2u);
+    EXPECT_EQ(EntryRecorder::calls[0].args[1], 0x33u);
+    EXPECT_EQ(EntryRecorder::calls[0].args[2], 0x40u);
+}
+
+TEST(RewriterTest, MultipleSitesAllPatched)
+{
+    CodePage page2;
+    std::uint8_t *fn2 = page2.emit({
+        0x48, 0xc7, 0xc0, 0x0a, 0, 0, 0, // mov rax, 10
+        0x0f, 0x05,                      // syscall #1
+        0x48, 0x89, 0xc2,                // mov rdx, rax
+        0x48, 0xc7, 0xc0, 0x14, 0, 0, 0, // mov rax, 20
+        0x0f, 0x05,                      // syscall #2
+        0x48, 0x01, 0xd0,                // add rax, rdx
+        0xc3,                            // ret
+    });
+    page2.makeExecutable();
+
+    EntryRecorder::reset(100);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page2.base(), page2.used());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().sites_found, 2u);
+    EXPECT_EQ(stats.value().detours, 2u);
+
+    // Both intercepted calls return 100; result is 100 + 100.
+    EXPECT_EQ(page2.function<Fn0>(fn2)(), 200);
+    ASSERT_EQ(EntryRecorder::calls.size(), 2u);
+    EXPECT_EQ(EntryRecorder::calls[0].nr, 10u);
+    EXPECT_EQ(EntryRecorder::calls[1].nr, 20u);
+}
+
+TEST(RewriterTest, Int80SitesArePatchedToo)
+{
+    CodePage page;
+    std::uint8_t *fn = page.emit({
+        0x48, 0xc7, 0xc0, 0x14, 0, 0, 0, // mov rax, 20 (i386 getpid)
+        0xcd, 0x80,                      // int 0x80
+        0x90, 0x90, 0x90,                // nops
+        0xc3,                            // ret
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(31337);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto stats = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().sites_found, 1u);
+    EXPECT_EQ(stats.value().detours, 1u);
+    EXPECT_EQ(page.function<Fn0>(fn)(), 31337);
+}
+
+TEST(RewriterTest, RewriteIsIdempotentOnPatchedCode)
+{
+    CodePage page;
+    page.emit({
+        0x48, 0xc7, 0xc0, 0x27, 0, 0, 0,
+        0x0f, 0x05,
+        0x48, 0x89, 0xc2,
+        0xc3,
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(1);
+    Rewriter rewriter(&EntryRecorder::entry);
+    auto first = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value().sites_found, 1u);
+    // A second pass over already-rewritten code finds nothing to patch.
+    auto second = rewriter.rewriteRegion(page.base(), page.used());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value().sites_found, 0u);
+}
+
+TEST(RewriterTest, PageIsExecutableNotWritableAfterRewrite)
+{
+    CodePage page;
+    page.emit({
+        0x48, 0xc7, 0xc0, 0x27, 0, 0, 0,
+        0x0f, 0x05,
+        0x48, 0x89, 0xc2,
+        0xc3,
+    });
+    page.makeExecutable();
+
+    EntryRecorder::reset(1);
+    Rewriter rewriter(&EntryRecorder::entry);
+    ASSERT_TRUE(rewriter.rewriteRegion(page.base(), page.used()).ok());
+
+    // W^X: mprotect to RW and back must succeed (the page exists), and
+    // reading /proc/self/maps for the page shows r-xp.
+    char maps[256];
+    std::snprintf(maps, sizeof(maps), "/proc/self/maps");
+    FILE *f = std::fopen(maps, "r");
+    ASSERT_NE(f, nullptr);
+    char line[512];
+    bool found_rx = false;
+    auto lo = reinterpret_cast<std::uintptr_t>(page.base());
+    while (std::fgets(line, sizeof(line), f)) {
+        std::uintptr_t begin, end;
+        char perms[8] = {};
+        if (std::sscanf(line, "%lx-%lx %7s", &begin, &end, perms) == 3 &&
+            lo >= begin && lo < end) {
+            found_rx = std::strncmp(perms, "r-xp", 4) == 0;
+            break;
+        }
+    }
+    std::fclose(f);
+    EXPECT_TRUE(found_rx);
+}
+
+// --- vDSO-style function hooking (section 3.2.1) ---
+
+namespace hooks {
+
+long
+replacement()
+{
+    return 222;
+}
+
+} // namespace hooks
+
+TEST(FunctionHookTest, HooksGeneratedFunction)
+{
+    CodePage page;
+    // long f() { return 111; }  (5-byte mov + ret: perfect prologue)
+    std::uint8_t *fn = page.emit({
+        0xb8, 0x6f, 0, 0, 0, // mov eax, 111
+        0xc3,                // ret
+    });
+    page.makeExecutable();
+
+    FunctionHooker hooker;
+    auto hooked = hooker.hook(reinterpret_cast<void *>(fn),
+                              reinterpret_cast<void *>(&hooks::replacement));
+    ASSERT_TRUE(hooked.ok()) << hooked.error().message();
+    EXPECT_GE(hooked.value().prologue_bytes, 5u);
+
+    // Calls now reach the replacement...
+    EXPECT_EQ(page.function<Fn0>(fn)(), 222);
+    // ...while the trampoline still reaches the original body.
+    auto original = reinterpret_cast<Fn0>(hooked.value().call_original);
+    EXPECT_EQ(original(), 111);
+}
+
+TEST(FunctionHookTest, RefusesBranchInPrologue)
+{
+    CodePage page;
+    // First instruction is a 2-byte jmp: cannot relocate safely.
+    std::uint8_t *fn = page.emit({
+        0xeb, 0x03,          // jmp +3
+        0x90, 0x90, 0x90,    // nops
+        0xb8, 0x6f, 0, 0, 0, // mov eax, 111
+        0xc3,
+    });
+    page.makeExecutable();
+
+    FunctionHooker hooker;
+    auto hooked = hooker.hook(reinterpret_cast<void *>(fn),
+                              reinterpret_cast<void *>(&hooks::replacement));
+    ASSERT_FALSE(hooked.ok());
+    EXPECT_EQ(hooked.error().code, EFAULT);
+}
+
+TEST(FunctionHookTest, HookPreservesArgumentPassing)
+{
+    CodePage page;
+    // long f(long a) { return a + 7; }:
+    //   lea rax, [rdi+7]; ret  -> 48 8D 47 07 C3
+    std::uint8_t *fn = page.emit({
+        0x48, 0x8d, 0x47, 0x07, // lea rax, [rdi+7]
+        0x90,                   // nop (pad prologue to 5 bytes)
+        0xc3,                   // ret
+    });
+    page.makeExecutable();
+
+    struct Local {
+        static long
+        twice(long a)
+        {
+            return a * 2;
+        }
+    };
+
+    using Fn1 = long (*)(long);
+    FunctionHooker hooker;
+    auto hooked =
+        hooker.hook(reinterpret_cast<void *>(fn),
+                    reinterpret_cast<void *>(+[](long a) -> long {
+                        return Local::twice(a);
+                    }));
+    ASSERT_TRUE(hooked.ok());
+    EXPECT_EQ(page.function<Fn1>(fn)(21), 42);
+    auto original = reinterpret_cast<Fn1>(hooked.value().call_original);
+    EXPECT_EQ(original(21), 28);
+}
+
+} // namespace
+} // namespace varan::rewrite

@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Tests for the event-streaming layer: the 64-byte event, the
+ * Disruptor-style ring buffer (SPMC, backpressure, waitlocks, detach),
+ * the Lamport clock gate and the legacy event-pump baseline.
+ */
+
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ring/event.h"
+#include "ring/event_pump.h"
+#include "ring/lamport.h"
+#include "ring/ring_buffer.h"
+#include "shmem/region.h"
+
+namespace varan::ring {
+namespace {
+
+using shmem::Offset;
+using shmem::Region;
+
+Event
+makeEvent(std::uint64_t ts, std::uint16_t nr, std::int64_t result)
+{
+    Event e = {};
+    e.timestamp = ts;
+    e.type = EventType::Syscall;
+    e.nr = nr;
+    e.result = result;
+    return e;
+}
+
+class RingTest : public ::testing::Test
+{
+  protected:
+    void
+    init(std::uint32_t capacity)
+    {
+        auto r = Region::create(4 << 20);
+        ASSERT_TRUE(r.ok());
+        region_ = std::move(r.value());
+        Offset off = region_.carve(RingBuffer::bytesRequired(capacity));
+        ring_ = RingBuffer::initialize(&region_, off, capacity);
+    }
+
+    Region region_;
+    RingBuffer ring_;
+};
+
+TEST(EventTest, IsExactlyOneCacheLine)
+{
+    EXPECT_EQ(sizeof(Event), 64u);
+}
+
+TEST(EventTest, FlagHelpers)
+{
+    Event e = {};
+    EXPECT_FALSE(e.hasPayload());
+    e.flags = kHasPayload | kFdTransfer;
+    EXPECT_TRUE(e.hasPayload());
+    EXPECT_TRUE(e.transfersFd());
+    EXPECT_FALSE(e.argsSpilled());
+}
+
+TEST_F(RingTest, PublishThenPoll)
+{
+    init(8);
+    int id = ring_.attachConsumer();
+    ASSERT_GE(id, 0);
+    ASSERT_TRUE(ring_.publish(makeEvent(1, 42, 7)));
+    Event out = {};
+    ASSERT_TRUE(ring_.poll(id, &out));
+    EXPECT_EQ(out.timestamp, 1u);
+    EXPECT_EQ(out.nr, 42u);
+    EXPECT_EQ(out.result, 7);
+    EXPECT_FALSE(ring_.poll(id, &out)); // drained
+}
+
+TEST_F(RingTest, LateAttachSkipsHistory)
+{
+    init(8);
+    ASSERT_TRUE(ring_.publish(makeEvent(1, 1, 0)));
+    ASSERT_TRUE(ring_.publish(makeEvent(2, 2, 0)));
+    int id = ring_.attachConsumer();
+    ASSERT_GE(id, 0);
+    Event out = {};
+    EXPECT_FALSE(ring_.poll(id, &out));
+    ASSERT_TRUE(ring_.publish(makeEvent(3, 3, 0)));
+    ASSERT_TRUE(ring_.poll(id, &out));
+    EXPECT_EQ(out.nr, 3u);
+}
+
+TEST_F(RingTest, WrapAroundPreservesOrder)
+{
+    init(4);
+    int id = ring_.attachConsumer();
+    Event out = {};
+    for (std::uint64_t i = 1; i <= 100; ++i) {
+        ASSERT_TRUE(ring_.publish(makeEvent(i, 0, 0)));
+        ASSERT_TRUE(ring_.poll(id, &out));
+        EXPECT_EQ(out.timestamp, i);
+    }
+}
+
+TEST_F(RingTest, ProducerBlocksWhenFullAndTimesOut)
+{
+    init(4);
+    int id = ring_.attachConsumer();
+    ASSERT_GE(id, 0);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring_.publish(makeEvent(i + 1, 0, 0)));
+    // Ring is full; the next publish must observe the deadline.
+    WaitSpec w = WaitSpec::withTimeout(30000000); // 30 ms
+    w.spin_iterations = 16;
+    EXPECT_FALSE(ring_.publish(makeEvent(5, 0, 0), w));
+    // Consuming one event frees a slot.
+    Event out = {};
+    ASSERT_TRUE(ring_.poll(id, &out));
+    EXPECT_TRUE(ring_.publish(makeEvent(5, 0, 0), w));
+}
+
+TEST_F(RingTest, DetachUnblocksProducer)
+{
+    init(4);
+    int id = ring_.attachConsumer();
+    ASSERT_GE(id, 0);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring_.publish(makeEvent(i + 1, 0, 0)));
+
+    std::thread detacher([&] {
+        sleepNs(20000000); // 20 ms
+        ring_.detachConsumer(id);
+    });
+    // With no active consumer the gate opens and this publish succeeds.
+    WaitSpec w = WaitSpec::withTimeout(2000000000ULL); // 2 s guard
+    EXPECT_TRUE(ring_.publish(makeEvent(5, 0, 0), w));
+    detacher.join();
+}
+
+TEST_F(RingTest, EachConsumerSeesEveryEvent)
+{
+    init(8);
+    constexpr int kConsumers = 3;
+    constexpr std::uint64_t kEvents = 5000;
+    int ids[kConsumers];
+    for (int i = 0; i < kConsumers; ++i) {
+        ids[i] = ring_.attachConsumer();
+        ASSERT_GE(ids[i], 0);
+    }
+
+    std::vector<std::thread> consumers;
+    std::vector<std::uint64_t> sums(kConsumers, 0);
+    for (int i = 0; i < kConsumers; ++i) {
+        consumers.emplace_back([&, i] {
+            Event out = {};
+            WaitSpec w = WaitSpec::withTimeout(10000000000ULL);
+            w.spin_iterations = 64;
+            for (std::uint64_t n = 1; n <= kEvents; ++n) {
+                ASSERT_TRUE(ring_.consume(ids[i], &out, w));
+                ASSERT_EQ(out.timestamp, n); // strict FIFO per consumer
+                sums[i] += out.result;
+            }
+        });
+    }
+
+    std::uint64_t expect_sum = 0;
+    WaitSpec pw = WaitSpec::withTimeout(10000000000ULL);
+    for (std::uint64_t n = 1; n <= kEvents; ++n) {
+        ASSERT_TRUE(ring_.publish(makeEvent(n, 0, n % 97), pw));
+        expect_sum += n % 97;
+    }
+    for (auto &t : consumers)
+        t.join();
+    for (int i = 0; i < kConsumers; ++i)
+        EXPECT_EQ(sums[i], expect_sum);
+}
+
+TEST_F(RingTest, LagTracksDistance)
+{
+    init(16);
+    int id = ring_.attachConsumer();
+    EXPECT_EQ(ring_.lag(id), 0u);
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(ring_.publish(makeEvent(i + 1, 0, 0)));
+    EXPECT_EQ(ring_.lag(id), 6u);
+    Event out = {};
+    ring_.poll(id, &out);
+    ring_.poll(id, &out);
+    EXPECT_EQ(ring_.lag(id), 4u);
+}
+
+TEST_F(RingTest, AttachConsumerAtFixedSlot)
+{
+    init(8);
+    ASSERT_TRUE(ring_.attachConsumerAt(5));
+    EXPECT_FALSE(ring_.attachConsumerAt(5)); // already taken
+    EXPECT_TRUE(ring_.consumerActive(5));
+    ring_.detachConsumer(5);
+    EXPECT_FALSE(ring_.consumerActive(5));
+    EXPECT_TRUE(ring_.attachConsumerAt(5)); // slot reusable
+}
+
+TEST_F(RingTest, AllSlotsExhaustReturnsMinusOne)
+{
+    init(8);
+    for (std::uint32_t i = 0; i < kMaxConsumers; ++i)
+        EXPECT_GE(ring_.attachConsumer(), 0);
+    EXPECT_EQ(ring_.attachConsumer(), -1);
+}
+
+TEST_F(RingTest, FutexPathDeliversUnderSlowProduction)
+{
+    init(8);
+    int id = ring_.attachConsumer();
+    std::thread producer([&] {
+        for (int i = 0; i < 5; ++i) {
+            sleepNs(5000000); // 5 ms gaps force the consumer to sleep
+            ring_.publish(makeEvent(i + 1, 0, 0));
+        }
+    });
+    Event out = {};
+    WaitSpec w = WaitSpec::withTimeout(5000000000ULL);
+    w.spin_iterations = 8; // hit the futex path quickly
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(ring_.consume(id, &out, w));
+        EXPECT_EQ(out.timestamp, static_cast<std::uint64_t>(i + 1));
+    }
+    producer.join();
+}
+
+TEST_F(RingTest, ConsumeTimesOutOnSilence)
+{
+    init(8);
+    int id = ring_.attachConsumer();
+    Event out = {};
+    WaitSpec w = WaitSpec::withTimeout(20000000); // 20 ms
+    w.spin_iterations = 8;
+    std::uint64_t t0 = monotonicNs();
+    EXPECT_FALSE(ring_.consume(id, &out, w));
+    EXPECT_GE(monotonicNs() - t0, 15000000ULL);
+}
+
+TEST_F(RingTest, CrossProcessStreamIsLossless)
+{
+    init(64);
+    constexpr std::uint64_t kEvents = 20000;
+    int id = ring_.attachConsumer();
+    ASSERT_GE(id, 0);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child is the follower: consume and verify ordering.
+        Event out = {};
+        WaitSpec w = WaitSpec::withTimeout(20000000000ULL);
+        for (std::uint64_t n = 1; n <= kEvents; ++n) {
+            if (!ring_.consume(id, &out, w))
+                _exit(2);
+            if (out.timestamp != n || out.result != int64_t(n * 3))
+                _exit(3);
+        }
+        _exit(0);
+    }
+    WaitSpec pw = WaitSpec::withTimeout(20000000000ULL);
+    for (std::uint64_t n = 1; n <= kEvents; ++n)
+        ASSERT_TRUE(ring_.publish(makeEvent(n, 7, int64_t(n * 3)), pw));
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// --- parameterized sweep: capacity x consumer count (property-style) ---
+
+class RingSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>>
+{
+};
+
+TEST_P(RingSweepTest, StreamIntegrityUnderLoad)
+{
+    const std::uint32_t capacity = std::get<0>(GetParam());
+    const int consumers = std::get<1>(GetParam());
+    constexpr std::uint64_t kEvents = 3000;
+
+    auto r = Region::create(4 << 20);
+    ASSERT_TRUE(r.ok());
+    Region region = std::move(r.value());
+    Offset off = region.carve(RingBuffer::bytesRequired(capacity));
+    RingBuffer ring = RingBuffer::initialize(&region, off, capacity);
+
+    std::vector<int> ids(consumers);
+    for (int i = 0; i < consumers; ++i) {
+        ids[i] = ring.attachConsumer();
+        ASSERT_GE(ids[i], 0);
+    }
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int i = 0; i < consumers; ++i) {
+        threads.emplace_back([&, i] {
+            Event out = {};
+            WaitSpec w = WaitSpec::withTimeout(20000000000ULL);
+            w.spin_iterations = 128;
+            for (std::uint64_t n = 1; n <= kEvents; ++n) {
+                if (!ring.consume(ids[i], &out, w) || out.timestamp != n) {
+                    failures.fetch_add(1);
+                    return;
+                }
+            }
+        });
+    }
+    WaitSpec pw = WaitSpec::withTimeout(20000000000ULL);
+    for (std::uint64_t n = 1; n <= kEvents; ++n)
+        ASSERT_TRUE(ring.publish(makeEvent(n, 0, 0), pw));
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityByConsumers, RingSweepTest,
+    ::testing::Combine(::testing::Values(1u, 4u, 16u, 256u),
+                       ::testing::Values(1, 2, 4)));
+
+// --- Lamport clock ---
+
+class LamportTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto r = Region::create(1 << 16);
+        ASSERT_TRUE(r.ok());
+        region_ = std::move(r.value());
+        Offset off = region_.carve(LamportClock::bytesRequired());
+        clock_ = LamportClock::initialize(&region_, off);
+    }
+
+    Region region_;
+    LamportClock clock_;
+};
+
+TEST_F(LamportTest, TickIsMonotonicConsecutive)
+{
+    EXPECT_EQ(clock_.current(), 0u);
+    EXPECT_EQ(clock_.tick(), 1u);
+    EXPECT_EQ(clock_.tick(), 2u);
+    EXPECT_EQ(clock_.current(), 2u);
+}
+
+TEST_F(LamportTest, TicksAreUniqueAcrossThreads)
+{
+    constexpr int kThreads = 4;
+    constexpr int kTicks = 5000;
+    std::vector<std::vector<std::uint64_t>> stamps(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            stamps[t].reserve(kTicks);
+            for (int i = 0; i < kTicks; ++i)
+                stamps[t].push_back(clock_.tick());
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::vector<std::uint64_t> all;
+    for (auto &v : stamps)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        ASSERT_EQ(all[i], i + 1); // dense and unique
+}
+
+TEST_F(LamportTest, AwaitTurnEnforcesOrder)
+{
+    std::vector<int> order;
+    std::mutex m;
+    // Three "follower threads" receive shuffled timestamps but must
+    // process them in timestamp order.
+    std::vector<std::thread> threads;
+    for (std::uint64_t ts : {3u, 1u, 2u}) {
+        threads.emplace_back([&, ts] {
+            WaitSpec w = WaitSpec::withTimeout(5000000000ULL);
+            w.spin_iterations = 32;
+            ASSERT_TRUE(clock_.awaitTurn(ts, w));
+            {
+                std::lock_guard<std::mutex> g(m);
+                order.push_back(static_cast<int>(ts));
+            }
+            clock_.advanceTo(ts);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+}
+
+TEST_F(LamportTest, AwaitTurnTimesOutWhenBlocked)
+{
+    WaitSpec w = WaitSpec::withTimeout(20000000); // 20 ms
+    w.spin_iterations = 8;
+    EXPECT_FALSE(clock_.awaitTurn(5, w)); // turns 1-4 never happen
+}
+
+// --- SPSC queue + event pump (legacy design, ablation baseline) ---
+
+class PumpTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto r = Region::create(8 << 20);
+        ASSERT_TRUE(r.ok());
+        region_ = std::move(r.value());
+    }
+
+    SpscQueue
+    makeQueue(std::uint32_t capacity)
+    {
+        Offset off = region_.carve(SpscQueue::bytesRequired(capacity));
+        return SpscQueue::initialize(&region_, off, capacity);
+    }
+
+    Region region_;
+};
+
+TEST_F(PumpTest, SpscFifoRoundTrip)
+{
+    SpscQueue q = makeQueue(8);
+    ASSERT_TRUE(q.tryPush(makeEvent(1, 11, 0)));
+    ASSERT_TRUE(q.tryPush(makeEvent(2, 22, 0)));
+    Event out = {};
+    ASSERT_TRUE(q.tryPop(&out));
+    EXPECT_EQ(out.nr, 11u);
+    ASSERT_TRUE(q.tryPop(&out));
+    EXPECT_EQ(out.nr, 22u);
+    EXPECT_FALSE(q.tryPop(&out));
+}
+
+TEST_F(PumpTest, SpscFullRejectsPush)
+{
+    SpscQueue q = makeQueue(2);
+    EXPECT_TRUE(q.tryPush(makeEvent(1, 0, 0)));
+    EXPECT_TRUE(q.tryPush(makeEvent(2, 0, 0)));
+    EXPECT_FALSE(q.tryPush(makeEvent(3, 0, 0)));
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST_F(PumpTest, PumpReplicatesToAllFollowers)
+{
+    SpscQueue leader = makeQueue(64);
+    std::vector<SpscQueue> followers = {makeQueue(64), makeQueue(64),
+                                        makeQueue(64)};
+    EventPump pump(leader, followers);
+
+    for (std::uint64_t n = 1; n <= 32; ++n)
+        ASSERT_TRUE(leader.tryPush(makeEvent(n, 0, 0)));
+    EXPECT_EQ(pump.pumpSome(1000), 32u);
+
+    for (auto &f : followers) {
+        Event out = {};
+        for (std::uint64_t n = 1; n <= 32; ++n) {
+            ASSERT_TRUE(f.tryPop(&out));
+            EXPECT_EQ(out.timestamp, n);
+        }
+        EXPECT_FALSE(f.tryPop(&out));
+    }
+}
+
+TEST_F(PumpTest, RunStopsOnRequestAndDrains)
+{
+    SpscQueue leader = makeQueue(1024);
+    std::vector<SpscQueue> followers = {makeQueue(1024)};
+    EventPump pump(leader, followers);
+
+    std::thread runner([&] { pump.run(); });
+    for (std::uint64_t n = 1; n <= 500; ++n)
+        ASSERT_TRUE(leader.push(makeEvent(n, 0, 0),
+                                WaitSpec::withTimeout(5000000000ULL)));
+    sleepNs(50000000); // let it pump
+    pump.stop();
+    runner.join();
+
+    Event out = {};
+    std::uint64_t got = 0;
+    while (followers[0].tryPop(&out))
+        ++got;
+    EXPECT_EQ(got, 500u);
+}
+
+} // namespace
+} // namespace varan::ring

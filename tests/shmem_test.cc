@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit and property tests for the shared-memory region and the pool
+ * allocator of section 3.3.4, including cross-process behaviour.
+ */
+
+#include <cstring>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shmem/futex_lock.h"
+#include "shmem/pool.h"
+#include "shmem/region.h"
+
+namespace varan::shmem {
+namespace {
+
+TEST(RegionTest, CreateMapsZeroedMemory)
+{
+    auto r = Region::create(1 << 20);
+    ASSERT_TRUE(r.ok());
+    auto &region = r.value();
+    EXPECT_TRUE(region.valid());
+    EXPECT_EQ(region.size(), 1u << 20);
+    auto *bytes = static_cast<unsigned char *>(region.base());
+    for (std::size_t i = 0; i < 4096; i += 512)
+        EXPECT_EQ(bytes[i], 0);
+}
+
+TEST(RegionTest, CarveRespectsAlignment)
+{
+    auto r = Region::create(1 << 16);
+    ASSERT_TRUE(r.ok());
+    auto &region = r.value();
+    Offset a = region.carve(10, 64);
+    Offset b = region.carve(100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 10);
+    EXPECT_NE(a, 0u); // offset 0 is reserved
+}
+
+TEST(RegionTest, OffsetPointerRoundTrip)
+{
+    auto r = Region::create(1 << 16);
+    ASSERT_TRUE(r.ok());
+    auto &region = r.value();
+    Offset off = region.carve(sizeof(int), alignof(int));
+    int *p = region.at<int>(off);
+    *p = 1234;
+    EXPECT_EQ(region.offsetOf(p), off);
+    EXPECT_EQ(*region.at<int>(off), 1234);
+}
+
+TEST(RegionTest, SharedAcrossFork)
+{
+    auto r = Region::create(1 << 16);
+    ASSERT_TRUE(r.ok());
+    auto &region = r.value();
+    Offset off = region.carve(sizeof(std::atomic<int>));
+    auto *counter = new (region.bytesAt(off, sizeof(std::atomic<int>)))
+        std::atomic<int>(0);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        counter->fetch_add(5);
+        _exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_EQ(counter->load(), 5);
+}
+
+TEST(RegionTest, FromFdMapsSameBytes)
+{
+    auto r = Region::create(1 << 16);
+    ASSERT_TRUE(r.ok());
+    auto &region = r.value();
+    std::memcpy(static_cast<char *>(region.base()) + 128, "varan", 6);
+
+    Fd dup_fd(::dup(region.fd()));
+    ASSERT_TRUE(dup_fd.valid());
+    auto second = Region::fromFd(std::move(dup_fd), region.size());
+    ASSERT_TRUE(second.ok());
+    EXPECT_STREQ(static_cast<char *>(second.value().base()) + 128, "varan");
+}
+
+class PoolTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto r = Region::create(8 << 20);
+        ASSERT_TRUE(r.ok());
+        region_ = std::move(r.value());
+        Offset hdr = region_.carve(sizeof(PoolHeader));
+        Offset begin = region_.carve(64); // leave alignment padding
+        pool_ = PoolAllocator::initialize(&region_, hdr, begin,
+                                          region_.size());
+    }
+
+    Region region_;
+    PoolAllocator pool_;
+};
+
+TEST_F(PoolTest, AllocateAndRelease)
+{
+    Offset p = pool_.allocate(100);
+    ASSERT_NE(p, 0u);
+    EXPECT_EQ(pool_.refcount(p), 1u);
+    EXPECT_EQ(pool_.liveAllocations(), 1u);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(PoolTest, PayloadIsWritable)
+{
+    Offset p = pool_.allocate(512);
+    ASSERT_NE(p, 0u);
+    void *mem = pool_.pointer(p, 512);
+    std::memset(mem, 0x5a, 512);
+    EXPECT_EQ(static_cast<unsigned char *>(mem)[511], 0x5a);
+    pool_.release(p);
+}
+
+TEST_F(PoolTest, SizeClassesRoundUp)
+{
+    EXPECT_EQ(PoolAllocator::chunkSizeFor(1), 64u);
+    EXPECT_EQ(PoolAllocator::chunkSizeFor(64), 64u);
+    EXPECT_EQ(PoolAllocator::chunkSizeFor(65), 128u);
+    EXPECT_EQ(PoolAllocator::chunkSizeFor(4096), 4096u);
+    EXPECT_EQ(PoolAllocator::chunkSizeFor(4097), 8192u);
+}
+
+TEST_F(PoolTest, ReusesFreedChunks)
+{
+    Offset a = pool_.allocate(128);
+    pool_.release(a);
+    Offset b = pool_.allocate(128);
+    EXPECT_EQ(a, b); // LIFO free list hands the same chunk back
+    pool_.release(b);
+}
+
+TEST_F(PoolTest, RefcountingDelaysFree)
+{
+    Offset p = pool_.allocate(64, 3); // e.g. three followers
+    EXPECT_EQ(pool_.refcount(p), 3u);
+    pool_.release(p);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 1u);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(PoolTest, AddRefExtendsLifetime)
+{
+    Offset p = pool_.allocate(64, 1);
+    pool_.addRef(p, 2);
+    pool_.release(p);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 1u);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(PoolTest, OversizeRequestFails)
+{
+    // Far beyond the largest size class.
+    EXPECT_EQ(pool_.allocate(64u << 20), 0u);
+}
+
+TEST_F(PoolTest, ExhaustionReturnsZeroNotCrash)
+{
+    std::vector<Offset> live;
+    for (;;) {
+        Offset p = pool_.allocate(1 << 20); // 1 MiB chunks drain fast
+        if (p == 0)
+            break;
+        live.push_back(p);
+    }
+    EXPECT_GT(live.size(), 0u);
+    for (Offset p : live)
+        pool_.release(p);
+    // After releasing everything the pool must serve requests again.
+    Offset p = pool_.allocate(1 << 20);
+    EXPECT_NE(p, 0u);
+    pool_.release(p);
+}
+
+TEST_F(PoolTest, DistinctAllocationsDontOverlap)
+{
+    Offset a = pool_.allocate(256);
+    Offset b = pool_.allocate(256);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    std::memset(pool_.pointer(a, 256), 0x11, 256);
+    std::memset(pool_.pointer(b, 256), 0x22, 256);
+    EXPECT_EQ(static_cast<unsigned char *>(pool_.pointer(a, 256))[0], 0x11);
+    pool_.release(a);
+    pool_.release(b);
+}
+
+TEST_F(PoolTest, ConcurrentAllocFreeIsSafe)
+{
+    constexpr int kThreads = 4;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([this] {
+            std::vector<Offset> mine;
+            for (int i = 0; i < kIters; ++i) {
+                Offset p = pool_.allocate(64 + (i % 512));
+                ASSERT_NE(p, 0u);
+                mine.push_back(p);
+                if (mine.size() > 8) {
+                    pool_.release(mine.front());
+                    mine.erase(mine.begin());
+                }
+            }
+            for (Offset p : mine)
+                pool_.release(p);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(PoolTest, CrossProcessAllocFree)
+{
+    // Leader-style allocation with refs for one "follower" process that
+    // releases its reference from the other side of a fork.
+    Offset p = pool_.allocate(128, 2);
+    std::memcpy(pool_.pointer(p, 128), "payload", 8);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // The inherited pool handle resolves through the shared mapping,
+        // exactly as a follower process would use it.
+        char *data = static_cast<char *>(pool_.pointer(p, 128));
+        bool match = std::strcmp(data, "payload") == 0;
+        pool_.release(p);
+        _exit(match ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_EQ(pool_.refcount(p), 1u);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST(FutexLockTest, MutualExclusionAcrossThreads)
+{
+    alignas(64) static FutexLock lock;
+    static int counter = 0;
+    constexpr int kThreads = 4;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kIters; ++i) {
+                FutexLockGuard g(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(FutexLockTest, TryLockFailsWhenHeld)
+{
+    FutexLock lock;
+    EXPECT_TRUE(lock.tryLock());
+    EXPECT_FALSE(lock.tryLock());
+    lock.unlock();
+    EXPECT_TRUE(lock.tryLock());
+    lock.unlock();
+}
+
+TEST(FutexLockTest, MutualExclusionAcrossProcesses)
+{
+    auto r = Region::create(1 << 16);
+    ASSERT_TRUE(r.ok());
+    auto &region = r.value();
+    Offset lock_off = region.carve(sizeof(FutexLock));
+    Offset cnt_off = region.carve(sizeof(std::uint64_t));
+    auto *lock = new (region.bytesAt(lock_off, sizeof(FutexLock)))
+        FutexLock();
+    auto *counter = region.at<std::uint64_t>(cnt_off);
+    *counter = 0;
+
+    constexpr int kProcs = 3;
+    constexpr int kIters = 20000;
+    std::vector<pid_t> pids;
+    for (int p = 0; p < kProcs; ++p) {
+        pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            for (int i = 0; i < kIters; ++i) {
+                lock->lock();
+                ++*counter; // non-atomic on purpose: the lock protects it
+                lock->unlock();
+            }
+            _exit(0);
+        }
+        pids.push_back(pid);
+    }
+    for (pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+    EXPECT_EQ(*counter, static_cast<std::uint64_t>(kProcs) * kIters);
+}
+
+} // namespace
+} // namespace varan::shmem

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for virtual-system-call interception (paper section 3.2.1)
+ * against the *real* vDSO of the running process: discovery via
+ * AT_SYSINFO_EHDR, ELF symbol enumeration, direct invocation of the
+ * discovered functions, and — in a forked child, since it rewrites
+ * live kernel-provided code — hooking __vdso_clock_gettime so that
+ * even libc's clock_gettime lands in our replacement.
+ */
+
+#include <ctime>
+#include <sys/auxv.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "rewrite/vdso.h"
+#include "rewrite/vdso_image.h"
+
+namespace varan::rewrite {
+namespace {
+
+bool
+vdsoPresent()
+{
+    return ::getauxval(AT_SYSINFO_EHDR) != 0;
+}
+
+TEST(VdsoImageTest, DiscoversTheVdso)
+{
+    if (!vdsoPresent())
+        GTEST_SKIP() << "no vDSO in this environment";
+    auto image = VdsoImage::fromAuxv();
+    ASSERT_TRUE(image.ok()) << image.error().message();
+    EXPECT_NE(image.value().base(), 0u);
+    EXPECT_FALSE(image.value().symbols().empty());
+}
+
+TEST(VdsoImageTest, ExportsTheClassicTimeFunctions)
+{
+    if (!vdsoPresent())
+        GTEST_SKIP();
+    auto image = VdsoImage::fromAuxv();
+    ASSERT_TRUE(image.ok());
+    // x86-64 vDSOs export these four (paper section 3.2.1).
+    EXPECT_NE(image.value().find("__vdso_clock_gettime"), nullptr);
+    EXPECT_NE(image.value().find("__vdso_gettimeofday"), nullptr);
+    EXPECT_NE(image.value().find("__vdso_time"), nullptr);
+    EXPECT_NE(image.value().find("__vdso_getcpu"), nullptr);
+}
+
+TEST(VdsoImageTest, DiscoveredClockGettimeWorks)
+{
+    if (!vdsoPresent())
+        GTEST_SKIP();
+    auto image = VdsoImage::fromAuxv();
+    ASSERT_TRUE(image.ok());
+    using ClockFn = int (*)(clockid_t, struct timespec *);
+    auto fn = reinterpret_cast<ClockFn>(
+        image.value().find("__vdso_clock_gettime"));
+    ASSERT_NE(fn, nullptr);
+
+    struct timespec via_vdso = {};
+    struct timespec via_libc = {};
+    ASSERT_EQ(fn(CLOCK_MONOTONIC, &via_vdso), 0);
+    ASSERT_EQ(::clock_gettime(CLOCK_MONOTONIC, &via_libc), 0);
+    // Within a second of each other.
+    EXPECT_LE(std::labs(via_libc.tv_sec - via_vdso.tv_sec), 1);
+}
+
+TEST(VdsoImageTest, RejectsNonElfMemory)
+{
+    char junk[64] = {'n', 'o', 't', ' ', 'e', 'l', 'f'};
+    auto image = VdsoImage::fromMemory(junk);
+    EXPECT_FALSE(image.ok());
+}
+
+// The replacement installed over __vdso_clock_gettime in the child.
+int
+fixedClockGettime(clockid_t, struct timespec *ts)
+{
+    if (ts) {
+        ts->tv_sec = 1234567;
+        ts->tv_nsec = 42;
+    }
+    return 0;
+}
+
+TEST(VdsoHookTest, HooksTheLiveVdsoClockGettime)
+{
+    if (!vdsoPresent())
+        GTEST_SKIP();
+    // Rewriting the live vDSO affects every time call in the process,
+    // so do it in a forked child and judge by its exit code.
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        auto image = VdsoImage::fromAuxv();
+        if (!image.ok())
+            ::_exit(10);
+        void *target = image.value().find("__vdso_clock_gettime");
+        if (!target)
+            ::_exit(11);
+
+        FunctionHooker hooker;
+        auto hook = hooker.hook(
+            target, reinterpret_cast<void *>(&fixedClockGettime));
+        if (!hook.ok())
+            ::_exit(12); // e.g. vDSO not mprotect-able here
+
+        // libc's clock_gettime goes through the vDSO: it must now see
+        // the replacement's fixed timestamp.
+        struct timespec ts = {};
+        if (::clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+            ::_exit(13);
+        if (ts.tv_sec != 1234567 || ts.tv_nsec != 42)
+            ::_exit(14);
+
+        // The paper's trampoline still reaches the original fast path.
+        using ClockFn = int (*)(clockid_t, struct timespec *);
+        auto original =
+            reinterpret_cast<ClockFn>(hook.value().call_original);
+        struct timespec real = {};
+        if (original(CLOCK_MONOTONIC, &real) != 0)
+            ::_exit(15);
+        if (real.tv_sec == 1234567)
+            ::_exit(16); // trampoline must NOT hit the replacement
+        ::_exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    if (WEXITSTATUS(status) == 12)
+        GTEST_SKIP() << "vDSO pages not patchable in this sandbox";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+} // namespace
+} // namespace varan::rewrite
