@@ -6,9 +6,12 @@
  * costs behind Figure 4's macro numbers.
  */
 
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "arch/disasm.h"
+#include "ring/event_pump.h"
 #include "bpf/asm.h"
 #include "bpf/interp.h"
 #include "ring/lamport.h"
@@ -51,6 +54,60 @@ BM_RingPublishConsume(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RingPublishConsume);
+
+/**
+ * The batched fast path: publish a run of events with one head store +
+ * one wake, drain them with one cursor advance. Compare items/s against
+ * BM_RingPublishConsume to see the synchronization amortization; the
+ * target is ≥2x single-event throughput at batch size 16.
+ */
+void
+BM_RingPublishConsumeBatch(benchmark::State &state)
+{
+    static RingFixture fixture;
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    std::vector<ring::Event> in(batch);
+    for (auto &e : in)
+        e.type = ring::EventType::Syscall;
+    std::vector<ring::Event> out(batch);
+    for (auto _ : state) {
+        fixture.ring.publishBatch(in);
+        std::size_t got = 0;
+        while (got < batch) {
+            got += fixture.ring.pollBatch(fixture.consumer,
+                                          out.data() + got, batch - got);
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_RingPublishConsumeBatch)->Arg(1)->Arg(16)->Arg(64);
+
+/** SPSC queue batch ops (the pump's building block), same comparison. */
+void
+BM_SpscPushPopBatch(benchmark::State &state)
+{
+    static shmem::Region region = [] {
+        auto r = shmem::Region::create(4 << 20);
+        return std::move(r.value());
+    }();
+    static ring::SpscQueue queue = ring::SpscQueue::initialize(
+        &region, region.carve(ring::SpscQueue::bytesRequired(256)), 256);
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    std::vector<ring::Event> in(batch);
+    std::vector<ring::Event> out(batch);
+    for (auto _ : state) {
+        queue.tryPushBatch(in);
+        std::size_t got = 0;
+        while (got < batch)
+            got += queue.tryPopBatch(out.data() + got, batch - got);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SpscPushPopBatch)->Arg(1)->Arg(16)->Arg(64);
 
 void
 BM_LamportTick(benchmark::State &state)

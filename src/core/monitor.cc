@@ -278,7 +278,7 @@ Monitor::dispatch(long nr, const std::uint64_t args[6])
 }
 
 shmem::Offset
-Monitor::buildPayload(const sys::SyscallInfo &info, long nr,
+Monitor::buildPayload(const sys::SyscallInfo &info, [[maybe_unused]] long nr,
                       const std::uint64_t args[6], long result,
                       std::uint32_t *size_out)
 {
@@ -666,7 +666,8 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
 }
 
 long
-Monitor::handleFork(int tuple, long nr, const std::uint64_t args[6])
+Monitor::handleFork([[maybe_unused]] int tuple, [[maybe_unused]] long nr,
+                    [[maybe_unused]] const std::uint64_t args[6])
 {
     // clone() with thread flags is the VThread path; plain fork/clone
     // spawns a process tuple.
@@ -688,16 +689,26 @@ Monitor::handleExit(int tuple, long nr, const std::uint64_t args[6])
     const int slot = static_cast<int>(config_.variant_id);
 
     if (!isLeader()) {
-        // Replay until the Exit event is at the head, resolving any
-        // trailing divergences on the way.
+        // Replay until the Exit event is reached. The drained events are
+        // discarded (no payload is read), so the backlog can be consumed
+        // in batches: one cursor advance covers a whole run of events
+        // and the slots go back to the producer immediately — an exiting
+        // consumer must not gate the leader (the failover invariant of
+        // section 5.1). The variant clock is still stepped per event, in
+        // timestamp order, so sibling tuples observe the same
+        // happens-before order as with single-event replay.
+        constexpr std::size_t kExitDrainBatch = 32;
         ring::RingBuffer &ring = rings_[tuple];
+        ring::Event batch[kExitDrainBatch];
         const std::uint64_t deadline =
             monotonicNs() + config_.progress_timeout_ns;
-        for (;;) {
+        bool draining = true;
+        while (draining) {
             if (isLeader())
                 break; // promoted mid-exit: just leave
-            ring::Event event = {};
-            if (!ring.peek(slot, &event, tick_wait_)) {
+            std::size_t n =
+                ring.consumeBatch(slot, batch, kExitDrainBatch, tick_wait_);
+            if (n == 0) {
                 if (cb_->leader_id.load(std::memory_order_acquire) ==
                     config_.variant_id) {
                     maybePromote();
@@ -707,12 +718,19 @@ Monitor::handleExit(int tuple, long nr, const std::uint64_t args[6])
                     break; // give up waiting; exit anyway
                 continue;
             }
-            if (!clock_.awaitTurn(event.timestamp, tick_wait_))
-                continue;
-            ring.advance(slot);
-            clock_.advanceTo(event.timestamp);
-            if (event.type == ring::EventType::Exit)
-                break;
+            for (std::size_t i = 0; i < n && draining; ++i) {
+                while (!clock_.awaitTurn(batch[i].timestamp, tick_wait_)) {
+                    if (isLeader() || monotonicNs() > deadline) {
+                        draining = false;
+                        break;
+                    }
+                }
+                if (!draining)
+                    break;
+                clock_.advanceTo(batch[i].timestamp);
+                if (batch[i].type == ring::EventType::Exit)
+                    draining = false;
+            }
         }
     }
 

@@ -199,11 +199,11 @@ class LockstepClient : public sys::Dispatcher
                 done.sends_fd = 1;
             }
             sendMsg(socket_, done, payload, pass);
-            // Monitor still sends the final Result for symmetry.
-            auto fin = recvMsg(socket_);
-            if (!fin.ok())
-                ::_exit(72);
-            return fin.value().header.result;
+            // The executor already holds the authoritative result; the
+            // monitor broadcasts Result only to the other variants, so
+            // skipping the echo saves one context switch per executed
+            // call (the same sync-amortization idea as ring batching).
+            return result;
           }
           case MsgKind::Result: {
             // Copy OUT data delivered by the monitor.
@@ -393,6 +393,9 @@ LockstepEngine::run(std::vector<VariantFn> variants)
             pending[executor] = false;
             continue;
         }
+        // The executor resumed itself on ExecDone; only the remaining
+        // variants need the Result broadcast.
+        pending[executor] = false;
 
         MsgHeader result = {};
         result.kind = MsgKind::Result;
@@ -403,7 +406,7 @@ LockstepEngine::run(std::vector<VariantFn> variants)
             if (!alive[v] || !pending[v])
                 continue;
             int pass = -1;
-            if (v != executor && done.value().fd.valid())
+            if (done.value().fd.valid())
                 pass = done.value().fd.get();
             sendMsg(pairs[v].end(0).get(), result,
                     done.value().payload.data(), pass);

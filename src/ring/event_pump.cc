@@ -1,5 +1,7 @@
 #include "ring/event_pump.h"
 
+#include <algorithm>
+#include <cstring>
 #include <new>
 
 #include "common/clock.h"
@@ -72,6 +74,63 @@ SpscQueue::tryPop(Event *out)
     return true;
 }
 
+std::size_t
+SpscQueue::tryPushBatch(std::span<const Event> events)
+{
+    Control *ctl = control();
+    const std::uint64_t head = ctl->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ctl->tail.load(std::memory_order_acquire);
+    const std::uint64_t free = ctl->capacity - (head - tail);
+    const std::size_t n = std::min<std::size_t>(free, events.size());
+    if (n == 0)
+        return 0;
+    const std::uint64_t idx = head & ctl->mask;
+    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
+    std::memcpy(slots() + idx, events.data(), first * sizeof(Event));
+    if (n > first)
+        std::memcpy(slots(), events.data() + first,
+                    (n - first) * sizeof(Event));
+    ctl->head.store(head + n, std::memory_order_release);
+    return n;
+}
+
+std::size_t
+SpscQueue::tryPopBatch(Event *out, std::size_t max)
+{
+    Control *ctl = control();
+    const std::uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = ctl->head.load(std::memory_order_acquire);
+    if (tail >= head || max == 0)
+        return 0;
+    const std::size_t n = std::min<std::size_t>(head - tail, max);
+    const std::uint64_t idx = tail & ctl->mask;
+    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
+    std::memcpy(out, slots() + idx, first * sizeof(Event));
+    if (n > first)
+        std::memcpy(out + first, slots(), (n - first) * sizeof(Event));
+    ctl->tail.store(tail + n, std::memory_order_release);
+    return n;
+}
+
+std::size_t
+SpscQueue::pushBatch(std::span<const Event> events, const WaitSpec &wait)
+{
+    const std::uint64_t deadline =
+        wait.timeout_ns ? monotonicNs() + wait.timeout_ns : 0;
+    std::size_t pushed = 0;
+    while (pushed < events.size()) {
+        std::size_t n = tryPushBatch(events.subspan(pushed));
+        if (n == 0) {
+            if (deadline && monotonicNs() >= deadline)
+                break;
+            __builtin_ia32_pause();
+            continue;
+        }
+        pushed += n;
+    }
+    return pushed;
+}
+
 bool
 SpscQueue::push(const Event &event, const WaitSpec &wait)
 {
@@ -107,17 +166,28 @@ SpscQueue::size() const
     return head > tail ? head - tail : 0;
 }
 
+namespace {
+/** Events moved per leader-queue drain; bounds pump stack usage. */
+constexpr std::size_t kPumpChunk = 64;
+} // namespace
+
 std::size_t
 EventPump::pumpSome(std::size_t budget)
 {
     std::size_t moved = 0;
-    Event event;
-    while (moved < budget && leader_.tryPop(&event)) {
-        // Dispatching to every follower queue is exactly the per-event
-        // work that made this design a bottleneck.
+    Event chunk[kPumpChunk];
+    while (moved < budget) {
+        const std::size_t want =
+            std::min<std::size_t>(budget - moved, kPumpChunk);
+        const std::size_t n = leader_.tryPopBatch(chunk, want);
+        if (n == 0)
+            break;
+        // Replicating into every follower queue is still the per-event
+        // work that made this design a bottleneck, but batching the
+        // copies amortizes the head/tail synchronization across events.
         for (auto &q : followers_)
-            q.push(event, WaitSpec::withTimeout(1000000000ULL));
-        ++moved;
+            q.pushBatch({chunk, n}, WaitSpec::withTimeout(1000000000ULL));
+        moved += n;
     }
     return moved;
 }

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ring/event.h"
@@ -40,6 +41,19 @@ class SpscQueue
     /** Non-blocking variants. */
     bool tryPush(const Event &event);
     bool tryPop(Event *out);
+
+    /**
+     * Batched variants: one head/tail exchange per call instead of one
+     * per event. tryPushBatch enqueues as many leading events as fit
+     * and returns that count; tryPopBatch drains up to @p max.
+     */
+    std::size_t tryPushBatch(std::span<const Event> events);
+    std::size_t tryPopBatch(Event *out, std::size_t max);
+
+    /** Blocking batched push; returns events enqueued (all, unless the
+     *  deadline expires while the queue is full). */
+    std::size_t pushBatch(std::span<const Event> events,
+                          const WaitSpec &wait = {});
 
     std::uint64_t size() const;
 

@@ -1,5 +1,7 @@
 #include "ring/ring_buffer.h"
 
+#include <algorithm>
+#include <cstring>
 #include <new>
 
 #include "common/clock.h"
@@ -89,19 +91,21 @@ RingBuffer::gatingSequence(std::uint64_t head) const
     return min_seq;
 }
 
-bool
-RingBuffer::publish(const Event &event, const WaitSpec &wait)
+std::uint64_t
+RingBuffer::awaitSpace(std::uint64_t deadline, const WaitSpec &wait)
 {
     RingControl *ctl = control();
     const std::uint64_t seq = ctl->head.load(std::memory_order_relaxed);
-    const std::uint64_t deadline = deadlineFor(wait);
 
     // Gate on the slowest active consumer; followers that crash get
     // deactivated by the coordinator so they stop holding us back.
     std::uint32_t spins = 0;
-    while (seq - gatingSequence(seq) >= ctl->capacity) {
+    for (;;) {
+        const std::uint64_t used = seq - gatingSequence(seq);
+        if (used < ctl->capacity)
+            return ctl->capacity - used;
         if (deadlinePassed(deadline))
-            return false;
+            return 0;
         if (wait.busy_only || spins++ < wait.spin_iterations) {
             __builtin_ia32_pause();
             continue;
@@ -111,24 +115,69 @@ RingBuffer::publish(const Event &event, const WaitSpec &wait)
         // in between would leave us sleeping forever.
         if (seq - gatingSequence(seq) < ctl->capacity) {
             ctl->producer_waiting.store(0, std::memory_order_release);
-            break;
+            continue;
         }
         std::uint32_t observed =
             ctl->space_seq.load(std::memory_order_acquire);
         if (seq - gatingSequence(seq) < ctl->capacity) {
             ctl->producer_waiting.store(0, std::memory_order_release);
-            break;
+            continue;
         }
         futexWait(&ctl->space_seq, observed, 1000000); // 1 ms tick
         ctl->producer_waiting.store(0, std::memory_order_release);
     }
+}
 
+bool
+RingBuffer::publish(const Event &event, const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    if (awaitSpace(deadlineFor(wait), wait) == 0)
+        return false;
+
+    const std::uint64_t seq = ctl->head.load(std::memory_order_relaxed);
     slots()[seq & ctl->mask] = event;
     ctl->head.store(seq + 1, std::memory_order_release);
     ctl->data_seq.fetch_add(1, std::memory_order_release);
     if (ctl->consumers_waiting.load(std::memory_order_seq_cst) > 0)
         futexWake(&ctl->data_seq, kMaxConsumers);
     return true;
+}
+
+std::size_t
+RingBuffer::publishBatch(std::span<const Event> events, const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    const std::uint64_t deadline = deadlineFor(wait);
+    std::size_t published = 0;
+
+    while (published < events.size()) {
+        const std::uint64_t free = awaitSpace(deadline, wait);
+        if (free == 0)
+            break;
+        const std::size_t n = std::min<std::size_t>(
+            free, events.size() - published);
+        const std::uint64_t seq =
+            ctl->head.load(std::memory_order_relaxed);
+        // Claimed range is contiguous in sequence space; it maps to at
+        // most two segments of the slot array across the wrap point.
+        const std::uint64_t idx = seq & ctl->mask;
+        const std::size_t first =
+            std::min<std::size_t>(n, ctl->capacity - idx);
+        std::memcpy(slots() + idx, events.data() + published,
+                    first * sizeof(Event));
+        if (n > first) {
+            std::memcpy(slots(), events.data() + published + first,
+                        (n - first) * sizeof(Event));
+        }
+        ctl->head.store(seq + n, std::memory_order_release);
+        ctl->data_seq.fetch_add(static_cast<std::uint32_t>(n),
+                                std::memory_order_release);
+        if (ctl->consumers_waiting.load(std::memory_order_seq_cst) > 0)
+            futexWake(&ctl->data_seq, kMaxConsumers);
+        published += n;
+    }
+    return published;
 }
 
 std::uint64_t
@@ -186,34 +235,21 @@ RingBuffer::detachConsumer(int id)
     futexWake(&ctl->space_seq, 1);
 }
 
-bool
-RingBuffer::poll(int id, Event *out)
+std::uint64_t
+RingBuffer::awaitData(int id, std::uint64_t deadline, const WaitSpec &wait)
 {
     RingControl *ctl = control();
     ConsumerCursor &cur = ctl->cursors[id];
-    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
-    if (ctl->head.load(std::memory_order_acquire) <= c)
-        return false;
-    *out = slots()[c & ctl->mask];
-    cur.seq.store(c + 1, std::memory_order_release);
-    ctl->space_seq.fetch_add(1, std::memory_order_release);
-    if (ctl->producer_waiting.load(std::memory_order_seq_cst))
-        futexWake(&ctl->space_seq, 1);
-    return true;
-}
-
-bool
-RingBuffer::consume(int id, Event *out, const WaitSpec &wait)
-{
-    RingControl *ctl = control();
-    ConsumerCursor &cur = ctl->cursors[id];
-    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
-    const std::uint64_t deadline = deadlineFor(wait);
+    const std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
 
     std::uint32_t spins = 0;
-    while (ctl->head.load(std::memory_order_acquire) <= c) {
+    for (;;) {
+        const std::uint64_t head =
+            ctl->head.load(std::memory_order_acquire);
+        if (head > c)
+            return head - c;
         if (deadlinePassed(deadline))
-            return false;
+            return 0;
         if (wait.busy_only || spins++ < wait.spin_iterations) {
             __builtin_ia32_pause();
             continue;
@@ -224,18 +260,88 @@ RingBuffer::consume(int id, Event *out, const WaitSpec &wait)
             ctl->data_seq.load(std::memory_order_acquire);
         if (ctl->head.load(std::memory_order_acquire) > c) {
             ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
-            break;
+            continue;
         }
         futexWait(&ctl->data_seq, observed, 1000000); // 1 ms tick
         ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
     }
+}
 
-    *out = slots()[c & ctl->mask];
-    cur.seq.store(c + 1, std::memory_order_release);
+void
+RingBuffer::releaseSlots(ConsumerCursor &cur, std::uint64_t next_seq)
+{
+    RingControl *ctl = control();
+    cur.seq.store(next_seq, std::memory_order_release);
     ctl->space_seq.fetch_add(1, std::memory_order_release);
     if (ctl->producer_waiting.load(std::memory_order_seq_cst))
         futexWake(&ctl->space_seq, 1);
+}
+
+bool
+RingBuffer::poll(int id, Event *out)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    if (ctl->head.load(std::memory_order_acquire) <= c)
+        return false;
+    *out = slots()[c & ctl->mask];
+    releaseSlots(cur, c + 1);
     return true;
+}
+
+std::size_t
+RingBuffer::pollBatch(int id, Event *out, std::size_t max)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    const std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    const std::uint64_t head = ctl->head.load(std::memory_order_acquire);
+    if (head <= c || max == 0)
+        return 0;
+    const std::size_t n = std::min<std::size_t>(head - c, max);
+    const std::uint64_t idx = c & ctl->mask;
+    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
+    std::memcpy(out, slots() + idx, first * sizeof(Event));
+    if (n > first)
+        std::memcpy(out + first, slots(), (n - first) * sizeof(Event));
+    releaseSlots(cur, c + n);
+    return n;
+}
+
+bool
+RingBuffer::consume(int id, Event *out, const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    if (awaitData(id, deadlineFor(wait), wait) == 0)
+        return false;
+    *out = slots()[c & ctl->mask];
+    releaseSlots(cur, c + 1);
+    return true;
+}
+
+std::size_t
+RingBuffer::consumeBatch(int id, Event *out, std::size_t max,
+                         const WaitSpec &wait)
+{
+    if (max == 0)
+        return 0;
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    const std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    const std::uint64_t avail = awaitData(id, deadlineFor(wait), wait);
+    if (avail == 0)
+        return 0;
+    const std::size_t n = std::min<std::size_t>(avail, max);
+    const std::uint64_t idx = c & ctl->mask;
+    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
+    std::memcpy(out, slots() + idx, first * sizeof(Event));
+    if (n > first)
+        std::memcpy(out + first, slots(), (n - first) * sizeof(Event));
+    releaseSlots(cur, c + n);
+    return n;
 }
 
 bool
@@ -244,26 +350,8 @@ RingBuffer::peek(int id, Event *out, const WaitSpec &wait)
     RingControl *ctl = control();
     ConsumerCursor &cur = ctl->cursors[id];
     std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
-    const std::uint64_t deadline = deadlineFor(wait);
-
-    std::uint32_t spins = 0;
-    while (ctl->head.load(std::memory_order_acquire) <= c) {
-        if (deadlinePassed(deadline))
-            return false;
-        if (wait.busy_only || spins++ < wait.spin_iterations) {
-            __builtin_ia32_pause();
-            continue;
-        }
-        ctl->consumers_waiting.fetch_add(1, std::memory_order_seq_cst);
-        std::uint32_t observed =
-            ctl->data_seq.load(std::memory_order_acquire);
-        if (ctl->head.load(std::memory_order_acquire) > c) {
-            ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
-            break;
-        }
-        futexWait(&ctl->data_seq, observed, 1000000);
-        ctl->consumers_waiting.fetch_sub(1, std::memory_order_release);
-    }
+    if (awaitData(id, deadlineFor(wait), wait) == 0)
+        return false;
     *out = slots()[c & ctl->mask];
     return true;
 }
@@ -274,10 +362,7 @@ RingBuffer::advance(int id)
     RingControl *ctl = control();
     ConsumerCursor &cur = ctl->cursors[id];
     std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
-    cur.seq.store(c + 1, std::memory_order_release);
-    ctl->space_seq.fetch_add(1, std::memory_order_release);
-    if (ctl->producer_waiting.load(std::memory_order_seq_cst))
-        futexWake(&ctl->space_seq, 1);
+    releaseSlots(cur, c + 1);
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 #include "ring/event.h"
 #include "ring/wait.h"
@@ -79,6 +80,18 @@ class RingBuffer
      */
     bool publish(const Event &event, const WaitSpec &wait = {});
 
+    /**
+     * Publish a run of events, amortizing synchronization: each claimed
+     * chunk costs one release store of head, one data_seq bump and at
+     * most one futex wake regardless of chunk length. Batches larger
+     * than the currently free space are split into chunks as slots open
+     * up, so batches larger than the ring capacity are legal.
+     * @return how many events were published; less than events.size()
+     *         only if the deadline expired while the ring was full.
+     */
+    std::size_t publishBatch(std::span<const Event> events,
+                             const WaitSpec &wait = {});
+
     /** Sequence number the next publish will use. */
     std::uint64_t headSeq() const;
 
@@ -97,10 +110,29 @@ class RingBuffer
     bool poll(int id, Event *out);
 
     /**
+     * Non-blocking batched read: drains up to @p max already-published
+     * events with a single acquire of head and a single cursor advance.
+     * @return how many events were copied into @p out (0 when empty).
+     */
+    std::size_t pollBatch(int id, Event *out, std::size_t max);
+
+    /**
      * Blocking read honouring the wait policy.
      * @return false on deadline expiry (no event copied).
      */
     bool consume(int id, Event *out, const WaitSpec &wait = {});
+
+    /**
+     * Blocking batched read: waits (per @p wait) for at least one
+     * event, then drains min(available, max) in one synchronization
+     * round. Slots are released to the producer immediately, so callers
+     * must not touch pool payloads referenced by the returned events
+     * after further production (copy them out first, or use
+     * peek()/advance() for payload-carrying streams).
+     * @return events copied; 0 on deadline expiry.
+     */
+    std::size_t consumeBatch(int id, Event *out, std::size_t max,
+                             const WaitSpec &wait = {});
 
     /**
      * Two-phase consumption: peek() copies the next event without
@@ -123,6 +155,17 @@ class RingBuffer
     RingControl *control() const;
     Event *slots() const;
     std::uint64_t gatingSequence(std::uint64_t head) const;
+
+    /** Wait until ≥1 slot is free; returns free slot count (0 = expired). */
+    std::uint64_t awaitSpace(std::uint64_t deadline, const WaitSpec &wait);
+
+    /** Wait until ≥1 event is readable by @p id; returns available
+     *  count (0 = deadline expired). */
+    std::uint64_t awaitData(int id, std::uint64_t deadline,
+                            const WaitSpec &wait);
+
+    /** Advance @p cur to @p next_seq and wake a blocked producer. */
+    void releaseSlots(ConsumerCursor &cur, std::uint64_t next_seq);
 
     const shmem::Region *region_ = nullptr;
     shmem::Offset off_ = 0;

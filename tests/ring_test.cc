@@ -142,6 +142,94 @@ TEST_F(RingTest, DetachUnblocksProducer)
     detacher.join();
 }
 
+TEST_F(RingTest, DetachMidBatchUnblocksBatchProducer)
+{
+    init(4);
+    int keeper = ring_.attachConsumer();
+    int quitter = ring_.attachConsumer();
+    ASSERT_GE(keeper, 0);
+    ASSERT_GE(quitter, 0);
+
+    // Fill the ring so a large batch publish must block on the gate.
+    Event seed[4];
+    for (int i = 0; i < 4; ++i)
+        seed[i] = makeEvent(i + 1, 0, 0);
+    ASSERT_EQ(ring_.publishBatch({seed, 4}), 4u);
+
+    // The quitter drains part of its backlog, then detaches mid-batch —
+    // the failover invariant (section 5.1): a departing consumer must
+    // stop gating the producer the moment it detaches.
+    std::thread failover([&] {
+        sleepNs(20000000); // 20 ms: let the producer block first
+        Event out[2];
+        ASSERT_EQ(ring_.consumeBatch(quitter, out, 2), 2u);
+        ring_.detachConsumer(quitter);
+        // The keeper drains everything so the batch can finish.
+        Event drain[8];
+        WaitSpec w = WaitSpec::withTimeout(5000000000ULL);
+        std::size_t got = 0;
+        while (got < 12)
+            got += ring_.consumeBatch(keeper, drain, 8, w);
+    });
+
+    WaitSpec w = WaitSpec::withTimeout(5000000000ULL); // 5 s guard
+    std::vector<Event> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(makeEvent(5 + i, 0, 0));
+    EXPECT_EQ(ring_.publishBatch(batch, w), 8u);
+    failover.join();
+}
+
+TEST_F(RingTest, CrashedConsumerProcessDoesNotGateBatchProducer)
+{
+    init(4);
+    int keeper = ring_.attachConsumer();
+    int crasher = ring_.attachConsumer();
+    ASSERT_GE(keeper, 0);
+    ASSERT_GE(crasher, 0);
+
+    Event seed[4];
+    for (int i = 0; i < 4; ++i)
+        seed[i] = makeEvent(i + 1, 0, 0);
+    ASSERT_EQ(ring_.publishBatch({seed, 4}), 4u);
+
+    // The "crashing follower" consumes part of its batch and dies
+    // without detaching, exactly like a variant crashing mid-replay.
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        Event out[2];
+        if (ring_.consumeBatch(crasher, out, 2) != 2)
+            _exit(1);
+        _exit(0); // no detach: the mapping just vanishes
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // The live consumer fully drains; only the dead follower's stale
+    // cursor (stuck at 2) still gates the ring, so a batch of 4 makes
+    // partial progress and then times out.
+    Event out[4];
+    ASSERT_EQ(ring_.consumeBatch(keeper, out, 4), 4u);
+    WaitSpec short_wait = WaitSpec::withTimeout(30000000); // 30 ms
+    short_wait.spin_iterations = 16;
+    Event more[4];
+    for (int i = 0; i < 4; ++i)
+        more[i] = makeEvent(5 + i, 0, 0);
+    EXPECT_EQ(ring_.publishBatch({more, 4}, short_wait), 2u);
+
+    // The coordinator reaps the crash and deactivates the slot
+    // (transparent failover, section 5.1): the rest of the batch now
+    // completes gated on the live consumer alone.
+    ring_.detachConsumer(crasher);
+    WaitSpec w = WaitSpec::withTimeout(5000000000ULL);
+    EXPECT_EQ(ring_.publishBatch({more + 2, 2}, w), 2u);
+    ASSERT_EQ(ring_.consumeBatch(keeper, out, 4), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i].timestamp, static_cast<std::uint64_t>(5 + i));
+}
+
 TEST_F(RingTest, EachConsumerSeesEveryEvent)
 {
     init(8);
