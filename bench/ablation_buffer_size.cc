@@ -72,6 +72,7 @@ main()
         std::fflush(stdout);
     }
     sizes.print();
+    sizes.writeJson("ablation_buffer_sizes");
 
     std::printf("\n");
     Table waits({"wait policy", "ops/s"});
@@ -80,6 +81,7 @@ main()
     waits.addRow({"busy-wait only", fmt(run(256, true, config++),
                                         "%.0f")});
     waits.print();
+    waits.writeJson("ablation_wait_policies");
 
     std::printf("\nExpected shape: capacity 1 pays a lockstep-like "
                 "synchronisation cost; throughput\nrecovers quickly with "

@@ -108,6 +108,7 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
     table.print();
+    table.writeJson("ablation_ring_vs_pump");
     std::printf("\nExpected shape (section 3.3.1): the pump 'worked well "
                 "for a low system call rate,\nbut at higher rates the "
                 "event pump quickly became a bottleneck' — the ring's "

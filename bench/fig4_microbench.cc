@@ -253,6 +253,7 @@ main(int argc, char **argv)
                           "%.2fx")});
     }
     table.print();
+    table.writeJson("fig4");
 
     std::printf("\nPaper reference (cycles): close 1261/1330/1718/257, "
                 "write 1430/1564/1994/291,\n  read 1486/1528/3290/1969, "

@@ -171,6 +171,7 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
     table.print();
+    table.writeJson("fig5");
 
     std::printf(
         "\nPaper reference (followers 0/1/6): Beanstalkd 1.10/1.52/1.77, "

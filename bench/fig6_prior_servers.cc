@@ -113,6 +113,7 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
     table.print();
+    table.writeJson("fig6");
 
     std::printf("\nPaper reference (followers 0..6): Apache httpd "
                 "1.00-1.04, thttpd 1.00-1.02,\n  Lighttpd (ab) "

@@ -145,6 +145,102 @@ BM_PoolAllocateRelease(benchmark::State &state)
 }
 BENCHMARK(BM_PoolAllocateRelease)->Arg(64)->Arg(512)->Arg(4096);
 
+/**
+ * The sharding payoff: T tuples allocating 256 B payloads.
+ *
+ * Contended = every thread fights over ONE flat allocator (one bucket
+ * lock for the shared size class) — the pre-shard engine layout.
+ * Sharded = thread t allocates from arena t of a ShardedPool — the
+ * per-tuple layout. The acceptance target is ≥2x items/s for the
+ * sharded variant at 4 threads.
+ */
+void
+BM_PoolAllocateReleaseContended(benchmark::State &state)
+{
+    static shmem::Region region = [] {
+        auto r = shmem::Region::create(64 << 20);
+        return std::move(r.value());
+    }();
+    static shmem::PoolAllocator pool = [] {
+        shmem::Offset hdr = region.carve(sizeof(shmem::PoolHeader));
+        shmem::Offset begin = region.carve(64);
+        return shmem::PoolAllocator::initialize(&region, hdr, begin,
+                                                region.size());
+    }();
+    for (auto _ : state) {
+        shmem::Offset p = pool.allocate(256);
+        benchmark::DoNotOptimize(p);
+        pool.release(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocateReleaseContended)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+void
+BM_ShardedPoolAllocateRelease(benchmark::State &state)
+{
+    static shmem::Region region = [] {
+        auto r = shmem::Region::create(64 << 20);
+        return std::move(r.value());
+    }();
+    static shmem::ShardedPool pool = [] {
+        shmem::Offset hdr =
+            region.carve(sizeof(shmem::ShardedPoolHeader));
+        std::size_t bytes = 0;
+        shmem::Offset begin = region.carveRemainder(&bytes);
+        return shmem::ShardedPool::initialize(&region, hdr, begin,
+                                              begin + bytes, 8);
+    }();
+    const auto shard = static_cast<std::uint32_t>(state.thread_index());
+    for (auto _ : state) {
+        shmem::Offset p = pool.allocate(shard, 256);
+        benchmark::DoNotOptimize(p);
+        pool.release(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedPoolAllocateRelease)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+/**
+ * Leader-side publish coalescing: a run of payload-free events shipped
+ * through PublishCoalescer (one claim/commit + at most one wake per
+ * run) against the same run published one event at a time. Compare
+ * items/s against BM_RingPublishConsume / the Arg(1) row.
+ */
+void
+BM_RingPublishCoalesced(benchmark::State &state)
+{
+    static RingFixture fixture;
+    const std::size_t run = static_cast<std::size_t>(state.range(0));
+    ring::PublishCoalescer coalescer;
+    coalescer.reset(&fixture.ring, run);
+    ring::Event e = {};
+    e.type = ring::EventType::Syscall;
+    std::vector<ring::Event> out(run);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < run; ++i)
+            coalescer.add(e);
+        coalescer.flush();
+        std::size_t got = 0;
+        while (got < run) {
+            got += fixture.ring.pollBatch(fixture.consumer,
+                                          out.data() + got, run - got);
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(run));
+}
+BENCHMARK(BM_RingPublishCoalesced)->Arg(1)->Arg(16)->Arg(64);
+
 void
 BM_BpfListing1(benchmark::State &state)
 {

@@ -134,6 +134,7 @@ main(int argc, char **argv)
                   fmt(leader_case.after_us, "%.1f"),
                   fmt(leader_case.after_tput, "%.0f")});
     table.print();
+    table.writeJson("sec51_failover");
 
     std::printf("\nPaper reference: follower crash -> no latency "
                 "increase; leader crash -> the crashing\nHMGET rose from "

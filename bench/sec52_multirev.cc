@@ -158,6 +158,7 @@ main()
                   fmt(p3.ops, "%.0f")});
 
     table.print();
+    table.writeJson("sec52_multirev");
     ::unlink(docroot);
 
     std::printf("\nPaper reference: all three revision pairs ran "

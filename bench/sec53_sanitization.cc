@@ -112,6 +112,7 @@ main()
                   fmt(sanitized.lag_median, "%.0f"),
                   fmt(sanitized.lag_max, "%.0f")});
     table.print();
+    table.writeJson("sec53_sanitization");
 
     double slowdown = plain2.ops > 0 ? plain2.ops / sanitized.ops : 0;
     std::printf("\nleader slowdown from sanitized follower: %.2fx\n",

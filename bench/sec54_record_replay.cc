@@ -155,6 +155,7 @@ main()
     table.addRow({"scribe-like (in-band)", fmt(inband_ops, "%.0f"),
                   fmt(overhead(native_ops, inband_ops), "%.2fx")});
     table.print();
+    table.writeJson("sec54_record_replay");
 
     std::printf("\nrecorded events: %llu; replay of the log against a "
                 "fresh follower: %s\n",

@@ -76,6 +76,7 @@ main()
                       app.file_cc, std::to_string(loc), app.threading});
     }
     table.print();
+    table.writeJson("table1");
     std::printf("\nNote: the archetypes reproduce each server's protocol "
                 "shape, event-loop structure and\nthreading model, which "
                 "is what determines the monitor's cost profile; "

@@ -75,6 +75,10 @@ cpuSuiteSeconds(const std::vector<apps::cpu::Kernel> &suite, int mode)
 int
 main()
 {
+    // Workload teardown races produce writes into half-closed sockets;
+    // without this the whole bench dies with rc=141 (SIGPIPE) instead
+    // of finishing its report.
+    ignoreSigpipe();
     std::printf("Table 2: comparison with prior (ptrace, lockstep) NVX "
                 "systems, two versions each\n\n");
 
@@ -170,6 +174,7 @@ main()
                       fmt((nvx / native - 1) * 100, "%.1f%%")});
     }
     table.print();
+    table.writeJson("table2");
 
     std::printf("\nPaper reference for VARAN on the same benchmarks: "
                 "1.01x, 1.06x, 1.024x, 1.00x, 1.00x,\n  11.3%%, 14.2%%. "

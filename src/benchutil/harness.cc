@@ -1,9 +1,11 @@
 #include "benchutil/harness.h"
 
+#include <csignal>
 #include <cstdlib>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace varan::bench {
@@ -21,25 +23,53 @@ scaled(int full, int quick)
     return quickMode() ? quick : full;
 }
 
+void
+ignoreSigpipe()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    ::signal(SIGPIPE, SIG_IGN);
+    installed = true;
+}
+
 LoadResult
 runNative(const ServerCase &c)
 {
+    ignoreSigpipe();
     pid_t pid = ::fork();
     VARAN_CHECK(pid >= 0);
     if (pid == 0) {
+        // Own process group so forking servers (vproxy workers) can be
+        // torn down as a subtree if the shutdown knock is missed.
+        ::setpgid(0, 0);
         int status = c.server();
         ::_exit(status & 0xff);
     }
+    ::setpgid(pid, pid);
     LoadResult result = c.workload();
     c.shutdown();
+    // Bounded reap: one wedged server must not stall a whole bench run.
+    const std::uint64_t deadline =
+        monotonicNs() + (quickMode() ? 10000000000ULL : 30000000000ULL);
     int status = 0;
-    ::waitpid(pid, &status, 0);
+    while (::waitpid(pid, &status, WNOHANG) == 0) {
+        if (monotonicNs() >= deadline) {
+            warn("native server for %s ignored shutdown; killing",
+                 c.name.c_str());
+            ::kill(-pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            break;
+        }
+        sleepNs(2000000);
+    }
     return result;
 }
 
 LoadResult
 runNvx(const ServerCase &c, int followers, core::NvxOptions options)
 {
+    ignoreSigpipe();
     core::Nvx nvx(std::move(options));
     std::vector<core::VariantFn> variants(
         static_cast<std::size_t>(followers) + 1, c.server);
@@ -47,14 +77,22 @@ runNvx(const ServerCase &c, int followers, core::NvxOptions options)
     VARAN_CHECK(started.isOk());
     LoadResult result = c.workload();
     c.shutdown();
-    nvx.waitFor(60000000000ULL);
+    nvx.waitFor(quickMode() ? 15000000000ULL : 60000000000ULL);
     return result;
 }
 
 LoadResult
 runLockstep(const ServerCase &c, int variants)
 {
-    lockstep::LockstepEngine engine;
+    ignoreSigpipe();
+    lockstep::Options options;
+    // Quick runs must finish even when a server sits outside the
+    // lockstep engine's single-process contract and wedges: give such
+    // rows a short deadline so they report "killed" instead of
+    // stalling the nightly job for minutes per row.
+    if (quickMode())
+        options.progress_timeout_ns = 10000000000ULL; // 10 s
+    lockstep::LockstepEngine engine(options);
     LoadResult result;
     // The lockstep monitor loop runs in this thread, so the workload
     // needs its own.

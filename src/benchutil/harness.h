@@ -46,6 +46,17 @@ overhead(double native_ops, double monitored_ops)
 bool quickMode();
 int scaled(int full, int quick);
 
+/**
+ * Ignore SIGPIPE process-wide (idempotent). Bench workloads tear
+ * servers down while requests are in flight, so writes into
+ * half-closed sockets are routine; with the default disposition one
+ * such write kills the whole bench with rc=141 before it can report.
+ * With SIG_IGN the write returns EPIPE, which every driver already
+ * treats as "peer gone". Every runNative/runNvx/runLockstep entry
+ * installs this; forked servers inherit the disposition.
+ */
+void ignoreSigpipe();
+
 } // namespace varan::bench
 
 #endif // VARAN_BENCHUTIL_HARNESS_H

@@ -1,17 +1,41 @@
 /**
  * @file
  * Fixed-width table printer so every bench binary reports rows shaped
- * like the paper's tables and figure series.
+ * like the paper's tables and figure series. Tables also self-record
+ * as JSON lines when $VARAN_BENCH_JSON names a file, which is how the
+ * nightly CI job collects bench baselines as artifacts.
  */
 
 #ifndef VARAN_BENCHUTIL_TABLE_H
 #define VARAN_BENCHUTIL_TABLE_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace varan::bench {
+
+/** Minimal JSON string escaping (quotes, backslashes, control bytes). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
 
 class Table
 {
@@ -55,6 +79,41 @@ class Table
         std::printf("%s\n", rule.c_str());
         for (const auto &row : rows_)
             line(row);
+    }
+
+    /**
+     * Append the table as one JSON line to the file named by
+     * $VARAN_BENCH_JSON (no-op when unset):
+     *   {"bench": <name>, "headers": [...], "rows": [[...], ...]}
+     * One line per table keeps multi-table binaries appendable and the
+     * artifact trivially greppable/jq-able.
+     */
+    void
+    writeJson(const std::string &bench) const
+    {
+        const char *path = std::getenv("VARAN_BENCH_JSON");
+        if (!path || !*path)
+            return;
+        std::FILE *f = std::fopen(path, "a");
+        if (!f)
+            return;
+        std::fprintf(f, "{\"bench\":\"%s\",\"headers\":[",
+                     jsonEscape(bench).c_str());
+        for (std::size_t i = 0; i < headers_.size(); ++i) {
+            std::fprintf(f, "%s\"%s\"", i ? "," : "",
+                         jsonEscape(headers_[i]).c_str());
+        }
+        std::fprintf(f, "],\"rows\":[");
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            std::fprintf(f, "%s[", r ? "," : "");
+            for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+                std::fprintf(f, "%s\"%s\"", i ? "," : "",
+                             jsonEscape(rows_[r][i]).c_str());
+            }
+            std::fprintf(f, "]");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
     }
 
   private:

@@ -81,6 +81,7 @@ int
 ChannelSet::data(std::uint32_t self, std::uint32_t peer) const
 {
     VARAN_CHECK(self != peer);
+    VARAN_CHECK(self < num_variants_ && peer < num_variants_);
     std::uint32_t lo = self < peer ? self : peer;
     std::uint32_t hi = self < peer ? peer : self;
     auto &pair = const_cast<SocketPair &>(mesh_[lo][hi]);

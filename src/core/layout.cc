@@ -66,11 +66,13 @@ EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
         }
     }
 
-    // Everything left belongs to the payload pool.
-    layout.pool_header = region->carve(sizeof(shmem::PoolHeader));
-    shmem::Offset pool_begin = region->carve(kCacheLineSize);
-    shmem::PoolAllocator::initialize(region, layout.pool_header,
-                                     pool_begin, region->size());
+    // Everything left belongs to the payload pool, split into one arena
+    // per tuple plus the global fallback.
+    layout.pool_header = region->carve(sizeof(shmem::ShardedPoolHeader));
+    std::size_t pool_bytes = 0;
+    shmem::Offset pool_begin = region->carveRemainder(&pool_bytes);
+    shmem::ShardedPool::initialize(region, layout.pool_header, pool_begin,
+                                   pool_begin + pool_bytes, kMaxTuples);
     return layout;
 }
 

@@ -53,12 +53,18 @@ struct VariantSlot {
     std::atomic<std::uint64_t> syscalls; ///< dispatched call count (stats)
 };
 
-/** One thread/process tuple: ring + payload shadow (section 3.3.3). */
+/** One thread/process tuple: ring + payload shadow (section 3.3.3).
+ *  The tuple's pool arena is keyed by the tuple id itself: tuple t
+ *  allocates payloads from shard t of the ShardedPool, so two tuples
+ *  never meet on an allocator lock. */
 struct TupleSlot {
     std::atomic<std::uint32_t> active;
     shmem::Offset ring;    ///< RingBuffer offset in the region
     shmem::Offset shadow;  ///< u64[capacity]: payload owned by each slot
 };
+
+static_assert(kMaxTuples <= shmem::kMaxPoolShards,
+              "every tuple needs its own pool arena");
 
 /** Engine-wide shared control state. */
 struct ControlBlock {
@@ -76,6 +82,8 @@ struct ControlBlock {
     std::atomic<std::uint64_t> divergences_resolved;
     std::atomic<std::uint64_t> divergences_fatal;
     std::atomic<std::uint64_t> fd_transfers;
+    std::atomic<std::uint64_t> publish_batches;  ///< coalesced flushes
+    std::atomic<std::uint64_t> events_coalesced; ///< events shipped batched
 
     VariantSlot variants[kMaxVariants];
     TupleSlot tuples[kMaxTuples];
@@ -130,10 +138,11 @@ struct EngineLayout {
             region, region->offsetOf(&cb->clocks[variant]));
     }
 
-    shmem::PoolAllocator
+    /** The payload pool, sharded one arena per tuple. */
+    shmem::ShardedPool
     pool(const shmem::Region *region) const
     {
-        return shmem::PoolAllocator(region, pool_header);
+        return shmem::ShardedPool(region, pool_header);
     }
 };
 

@@ -139,6 +139,9 @@ Monitor::Monitor(const shmem::Region *region, EngineLayout layout,
     for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
         rings_[t] = layout.tupleRing(region, t);
         shadows_[t] = layout.tupleShadow(region, t);
+        tuple_refs_[t] = TupleRef{this, t};
+        coalescers_[t].reset(&rings_[t], config_.coalesce_max,
+                             &Monitor::recycleSlots, &tuple_refs_[t]);
     }
     for (const std::string &text : config_.rules_text) {
         if (!rules_.addRule(text).isOk())
@@ -244,12 +247,16 @@ Monitor::dispatch(long nr, const std::uint64_t args[6])
 
     switch (info.cls) {
       case sys::SyscallClass::Local:
+        // A pending coalesced run must not be held across a local call
+        // that can block (futex, wait4): followers would starve.
+        coalesceBarrier(currentTuple(), info);
         return sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
                                args[4], args[5]);
       case sys::SyscallClass::Unhandled:
         // Footnote 8: surface unhandled calls loudly, then fall through
         // to local execution so development can continue.
         warn("unhandled syscall %ld executed locally", nr);
+        coalesceBarrier(currentTuple(), info);
         return sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
                                args[4], args[5]);
       case sys::SyscallClass::Fork:
@@ -278,9 +285,10 @@ Monitor::dispatch(long nr, const std::uint64_t args[6])
 }
 
 shmem::Offset
-Monitor::buildPayload(const sys::SyscallInfo &info, [[maybe_unused]] long nr,
+Monitor::buildPayload(int tuple, const sys::SyscallInfo &info,
+                      [[maybe_unused]] long nr,
                       const std::uint64_t args[6], long result,
-                      std::uint32_t *size_out)
+                      std::uint32_t *size_out, bool *spilled)
 {
     // Wire format: [out0: u32 len + bytes][out1: ...][fd numbers i32x2].
     std::uint32_t lens[2] = {kChunkAbsent, kChunkAbsent};
@@ -301,9 +309,13 @@ Monitor::buildPayload(const sys::SyscallInfo &info, [[maybe_unused]] long nr,
         return 0;
     }
 
-    shmem::Offset payload = pool_.allocate(total, 1);
+    // The tuple's own arena serves first; exhaustion spills to the
+    // global-fallback arena without touching any other tuple's arena.
+    shmem::Offset payload = pool_.allocate(
+        static_cast<std::uint32_t>(tuple), total, 1, spilled);
     if (payload == 0) {
-        // Pool exhausted: fail the transfer loudly rather than corrupt.
+        // Even the fallback is exhausted: fail loudly rather than
+        // corrupt.
         panic("payload pool exhausted (%zu bytes requested)", total);
     }
     auto *p = static_cast<std::uint8_t *>(pool_.pointer(payload, total));
@@ -331,25 +343,79 @@ Monitor::buildPayload(const sys::SyscallInfo &info, [[maybe_unused]] long nr,
 }
 
 void
+Monitor::recycleSlots(void *ctx, std::uint64_t first_seq, std::size_t count)
+{
+    auto *ref = static_cast<TupleRef *>(ctx);
+    Monitor *m = ref->monitor;
+    std::uint64_t *shadow = m->shadows_[ref->tuple];
+    const std::uint64_t mask = m->cb_->ring_capacity - 1;
+    // claim() has proven every consumer is past these slots, so their
+    // old payloads are unreferenced. Coalesced events are payload-free:
+    // the slots' shadows become empty.
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t idx = (first_seq + i) & mask;
+        if (shadow[idx] != 0) {
+            m->pool_.release(shadow[idx]);
+            shadow[idx] = 0;
+        }
+    }
+}
+
+void
+Monitor::flushCoalesced(int tuple)
+{
+    ring::PublishCoalescer &co = coalescers_[tuple];
+    const std::size_t n = co.pending();
+    if (n == 0)
+        return;
+    ring::WaitSpec publish_wait = config_.wait;
+    publish_wait.timeout_ns = 120000000000ULL; // 2 min hard ceiling
+    if (!co.flush(publish_wait))
+        panic("coalesced publish stalled: follower wedged?");
+    cb_->events_streamed.fetch_add(n, std::memory_order_relaxed);
+    cb_->publish_batches.fetch_add(1, std::memory_order_relaxed);
+    cb_->events_coalesced.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Monitor::coalesceBarrier(int tuple, const sys::SyscallInfo &info)
+{
+    if (coalescers_[tuple].pending() == 0)
+        return;
+    if (info.may_block ||
+        rings_[tuple].consumersWaiting() > 0 ||
+        monotonicNs() - coalesce_last_ns_[tuple] >=
+            config_.coalesce_window_ns) {
+        flushCoalesced(tuple);
+    }
+}
+
+void
 Monitor::publishEvent(int tuple, ring::Event &event, shmem::Offset payload)
 {
+    // Stream order: anything coalesced earlier must go out first.
+    flushCoalesced(tuple);
+
     event.timestamp = clock_.tick();
     event.flags |= config_.variant_id << kPublisherShift;
 
-    // Free the payload that previously lived in this ring slot: the
-    // gating protocol guarantees every consumer is done with it.
     ring::RingBuffer &ring = rings_[tuple];
-    std::uint64_t seq = ring.headSeq();
+    ring::WaitSpec publish_wait = config_.wait;
+    publish_wait.timeout_ns = 120000000000ULL; // 2 min hard ceiling
+    std::uint64_t seq = 0;
+    if (!ring.claim(1, &seq, publish_wait))
+        panic("ring publish stalled: follower wedged?");
+
+    // Free the payload that previously lived in this ring slot — only
+    // now, with the slot claimed, has the gating protocol proven every
+    // consumer is done with it.
     std::uint64_t *shadow = shadows_[tuple];
     std::uint64_t slot_index = seq & (cb_->ring_capacity - 1);
     if (shadow[slot_index] != 0)
         pool_.release(shadow[slot_index]);
     shadow[slot_index] = payload;
 
-    ring::WaitSpec publish_wait = config_.wait;
-    publish_wait.timeout_ns = 120000000000ULL; // 2 min hard ceiling
-    if (!ring.publish(event, publish_wait))
-        panic("ring publish stalled: follower wedged?");
+    ring.commit({&event, 1});
     cb_->events_streamed.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -357,6 +423,10 @@ long
 Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
                         const sys::SyscallInfo &info)
 {
+    // A pending coalesced run must not sit behind a call that can wait
+    // indefinitely, and a stale run (leader went quiet) ships now.
+    coalesceBarrier(tuple, info);
+
     long result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
                                   args[4], args[5]);
     if (result == sys::kErestartsys) {
@@ -373,10 +443,13 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
         event.args[i] = args[i];
 
     std::uint32_t payload_size = 0;
-    shmem::Offset payload = buildPayload(info, nr, args, result,
-                                         &payload_size);
+    bool spilled = false;
+    shmem::Offset payload = buildPayload(tuple, info, nr, args, result,
+                                         &payload_size, &spilled);
     if (payload != 0) {
         event.flags |= ring::kHasPayload;
+        if (spilled)
+            event.flags |= ring::kPayloadGlobalArena;
         event.payload = static_cast<std::uint32_t>(payload);
         event.payload_size = payload_size;
     } else if (config_.verify_divergence) {
@@ -387,6 +460,35 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
                 reinterpret_cast<const void *>(args[1]), hash_len);
             event.payload_size = hash_len;
         }
+    }
+
+    // The coalescing fast path: a payload-free syscall event with no
+    // descriptor in flight joins the tuple's pending run instead of
+    // paying a head store + futex wake of its own. Disabled while more
+    // than one tuple is live — a buffered timestamp would stall sibling
+    // tuples' followers in the cross-tuple clock order (Figure 3).
+    if (config_.coalesce_publish && payload == 0 &&
+        info.cls != sys::SyscallClass::FdCreating &&
+        cb_->num_tuples.load(std::memory_order_acquire) == 1) {
+        event.timestamp = clock_.tick();
+        event.flags |= config_.variant_id << kPublisherShift;
+        // Flush through flushCoalesced (not add's internal overflow
+        // path) so the stream statistics see every shipped run.
+        if (coalescers_[tuple].pending() ==
+            coalescers_[tuple].maxPending()) {
+            flushCoalesced(tuple);
+        }
+        ring::WaitSpec publish_wait = config_.wait;
+        publish_wait.timeout_ns = 120000000000ULL;
+        if (!coalescers_[tuple].add(event, publish_wait))
+            panic("coalesced publish stalled: follower wedged?");
+        coalesce_last_ns_[tuple] = monotonicNs();
+        // A follower already asleep in the waitlock wants this event
+        // now; holding the run back would trade its latency for
+        // nothing.
+        if (rings_[tuple].consumersWaiting() > 0)
+            flushCoalesced(tuple);
+        return result;
     }
 
     // Descriptor transfer happens before publication so a follower that
@@ -573,10 +675,12 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
     const std::uint64_t deadline =
         monotonicNs() + config_.progress_timeout_ns;
     ring::RingBuffer &ring = rings_[tuple];
+    PeekCache &cache = peeked_[tuple];
 
     for (;;) {
         // Promoted (and this tuple's backlog is drained)?
         if (isLeader() && ring.lag(slot) == 0) {
+            cache.pos = cache.count = 0;
             if (ring.consumerActive(slot))
                 ring.detachConsumer(slot);
             if (expect_fork) {
@@ -594,23 +698,33 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
             return dispatchLeader(tuple, nr, args, info);
         }
 
-        ring::Event event = {};
-        if (!ring.peek(slot, &event, tick_wait_)) {
-            if (cb_->leader_id.load(std::memory_order_acquire) ==
-                config_.variant_id) {
-                maybePromote();
+        // Refill the read-ahead: one head acquire covers a whole run of
+        // already-published events (the follower-side mirror of the
+        // leader's publish coalescing). The peeked slots stay claimed —
+        // and their pool payloads alive — until each event is processed
+        // and individually advanced below.
+        if (cache.pos == cache.count) {
+            cache.pos = 0;
+            cache.count = static_cast<std::uint32_t>(
+                ring.peekBatch(slot, cache.events, kPeekRun, tick_wait_));
+            if (cache.count == 0) {
+                if (cb_->leader_id.load(std::memory_order_acquire) ==
+                    config_.variant_id) {
+                    maybePromote();
+                    continue;
+                }
+                if (monotonicNs() > deadline) {
+                    panic("follower %u made no progress for %llu ms "
+                          "(tuple %d, waiting for syscall %ld)",
+                          config_.variant_id,
+                          static_cast<unsigned long long>(
+                              config_.progress_timeout_ns / 1000000),
+                          tuple, nr);
+                }
                 continue;
             }
-            if (monotonicNs() > deadline) {
-                panic("follower %u made no progress for %llu ms "
-                      "(tuple %d, waiting for syscall %ld)",
-                      config_.variant_id,
-                      static_cast<unsigned long long>(
-                          config_.progress_timeout_ns / 1000000),
-                      tuple, nr);
-            }
-            continue;
         }
+        const ring::Event &event = cache.events[cache.pos];
 
         // Enforce the leader's total order across tuples (Figure 3).
         if (!clock_.awaitTurn(event.timestamp, tick_wait_))
@@ -627,9 +741,11 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
                                       &result)) {
               case DivergenceOutcome::ExecutedLocally:
               case DivergenceOutcome::SyntheticErrno:
+                // The leader's event stays queued (and cached).
                 return result;
               case DivergenceOutcome::SkippedEvent:
                 ring.advance(slot);
+                ++cache.pos;
                 clock_.advanceTo(event.timestamp);
                 continue;
             }
@@ -637,6 +753,7 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
 
         if (expect_fork) {
             ring.advance(slot);
+            ++cache.pos;
             clock_.advanceTo(event.timestamp);
             return static_cast<long>(event.args[0]);
         }
@@ -660,6 +777,7 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
             sys::rawSyscall(SYS_close, args[0]);
 
         ring.advance(slot);
+        ++cache.pos;
         clock_.advanceTo(event.timestamp);
         return event.result;
     }
@@ -699,6 +817,9 @@ Monitor::handleExit(int tuple, long nr, const std::uint64_t args[6])
         // happens-before order as with single-event replay.
         constexpr std::size_t kExitDrainBatch = 32;
         ring::RingBuffer &ring = rings_[tuple];
+        // Drop the read-ahead: the drain re-reads from the cursor, and
+        // nothing may serve stale cached events after it.
+        peeked_[tuple].pos = peeked_[tuple].count = 0;
         ring::Event batch[kExitDrainBatch];
         const std::uint64_t deadline =
             monotonicNs() + config_.progress_timeout_ns;

@@ -47,6 +47,18 @@ class Monitor : public sys::Dispatcher
         std::uint64_t progress_timeout_ns = 30000000000ULL; ///< 30 s
         bool verify_divergence = true;    ///< hash write buffers
         std::vector<std::string> rules_text; ///< BPF rewrite rules
+
+        /** Leader-side publish coalescing: accumulate payload-free
+         *  syscall events and flush them as one batch (one head store +
+         *  one wake per run). Runs flush before blocking calls, when a
+         *  follower sleeps, when the inter-event gap exceeds the window
+         *  or on any ordering fence (payload/fd/fork/exit event).
+         *  Off by default: a leader crash loses the pending run, so the
+         *  promoted follower re-executes those calls (at-least-once
+         *  external effects) — see NvxOptions::publish_coalesce. */
+        bool coalesce_publish = false;
+        std::uint32_t coalesce_max = 16;        ///< pending run cap
+        std::uint64_t coalesce_window_ns = 200000; ///< 200 µs gap cap
     };
 
     /**
@@ -106,14 +118,30 @@ class Monitor : public sys::Dispatcher
     long handleFork(int tuple, long nr, const std::uint64_t args[6]);
     long handleExit(int tuple, long nr, const std::uint64_t args[6]);
 
-    /** Assemble and publish one leader event. */
+    /** Assemble and publish one leader event (flushes any pending
+     *  coalesced run first so stream order is preserved). */
     void publishEvent(int tuple, ring::Event &event,
                       shmem::Offset payload);
 
-    /** Leader-side payload assembly; returns pool offset (0 = none). */
-    shmem::Offset buildPayload(const sys::SyscallInfo &info, long nr,
-                               const std::uint64_t args[6], long result,
-                               std::uint32_t *size_out);
+    /** Flush tuple's pending coalesced run through claim()/commit(). */
+    void flushCoalesced(int tuple);
+
+    /** Flush when the pending run must not be held back any longer:
+     *  the incoming call can block indefinitely, a follower is asleep,
+     *  or the run has been pending longer than the coalesce window. */
+    void coalesceBarrier(int tuple, const sys::SyscallInfo &info);
+
+    /** PublishCoalescer recycler: release the payload shadows of the
+     *  claimed slots before the batch overwrites them. */
+    static void recycleSlots(void *ctx, std::uint64_t first_seq,
+                             std::size_t count);
+
+    /** Leader-side payload assembly from tuple's pool arena; returns
+     *  pool offset (0 = none), reporting global-arena spills. */
+    shmem::Offset buildPayload(int tuple, const sys::SyscallInfo &info,
+                               long nr, const std::uint64_t args[6],
+                               long result, std::uint32_t *size_out,
+                               bool *spilled);
 
     /** Follower-side payload application into local buffers. */
     void applyPayload(const ring::Event &event,
@@ -146,13 +174,34 @@ class Monitor : public sys::Dispatcher
     ChannelSet *channels_;
     Config config_;
     std::atomic<Role> role_;
-    shmem::PoolAllocator pool_;
+    shmem::ShardedPool pool_;
     ring::LamportClock clock_;
     ring::RingBuffer rings_[kMaxTuples];
     std::uint64_t *shadows_[kMaxTuples];
     bpf::RuleSet rules_;
     std::mutex promote_mutex_;
     ring::WaitSpec tick_wait_;
+
+    // --- leader-side publish coalescing (one per tuple; each tuple's
+    //     producer side is owned by exactly one thread) ---
+    struct TupleRef {
+        Monitor *monitor;
+        std::uint32_t tuple;
+    };
+    ring::PublishCoalescer coalescers_[kMaxTuples];
+    TupleRef tuple_refs_[kMaxTuples];
+    std::uint64_t coalesce_last_ns_[kMaxTuples] = {};
+
+    // --- follower-side peek batching: a read-ahead of peeked, not yet
+    //     advanced events. Slots stay claimed (and pool payloads
+    //     alive) until each event is processed and advanced. ---
+    static constexpr std::uint32_t kPeekRun = 8;
+    struct PeekCache {
+        ring::Event events[kPeekRun];
+        std::uint32_t pos = 0;
+        std::uint32_t count = 0;
+    };
+    PeekCache peeked_[kMaxTuples];
 };
 
 } // namespace varan::core

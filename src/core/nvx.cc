@@ -155,10 +155,12 @@ Nvx::zygoteMain()
         }
         auto msg = recvCtrl(zfd);
         if (!msg.ok() || msg.value().type == CtrlMsg::Shutdown) {
-            // Coordinator is gone or wants teardown: kill stragglers.
+            // Coordinator is gone or wants teardown: kill straggler
+            // subtrees (group kill reaches fork-tuple children and app
+            // workers the variant spawned).
             for (std::uint32_t v = 0; v < num_variants_; ++v) {
                 if (child_of[v] > 0)
-                    ::kill(child_of[v], SIGKILL);
+                    ::kill(-child_of[v], SIGKILL);
             }
             accepting = false;
             if (alive_children == 0)
@@ -173,6 +175,9 @@ Nvx::zygoteMain()
         pid_t pid = ::fork();
         if (pid == 0) {
             // ---- variant process (Figure 2 right-hand side) ----
+            // Own process group: teardown kills the variant's whole
+            // subtree (fork-tuple children, app worker processes).
+            ::setpgid(0, 0);
             channels_.closeAllExceptVariant(v);
             channels_.relocateVariantEndsHigh(v);
             region_.closeBackingFd();
@@ -184,6 +189,9 @@ Nvx::zygoteMain()
             config.rules_text = options_.rewrite_rules;
             config.progress_timeout_ns = options_.progress_timeout_ns;
             config.tick_ns = options_.tick_ns;
+            config.coalesce_publish = options_.publish_coalesce;
+            config.coalesce_max = options_.coalesce_max;
+            config.coalesce_window_ns = options_.coalesce_window_ns;
             Monitor *monitor =
                 Monitor::initVariant(&region_, layout_, &channels_,
                                      config);
@@ -193,6 +201,7 @@ Nvx::zygoteMain()
             ::_exit(status & 0xff);
         }
         child_of[v] = pid;
+        ::setpgid(pid, pid); // races benignly with the child's setpgid
         ++alive_children;
         CtrlMsg reply;
         reply.type = CtrlMsg::SpawnReply;
@@ -396,6 +405,24 @@ std::uint64_t
 Nvx::fdTransfers() const
 {
     return controlBlock()->fd_transfers.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::publishBatches() const
+{
+    return controlBlock()->publish_batches.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::eventsCoalesced() const
+{
+    return controlBlock()->events_coalesced.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Nvx::poolSpills() const
+{
+    return layout_.pool(&region_).spills();
 }
 
 std::uint64_t

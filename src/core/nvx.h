@@ -46,6 +46,24 @@ struct NvxOptions {
      * leader outside the variant set (record-replay, section 5.4).
      */
     bool external_leader = false;
+
+    /**
+     * Leader-side publish coalescing: payload-free syscall events
+     * accumulate into a pending run shipped with one head store + one
+     * futex wake (DMON-style relaxed batching). Runs flush before any
+     * blocking call, payload/descriptor event, tuple opening, sleeping
+     * follower, or once the run goes stale, so followers never starve.
+     *
+     * Off by default because it relaxes failover exactness: events
+     * executed but still pending when the leader crashes are lost, so
+     * the promoted follower re-executes up to coalesce_max calls whose
+     * external effects (writes) already happened — the crash window
+     * widens from one event to one run. Enable it for throughput when
+     * at-least-once effects across a leader crash are acceptable.
+     */
+    bool publish_coalesce = false;
+    std::uint32_t coalesce_max = 16;           ///< events per run cap
+    std::uint64_t coalesce_window_ns = 200000; ///< staleness cap (200 µs)
 };
 
 /** Final state of one variant. */
@@ -94,6 +112,9 @@ class Nvx
     std::uint64_t divergencesResolved() const;
     std::uint64_t divergencesFatal() const;
     std::uint64_t fdTransfers() const;
+    std::uint64_t publishBatches() const;  ///< coalesced flushes
+    std::uint64_t eventsCoalesced() const; ///< events shipped batched
+    std::uint64_t poolSpills() const;      ///< global-arena fallbacks
 
     /** Leader-to-follower distance in events (the "log size" of
      *  section 5.3), maximised over tuples for one follower. */

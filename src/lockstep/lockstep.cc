@@ -265,6 +265,10 @@ LockstepEngine::run(std::vector<VariantFn> variants)
         pid_t pid = ::fork();
         VARAN_CHECK(pid >= 0);
         if (pid == 0) {
+            // Own process group: a variant outside the single-process
+            // contract may fork helpers that share its socket; group
+            // kill is the only way the monitor can reap the subtree.
+            ::setpgid(0, 0);
             for (std::size_t o = 0; o < n; ++o) {
                 pairs[o].end(0).reset();
                 if (o != v)
@@ -278,6 +282,7 @@ LockstepEngine::run(std::vector<VariantFn> variants)
             ::_exit(status & 0xff);
         }
         pids[v] = pid;
+        ::setpgid(pid, pid); // races benignly with the child's setpgid
         pairs[v].end(1).reset();
     }
 
@@ -386,6 +391,21 @@ LockstepEngine::run(std::vector<VariantFn> variants)
         MsgHeader go = {};
         go.kind = MsgKind::GoExecute;
         sendMsg(pairs[executor].end(0).get(), go, nullptr);
+        // Bounded wait for the execution result: a variant outside the
+        // engine's contract (one that forked helpers sharing its
+        // socket, or a server wedged in a blocking call) might never
+        // answer, and an unbounded recvMsg here would hang the whole
+        // bench past the engine's own progress deadline. Error events
+        // (POLLERR/POLLNVAL) fall through to recvMsg, which fails and
+        // retires just this variant — the run continues.
+        struct pollfd epfd = {pairs[executor].end(0).get(), POLLIN, 0};
+        while (epfd.revents == 0 && monotonicNs() < deadline) {
+            int r = ::poll(&epfd, 1, 100);
+            if (r < 0 && errno != EINTR)
+                break;
+        }
+        if (epfd.revents == 0)
+            break; // deadline expired: fall through to the kill path
         auto done = recvMsg(pairs[executor].end(0).get());
         if (!done.ok()) {
             alive[executor] = false;
@@ -414,13 +434,14 @@ LockstepEngine::run(std::vector<VariantFn> variants)
         }
     }
 
-    // If the monitor loop gave up (deadline), variants may be parked in
-    // recvmsg: kill them so reaping below can never wedge.
-    if (monotonicNs() >= deadline) {
-        for (std::size_t v = 0; v < n; ++v) {
-            if (alive[v] && pids[v] > 0)
-                ::kill(pids[v], SIGKILL);
-        }
+    // Kill every variant process group before reaping, unconditionally.
+    // A variant the monitor considers dead (socket error) may still be
+    // running — e.g. it forked helpers that share its socket and broke
+    // the protocol — and a variant parked in recvmsg never exits on its
+    // own; either would wedge the blocking waitpid below forever.
+    for (std::size_t v = 0; v < n; ++v) {
+        if (pids[v] > 0)
+            ::kill(-pids[v], SIGKILL);
     }
 
     std::vector<VariantResult> results(n);

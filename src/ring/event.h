@@ -36,6 +36,12 @@ enum EventFlags : std::uint32_t {
     kFdTransfer = 1u << 2,   ///< a descriptor follows on the data channel
     kRestartable = 1u << 3,  ///< call was interrupted (-ERESTARTSYS path)
     kDataHash = 1u << 4,     ///< args[3] holds a hash of IN-buffer data
+    /** The payload spilled out of the publishing tuple's pool arena
+     *  into the global-fallback arena (cross-shard allocation). Payload
+     *  offsets stay region-absolute either way — consumers resolve them
+     *  identically — but the flag makes pool pressure observable in the
+     *  event stream. */
+    kPayloadGlobalArena = 1u << 5,
 };
 
 /** Number of by-value arguments stored inline. */
@@ -59,6 +65,10 @@ struct Event {
     bool hasPayload() const { return flags & kHasPayload; }
     bool argsSpilled() const { return flags & kArgsSpilled; }
     bool transfersFd() const { return flags & kFdTransfer; }
+    bool payloadFromGlobalArena() const
+    {
+        return flags & kPayloadGlobalArena;
+    }
 };
 
 static_assert(sizeof(Event) == kCacheLineSize,

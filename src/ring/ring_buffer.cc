@@ -91,8 +91,20 @@ RingBuffer::gatingSequence(std::uint64_t head) const
     return min_seq;
 }
 
+void
+RingBuffer::copyOut(std::uint64_t from_seq, Event *out, std::size_t n) const
+{
+    RingControl *ctl = control();
+    const std::uint64_t idx = from_seq & ctl->mask;
+    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
+    std::memcpy(out, slots() + idx, first * sizeof(Event));
+    if (n > first)
+        std::memcpy(out + first, slots(), (n - first) * sizeof(Event));
+}
+
 std::uint64_t
-RingBuffer::awaitSpace(std::uint64_t deadline, const WaitSpec &wait)
+RingBuffer::awaitSpace(std::uint64_t deadline, const WaitSpec &wait,
+                       std::uint64_t min_free)
 {
     RingControl *ctl = control();
     const std::uint64_t seq = ctl->head.load(std::memory_order_relaxed);
@@ -102,7 +114,7 @@ RingBuffer::awaitSpace(std::uint64_t deadline, const WaitSpec &wait)
     std::uint32_t spins = 0;
     for (;;) {
         const std::uint64_t used = seq - gatingSequence(seq);
-        if (used < ctl->capacity)
+        if (used + min_free <= ctl->capacity)
             return ctl->capacity - used;
         if (deadlinePassed(deadline))
             return 0;
@@ -113,13 +125,13 @@ RingBuffer::awaitSpace(std::uint64_t deadline, const WaitSpec &wait)
         ctl->producer_waiting.store(1, std::memory_order_seq_cst);
         // Re-check after announcing, otherwise a consumer that advanced
         // in between would leave us sleeping forever.
-        if (seq - gatingSequence(seq) < ctl->capacity) {
+        if (seq - gatingSequence(seq) + min_free <= ctl->capacity) {
             ctl->producer_waiting.store(0, std::memory_order_release);
             continue;
         }
         std::uint32_t observed =
             ctl->space_seq.load(std::memory_order_acquire);
-        if (seq - gatingSequence(seq) < ctl->capacity) {
+        if (seq - gatingSequence(seq) + min_free <= ctl->capacity) {
             ctl->producer_waiting.store(0, std::memory_order_release);
             continue;
         }
@@ -147,7 +159,6 @@ RingBuffer::publish(const Event &event, const WaitSpec &wait)
 std::size_t
 RingBuffer::publishBatch(std::span<const Event> events, const WaitSpec &wait)
 {
-    RingControl *ctl = control();
     const std::uint64_t deadline = deadlineFor(wait);
     std::size_t published = 0;
 
@@ -157,33 +168,54 @@ RingBuffer::publishBatch(std::span<const Event> events, const WaitSpec &wait)
             break;
         const std::size_t n = std::min<std::size_t>(
             free, events.size() - published);
-        const std::uint64_t seq =
-            ctl->head.load(std::memory_order_relaxed);
-        // Claimed range is contiguous in sequence space; it maps to at
-        // most two segments of the slot array across the wrap point.
-        const std::uint64_t idx = seq & ctl->mask;
-        const std::size_t first =
-            std::min<std::size_t>(n, ctl->capacity - idx);
-        std::memcpy(slots() + idx, events.data() + published,
-                    first * sizeof(Event));
-        if (n > first) {
-            std::memcpy(slots(), events.data() + published + first,
-                        (n - first) * sizeof(Event));
-        }
-        ctl->head.store(seq + n, std::memory_order_release);
-        ctl->data_seq.fetch_add(static_cast<std::uint32_t>(n),
-                                std::memory_order_release);
-        if (ctl->consumers_waiting.load(std::memory_order_seq_cst) > 0)
-            futexWake(&ctl->data_seq, kMaxConsumers);
+        commit({events.data() + published, n});
         published += n;
     }
     return published;
+}
+
+bool
+RingBuffer::claim(std::size_t count, std::uint64_t *seq_out,
+                  const WaitSpec &wait)
+{
+    RingControl *ctl = control();
+    VARAN_CHECK(count >= 1 && count <= ctl->capacity);
+    if (awaitSpace(deadlineFor(wait), wait, count) == 0)
+        return false;
+    if (seq_out)
+        *seq_out = ctl->head.load(std::memory_order_relaxed);
+    return true;
+}
+
+void
+RingBuffer::commit(std::span<const Event> events)
+{
+    RingControl *ctl = control();
+    const std::size_t n = events.size();
+    const std::uint64_t seq = ctl->head.load(std::memory_order_relaxed);
+    const std::uint64_t idx = seq & ctl->mask;
+    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
+    std::memcpy(slots() + idx, events.data(), first * sizeof(Event));
+    if (n > first)
+        std::memcpy(slots(), events.data() + first,
+                    (n - first) * sizeof(Event));
+    ctl->head.store(seq + n, std::memory_order_release);
+    ctl->data_seq.fetch_add(static_cast<std::uint32_t>(n),
+                            std::memory_order_release);
+    if (ctl->consumers_waiting.load(std::memory_order_seq_cst) > 0)
+        futexWake(&ctl->data_seq, kMaxConsumers);
 }
 
 std::uint64_t
 RingBuffer::headSeq() const
 {
     return control()->head.load(std::memory_order_acquire);
+}
+
+std::uint32_t
+RingBuffer::consumersWaiting() const
+{
+    return control()->consumers_waiting.load(std::memory_order_acquire);
 }
 
 int
@@ -300,11 +332,7 @@ RingBuffer::pollBatch(int id, Event *out, std::size_t max)
     if (head <= c || max == 0)
         return 0;
     const std::size_t n = std::min<std::size_t>(head - c, max);
-    const std::uint64_t idx = c & ctl->mask;
-    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
-    std::memcpy(out, slots() + idx, first * sizeof(Event));
-    if (n > first)
-        std::memcpy(out + first, slots(), (n - first) * sizeof(Event));
+    copyOut(c, out, n);
     releaseSlots(cur, c + n);
     return n;
 }
@@ -335,11 +363,7 @@ RingBuffer::consumeBatch(int id, Event *out, std::size_t max,
     if (avail == 0)
         return 0;
     const std::size_t n = std::min<std::size_t>(avail, max);
-    const std::uint64_t idx = c & ctl->mask;
-    const std::size_t first = std::min<std::size_t>(n, ctl->capacity - idx);
-    std::memcpy(out, slots() + idx, first * sizeof(Event));
-    if (n > first)
-        std::memcpy(out + first, slots(), (n - first) * sizeof(Event));
+    copyOut(c, out, n);
     releaseSlots(cur, c + n);
     return n;
 }
@@ -365,6 +389,36 @@ RingBuffer::advance(int id)
     releaseSlots(cur, c + 1);
 }
 
+std::size_t
+RingBuffer::peekBatch(int id, Event *out, std::size_t max,
+                      const WaitSpec &wait)
+{
+    if (max == 0)
+        return 0;
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    const std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    const std::uint64_t avail = awaitData(id, deadlineFor(wait), wait);
+    if (avail == 0)
+        return 0;
+    const std::size_t n = std::min<std::size_t>(avail, max);
+    copyOut(c, out, n);
+    // Cursor untouched: the run stays claimed (and any pool payloads it
+    // references stay alive) until advance()/advanceBy().
+    return n;
+}
+
+void
+RingBuffer::advanceBy(int id, std::size_t n)
+{
+    if (n == 0)
+        return;
+    RingControl *ctl = control();
+    ConsumerCursor &cur = ctl->cursors[id];
+    std::uint64_t c = cur.seq.load(std::memory_order_relaxed);
+    releaseSlots(cur, c + n);
+}
+
 std::uint64_t
 RingBuffer::lag(int id) const
 {
@@ -378,6 +432,34 @@ bool
 RingBuffer::consumerActive(int id) const
 {
     return control()->cursors[id].active.load(std::memory_order_acquire);
+}
+
+bool
+PublishCoalescer::flush(const WaitSpec &wait)
+{
+    if (count_ == 0)
+        return true;
+    const std::uint32_t capacity = ring_->capacity();
+    std::size_t flushed = 0;
+    while (flushed < count_) {
+        const std::size_t n = std::min<std::size_t>(
+            count_ - flushed, capacity);
+        std::uint64_t seq = 0;
+        if (!ring_->claim(n, &seq, wait)) {
+            // Keep what did not fit; the caller sees the failure and the
+            // remaining run survives for the next flush attempt.
+            std::memmove(pending_, pending_ + flushed,
+                         (count_ - flushed) * sizeof(Event));
+            count_ -= flushed;
+            return false;
+        }
+        if (recycler_)
+            recycler_(recycler_ctx_, seq, n);
+        ring_->commit({pending_ + flushed, n});
+        flushed += n;
+    }
+    count_ = 0;
+    return true;
 }
 
 } // namespace varan::ring

@@ -92,8 +92,30 @@ class RingBuffer
     std::size_t publishBatch(std::span<const Event> events,
                              const WaitSpec &wait = {});
 
+    /**
+     * Two-phase publication: claim() blocks until at least @p count
+     * slots (≤ capacity) are free and returns the first claimed
+     * sequence; commit() then writes the events and makes them visible
+     * with one head store + at most one futex wake. Between the two the
+     * producer owns the claimed slots exclusively, which is where
+     * payload-shadow recycling must happen — an old payload may only be
+     * released once the gating protocol has proven every consumer is
+     * past its slot, i.e. after claim() returns.
+     * @return false if the deadline expired before the space appeared.
+     */
+    bool claim(std::size_t count, std::uint64_t *seq_out,
+               const WaitSpec &wait = {});
+
+    /** Complete a claim(): copy @p events in and publish them. */
+    void commit(std::span<const Event> events);
+
     /** Sequence number the next publish will use. */
     std::uint64_t headSeq() const;
+
+    /** Consumers currently asleep in the waitlock (publish-side hint:
+     *  a sleeping consumer wants events now, so coalescing should
+     *  flush rather than hold a pending run back). */
+    std::uint32_t consumersWaiting() const;
 
     // --- consumer side ---
 
@@ -145,6 +167,21 @@ class RingBuffer
     /** Complete a peek(); advances exactly one event. */
     void advance(int id);
 
+    /**
+     * Non-advancing batched read: waits (per @p wait) for at least one
+     * event, then copies min(available, max) without moving the cursor.
+     * The copied run stays claimed until advance()/advanceBy() releases
+     * it, so pool payloads referenced by the events remain valid while
+     * the consumer works through the run — the batched equivalent of
+     * peek() for payload-carrying streams.
+     * @return events copied; 0 on deadline expiry.
+     */
+    std::size_t peekBatch(int id, Event *out, std::size_t max,
+                          const WaitSpec &wait = {});
+
+    /** Complete (part of) a peekBatch(): advance @p n events at once. */
+    void advanceBy(int id, std::size_t n);
+
     /** Events published but not yet consumed by slot @p id. */
     std::uint64_t lag(int id) const;
 
@@ -156,8 +193,14 @@ class RingBuffer
     Event *slots() const;
     std::uint64_t gatingSequence(std::uint64_t head) const;
 
-    /** Wait until ≥1 slot is free; returns free slot count (0 = expired). */
-    std::uint64_t awaitSpace(std::uint64_t deadline, const WaitSpec &wait);
+    /** Copy @p n events starting at @p from_seq out of the (possibly
+     *  wrapping) slot array. */
+    void copyOut(std::uint64_t from_seq, Event *out, std::size_t n) const;
+
+    /** Wait until ≥ @p min_free slots are free; returns the free slot
+     *  count (0 = deadline expired first). */
+    std::uint64_t awaitSpace(std::uint64_t deadline, const WaitSpec &wait,
+                             std::uint64_t min_free = 1);
 
     /** Wait until ≥1 event is readable by @p id; returns available
      *  count (0 = deadline expired). */
@@ -169,6 +212,80 @@ class RingBuffer
 
     const shmem::Region *region_ = nullptr;
     shmem::Offset off_ = 0;
+};
+
+/**
+ * Leader-side publish coalescing (DMON-style relaxed shipping).
+ *
+ * The leader's syscall dispatch publishes one event per call; for runs
+ * of payload-free events that is one head store and one futex wake
+ * each. A PublishCoalescer instead accumulates such events in a
+ * process-local pending run and flushes them through the two-phase
+ * claim()/commit() path: one synchronization round per run, however
+ * long the run grew.
+ *
+ * The caller decides *when* to flush (run full is handled internally;
+ * ordering fences — payload events, descriptor transfers, blocking
+ * system calls, tuple openings — are the caller's policy). A recycler
+ * hook runs after claim() and before commit() for every flushed chunk,
+ * which is where the payload-shadow bookkeeping of the monitor slots
+ * in: by claim-time the gating protocol guarantees all consumers have
+ * left the claimed slots, so their old payloads are safe to release.
+ *
+ * Single-producer, like the ring itself: one coalescer per tuple ring,
+ * used only by the thread that owns the producer side.
+ */
+class PublishCoalescer
+{
+  public:
+    static constexpr std::size_t kMaxPending = 64;
+
+    PublishCoalescer() = default;
+
+    /** Recycler: called with the first claimed sequence and the chunk
+     *  length before the chunk becomes visible to consumers. */
+    using SlotRecycler = void (*)(void *ctx, std::uint64_t first_seq,
+                                  std::size_t count);
+
+    void
+    reset(RingBuffer *ring, std::size_t max_pending = 16,
+          SlotRecycler recycler = nullptr, void *recycler_ctx = nullptr)
+    {
+        ring_ = ring;
+        max_pending_ = max_pending < kMaxPending ? max_pending
+                                                 : kMaxPending;
+        if (max_pending_ == 0)
+            max_pending_ = 1;
+        recycler_ = recycler;
+        recycler_ctx_ = recycler_ctx;
+        count_ = 0;
+    }
+
+    std::size_t pending() const { return count_; }
+    std::size_t maxPending() const { return max_pending_; }
+
+    /** Append one event; auto-flushes first when the run is full.
+     *  @return false if a required flush timed out (event not added). */
+    bool
+    add(const Event &event, const WaitSpec &wait = {})
+    {
+        if (count_ == max_pending_ && !flush(wait))
+            return false;
+        pending_[count_++] = event;
+        return true;
+    }
+
+    /** Publish the pending run: one claim/commit per ring-capacity
+     *  chunk. @return false on deadline expiry (run kept). */
+    bool flush(const WaitSpec &wait = {});
+
+  private:
+    RingBuffer *ring_ = nullptr;
+    SlotRecycler recycler_ = nullptr;
+    void *recycler_ctx_ = nullptr;
+    std::size_t max_pending_ = 16;
+    std::size_t count_ = 0;
+    Event pending_[kMaxPending];
 };
 
 } // namespace varan::ring

@@ -57,7 +57,7 @@ Recorder::attachTaps()
 std::size_t
 Recorder::drainOnce()
 {
-    shmem::PoolAllocator pool = layout_->pool(region_);
+    shmem::ShardedPool pool = layout_->pool(region_);
     std::size_t drained = 0;
     core::ControlBlock *cb = layout_->controlBlock(region_);
     std::uint32_t tuples = cb->num_tuples.load(std::memory_order_acquire);

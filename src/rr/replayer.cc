@@ -17,17 +17,21 @@ publishWithShadow(const shmem::Region *region,
                   ring::Event &event, shmem::Offset payload)
 {
     core::ControlBlock *cb = layout->controlBlock(region);
-    shmem::PoolAllocator pool = layout->pool(region);
+    shmem::ShardedPool pool = layout->pool(region);
     ring::RingBuffer ring = layout->tupleRing(region, tuple);
     std::uint64_t *shadow = layout->tupleShadow(region, tuple);
-    std::uint64_t idx = ring.headSeq() & (cb->ring_capacity - 1);
+    ring::WaitSpec wait;
+    wait.timeout_ns = 120000000000ULL;
+    std::uint64_t seq = 0;
+    if (!ring.claim(1, &seq, wait))
+        panic("replay publish stalled");
+    // Recycle only once the slot is claimed: by then the gating
+    // protocol has proven every consumer is done with the old payload.
+    std::uint64_t idx = seq & (cb->ring_capacity - 1);
     if (shadow[idx] != 0)
         pool.release(shadow[idx]);
     shadow[idx] = payload;
-    ring::WaitSpec wait;
-    wait.timeout_ns = 120000000000ULL;
-    if (!ring.publish(event, wait))
-        panic("replay publish stalled");
+    ring.commit({&event, 1});
     cb->events_streamed.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -53,7 +57,7 @@ Replayer::replayAll()
         return Result<Stats>(Errno{EPROTO});
     }
 
-    shmem::PoolAllocator pool = layout_->pool(region_);
+    shmem::ShardedPool pool = layout_->pool(region_);
     core::ControlBlock *cb = layout_->controlBlock(region_);
     Stats stats;
     RecordHeader rec = {};
@@ -67,7 +71,7 @@ Replayer::replayAll()
                 std::fclose(file);
                 return Result<Stats>(Errno{EPROTO});
             }
-            payload = pool.allocate(rec.payload_size, 1);
+            payload = pool.allocate(rec.tuple, rec.payload_size, 1);
             if (payload == 0) {
                 std::fclose(file);
                 return Result<Stats>(Errno{ENOMEM});

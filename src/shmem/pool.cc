@@ -6,8 +6,7 @@ namespace varan::shmem {
 
 namespace {
 
-constexpr std::size_t kHeaderSize =
-    (sizeof(ChunkHeader) + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+constexpr std::size_t kHeaderSize = kChunkHeaderReserved;
 
 /** Bucket index for a payload size: 64 << idx bytes. */
 std::size_t
@@ -109,6 +108,7 @@ PoolAllocator::refillBucket(std::size_t idx)
         ch->bucket = static_cast<std::uint32_t>(idx);
         ch->refcount.store(0, std::memory_order_relaxed);
         ch->magic = kChunkMagic;
+        ch->owner = header_off_;
         ch->next_free = b.free_head;
         b.free_head = chunk_off + kHeaderSize;
     }
@@ -183,6 +183,151 @@ PoolAllocator::bytesUncarved() const
     auto *hdr = region_->at<PoolHeader>(header_off_);
     Offset bump = hdr->bump.load(std::memory_order_relaxed);
     return bump >= hdr->pool_end ? 0 : hdr->pool_end - bump;
+}
+
+// --- ShardedPool -------------------------------------------------------
+
+ShardedPool::ShardedPool(const Region *region, Offset header_off)
+    : region_(region), header_off_(header_off)
+{
+}
+
+ShardedPoolHeader *
+ShardedPool::header() const
+{
+    return region_->at<ShardedPoolHeader>(header_off_);
+}
+
+ChunkHeader *
+ShardedPool::chunk(Offset payload) const
+{
+    auto *ch = region_->at<ChunkHeader>(payload - kHeaderSize);
+    VARAN_CHECK(ch->magic == kChunkMagic);
+    return ch;
+}
+
+ShardedPool
+ShardedPool::initialize(const Region *region, Offset header_off,
+                        Offset pool_begin, Offset pool_end,
+                        std::uint32_t num_shards)
+{
+    VARAN_CHECK(num_shards >= 1 && num_shards <= kMaxPoolShards);
+    auto *hdr = new (region->bytesAt(header_off, sizeof(ShardedPoolHeader)))
+        ShardedPoolHeader();
+    hdr->num_shards = num_shards;
+    hdr->spills.store(0, std::memory_order_relaxed);
+
+    // The arena PoolHeaders live at the front of the pool area, then the
+    // carveable space splits half to the shards, half to the fallback.
+    constexpr std::size_t kHdrStride =
+        (sizeof(PoolHeader) + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+    Offset cursor = (pool_begin + kCacheLineSize - 1) &
+                    ~static_cast<Offset>(kCacheLineSize - 1);
+    std::array<Offset, kMaxPoolShards + 1> headers = {};
+    for (std::uint32_t s = 0; s <= num_shards; ++s) {
+        headers[s] = cursor;
+        cursor += kHdrStride;
+    }
+
+    VARAN_CHECK(cursor < pool_end);
+    const Offset carveable = pool_end - cursor;
+    const Offset shard_bytes =
+        (carveable / 2 / num_shards) & ~static_cast<Offset>(kCacheLineSize - 1);
+    VARAN_CHECK(shard_bytes >= kCacheLineSize);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+        hdr->shard_headers[s] = headers[s];
+        PoolAllocator::initialize(region, headers[s], cursor,
+                                  cursor + shard_bytes);
+        cursor += shard_bytes;
+    }
+    hdr->global_header = headers[num_shards];
+    PoolAllocator::initialize(region, headers[num_shards], cursor, pool_end);
+    return ShardedPool(region, header_off);
+}
+
+std::uint32_t
+ShardedPool::numShards() const
+{
+    return header()->num_shards;
+}
+
+PoolAllocator
+ShardedPool::shardAllocator(std::uint32_t shard) const
+{
+    ShardedPoolHeader *hdr = header();
+    VARAN_CHECK(shard < hdr->num_shards);
+    return PoolAllocator(region_, hdr->shard_headers[shard]);
+}
+
+PoolAllocator
+ShardedPool::globalAllocator() const
+{
+    return PoolAllocator(region_, header()->global_header);
+}
+
+Offset
+ShardedPool::allocate(std::uint32_t shard, std::size_t size,
+                      std::uint32_t refs, bool *spilled)
+{
+    ShardedPoolHeader *hdr = header();
+    if (spilled)
+        *spilled = false;
+    if (shard < hdr->num_shards) {
+        Offset payload =
+            PoolAllocator(region_, hdr->shard_headers[shard])
+                .allocate(size, refs);
+        if (payload != 0)
+            return payload;
+    }
+    // Cross-shard fallback: the shared arena has its own locks, so a
+    // spilling tuple contends only with other spillers, never with a
+    // healthy tuple's arena.
+    Offset payload =
+        PoolAllocator(region_, hdr->global_header).allocate(size, refs);
+    if (payload != 0) {
+        hdr->spills.fetch_add(1, std::memory_order_relaxed);
+        if (spilled)
+            *spilled = true;
+    }
+    return payload;
+}
+
+void
+ShardedPool::addRef(Offset payload, std::uint32_t n)
+{
+    chunk(payload)->refcount.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ShardedPool::release(Offset payload)
+{
+    // The chunk names its owning arena, so frees land on the free list
+    // they were carved from no matter which tuple releases.
+    PoolAllocator(region_, chunk(payload)->owner).release(payload);
+}
+
+std::uint32_t
+ShardedPool::refcount(Offset payload) const
+{
+    return chunk(payload)->refcount.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+ShardedPool::liveAllocations() const
+{
+    ShardedPoolHeader *hdr = header();
+    std::uint64_t sum =
+        PoolAllocator(region_, hdr->global_header).liveAllocations();
+    for (std::uint32_t s = 0; s < hdr->num_shards; ++s)
+        sum += PoolAllocator(region_, hdr->shard_headers[s])
+                   .liveAllocations();
+    return sum;
+}
+
+std::uint64_t
+ShardedPool::spills() const
+{
+    return header()->spills.load(std::memory_order_relaxed);
 }
 
 } // namespace varan::shmem

@@ -10,6 +10,14 @@
  *
  * Payload blocks carry a reference count so the leader can publish one
  * buffer to N followers and have the last consumer release it.
+ *
+ * On top of the flat PoolAllocator, ShardedPool carves the pool area
+ * into per-tuple arenas with independent locks plus a shared
+ * global-fallback arena: each thread tuple allocates from its own
+ * arena, so leader threads of different tuples never contend, and a
+ * tuple whose arena runs dry spills to the global arena instead of
+ * failing. Every chunk records its owning arena, so release() works on
+ * any payload offset no matter which arena produced it.
  */
 
 #ifndef VARAN_SHMEM_POOL_H
@@ -28,6 +36,9 @@ namespace varan::shmem {
 inline constexpr std::size_t kNumBuckets = 15;
 inline constexpr std::size_t kMinChunkPayload = 64;
 
+/** Upper bound on per-tuple arenas (mirrors core::kMaxTuples). */
+inline constexpr std::uint32_t kMaxPoolShards = 16;
+
 /** Per-bucket bookkeeping, resident in shared memory. */
 struct alignas(kCacheLineSize) Bucket {
     FutexLock lock;
@@ -45,9 +56,15 @@ struct ChunkHeader {
     Offset next_free;                     ///< intrusive free-list link
     std::uint32_t requested;              ///< bytes asked for (debug/stats)
     std::uint32_t magic;                  ///< corruption canary
+    Offset owner;                         ///< PoolHeader offset of the
+                                          ///< arena that carved this chunk
 };
 
 static constexpr std::uint32_t kChunkMagic = 0x564e5658; // "VNVX"
+
+/** Cache-line-rounded space reserved before every chunk payload. */
+inline constexpr std::size_t kChunkHeaderReserved =
+    (sizeof(ChunkHeader) + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
 
 /** Pool control area, resident at a fixed offset in the Region. */
 struct PoolHeader {
@@ -111,10 +128,98 @@ class PoolAllocator
     /** Size class (chunk payload bytes) used for a request. */
     static std::size_t chunkSizeFor(std::size_t size);
 
+    /** Offset of this allocator's PoolHeader (arena identity). */
+    Offset headerOffset() const { return header_off_; }
+
   private:
     Bucket &bucket(std::size_t idx) const;
     ChunkHeader *header(Offset payload) const;
     bool refillBucket(std::size_t idx);
+
+    const Region *region_ = nullptr;
+    Offset header_off_ = 0;
+};
+
+/** Control area of a sharded pool, resident in shared memory. */
+struct ShardedPoolHeader {
+    std::uint32_t num_shards;
+    std::array<Offset, kMaxPoolShards> shard_headers; ///< per-tuple arenas
+    Offset global_header;                             ///< fallback arena
+    std::atomic<std::uint64_t> spills; ///< allocations served by fallback
+};
+
+/**
+ * Per-tuple arena sharding over the payload pool.
+ *
+ * initialize() splits [pool_begin, pool_end) into num_shards equal
+ * arenas (half the space) plus one global-fallback arena (the other
+ * half), each a full PoolAllocator with its own bucket locks and carve
+ * cursor. allocate() serves from the caller's shard and spills to the
+ * fallback when the shard is exhausted or the shard id is out of range
+ * (external publishers such as record-replay taps).
+ *
+ * release()/addRef()/refcount() resolve the owning arena through the
+ * chunk header, so consumers need no shard knowledge — a payload offset
+ * is self-describing regardless of which arena produced it.
+ *
+ * Capacity note: arenas partition the pool, so one tuple can reach at
+ * most its own arena plus the whole fallback (roughly half the pool +
+ * 1/(2*num_shards)) — less than the flat allocator offered a single
+ * tuple. Workloads with large live payload sets should size the region
+ * (NvxOptions::shm_bytes) with that in mind.
+ */
+class ShardedPool
+{
+  public:
+    ShardedPool() = default;
+    ShardedPool(const Region *region, Offset header_off);
+
+    /** One-time initialisation by the coordinator (pre-fork). */
+    static ShardedPool initialize(const Region *region, Offset header_off,
+                                  Offset pool_begin, Offset pool_end,
+                                  std::uint32_t num_shards);
+
+    bool valid() const { return region_ != nullptr; }
+    std::uint32_t numShards() const;
+
+    /**
+     * Allocate @p size bytes from shard @p shard's arena, spilling to
+     * the global arena when the shard is dry. @p spilled, when given,
+     * reports whether the fallback served the request.
+     * @return payload offset, or 0 when even the fallback is exhausted.
+     */
+    Offset allocate(std::uint32_t shard, std::size_t size,
+                    std::uint32_t refs = 1, bool *spilled = nullptr);
+
+    /** Increment the payload's reference count (any arena). */
+    void addRef(Offset payload, std::uint32_t n = 1);
+
+    /** Drop one reference; frees into the owning arena at zero. */
+    void release(Offset payload);
+
+    void *
+    pointer(Offset payload, std::size_t len) const
+    {
+        return region_->bytesAt(payload, len);
+    }
+
+    std::uint32_t refcount(Offset payload) const;
+
+    /** Live allocations summed over every arena. */
+    std::uint64_t liveAllocations() const;
+
+    /** Allocations the global fallback served (cross-shard spills). */
+    std::uint64_t spills() const;
+
+    /** Flat allocator over one shard's arena (tests, stats). */
+    PoolAllocator shardAllocator(std::uint32_t shard) const;
+
+    /** Flat allocator over the global-fallback arena. */
+    PoolAllocator globalAllocator() const;
+
+  private:
+    ShardedPoolHeader *header() const;
+    ChunkHeader *chunk(Offset payload) const;
 
     const Region *region_ = nullptr;
     Offset header_off_ = 0;

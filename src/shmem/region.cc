@@ -88,4 +88,16 @@ Region::carve(std::size_t size, std::size_t align)
     return off;
 }
 
+Offset
+Region::carveRemainder(std::size_t *bytes_out, std::size_t align)
+{
+    VARAN_CHECK(align > 0 && (align & (align - 1)) == 0);
+    std::size_t off = (carve_cursor_ + align - 1) & ~(align - 1);
+    VARAN_CHECK(off < size_);
+    carve_cursor_ = size_;
+    if (bytes_out)
+        *bytes_out = size_ - off;
+    return off;
+}
+
 } // namespace varan::shmem

@@ -98,6 +98,16 @@ class Region
      */
     Offset carve(std::size_t size, std::size_t align = kCacheLineSize);
 
+    /**
+     * Consume everything carve() has not handed out yet: returns the
+     * aligned offset of the remainder and its byte count, and moves the
+     * cursor to the end so later carve() calls fail loudly instead of
+     * silently overlapping the consumed tail. The pool takes the whole
+     * remainder this way after the static layout is carved.
+     */
+    Offset carveRemainder(std::size_t *bytes_out,
+                          std::size_t align = kCacheLineSize);
+
     /** Bytes still available for carve(). */
     std::size_t carveRemaining() const { return size_ - carve_cursor_; }
 

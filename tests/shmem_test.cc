@@ -259,6 +259,213 @@ TEST_F(PoolTest, CrossProcessAllocFree)
     EXPECT_EQ(pool_.liveAllocations(), 0u);
 }
 
+class ShardedPoolTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::uint32_t kShards = 4;
+
+    void
+    SetUp() override
+    {
+        auto r = Region::create(8 << 20);
+        ASSERT_TRUE(r.ok());
+        region_ = std::move(r.value());
+        Offset hdr = region_.carve(sizeof(ShardedPoolHeader));
+        std::size_t bytes = 0;
+        Offset begin = region_.carveRemainder(&bytes);
+        pool_ = ShardedPool::initialize(&region_, hdr, begin,
+                                        begin + bytes, kShards);
+    }
+
+    Region region_;
+    ShardedPool pool_;
+};
+
+TEST_F(ShardedPoolTest, AllocateReleasePerShard)
+{
+    EXPECT_EQ(pool_.numShards(), kShards);
+    Offset offs[kShards];
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+        offs[s] = pool_.allocate(s, 200);
+        ASSERT_NE(offs[s], 0u);
+        EXPECT_EQ(pool_.refcount(offs[s]), 1u);
+        // The allocation landed in the shard's own arena.
+        EXPECT_EQ(pool_.shardAllocator(s).liveAllocations(), 1u);
+    }
+    EXPECT_EQ(pool_.liveAllocations(), kShards);
+    EXPECT_EQ(pool_.spills(), 0u);
+    for (Offset p : offs)
+        pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(ShardedPoolTest, ReleaseFindsOwningArenaWithoutShardHint)
+{
+    Offset p = pool_.allocate(2, 512);
+    ASSERT_NE(p, 0u);
+    ASSERT_EQ(pool_.shardAllocator(2).liveAllocations(), 1u);
+    // A consumer that only holds the payload offset (a follower) can
+    // release without knowing which tuple allocated.
+    pool_.release(p);
+    EXPECT_EQ(pool_.shardAllocator(2).liveAllocations(), 0u);
+}
+
+TEST_F(ShardedPoolTest, OutOfRangeShardUsesGlobalArena)
+{
+    // External publishers (record-replay taps) carry no tuple arena.
+    bool spilled = false;
+    Offset p = pool_.allocate(kShards + 7, 64, 1, &spilled);
+    ASSERT_NE(p, 0u);
+    EXPECT_TRUE(spilled);
+    EXPECT_EQ(pool_.globalAllocator().liveAllocations(), 1u);
+    EXPECT_EQ(pool_.spills(), 1u);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(ShardedPoolTest, ExhaustedShardSpillsToGlobal)
+{
+    // Drain shard 0 with 256 KiB chunks, then keep allocating: requests
+    // must keep succeeding out of the global fallback.
+    std::vector<Offset> live;
+    bool spilled = false;
+    while (true) {
+        Offset p = pool_.allocate(0, 1 << 18, 1, &spilled);
+        ASSERT_NE(p, 0u) << "fallback exhausted unexpectedly";
+        live.push_back(p);
+        if (spilled)
+            break;
+    }
+    EXPECT_GT(pool_.spills(), 0u);
+    EXPECT_GT(pool_.globalAllocator().liveAllocations(), 0u);
+    // Spilled payloads behave like any other payload.
+    Offset s = live.back();
+    std::memset(pool_.pointer(s, 1 << 18), 0x7e, 1 << 18);
+    EXPECT_EQ(pool_.refcount(s), 1u);
+    for (Offset p : live)
+        pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+    // The drained shard serves again once its chunks return.
+    Offset again = pool_.allocate(0, 1 << 18, 1, &spilled);
+    ASSERT_NE(again, 0u);
+    EXPECT_FALSE(spilled);
+    pool_.release(again);
+}
+
+TEST_F(ShardedPoolTest, SpillDoesNotCorruptOtherShardsPayloads)
+{
+    // Another tuple's payloads must survive a neighbour shard running
+    // dry and spilling: the fallback is a separate arena, not a raid
+    // on someone else's free lists.
+    Offset witness = pool_.allocate(1, 4096);
+    ASSERT_NE(witness, 0u);
+    std::memset(pool_.pointer(witness, 4096), 0xbb, 4096);
+
+    std::vector<Offset> hog;
+    bool spilled = false;
+    for (int i = 0; i < 4 && !spilled; ) {
+        Offset p = pool_.allocate(0, 1 << 18, 1, &spilled);
+        ASSERT_NE(p, 0u);
+        hog.push_back(p);
+        if (spilled) {
+            std::memset(pool_.pointer(p, 1 << 18), 0xcc, 1 << 18);
+            ++i;
+        }
+    }
+    ASSERT_TRUE(spilled);
+
+    auto *w = static_cast<unsigned char *>(pool_.pointer(witness, 4096));
+    for (std::size_t i = 0; i < 4096; ++i)
+        ASSERT_EQ(w[i], 0xbb) << "witness byte " << i;
+    EXPECT_EQ(pool_.shardAllocator(1).liveAllocations(), 1u);
+
+    for (Offset p : hog)
+        pool_.release(p);
+    pool_.release(witness);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
+TEST_F(ShardedPoolTest, TotalExhaustionReturnsZeroNotCrash)
+{
+    std::vector<Offset> live;
+    for (;;) {
+        Offset p = pool_.allocate(3, 1 << 18);
+        if (p == 0)
+            break; // shard 3 and the global fallback both dry
+        live.push_back(p);
+    }
+    EXPECT_GT(live.size(), 0u);
+    for (Offset p : live)
+        pool_.release(p);
+    Offset p = pool_.allocate(3, 1 << 18);
+    EXPECT_NE(p, 0u);
+    pool_.release(p);
+}
+
+TEST_F(ShardedPoolTest, ConcurrentShardsDoNotInterfere)
+{
+    constexpr int kIters = 4000;
+    std::vector<std::thread> threads;
+    std::atomic<int> corrupt{0};
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+        threads.emplace_back([this, s, &corrupt] {
+            const unsigned char tag =
+                static_cast<unsigned char>(0x10 + s);
+            std::vector<Offset> mine;
+            for (int i = 0; i < kIters; ++i) {
+                Offset p = pool_.allocate(s, 64 + (i % 256));
+                ASSERT_NE(p, 0u);
+                std::memset(pool_.pointer(p, 64), tag, 64);
+                mine.push_back(p);
+                if (mine.size() > 6) {
+                    Offset victim = mine.front();
+                    mine.erase(mine.begin());
+                    auto *b = static_cast<unsigned char *>(
+                        pool_.pointer(victim, 64));
+                    for (int k = 0; k < 64; ++k) {
+                        if (b[k] != tag)
+                            corrupt.fetch_add(1);
+                    }
+                    pool_.release(victim);
+                }
+            }
+            for (Offset p : mine)
+                pool_.release(p);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(corrupt.load(), 0);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+    EXPECT_EQ(pool_.spills(), 0u); // arenas sized to never spill here
+}
+
+TEST_F(ShardedPoolTest, CrossProcessSpilledPayloadRoundTrip)
+{
+    // A payload that spilled into the global arena must still be
+    // readable and releasable from a forked follower process.
+    bool spilled = false;
+    Offset p = pool_.allocate(kShards + 1, 128, 2, &spilled);
+    ASSERT_NE(p, 0u);
+    ASSERT_TRUE(spilled);
+    std::memcpy(pool_.pointer(p, 128), "spilled", 8);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        char *data = static_cast<char *>(pool_.pointer(p, 128));
+        bool match = std::strcmp(data, "spilled") == 0;
+        pool_.release(p);
+        _exit(match ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_EQ(pool_.refcount(p), 1u);
+    pool_.release(p);
+    EXPECT_EQ(pool_.liveAllocations(), 0u);
+}
+
 TEST(FutexLockTest, MutualExclusionAcrossThreads)
 {
     alignas(64) static FutexLock lock;
