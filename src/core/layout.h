@@ -36,6 +36,11 @@ inline constexpr int kTapConsumerSlot = static_cast<int>(kMaxVariants);
  *  leader publishes from outside, section 5.4). */
 inline constexpr std::uint32_t kNoLeader = 0xffffffffu;
 
+/** Hard ceiling on any ring publish: a claim() still blocked after
+ *  this long means a follower is wedged beyond recovery, and the
+ *  publisher panics rather than hang forever. */
+inline constexpr std::uint64_t kPublishStallNs = 120000000000ULL; // 2 min
+
 enum class VariantState : std::uint32_t {
     Empty = 0,
     Running,

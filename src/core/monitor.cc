@@ -3,6 +3,8 @@
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
+#include <new>
 #include <unistd.h>
 
 #include "common/clock.h"
@@ -161,6 +163,9 @@ Monitor::initVariant(const shmem::Region *region, EngineLayout layout,
         static_cast<std::uint32_t>(::getpid()), std::memory_order_release);
     t_tuple = 0;
     g_monitor->installCrashHandlers();
+    if (config.coalesce_publish)
+        g_monitor->flusher_thread_ =
+            std::thread([m = g_monitor] { m->flusherLoop(); });
     sys::setDispatcher(g_monitor);
     return g_monitor;
 }
@@ -207,6 +212,10 @@ void
 Monitor::bindThreadToTuple(int tuple)
 {
     t_tuple = tuple;
+    if (g_monitor) {
+        g_monitor->owned_tuples_.fetch_or(1u << tuple,
+                                          std::memory_order_acq_rel);
+    }
 }
 
 int
@@ -369,7 +378,7 @@ Monitor::flushCoalesced(int tuple)
     if (n == 0)
         return;
     ring::WaitSpec publish_wait = config_.wait;
-    publish_wait.timeout_ns = 120000000000ULL; // 2 min hard ceiling
+    publish_wait.timeout_ns = kPublishStallNs;
     if (!co.flush(publish_wait))
         panic("coalesced publish stalled: follower wedged?");
     cb_->events_streamed.fetch_add(n, std::memory_order_relaxed);
@@ -384,15 +393,64 @@ Monitor::coalesceBarrier(int tuple, const sys::SyscallInfo &info)
         return;
     if (info.may_block ||
         rings_[tuple].consumersWaiting() > 0 ||
-        monotonicNs() - coalesce_last_ns_[tuple] >=
+        monotonicNs() -
+                coalesce_last_ns_[tuple].load(std::memory_order_acquire) >=
             config_.coalesce_window_ns) {
+        std::lock_guard<std::mutex> guard(coalesce_mutex_[tuple]);
         flushCoalesced(tuple);
+    }
+}
+
+void
+Monitor::flusherLoop()
+{
+    // Tick at half the staleness window so a stale run waits at most
+    // ~1.5 windows even when the leader never dispatches again. Floor
+    // at 1 ms: this thread is a last-resort backstop (the dispatch
+    // barriers cover every active path), so sub-millisecond wakeups in
+    // every variant would be pure overhead. Cap at 10 ms so shutdown
+    // (which joins this thread) stays prompt under huge windows.
+    std::uint64_t tick = config_.coalesce_window_ns / 2;
+    if (tick < 1000000)
+        tick = 1000000;
+    if (tick > 10000000)
+        tick = 10000000;
+    while (!flusher_stop_.load(std::memory_order_acquire)) {
+        sleepNs(tick);
+        if (!isLeader())
+            continue;
+        const std::uint64_t now = monotonicNs();
+        for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+            if (coalescers_[t].pending() == 0)
+                continue;
+            if (now - coalesce_last_ns_[t].load(std::memory_order_acquire) <
+                config_.coalesce_window_ns) {
+                continue;
+            }
+            std::lock_guard<std::mutex> guard(coalesce_mutex_[t]);
+            // Re-check under the lock: the owner may have flushed (or
+            // grown) the run while we were deciding.
+            if (coalescers_[t].pending() == 0)
+                continue;
+            if (monotonicNs() -
+                    coalesce_last_ns_[t].load(std::memory_order_acquire) <
+                config_.coalesce_window_ns) {
+                continue;
+            }
+            flushCoalesced(static_cast<int>(t));
+        }
     }
 }
 
 void
 Monitor::publishEvent(int tuple, ring::Event &event, shmem::Offset payload)
 {
+    // The time-based flusher may be mid-claim on this ring; producer
+    // access is serialized while coalescing is enabled.
+    std::unique_lock<std::mutex> guard;
+    if (config_.coalesce_publish)
+        guard = std::unique_lock<std::mutex>(coalesce_mutex_[tuple]);
+
     // Stream order: anything coalesced earlier must go out first.
     flushCoalesced(tuple);
 
@@ -401,7 +459,7 @@ Monitor::publishEvent(int tuple, ring::Event &event, shmem::Offset payload)
 
     ring::RingBuffer &ring = rings_[tuple];
     ring::WaitSpec publish_wait = config_.wait;
-    publish_wait.timeout_ns = 120000000000ULL; // 2 min hard ceiling
+    publish_wait.timeout_ns = kPublishStallNs;
     std::uint64_t seq = 0;
     if (!ring.claim(1, &seq, publish_wait))
         panic("ring publish stalled: follower wedged?");
@@ -470,6 +528,7 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
     if (config_.coalesce_publish && payload == 0 &&
         info.cls != sys::SyscallClass::FdCreating &&
         cb_->num_tuples.load(std::memory_order_acquire) == 1) {
+        std::lock_guard<std::mutex> guard(coalesce_mutex_[tuple]);
         event.timestamp = clock_.tick();
         event.flags |= config_.variant_id << kPublisherShift;
         // Flush through flushCoalesced (not add's internal overflow
@@ -479,10 +538,11 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
             flushCoalesced(tuple);
         }
         ring::WaitSpec publish_wait = config_.wait;
-        publish_wait.timeout_ns = 120000000000ULL;
+        publish_wait.timeout_ns = kPublishStallNs;
         if (!coalescers_[tuple].add(event, publish_wait))
             panic("coalesced publish stalled: follower wedged?");
-        coalesce_last_ns_[tuple] = monotonicNs();
+        coalesce_last_ns_[tuple].store(monotonicNs(),
+                                       std::memory_order_release);
         // A follower already asleep in the waitlock wants this event
         // now; holding the run back would trade its latency for
         // nothing.
@@ -493,8 +553,13 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
 
     // Descriptor transfer happens before publication so a follower that
     // sees the event will always find the descriptor in its channel.
+    // The tag's upper half names the publishing tuple: all tuples share
+    // one channel per variant pair, and the follower-side demux routes
+    // each descriptor to the thread replaying that tuple.
     if (info.cls == sys::SyscallClass::FdCreating && result >= 0) {
         event.flags |= ring::kFdTransfer;
+        const std::uint64_t tuple_tag = static_cast<std::uint64_t>(tuple)
+                                        << 32;
         std::uint32_t live = cb_->live_mask.load(std::memory_order_acquire);
         for (std::uint32_t v = 0; v < cb_->num_variants; ++v) {
             if (v == config_.variant_id || !(live & (1u << v)))
@@ -504,12 +569,12 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
                 const auto *fds = reinterpret_cast<const std::int32_t *>(
                     args[info.fd_array_arg]);
                 sendFd(channel, fds[0],
-                       static_cast<std::uint64_t>(fds[0]));
+                       tuple_tag | static_cast<std::uint32_t>(fds[0]));
                 sendFd(channel, fds[1],
-                       static_cast<std::uint64_t>(fds[1]));
+                       tuple_tag | static_cast<std::uint32_t>(fds[1]));
             } else {
                 sendFd(channel, static_cast<int>(result),
-                       static_cast<std::uint64_t>(result));
+                       tuple_tag | static_cast<std::uint32_t>(result));
             }
             cb_->fd_transfers.fetch_add(1, std::memory_order_relaxed);
         }
@@ -548,6 +613,100 @@ Monitor::applyPayload(const ring::Event &event,
     }
 }
 
+namespace {
+
+/**
+ * First descriptor number used to park in-flight transfers. recvmsg
+ * assigns temporaries the lowest free number — squarely inside the
+ * application range a concurrent mirror() may dup2 over, which would
+ * silently destroy the in-flight descriptor. Parking moves every
+ * received descriptor above the application range (and below the
+ * engine channels at 960+) for the window between receipt and
+ * mirroring.
+ */
+constexpr int kFdParkBase = 800;
+
+Fd
+parkFd(Fd low)
+{
+    long parked = sys::rawSyscall(SYS_fcntl, low.get(), F_DUPFD,
+                                  kFdParkBase);
+    if (parked < 0)
+        return low; // table exhausted: keep the low number, best effort
+    return Fd(static_cast<int>(parked)); // `low` closes on return
+}
+
+} // namespace
+
+void
+Monitor::resetProcessStateAfterFork(int child_tuple)
+{
+    // The child owns exactly its own tuple. Inherited inbox state is
+    // the parent's: parked descriptors belong to the parent's tuples,
+    // and a mutex may have been captured locked if another thread was
+    // mid-queue-operation at fork time. Reconstruct in place — the
+    // deliberate leak of the old deques' memory is one-shot and tiny,
+    // and beats undefined behaviour from destroying a locked mutex.
+    for (std::uint32_t v = 0; v < kMaxVariants; ++v)
+        new (&fd_inboxes_[v]) FdInbox();
+    owned_tuples_.store(1u << child_tuple, std::memory_order_release);
+
+    // Same treatment for the coalescing locks, and the flusher thread
+    // handle: the pthread was not duplicated by fork, so the inherited
+    // handle is joinable-but-dead — finishVariant() joining it would
+    // block forever. The child runs without a time-based flusher (its
+    // dispatch barriers still flush; fork-tuple children are processes,
+    // not syscall-dense coalescing leaders).
+    for (std::uint32_t t = 0; t < kMaxTuples; ++t)
+        new (&coalesce_mutex_[t]) std::mutex();
+    new (&flusher_thread_) std::thread();
+}
+
+Result<Fd>
+Monitor::recvFdFor(std::uint32_t publisher, std::uint32_t tuple)
+{
+    VARAN_CHECK(tuple < kMaxTuples);
+    FdInbox &inbox = fd_inboxes_[publisher];
+    // One drainer at a time: the lock is held across the blocking recv
+    // so a waiting thread always finds its descriptor either parked by
+    // the previous drainer or next on the channel — concurrent recvs
+    // could strand a thread in recvmsg while its message sits parked.
+    // Fork safety comes from resetFdRoutingAfterFork(), which discards
+    // any inherited (possibly locked) inbox in the child.
+    std::lock_guard<std::mutex> guard(inbox.mutex);
+    std::deque<Fd> &mine = inbox.pending[tuple];
+    if (!mine.empty()) {
+        Fd fd = std::move(mine.front());
+        mine.pop_front();
+        return fd;
+    }
+    int channel = channels_->data(config_.variant_id, publisher);
+    for (;;) {
+        auto got = recvFd(channel);
+        if (!got.ok())
+            return Result<Fd>(got.error());
+        const auto from = static_cast<std::uint32_t>(got.value().tag >> 32);
+        if (from == tuple)
+            return parkFd(std::move(got.value().fd));
+        const std::uint32_t owned =
+            owned_tuples_.load(std::memory_order_acquire);
+        if (from < kMaxTuples && (owned & (1u << from))) {
+            // A sibling thread of this process will come for it.
+            inbox.pending[from].push_back(parkFd(std::move(got.value().fd)));
+            continue;
+        }
+        // The message belongs to a tuple replayed by another process on
+        // this shared channel (plain-fork process tuples): holding it
+        // would starve that process forever, so fall back to carrier
+        // semantics — mirroring uses the event's descriptor number, any
+        // received object serves as the carrier, and the sibling
+        // process symmetrically uses whatever message it draws.
+        if (from >= kMaxTuples)
+            warn("fd transfer with corrupt tuple tag %u", from);
+        return parkFd(std::move(got.value().fd));
+    }
+}
+
 void
 Monitor::receiveFds(const ring::Event &event,
                     const sys::SyscallInfo &info,
@@ -556,23 +715,23 @@ Monitor::receiveFds(const ring::Event &event,
     if (!event.transfersFd() || event.result < 0)
         return;
     const std::uint32_t publisher = publisherOf(event);
-    int channel = channels_->data(config_.variant_id, publisher);
+    const auto tuple = static_cast<std::uint32_t>(currentTuple());
 
     auto mirror = [&](std::int32_t leader_number) {
-        auto got = recvFd(channel);
+        auto got = recvFdFor(publisher, tuple);
         if (!got.ok()) {
             warn("fd transfer from variant %u failed: %s", publisher,
                  got.error().message().c_str());
             return;
         }
-        int received = got.value().fd.get();
-        if (received != leader_number) {
+        Fd received = std::move(got.value());
+        if (received.get() != leader_number) {
             // Mirror the leader's numbering so later events (close,
             // epoll_ctl, ...) refer to the same descriptor here.
-            sys::rawSyscall(SYS_dup2, received, leader_number);
-            // got.value().fd closes the temporary on scope exit.
+            sys::rawSyscall(SYS_dup2, received.get(), leader_number);
+            // `received` closes the temporary on scope exit.
         } else {
-            got.value().fd.release(); // already at the right number
+            received.release(); // already at the right number
         }
     };
 
@@ -793,9 +952,11 @@ Monitor::handleFork([[maybe_unused]] int tuple, [[maybe_unused]] long nr,
     long result = sys::rawSyscall(SYS_fork);
     if (result == 0) {
         // The child keeps the parent's role: leader children lead their
-        // tuple, follower children follow it.
+        // tuple, follower children follow it. Inherited fd-routing
+        // state is the parent's and must not survive into the child.
         bindThreadToTuple(child_tuple);
         g_fork_child = true;
+        resetProcessStateAfterFork(child_tuple);
     }
     return result;
 }
@@ -880,6 +1041,10 @@ Monitor::handleExit(int tuple, long nr, const std::uint64_t args[6])
 void
 Monitor::finishVariant(int status)
 {
+    if (flusher_thread_.joinable()) {
+        flusher_stop_.store(true, std::memory_order_release);
+        flusher_thread_.join();
+    }
     VariantSlot &slot = cb_->variants[config_.variant_id];
     std::uint32_t running =
         static_cast<std::uint32_t>(VariantState::Running);

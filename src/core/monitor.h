@@ -21,8 +21,11 @@
 #ifndef VARAN_CORE_MONITOR_H
 #define VARAN_CORE_MONITOR_H
 
+#include <atomic>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bpf/rules.h"
@@ -153,6 +156,18 @@ class Monitor : public sys::Dispatcher
                     const sys::SyscallInfo &info,
                     const std::uint64_t args[6]);
 
+    /**
+     * Per-tuple descriptor routing. All of one publisher's transfers
+     * share a single stream channel, but follower threads of different
+     * tuples replay concurrently; an unsynchronized recvmsg race can
+     * hand tuple A's descriptor to tuple B's thread (and the dup2 +
+     * temporary-close dance can then destroy a just-mirrored
+     * descriptor). Transfers are therefore tagged with the publishing
+     * tuple, and this demux hands each thread exactly its own tuple's
+     * descriptors, queueing strays for their owners.
+     */
+    Result<Fd> recvFdFor(std::uint32_t publisher, std::uint32_t tuple);
+
     /** Resolve a sequence divergence; may not return (fatal). */
     enum class DivergenceOutcome { ExecutedLocally, SkippedEvent,
                                    SyntheticErrno };
@@ -190,7 +205,7 @@ class Monitor : public sys::Dispatcher
     };
     ring::PublishCoalescer coalescers_[kMaxTuples];
     TupleRef tuple_refs_[kMaxTuples];
-    std::uint64_t coalesce_last_ns_[kMaxTuples] = {};
+    std::atomic<std::uint64_t> coalesce_last_ns_[kMaxTuples] = {};
 
     // --- follower-side peek batching: a read-ahead of peeked, not yet
     //     advanced events. Slots stay claimed (and pool payloads
@@ -202,6 +217,41 @@ class Monitor : public sys::Dispatcher
         std::uint32_t count = 0;
     };
     PeekCache peeked_[kMaxTuples];
+
+    // --- follower-side per-tuple descriptor demux (see recvFdFor) ---
+    struct FdInbox {
+        std::mutex mutex; ///< guards the queues only — never held
+                          ///< across a blocking recv (fork safety)
+        std::deque<Fd> pending[kMaxTuples];
+    };
+    FdInbox fd_inboxes_[kMaxVariants];
+
+    /** Tuples whose consumer thread lives in *this* process (bit per
+     *  tuple). Plain-fork process tuples share the data channel with
+     *  the parent; the demux must not hold a sibling process's
+     *  descriptor hostage, so strays for un-owned tuples fall back to
+     *  carrier semantics (any received object mirrors by the event's
+     *  number — the pre-demux behaviour). */
+    std::atomic<std::uint32_t> owned_tuples_{1}; // main thread = tuple 0
+
+    /** In a freshly forked child: drop inherited cross-thread state —
+     *  demux inboxes (the parent owns those parked descriptors and,
+     *  worst case, a mutex locked mid-operation at fork time), the
+     *  coalescing mutexes, and the flusher thread handle (the pthread
+     *  was not duplicated by fork; joining it would hang forever). */
+    void resetProcessStateAfterFork(int child_tuple);
+
+    // --- leader-side time-based coalescing flusher: a compute-bound
+    //     leader makes no syscalls, so no dispatch path ever reaches
+    //     coalesceBarrier(); this thread ships a stale pending run
+    //     after the coalesce window expires. Producer-side ring access
+    //     for coalescing-enabled tuples is serialized through
+    //     coalesce_mutex_ so the flusher can claim()/commit() safely
+    //     against the owning thread. ---
+    void flusherLoop();
+    std::thread flusher_thread_;
+    std::atomic<bool> flusher_stop_{false};
+    std::mutex coalesce_mutex_[kMaxTuples];
 };
 
 } // namespace varan::core

@@ -6,6 +6,8 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "netio/socketio.h"
+#include "wire/shipper.h"
 
 namespace varan::core {
 
@@ -63,6 +65,26 @@ Nvx::start(std::vector<VariantFn> variants,
                                    options_.ring_capacity);
     if (pre_spawn)
         pre_spawn(*this);
+
+    // Multi-node shipping: taps must attach before any variant runs so
+    // the remote stream starts at event one, and the link must be up
+    // before the leader can outrun the credit window.
+    if (!options_.remote_endpoint.empty()) {
+        wire::Shipper::Options ship;
+        ship.ship_batch = options_.remote_ship_batch;
+        ship.credit_window = options_.remote_credit_window;
+        shipper_ = std::make_unique<wire::Shipper>(&region_, &layout_, ship);
+        Status taps = shipper_->attachTaps();
+        if (!taps.isOk())
+            return taps;
+        auto sock = netio::connectAbstract(options_.remote_endpoint);
+        if (!sock.ok())
+            return Status(sock.error());
+        Status shaken = shipper_->handshake(sock.value());
+        if (!shaken.isOk())
+            return shaken;
+        shipper_->start();
+    }
 
     auto channels = ChannelSet::create(num_variants_);
     if (!channels.ok())
@@ -325,6 +347,8 @@ Nvx::wait()
         monitor_thread_.join();
     finished_ = true;
     shutdownZygote();
+    if (shipper_)
+        shipper_->finish(); // drain the ring tails, send Bye
     return results_;
 }
 
@@ -346,6 +370,8 @@ Nvx::waitFor(std::uint64_t timeout_ns)
     if (monitor_thread_.joinable())
         monitor_thread_.join();
     finished_ = true;
+    if (shipper_)
+        shipper_->finish();
     return results_;
 }
 
@@ -423,6 +449,12 @@ std::uint64_t
 Nvx::poolSpills() const
 {
     return layout_.pool(&region_).spills();
+}
+
+shmem::PoolStats
+Nvx::poolStats() const
+{
+    return layout_.pool(&region_).stats();
 }
 
 std::uint64_t

@@ -14,13 +14,19 @@
 #define VARAN_CORE_NVX_H
 
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/channels.h"
 #include "core/layout.h"
 #include "core/monitor.h"
+#include "shmem/pool.h"
 #include "shmem/region.h"
+
+namespace varan::wire {
+class Shipper;
+}
 
 namespace varan::core {
 
@@ -64,6 +70,19 @@ struct NvxOptions {
     bool publish_coalesce = false;
     std::uint32_t coalesce_max = 16;           ///< events per run cap
     std::uint64_t coalesce_window_ns = 200000; ///< staleness cap (200 µs)
+
+    /**
+     * Multi-node event shipping: when non-empty, the coordinator
+     * connects to this abstract-socket endpoint and streams the
+     * leader's rings to a remote wire::Receiver (DMON-style relaxed
+     * batching across the wire). The remote node runs an
+     * external-leader engine whose followers consume the stream
+     * through the unmodified dispatch loop. Taps attach before any
+     * variant runs, so the remote stream is complete from event one.
+     */
+    std::string remote_endpoint;
+    std::uint32_t remote_ship_batch = 16;  ///< events per wire frame
+    std::uint32_t remote_credit_window = 4096; ///< max unacked events
 };
 
 /** Final state of one variant. */
@@ -116,6 +135,14 @@ class Nvx
     std::uint64_t eventsCoalesced() const; ///< events shipped batched
     std::uint64_t poolSpills() const;      ///< global-arena fallbacks
 
+    /** Per-shard payload-pool pressure: carve cursor, live/free chunk
+     *  counts per arena plus the fallback — the first slice of the
+     *  coordinator status API, also reported in the wire handshake. */
+    shmem::PoolStats poolStats() const;
+
+    /** The wire shipper when remote shipping is on, else nullptr. */
+    wire::Shipper *shipper() const { return shipper_.get(); }
+
     /** Leader-to-follower distance in events (the "log size" of
      *  section 5.3), maximised over tuples for one follower. */
     std::uint64_t ringLagOf(std::uint32_t variant) const;
@@ -145,6 +172,8 @@ class Nvx
     std::vector<bool> reaped_;
     /** Zygote messages that raced ahead of the spawn acknowledgements. */
     std::vector<CtrlMsg> early_zygote_msgs_;
+    /** Multi-node event shipping (NvxOptions::remote_endpoint). */
+    std::unique_ptr<wire::Shipper> shipper_;
 };
 
 /**

@@ -27,6 +27,21 @@ EventLoop::add(int fd, std::uint32_t events, Handler handler)
     long rc = sys::vepoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
     if (rc < 0)
         return Status(Errno{static_cast<int>(-rc)});
+    if (dispatching_ &&
+        (removedThisPass(fd) || handlers_.count(fd) != 0)) {
+        // The old handler (possibly the one executing right now, if a
+        // handler re-registers its own fd) must outlive the pass;
+        // destroying it here would free an executing closure. The
+        // replacement is installed once the pass finishes.
+        for (auto &entry : pending_adds_) {
+            if (entry.first == fd) {
+                entry.second = std::move(handler); // newest add wins
+                return Status::ok();
+            }
+        }
+        pending_adds_.emplace_back(fd, std::move(handler));
+        return Status::ok();
+    }
     handlers_[fd] = std::move(handler);
     return Status::ok();
 }
@@ -47,7 +62,33 @@ void
 EventLoop::remove(int fd)
 {
     sys::vepoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    if (dispatching_) {
+        // Erasing now would destroy a std::function that may be the
+        // one currently executing (a handler closing its own fd);
+        // defer the erase to the end of the dispatch pass. A handler
+        // re-added earlier in this same pass is cancelled outright —
+        // the final remove wins.
+        for (auto it = pending_adds_.begin(); it != pending_adds_.end();
+             ++it) {
+            if (it->first == fd) {
+                pending_adds_.erase(it);
+                break;
+            }
+        }
+        deferred_removals_.push_back(fd);
+        return;
+    }
     handlers_.erase(fd);
+}
+
+bool
+EventLoop::removedThisPass(int fd) const
+{
+    for (int removed : deferred_removals_) {
+        if (removed == fd)
+            return true;
+    }
+    return false;
 }
 
 int
@@ -57,11 +98,22 @@ EventLoop::runOnce(int timeout_ms)
     long n = sys::vepoll_wait(epoll_fd_, events, 64, timeout_ms);
     if (n <= 0)
         return 0;
+    dispatching_ = true;
     for (long i = 0; i < n; ++i) {
-        auto it = handlers_.find(events[i].data.fd);
+        const int fd = events[i].data.fd;
+        if (removedThisPass(fd))
+            continue; // an earlier handler unregistered it
+        auto it = handlers_.find(fd);
         if (it != handlers_.end())
             it->second(events[i].events);
     }
+    dispatching_ = false;
+    for (int fd : deferred_removals_)
+        handlers_.erase(fd);
+    deferred_removals_.clear();
+    for (auto &entry : pending_adds_)
+        handlers_[entry.first] = std::move(entry.second);
+    pending_adds_.clear();
     ++iterations_;
     return static_cast<int>(n);
 }

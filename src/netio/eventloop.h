@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 
@@ -31,6 +32,15 @@ class EventLoop
 
     Status add(int fd, std::uint32_t events, Handler handler);
     Status modify(int fd, std::uint32_t events);
+
+    /**
+     * Unregister a descriptor. Safe to call from inside a handler —
+     * including the handler being removed: during dispatch the
+     * unregistration takes effect immediately (no later handler in the
+     * same pass fires for the fd) but the handler object is destroyed
+     * only after the pass, so a self-removing handler never frees the
+     * closure it is executing.
+     */
     void remove(int fd);
 
     /**
@@ -46,10 +56,19 @@ class EventLoop
     std::uint64_t iterations() const { return iterations_; }
 
   private:
+    bool removedThisPass(int fd) const;
+
     int epoll_fd_ = -1;
     bool stopping_ = false;
+    bool dispatching_ = false;
     std::uint64_t iterations_ = 0;
     std::unordered_map<int, Handler> handlers_;
+    /** Descriptors removed during the current dispatch pass; their
+     *  handlers are erased once the pass finishes. */
+    std::vector<int> deferred_removals_;
+    /** Handlers re-added during the pass for fds removed in the same
+     *  pass; installed once the old handler is safely dead. */
+    std::vector<std::pair<int, Handler>> pending_adds_;
 };
 
 } // namespace varan::netio

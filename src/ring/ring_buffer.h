@@ -258,10 +258,19 @@ class PublishCoalescer
             max_pending_ = 1;
         recycler_ = recycler;
         recycler_ctx_ = recycler_ctx;
-        count_ = 0;
+        count_.store(0, std::memory_order_relaxed);
     }
 
-    std::size_t pending() const { return count_; }
+    /** Pending run length. Safe to read from a thread that does not
+     *  own the producer side (the time-based flusher polls it before
+     *  taking the producer lock); everything else on this class is
+     *  producer-side only. */
+    std::size_t
+    pending() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
     std::size_t maxPending() const { return max_pending_; }
 
     /** Append one event; auto-flushes first when the run is full.
@@ -269,9 +278,14 @@ class PublishCoalescer
     bool
     add(const Event &event, const WaitSpec &wait = {})
     {
-        if (count_ == max_pending_ && !flush(wait))
-            return false;
-        pending_[count_++] = event;
+        std::size_t count = count_.load(std::memory_order_relaxed);
+        if (count == max_pending_) {
+            if (!flush(wait))
+                return false;
+            count = 0;
+        }
+        pending_[count] = event;
+        count_.store(count + 1, std::memory_order_release);
         return true;
     }
 
@@ -284,7 +298,7 @@ class PublishCoalescer
     SlotRecycler recycler_ = nullptr;
     void *recycler_ctx_ = nullptr;
     std::size_t max_pending_ = 16;
-    std::size_t count_ = 0;
+    std::atomic<std::size_t> count_{0};
     Event pending_[kMaxPending];
 };
 

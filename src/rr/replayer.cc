@@ -21,7 +21,7 @@ publishWithShadow(const shmem::Region *region,
     ring::RingBuffer ring = layout->tupleRing(region, tuple);
     std::uint64_t *shadow = layout->tupleShadow(region, tuple);
     ring::WaitSpec wait;
-    wait.timeout_ns = 120000000000ULL;
+    wait.timeout_ns = core::kPublishStallNs;
     std::uint64_t seq = 0;
     if (!ring.claim(1, &seq, wait))
         panic("replay publish stalled");

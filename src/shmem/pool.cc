@@ -185,6 +185,26 @@ PoolAllocator::bytesUncarved() const
     return bump >= hdr->pool_end ? 0 : hdr->pool_end - bump;
 }
 
+PoolArenaStats
+PoolAllocator::stats() const
+{
+    auto *hdr = region_->at<PoolHeader>(header_off_);
+    PoolArenaStats out = {};
+    out.bytes_total = hdr->pool_end - hdr->pool_begin;
+    Offset bump = hdr->bump.load(std::memory_order_relaxed);
+    if (bump > hdr->pool_end)
+        bump = hdr->pool_end; // refill raced past the end and backed off
+    out.bytes_carved = bump - hdr->pool_begin;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        const Bucket &b = bucket(i);
+        std::uint64_t total = b.total_chunks.load(std::memory_order_relaxed);
+        std::uint64_t live = b.allocated.load(std::memory_order_relaxed);
+        out.live_chunks += live;
+        out.free_chunks += total > live ? total - live : 0;
+    }
+    return out;
+}
+
 // --- ShardedPool -------------------------------------------------------
 
 ShardedPool::ShardedPool(const Region *region, Offset header_off)
@@ -328,6 +348,19 @@ std::uint64_t
 ShardedPool::spills() const
 {
     return header()->spills.load(std::memory_order_relaxed);
+}
+
+PoolStats
+ShardedPool::stats() const
+{
+    ShardedPoolHeader *hdr = header();
+    PoolStats out = {};
+    out.num_shards = hdr->num_shards;
+    out.spills = hdr->spills.load(std::memory_order_relaxed);
+    out.global = PoolAllocator(region_, hdr->global_header).stats();
+    for (std::uint32_t s = 0; s < hdr->num_shards; ++s)
+        out.shard[s] = PoolAllocator(region_, hdr->shard_headers[s]).stats();
+    return out;
 }
 
 } // namespace varan::shmem

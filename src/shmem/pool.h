@@ -66,6 +66,27 @@ static constexpr std::uint32_t kChunkMagic = 0x564e5658; // "VNVX"
 inline constexpr std::size_t kChunkHeaderReserved =
     (sizeof(ChunkHeader) + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
 
+/**
+ * Point-in-time snapshot of one arena's pressure. Plain POD so it can
+ * travel in wire frames (the remote-follower handshake reports the
+ * leader node's pool state) and in the coordinator status API.
+ */
+struct PoolArenaStats {
+    std::uint64_t bytes_total;   ///< carveable bytes the arena owns
+    std::uint64_t bytes_carved;  ///< carve-cursor progress into them
+    std::uint64_t live_chunks;   ///< allocations currently outstanding
+    std::uint64_t free_chunks;   ///< carved chunks sitting on free lists
+};
+
+/** Snapshot across every arena of a ShardedPool. */
+struct PoolStats {
+    std::uint32_t num_shards;
+    std::uint32_t reserved;
+    std::uint64_t spills;        ///< allocations the fallback served
+    PoolArenaStats global;       ///< fallback arena
+    PoolArenaStats shard[kMaxPoolShards];
+};
+
 /** Pool control area, resident at a fixed offset in the Region. */
 struct PoolHeader {
     Offset pool_begin;   ///< first byte the pool may carve
@@ -127,6 +148,9 @@ class PoolAllocator
 
     /** Size class (chunk payload bytes) used for a request. */
     static std::size_t chunkSizeFor(std::size_t size);
+
+    /** Pressure snapshot: carve cursor, live and free chunk counts. */
+    PoolArenaStats stats() const;
 
     /** Offset of this allocator's PoolHeader (arena identity). */
     Offset headerOffset() const { return header_off_; }
@@ -210,6 +234,9 @@ class ShardedPool
 
     /** Allocations the global fallback served (cross-shard spills). */
     std::uint64_t spills() const;
+
+    /** Per-arena pressure snapshot across every shard + the fallback. */
+    PoolStats stats() const;
 
     /** Flat allocator over one shard's arena (tests, stats). */
     PoolAllocator shardAllocator(std::uint32_t shard) const;

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Blocking socket I/O helpers shared by the wire shipper and receiver.
+ *
+ * Deliberately plain libc (not the varan::sys layer): wire endpoints
+ * run in coordinator context where nothing must stream, and routing
+ * these calls through an installed Dispatcher would be wrong. All
+ * sends use MSG_NOSIGNAL so a dead peer surfaces as EPIPE, and both
+ * directions honour SO_SNDTIMEO/SO_RCVTIMEO set on the socket — a
+ * timed-out transfer returns false and the caller drops the link.
+ */
+
+#ifndef VARAN_WIRE_IO_H
+#define VARAN_WIRE_IO_H
+
+#include <cerrno>
+#include <cstddef>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace varan::wire {
+
+/** Read exactly @p len bytes; false on EOF, error or timeout. */
+inline bool
+readFull(int fd, void *buf, std::size_t len)
+{
+    auto *p = static_cast<char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Gather-write the whole iovec array (one writev-shaped sendmsg per
+ *  round); short writes retry on the remainder. */
+inline bool
+writevAll(int fd, struct iovec *iov, int iovcnt)
+{
+    while (iovcnt > 0) {
+        struct msghdr msg = {};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+        ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        std::size_t left = static_cast<std::size_t>(n);
+        while (iovcnt > 0 && left >= iov->iov_len) {
+            left -= iov->iov_len;
+            ++iov;
+            --iovcnt;
+        }
+        if (iovcnt > 0 && left > 0) {
+            iov->iov_base = static_cast<char *>(iov->iov_base) + left;
+            iov->iov_len -= left;
+        }
+    }
+    return true;
+}
+
+/** Write exactly @p len bytes; false on error or timeout. */
+inline bool
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    struct iovec iov = {const_cast<void *>(buf), len};
+    return writevAll(fd, &iov, 1);
+}
+
+} // namespace varan::wire
+
+#endif // VARAN_WIRE_IO_H

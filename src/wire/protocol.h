@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Framed wire protocol for multi-node event shipping (DMON-style
+ * relaxed batching across the wire, arXiv:1903.03643).
+ *
+ * A Shipper on the leader's node drains the tuple rings and streams
+ * them to a Receiver on a remote node, which re-materializes the
+ * events into a local ring/pool arena so an unmodified follower
+ * dispatch loop can consume them. The stream is a sequence of frames:
+ *
+ *   [FrameHeader][body bytes]
+ *
+ * Frame types:
+ *   Hello     shipper -> receiver: engine geometry (ring capacity,
+ *             tuple count, variants) plus a per-shard pool statistics
+ *             snapshot — the receiver validates compatibility before
+ *             anything streams.
+ *   HelloAck  receiver -> shipper: per-tuple resume cursors (next ring
+ *             sequence the receiver expects). A fresh link acks all
+ *             zeros; a reconnect acks what already arrived, so the
+ *             shipper retransmits only the unacknowledged tail.
+ *   Events    shipper -> receiver: `count` ring events for one tuple
+ *             starting at ring sequence `seq`, followed by the pool
+ *             payload bytes of every event that carries a payload,
+ *             back to back in event order (sizes come from each
+ *             event's payload_size field).
+ *   Credit    receiver -> shipper: per-tuple delivery confirmations —
+ *             batched flow control. The shipper keeps at most
+ *             `credit_window` unacknowledged events per tuple and
+ *             drops its retransmit buffer up to each credited cursor.
+ *   Status    shipper -> receiver: refreshed pool statistics snapshot
+ *             (same body as Hello), sent on demand.
+ *   Bye       either side: orderly end of stream.
+ *
+ * Integers are native-endian (x86-64 on both ends, matching the event
+ * layout itself which is memcpy'd); the body is integrity-checked with
+ * FNV-1a. Version changes bump kWireVersion, and a receiver rejects
+ * frames whose version it does not speak.
+ */
+
+#ifndef VARAN_WIRE_PROTOCOL_H
+#define VARAN_WIRE_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/layout.h"
+#include "ring/event.h"
+#include "shmem/pool.h"
+
+namespace varan::wire {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/** Upper bound on a frame body; anything larger is corruption. */
+inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
+
+enum class FrameType : std::uint16_t {
+    Invalid = 0,
+    Hello,
+    HelloAck,
+    Events,
+    Credit,
+    Status,
+    Bye,
+};
+
+/** Fixed preamble of every frame. */
+struct FrameHeader {
+    std::uint32_t magic;
+    std::uint16_t version;
+    std::uint16_t type;      ///< FrameType
+    std::uint32_t body_len;  ///< bytes following the header
+    std::uint32_t tuple;     ///< Events: tuple id; otherwise 0
+    std::uint64_t seq;       ///< Events: ring sequence of first event
+    std::uint32_t count;     ///< Events: events; Credit: entries
+    std::uint32_t body_crc;  ///< FNV-1a over the body bytes
+};
+
+static_assert(sizeof(FrameHeader) == 32, "header layout is part of the protocol");
+
+/** Geometry + pool pressure snapshot (Hello and Status bodies). */
+struct HelloBody {
+    std::uint32_t num_variants;   ///< variants on the shipping node
+    std::uint32_t ring_capacity;  ///< events per tuple ring
+    std::uint32_t max_tuples;     ///< compile-time tuple bound
+    std::uint32_t num_tuples;     ///< live tuples at snapshot time
+    std::uint32_t leader_id;
+    std::uint32_t reserved;
+    std::uint64_t events_streamed;
+    shmem::PoolStats pool;        ///< per-shard carve/free/spill stats
+};
+
+/** Per-tuple resume cursors (HelloAck body). */
+struct HelloAckBody {
+    std::uint32_t max_tuples;
+    std::uint32_t reserved;
+    std::uint64_t next_seq[core::kMaxTuples]; ///< next expected ring seq
+};
+
+/** One flow-control confirmation (Credit body holds `count` of them). */
+struct CreditEntry {
+    std::uint32_t tuple;
+    std::uint32_t reserved;
+    std::uint64_t delivered; ///< ring sequences < delivered have landed
+};
+
+/** FNV-1a over arbitrary bytes — the frame body checksum. */
+inline std::uint32_t
+bodyChecksum(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t h = 2166136261u;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+/** Fill the fixed fields of a header. The checksum starts as the
+ *  empty-body FNV basis, correct as-is for body-less frames; senders
+ *  with a body overwrite it with bodyChecksum(). */
+inline FrameHeader
+makeHeader(FrameType type, std::uint32_t body_len)
+{
+    FrameHeader h = {};
+    h.magic = kFrameMagic;
+    h.version = kWireVersion;
+    h.type = static_cast<std::uint16_t>(type);
+    h.body_len = body_len;
+    h.body_crc = bodyChecksum(nullptr, 0);
+    return h;
+}
+
+/**
+ * Structural validation of a received header: magic, version, type
+ * range, and a sane body length. Returns false on any mismatch — the
+ * stream is unrecoverable past a bad header (framing is lost), so the
+ * receiver drops the link.
+ */
+inline bool
+headerValid(const FrameHeader &h)
+{
+    if (h.magic != kFrameMagic || h.version != kWireVersion)
+        return false;
+    if (h.type == 0 || h.type > static_cast<std::uint16_t>(FrameType::Bye))
+        return false;
+    if (h.body_len > kMaxBodyBytes)
+        return false;
+    if (h.tuple >= core::kMaxTuples &&
+        static_cast<FrameType>(h.type) == FrameType::Events)
+        return false;
+    return true;
+}
+
+/**
+ * Payload bytes an Events frame body carries after its event array:
+ * the sum of payload_size over payload-carrying events.
+ */
+inline std::size_t
+eventsPayloadBytes(const ring::Event *events, std::size_t count)
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (events[i].hasPayload())
+            total += events[i].payload_size;
+    }
+    return total;
+}
+
+} // namespace varan::wire
+
+#endif // VARAN_WIRE_PROTOCOL_H

@@ -1,0 +1,441 @@
+#include "wire/receiver.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "wire/io.h"
+
+namespace varan::wire {
+
+namespace {
+
+/** Is any event in the run an externally-visible synchronization
+ *  point (descriptor transfer, fork, exit)? Credits flush there. */
+bool
+hasAckPoint(const ring::Event *events, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if (events[i].transfersFd() ||
+            events[i].type == ring::EventType::Fork ||
+            events[i].type == ring::EventType::Exit) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Receiver::Receiver(const shmem::Region *region,
+                   const core::EngineLayout *layout, Options options)
+    : region_(region), layout_(layout), options_(options)
+{
+    if (options_.credit_every == 0)
+        options_.credit_every = 1;
+}
+
+Receiver::~Receiver()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+Status
+Receiver::adopt(int socket_fd)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (seen_hello_)
+        ++stats_.reconnects;
+    socket_fd_ = socket_fd;
+
+    // Bound credit writes and frame reads the same way the shipper
+    // bounds its side: a wedged peer (stalled mid-frame, or a
+    // connector that never sends its Hello) becomes a dropped link or
+    // a failed adopt, never a hang.
+    struct timeval io_timeout = {10, 0};
+    ::setsockopt(socket_fd_, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ::setsockopt(socket_fd_, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+
+    FrameHeader header = {};
+    if (!readFull(socket_fd_, &header, sizeof(header)))
+        return Status(Errno{EPIPE});
+    if (!headerValid(header) ||
+        static_cast<FrameType>(header.type) != FrameType::Hello ||
+        header.body_len != sizeof(HelloBody)) {
+        return Status(Errno{EPROTO});
+    }
+    HelloBody hello = {};
+    if (!readFull(socket_fd_, &hello, sizeof(hello)))
+        return Status(Errno{EPIPE});
+    if (header.body_crc != bodyChecksum(&hello, sizeof(hello)))
+        return Status(Errno{EPROTO});
+
+    // Geometry must match the local layout bit for bit: the follower
+    // replays against rings and arenas shaped like the leader's.
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    if (hello.ring_capacity != cb->ring_capacity ||
+        hello.max_tuples != core::kMaxTuples) {
+        return Status(Errno{EPROTO});
+    }
+    hello_ = hello;
+    seen_hello_ = true;
+
+    HelloAckBody ack = {};
+    ack.max_tuples = core::kMaxTuples;
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t)
+        ack.next_seq[t] = next_seq_[t];
+    FrameHeader ack_header = makeHeader(FrameType::HelloAck, sizeof(ack));
+    ack_header.body_crc = bodyChecksum(&ack, sizeof(ack));
+    struct iovec iov[2] = {{&ack_header, sizeof(ack_header)},
+                           {&ack, sizeof(ack)}};
+    if (!writevAll(socket_fd_, iov, 2))
+        return Status::fromErrno();
+    link_up_.store(true, std::memory_order_release);
+    return Status::ok();
+}
+
+void
+Receiver::dropLink()
+{
+    link_up_.store(false, std::memory_order_release);
+}
+
+void
+Receiver::sendCredit(std::uint32_t tuple)
+{
+    CreditEntry entry = {};
+    entry.tuple = tuple;
+    entry.delivered = next_seq_[tuple];
+    FrameHeader header = makeHeader(FrameType::Credit, sizeof(entry));
+    header.count = 1;
+    header.body_crc = bodyChecksum(&entry, sizeof(entry));
+    std::uint8_t frame[sizeof(header) + sizeof(entry)];
+    std::memcpy(frame, &header, sizeof(header));
+    std::memcpy(frame + sizeof(header), &entry, sizeof(entry));
+    if (!writeFull(socket_fd_, frame, sizeof(frame))) {
+        dropLink();
+        return;
+    }
+    credited_[tuple] = next_seq_[tuple];
+    uncredited_[tuple] = 0;
+    ++stats_.credits_sent;
+}
+
+bool
+Receiver::prepareEvent(std::uint32_t tuple, ring::Event &event,
+                       const std::uint8_t *payload_bytes)
+{
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    shmem::ShardedPool pool = layout_->pool(region_);
+
+    // Re-host the payload in the local arena of the publishing tuple —
+    // the follower resolves offsets against its local pool exactly as
+    // it would against the leader's.
+    if (event.hasPayload() && event.payload_size > 0) {
+        shmem::Offset payload =
+            pool.allocate(tuple, event.payload_size, 1);
+        if (payload == 0) {
+            warn("wire receiver: local pool exhausted (%u bytes)",
+                 event.payload_size);
+            return false;
+        }
+        std::memcpy(pool.pointer(payload, event.payload_size),
+                    payload_bytes, event.payload_size);
+        event.payload = static_cast<std::uint32_t>(payload);
+        stats_.payload_bytes += event.payload_size;
+    } else if (event.hasPayload()) {
+        event.flags &= ~static_cast<std::uint32_t>(ring::kHasPayload);
+        event.payload = 0;
+    }
+
+    // No data channel spans nodes: descriptor transfer is virtual, the
+    // remote follower mirrors numbers from the event alone.
+    event.flags &= ~static_cast<std::uint32_t>(ring::kFdTransfer);
+
+    // Fork events open tuples here exactly as a live leader would.
+    if (event.type == ring::EventType::Fork) {
+        auto t = static_cast<std::uint32_t>(event.args[0]);
+        if (t < core::kMaxTuples) {
+            std::uint32_t current =
+                cb->num_tuples.load(std::memory_order_acquire);
+            while (current <= t &&
+                   !cb->num_tuples.compare_exchange_weak(
+                       current, t + 1, std::memory_order_acq_rel)) {
+            }
+            cb->tuples[t].active.store(1, std::memory_order_release);
+        }
+    }
+    return true;
+}
+
+std::size_t
+Receiver::publishRun(std::uint32_t tuple, ring::Event *events,
+                     std::size_t count)
+{
+    // The batched mirror of the shipper's relaxed shipping: one
+    // claim/commit — one head store, one wake — per ring chunk rather
+    // than per event. Shadow recycling per claimed slot, exactly like
+    // the leader-side coalesced path.
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    shmem::ShardedPool pool = layout_->pool(region_);
+    ring::RingBuffer ring = layout_->tupleRing(region_, tuple);
+    std::uint64_t *shadow = layout_->tupleShadow(region_, tuple);
+    const std::uint64_t mask = cb->ring_capacity - 1;
+    ring::WaitSpec wait;
+    wait.timeout_ns = options_.publish_timeout_ns;
+
+    std::size_t done = 0;
+    while (done < count) {
+        const std::size_t chunk =
+            std::min<std::size_t>(count - done, cb->ring_capacity);
+        std::uint64_t seq = 0;
+        if (!ring.claim(chunk, &seq, wait)) {
+            warn("wire receiver: local ring %u wedged", tuple);
+            break;
+        }
+        for (std::size_t k = 0; k < chunk; ++k) {
+            const ring::Event &event = events[done + k];
+            std::uint64_t idx = (seq + k) & mask;
+            if (shadow[idx] != 0)
+                pool.release(shadow[idx]);
+            shadow[idx] = event.hasPayload() ? event.payload : 0;
+        }
+        ring.commit({events + done, chunk});
+        done += chunk;
+    }
+    cb->events_streamed.fetch_add(done, std::memory_order_relaxed);
+    return done;
+}
+
+void
+Receiver::releasePrepared(ring::Event *events, std::size_t count)
+{
+    shmem::ShardedPool pool = layout_->pool(region_);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (events[i].hasPayload() && events[i].payload != 0)
+            pool.release(events[i].payload);
+    }
+}
+
+bool
+Receiver::applyEvents(const FrameHeader &header,
+                      std::vector<std::uint8_t> &body)
+{
+    const std::uint32_t tuple = header.tuple;
+    const std::size_t count = header.count;
+    if (body.size() < count * sizeof(ring::Event)) {
+        ++stats_.corrupt_frames;
+        return false;
+    }
+    auto *events = reinterpret_cast<ring::Event *>(body.data());
+    if (eventsPayloadBytes(events, count) !=
+        body.size() - count * sizeof(ring::Event)) {
+        ++stats_.corrupt_frames;
+        return false;
+    }
+
+    // Decide the ack policy on the pristine events: prepareEvent
+    // rewrites flags (kFdTransfer is virtualised away) as it goes.
+    const bool ack_point = hasAckPoint(events, count);
+
+    // Frames carry a contiguous sequence run, so retransmit overlap is
+    // always a prefix: drop already-delivered events, reject holes.
+    if (header.seq + count <= next_seq_[tuple]) {
+        stats_.duplicates_dropped += count;
+        return true; // whole frame already delivered
+    }
+    if (header.seq > next_seq_[tuple]) {
+        warn("wire receiver: tuple %u gap (want %llu, got %llu)", tuple,
+             static_cast<unsigned long long>(next_seq_[tuple]),
+             static_cast<unsigned long long>(header.seq));
+        ++stats_.corrupt_frames;
+        return false;
+    }
+    const std::size_t skip =
+        static_cast<std::size_t>(next_seq_[tuple] - header.seq);
+    stats_.duplicates_dropped += skip;
+
+    const std::uint8_t *payload_cursor =
+        body.data() + count * sizeof(ring::Event);
+    for (std::size_t i = 0; i < count; ++i) {
+        ring::Event &event = events[i];
+        const std::uint8_t *payload = payload_cursor;
+        if (event.hasPayload())
+            payload_cursor += event.payload_size;
+        if (i < skip)
+            continue; // duplicate prefix: payload bytes consumed above
+        if (!prepareEvent(tuple, event, payload)) {
+            // Already-prepared events own local pool chunks; drop them
+            // or a retransmit after reconnect would re-allocate and
+            // leak them — compounding the exhaustion that failed us.
+            releasePrepared(events + skip, i - skip);
+            return false;
+        }
+    }
+
+    const std::size_t fresh = count - skip;
+    const std::size_t published =
+        publishRun(tuple, events + skip, fresh);
+    // Committed slots own their payloads (the shadow releases them on
+    // reuse); the unpublished tail must be released here. next_seq_
+    // advances only past what landed, so a reconnect retransmits the
+    // rest cleanly.
+    if (published < fresh)
+        releasePrepared(events + skip + published, fresh - published);
+    next_seq_[tuple] += published;
+    stats_.events += published;
+    uncredited_[tuple] += published;
+    if (published < fresh)
+        return false;
+
+    // Relaxed acking: flush credits at externally-visible events or
+    // once enough deliveries accumulated.
+    if (ack_point || uncredited_[tuple] >= options_.credit_every)
+        sendCredit(tuple);
+    return true;
+}
+
+bool
+Receiver::readFrame()
+{
+    FrameHeader header = {};
+    if (!readFull(socket_fd_, &header, sizeof(header))) {
+        dropLink();
+        return false;
+    }
+    if (!headerValid(header)) {
+        ++stats_.corrupt_frames;
+        dropLink();
+        return false;
+    }
+    std::vector<std::uint8_t> body(header.body_len);
+    if (header.body_len > 0 &&
+        !readFull(socket_fd_, body.data(), body.size())) {
+        dropLink();
+        return false;
+    }
+    if (header.body_crc != bodyChecksum(body.data(), body.size())) {
+        ++stats_.corrupt_frames;
+        dropLink();
+        return false;
+    }
+
+    ++stats_.frames;
+    switch (static_cast<FrameType>(header.type)) {
+      case FrameType::Events:
+        if (!applyEvents(header, body)) {
+            dropLink();
+            return false;
+        }
+        return true;
+      case FrameType::Status:
+        if (body.size() == sizeof(HelloBody))
+            std::memcpy(&hello_, body.data(), sizeof(HelloBody));
+        return true;
+      case FrameType::Bye:
+        // Orderly end: flush remaining credits so the shipper retires
+        // its retransmit buffer, then close down.
+        for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+            if (next_seq_[t] > credited_[t])
+                sendCredit(t);
+        }
+        dropLink();
+        return false;
+      case FrameType::Hello:
+      case FrameType::HelloAck:
+      case FrameType::Credit:
+      default:
+        // Nothing the shipper should send mid-stream.
+        ++stats_.corrupt_frames;
+        dropLink();
+        return false;
+    }
+}
+
+int
+Receiver::serveOnce(int timeout_ms)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!link_up_.load(std::memory_order_acquire))
+        return -1;
+    struct pollfd pfd = {socket_fd_, POLLIN, 0};
+    int frames = 0;
+    for (;;) {
+        int n = ::poll(&pfd, 1, frames == 0 ? timeout_ms : 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return frames;
+        if (pfd.revents & (POLLERR | POLLNVAL)) {
+            dropLink();
+            return -1;
+        }
+        if (!readFrame())
+            return -1;
+        ++frames;
+        if (stopping_.load(std::memory_order_acquire))
+            return frames;
+    }
+}
+
+void
+Receiver::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        if (serveOnce(options_.tick_ms) < 0) {
+            // Link down: wait for an adopt() from the failover path.
+            while (!stopping_.load(std::memory_order_acquire) &&
+                   !link_up_.load(std::memory_order_acquire)) {
+                sleepNs(1000000);
+            }
+        }
+    }
+}
+
+void
+Receiver::start()
+{
+    VARAN_CHECK(!thread_.joinable());
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+Status
+Receiver::finish()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (link_up_.load(std::memory_order_acquire)) {
+        FrameHeader bye = makeHeader(FrameType::Bye, 0);
+        writeFull(socket_fd_, &bye, sizeof(bye));
+        dropLink();
+    }
+    return Status::ok();
+}
+
+std::uint64_t
+Receiver::nextSeq(std::uint32_t tuple) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    VARAN_CHECK(tuple < core::kMaxTuples);
+    return next_seq_[tuple];
+}
+
+Receiver::Stats
+Receiver::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+}
+
+} // namespace varan::wire

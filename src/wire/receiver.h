@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Remote-node side of multi-node event shipping.
+ *
+ * A Receiver owns the socket end facing a Shipper and re-materializes
+ * the incoming frame stream into a *local* engine layout: events are
+ * republished into the local tuple rings through the same two-phase
+ * claim()/commit() + payload-shadow protocol the leader uses, and
+ * payload frames are re-hosted in the local ShardedPool arena of the
+ * publishing tuple. A follower running against this layout (an
+ * external-leader engine, exactly like record-replay) consumes the
+ * remote stream through the completely unmodified dispatchFollower()
+ * loop — divergence detection, payload application and Lamport-clock
+ * ordering all behave as if the leader were local. Descriptor
+ * transfers are virtualised (the kFdTransfer flag is cleared) since no
+ * data channel spans nodes; remote followers replay descriptor numbers
+ * only, like replayed logs do.
+ *
+ * Duplicate suppression makes the link at-least-once-safe: the
+ * receiver tracks the next expected ring sequence per tuple, drops the
+ * already-delivered prefix of retransmitted frames, and reports its
+ * cursors in every HelloAck, so a shipper reconnecting after a
+ * mid-batch link drop resumes without loss or duplication.
+ *
+ * Credits are batched and sent at externally-visible points — frames
+ * containing descriptor-creating, fork or exit events — and every
+ * `credit_every` events otherwise (DMON-style relaxed acking).
+ */
+
+#ifndef VARAN_WIRE_RECEIVER_H
+#define VARAN_WIRE_RECEIVER_H
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/layout.h"
+#include "wire/protocol.h"
+
+namespace varan::wire {
+
+class Receiver
+{
+  public:
+    struct Options {
+        /** Send a Credit frame at least every this many events. */
+        std::size_t credit_every = 64;
+        /** Poll tick while waiting for frames (ms). */
+        int tick_ms = 20;
+        /** Ring-publish deadline before the link is dropped (ns). */
+        std::uint64_t publish_timeout_ns = core::kPublishStallNs;
+    };
+
+    struct Stats {
+        std::uint64_t frames = 0;
+        std::uint64_t events = 0;
+        std::uint64_t payload_bytes = 0;
+        std::uint64_t duplicates_dropped = 0;
+        std::uint64_t corrupt_frames = 0;
+        std::uint64_t credits_sent = 0;
+        std::uint64_t reconnects = 0;
+    };
+
+    Receiver(const shmem::Region *region, const core::EngineLayout *layout,
+             Options options);
+    Receiver(const shmem::Region *region, const core::EngineLayout *layout)
+        : Receiver(region, layout, Options())
+    {
+    }
+    ~Receiver();
+
+    VARAN_NO_COPY_NO_MOVE(Receiver);
+
+    /** Adopt a connected socket: await the shipper's Hello, validate
+     *  the geometry against the local layout, reply with a HelloAck
+     *  carrying this receiver's per-tuple resume cursors. Call again
+     *  with a fresh socket after a link drop (failover). */
+    Status adopt(int socket_fd);
+
+    /** Start the background serve thread. */
+    void start();
+
+    /** Stop serving and send Bye. */
+    Status finish();
+
+    /** Read and apply frames until the link idles for @p timeout_ms.
+     *  @return frames applied; -1 when the link dropped. */
+    int serveOnce(int timeout_ms);
+
+    bool linkUp() const { return link_up_.load(std::memory_order_acquire); }
+
+    /** The shipper's handshake snapshot (geometry + remote pool
+     *  pressure) — the first brick of the coordinator status API. */
+    const HelloBody &remoteHello() const { return hello_; }
+
+    /** Next ring sequence expected for @p tuple (resume cursor). */
+    std::uint64_t nextSeq(std::uint32_t tuple) const;
+
+    Stats stats() const;
+
+  private:
+    bool readFrame();             ///< one frame; false = link down
+    bool applyEvents(const FrameHeader &header,
+                     std::vector<std::uint8_t> &body);
+    /** Re-host one event's payload locally and virtualise its flags. */
+    bool prepareEvent(std::uint32_t tuple, ring::Event &event,
+                      const std::uint8_t *payload_bytes);
+    /** Publish a prepared run with one claim/commit per ring chunk.
+     *  @return events actually published (committed slots own their
+     *  payloads; the caller must release the rest on shortfall). */
+    std::size_t publishRun(std::uint32_t tuple, ring::Event *events,
+                           std::size_t count);
+    /** Release the local pool payloads of not-yet-published events. */
+    void releasePrepared(ring::Event *events, std::size_t count);
+    void sendCredit(std::uint32_t tuple);
+    void serveLoop();
+    void dropLink();
+
+    const shmem::Region *region_;
+    const core::EngineLayout *layout_;
+    Options options_;
+    int socket_fd_ = -1;
+    std::atomic<bool> link_up_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+    HelloBody hello_ = {};
+    bool seen_hello_ = false;
+
+    std::uint64_t next_seq_[core::kMaxTuples] = {};
+    std::uint64_t credited_[core::kMaxTuples] = {};
+    /** Per tuple: deliveries since that tuple's last credit. A single
+     *  shared counter would let a busy sibling keep resetting it and
+     *  starve this tuple's credit — stalling the shipper's window and,
+     *  through ring backpressure, the leader itself. */
+    std::size_t uncredited_[core::kMaxTuples] = {};
+    mutable std::mutex mutex_;
+    Stats stats_;
+};
+
+} // namespace varan::wire
+
+#endif // VARAN_WIRE_RECEIVER_H

@@ -1,0 +1,432 @@
+#include "wire/shipper.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/fd.h"
+#include "common/logging.h"
+#include "wire/io.h"
+
+namespace varan::wire {
+
+Shipper::Shipper(const shmem::Region *region,
+                 const core::EngineLayout *layout, Options options)
+    : region_(region), layout_(layout), options_(options)
+{
+    if (options_.ship_batch == 0)
+        options_.ship_batch = 1;
+    if (options_.ship_batch > kMaxShipBatch)
+        options_.ship_batch = kMaxShipBatch;
+}
+
+Shipper::~Shipper()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        if (tuples_[t].tap_slot >= 0) {
+            ring::RingBuffer ring = layout_->tupleRing(region_, t);
+            ring.detachConsumer(tuples_[t].tap_slot);
+            tuples_[t].tap_slot = -1;
+        }
+    }
+}
+
+Status
+Shipper::attachTaps()
+{
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        ring::RingBuffer ring = layout_->tupleRing(region_, t);
+        tuples_[t].tap_slot = -1;
+        for (int slot = core::kTapConsumerSlot;
+             slot < static_cast<int>(ring::kMaxConsumers); ++slot) {
+            if (ring.attachConsumerAt(slot)) {
+                tuples_[t].tap_slot = slot;
+                break;
+            }
+        }
+        if (tuples_[t].tap_slot < 0)
+            return Status(Errno{EBUSY});
+    }
+    return Status::ok();
+}
+
+Status
+Shipper::sendHello(FrameType type)
+{
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    HelloBody body = {};
+    body.num_variants = cb->num_variants;
+    body.ring_capacity = cb->ring_capacity;
+    body.max_tuples = core::kMaxTuples;
+    body.num_tuples = cb->num_tuples.load(std::memory_order_acquire);
+    body.leader_id = cb->leader_id.load(std::memory_order_acquire);
+    body.events_streamed =
+        cb->events_streamed.load(std::memory_order_relaxed);
+    body.pool = layout_->pool(region_).stats();
+
+    FrameHeader header = makeHeader(type, sizeof(body));
+    header.body_crc = bodyChecksum(&body, sizeof(body));
+    struct iovec iov[2] = {{&header, sizeof(header)}, {&body, sizeof(body)}};
+    if (!writevAll(socket_fd_, iov, 2))
+        return Status::fromErrno();
+    return Status::ok();
+}
+
+Status
+Shipper::handshake(int socket_fd)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    socket_fd_ = socket_fd;
+
+    // A receiver that wedges (stops reading or stops sending) must
+    // surface as a link drop, not a thread blocked forever in sendmsg
+    // or in the HelloAck read below: bound every transfer in both
+    // directions. The retransmit buffer keeps the unacked tail, so a
+    // timed-out link is recoverable through reconnect().
+    struct timeval io_timeout = {10, 0};
+    ::setsockopt(socket_fd_, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ::setsockopt(socket_fd_, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+
+    Status hello = sendHello(FrameType::Hello);
+    if (!hello.isOk())
+        return hello;
+
+    FrameHeader ack_header = {};
+    if (!readFull(socket_fd_, &ack_header, sizeof(ack_header)))
+        return Status(Errno{EPIPE});
+    if (!headerValid(ack_header) ||
+        static_cast<FrameType>(ack_header.type) != FrameType::HelloAck ||
+        ack_header.body_len != sizeof(HelloAckBody)) {
+        return Status(Errno{EPROTO});
+    }
+    HelloAckBody ack = {};
+    if (!readFull(socket_fd_, &ack, sizeof(ack)))
+        return Status(Errno{EPIPE});
+    if (ack_header.body_crc != bodyChecksum(&ack, sizeof(ack)) ||
+        ack.max_tuples != core::kMaxTuples) {
+        return Status(Errno{EPROTO});
+    }
+
+    // Adopt the receiver's resume cursors: everything below them has
+    // landed and leaves the retransmit buffer.
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        if (ack.next_seq[t] > tuples_[t].acked)
+            tuples_[t].acked = ack.next_seq[t];
+        if (ack.next_seq[t] > tuples_[t].next_seq)
+            tuples_[t].next_seq = ack.next_seq[t];
+    }
+    for (auto it = unacked_.begin(); it != unacked_.end();) {
+        if (it->seq + it->count <= tuples_[it->tuple].acked)
+            it = unacked_.erase(it);
+        else
+            ++it;
+    }
+
+    loop_.remove(socket_fd_);
+    Status added = loop_.add(socket_fd_, EPOLLIN, [this](std::uint32_t) {
+        handleCredits();
+    });
+    if (!added.isOk())
+        return added;
+    link_up_.store(true, std::memory_order_release);
+    return Status::ok();
+}
+
+Status
+Shipper::reconnect(int socket_fd)
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (socket_fd_ >= 0)
+            loop_.remove(socket_fd_);
+        ++stats_.reconnects;
+    }
+    Status status = handshake(socket_fd);
+    if (!status.isOk())
+        return status;
+
+    // Retransmit the tail the receiver has not confirmed. Frames that
+    // partially overlap the resume cursor are sent as-is — the receiver
+    // drops the duplicate prefix per event.
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const PendingFrame &frame : unacked_) {
+        if (!writeFrame(frame)) {
+            dropLink();
+            return Status(Errno{EPIPE});
+        }
+        ++stats_.retransmitted_frames;
+    }
+    return Status::ok();
+}
+
+void
+Shipper::dropLink()
+{
+    if (socket_fd_ >= 0)
+        loop_.remove(socket_fd_);
+    link_up_.store(false, std::memory_order_release);
+}
+
+bool
+Shipper::writeFrame(const PendingFrame &frame)
+{
+    struct iovec iov = {
+        const_cast<std::uint8_t *>(frame.bytes.data()),
+        frame.bytes.size(),
+    };
+    if (!writevAll(socket_fd_, &iov, 1))
+        return false;
+    ++stats_.frames;
+    stats_.bytes += frame.bytes.size();
+    return true;
+}
+
+void
+Shipper::handleCredits()
+{
+    // Invoked from loop_.runOnce() inside pumpOnce(), which already
+    // holds mutex_ — every loop_ access is serialized through it.
+    if (!link_up_.load(std::memory_order_acquire))
+        return;
+    FrameHeader header = {};
+    if (!readFull(socket_fd_, &header, sizeof(header))) {
+        dropLink();
+        return;
+    }
+    if (!headerValid(header)) {
+        dropLink();
+        return;
+    }
+    switch (static_cast<FrameType>(header.type)) {
+      case FrameType::Credit: {
+        if (header.body_len !=
+            header.count * sizeof(CreditEntry)) {
+            dropLink();
+            return;
+        }
+        std::vector<CreditEntry> entries(header.count);
+        if (!readFull(socket_fd_, entries.data(), header.body_len)) {
+            dropLink();
+            return;
+        }
+        if (header.body_crc !=
+            bodyChecksum(entries.data(), header.body_len)) {
+            dropLink();
+            return;
+        }
+        for (const CreditEntry &entry : entries) {
+            if (entry.tuple >= core::kMaxTuples)
+                continue;
+            if (entry.delivered > tuples_[entry.tuple].acked)
+                tuples_[entry.tuple].acked = entry.delivered;
+            ++stats_.credits_received;
+        }
+        while (!unacked_.empty()) {
+            const PendingFrame &front = unacked_.front();
+            if (front.seq + front.count <= tuples_[front.tuple].acked)
+                unacked_.pop_front();
+            else
+                break;
+        }
+        break;
+      }
+      case FrameType::Bye:
+        dropLink();
+        break;
+      default:
+        // Unexpected frame from the receiver: protocol violation.
+        dropLink();
+        break;
+    }
+}
+
+std::size_t
+Shipper::drainTuple(std::uint32_t tuple)
+{
+    TupleShip &ship = tuples_[tuple];
+    if (ship.tap_slot < 0)
+        return 0;
+
+    // Credit window: cap the unacknowledged run-ahead. Events stay in
+    // the ring, which eventually gates the leader (backpressure).
+    const std::uint64_t unacked = ship.next_seq - ship.acked;
+    if (unacked >= options_.credit_window)
+        return 0;
+    std::size_t budget = options_.credit_window - unacked;
+    if (budget > options_.ship_batch)
+        budget = options_.ship_batch;
+
+    ring::RingBuffer ring = layout_->tupleRing(region_, tuple);
+    ring::Event events[kMaxShipBatch];
+
+    ring::WaitSpec nowait;
+    nowait.spin_iterations = 0;
+    nowait.timeout_ns = 1; // poll
+    std::size_t n = ring.peekBatch(ship.tap_slot, events, budget, nowait);
+    if (n == 0)
+        return 0;
+
+    // Serialize one Events frame: header, event run, payload bytes of
+    // every payload-carrying event, in event order. Payloads are copied
+    // out of the pool *before* the tap cursor advances, while the
+    // gating protocol still pins them.
+    shmem::ShardedPool pool = layout_->pool(region_);
+    const std::size_t payload_bytes = eventsPayloadBytes(events, n);
+    PendingFrame frame;
+    frame.tuple = tuple;
+    frame.seq = ship.next_seq;
+    frame.count = static_cast<std::uint32_t>(n);
+    const std::size_t body_len = n * sizeof(ring::Event) + payload_bytes;
+    frame.bytes.resize(sizeof(FrameHeader) + body_len);
+
+    auto *body = frame.bytes.data() + sizeof(FrameHeader);
+    std::memcpy(body, events, n * sizeof(ring::Event));
+    auto *payload_out = body + n * sizeof(ring::Event);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!events[i].hasPayload())
+            continue;
+        const void *payload =
+            pool.pointer(events[i].payload, events[i].payload_size);
+        std::memcpy(payload_out, payload, events[i].payload_size);
+        payload_out += events[i].payload_size;
+    }
+
+    FrameHeader header = makeHeader(FrameType::Events,
+                                    static_cast<std::uint32_t>(body_len));
+    header.tuple = tuple;
+    header.seq = frame.seq;
+    header.count = frame.count;
+    header.body_crc = bodyChecksum(body, body_len);
+    std::memcpy(frame.bytes.data(), &header, sizeof(header));
+
+    // The copy is complete: release the ring slots back to the leader.
+    ring.advanceBy(ship.tap_slot, n);
+    ship.next_seq += n;
+    stats_.events += n;
+    stats_.payload_bytes += payload_bytes;
+
+    if (link_up_.load(std::memory_order_acquire) && !writeFrame(frame))
+        dropLink();
+    // Keep the frame until the receiver credits past it, whether or not
+    // the write just succeeded — a reconnect retransmits from here.
+    unacked_.push_back(std::move(frame));
+    return n;
+}
+
+std::size_t
+Shipper::pumpOnce()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    // Deliver any pending credit frames first so the window reopens.
+    loop_.runOnce(0);
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    std::uint32_t tuples = cb->num_tuples.load(std::memory_order_acquire);
+    std::size_t shipped = 0;
+    for (std::uint32_t t = 0; t < tuples && t < core::kMaxTuples; ++t)
+        shipped += drainTuple(t);
+    return shipped;
+}
+
+bool
+Shipper::ringBacklog()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        if (tuples_[t].tap_slot < 0)
+            continue;
+        ring::RingBuffer ring = layout_->tupleRing(region_, t);
+        if (ring.lag(tuples_[t].tap_slot) > 0)
+            return true;
+    }
+    return false;
+}
+
+void
+Shipper::drainRemaining()
+{
+    // Ship everything still in the rings. A closed credit window makes
+    // pumpOnce() yield zero while backlog remains — then the blocker is
+    // an in-flight Credit frame, so wait for it (bounded: a dead or
+    // wedged receiver must not hold shutdown hostage).
+    const std::uint64_t deadline = monotonicNs() + 10000000000ULL; // 10 s
+    for (;;) {
+        if (pumpOnce() > 0)
+            continue;
+        if (!link_up_.load(std::memory_order_acquire))
+            break;
+        if (!ringBacklog())
+            break;
+        if (monotonicNs() >= deadline) {
+            warn("wire shipper: shutdown with unshipped backlog "
+                 "(credit window closed, receiver silent)");
+            break;
+        }
+        std::lock_guard<std::mutex> guard(mutex_);
+        loop_.runOnce(options_.tick_ms); // wait for credits
+    }
+}
+
+void
+Shipper::pumpLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        if (pumpOnce() == 0) {
+            // Idle: wait for credits or the next tick. The lock is
+            // held through the wait, like every other loop_ access —
+            // bounded by tick_ms, so handshakes and stats reads stall
+            // at most one tick.
+            std::lock_guard<std::mutex> guard(mutex_);
+            loop_.runOnce(options_.tick_ms);
+        }
+    }
+    // Final sweep: ship whatever the leader published before stop.
+    drainRemaining();
+}
+
+void
+Shipper::start()
+{
+    VARAN_CHECK(!thread_.joinable());
+    thread_ = std::thread([this] { pumpLoop(); });
+}
+
+Status
+Shipper::finish()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    drainRemaining();
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (link_up_.load(std::memory_order_acquire)) {
+        FrameHeader bye = makeHeader(FrameType::Bye, 0);
+        struct iovec iov = {&bye, sizeof(bye)};
+        writevAll(socket_fd_, &iov, 1);
+    }
+    for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
+        if (tuples_[t].tap_slot >= 0) {
+            ring::RingBuffer ring = layout_->tupleRing(region_, t);
+            ring.detachConsumer(tuples_[t].tap_slot);
+            tuples_[t].tap_slot = -1;
+        }
+    }
+    return Status::ok();
+}
+
+Shipper::Stats
+Shipper::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+}
+
+} // namespace varan::wire

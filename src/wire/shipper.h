@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Leader-node side of multi-node event shipping.
+ *
+ * A Shipper attaches tap consumer slots to every tuple ring (exactly
+ * like the record-replay recorder) and streams the leader's event
+ * history to a remote Receiver over a connected socket. Batching is
+ * DMON-style relaxed: events are drained with peekBatch() — one head
+ * acquire per run — serialized into Events frames of up to
+ * `ship_batch` events (payload bytes inlined behind the event array)
+ * and written with one writev() per claimed chunk through a
+ * netio::EventLoop that also delivers the receiver's Credit frames.
+ *
+ * Flow control is credit-based: at most `credit_window` events per
+ * tuple may be unacknowledged; beyond that the shipper leaves events
+ * in the ring, which eventually gates the leader — remote backpressure
+ * propagates exactly like a slow local follower. Shipped-but-unacked
+ * frames are kept in a retransmit buffer, so a link drop mid-batch is
+ * survivable: reconnect() re-handshakes, learns the receiver's
+ * per-tuple resume cursors from the HelloAck, drops what already
+ * landed and retransmits the rest — at-least-once delivery with
+ * receiver-side dedup, never a hole.
+ */
+
+#ifndef VARAN_WIRE_SHIPPER_H
+#define VARAN_WIRE_SHIPPER_H
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/layout.h"
+#include "netio/eventloop.h"
+#include "wire/protocol.h"
+
+namespace varan::wire {
+
+class Shipper
+{
+  public:
+    /** Largest supported ship batch (events per Events frame). */
+    static constexpr std::size_t kMaxShipBatch = 64;
+
+    struct Options {
+        /** Max events per Events frame (the ship batch of section-style
+         *  "relaxed synchronization"): 1 degenerates to per-event
+         *  shipping, 16-64 amortize framing + writev cost. Clamped to
+         *  [1, kMaxShipBatch]. */
+        std::size_t ship_batch = 16;
+        /** Max unacknowledged events per tuple before shipping pauses
+         *  (bounds the retransmit buffer and remote run-ahead). */
+        std::size_t credit_window = 4096;
+        /** Pump tick while idle (ms). */
+        int tick_ms = 20;
+    };
+
+    struct Stats {
+        std::uint64_t frames = 0;
+        std::uint64_t events = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t payload_bytes = 0;
+        std::uint64_t credits_received = 0;
+        std::uint64_t retransmitted_frames = 0;
+        std::uint64_t reconnects = 0;
+    };
+
+    Shipper(const shmem::Region *region, const core::EngineLayout *layout,
+            Options options);
+    Shipper(const shmem::Region *region, const core::EngineLayout *layout)
+        : Shipper(region, layout, Options())
+    {
+    }
+    ~Shipper();
+
+    VARAN_NO_COPY_NO_MOVE(Shipper);
+
+    /** Attach a tap consumer slot on every tuple ring. Must run before
+     *  the leader starts publishing (pre-spawn hook) so no event is
+     *  missed. */
+    Status attachTaps();
+
+    /** Adopt a connected socket: send Hello (geometry + pool stats),
+     *  await HelloAck, adopt the receiver's resume cursors. */
+    Status handshake(int socket_fd);
+
+    /** Failover path: adopt a replacement socket after a link drop,
+     *  re-handshake, and retransmit everything past the receiver's
+     *  resume cursors. */
+    Status reconnect(int socket_fd);
+
+    /** Start the background pump thread. */
+    void start();
+
+    /** Drain what is left in the rings, send Bye, stop the pump, and
+     *  detach the taps. */
+    Status finish();
+
+    /** One synchronous pump pass (tests and benches drive this
+     *  directly): handle pending credits, drain every ring once, write
+     *  out what fits. @return events shipped this pass. */
+    std::size_t pumpOnce();
+
+    /** True while the socket is usable. */
+    bool linkUp() const { return link_up_.load(std::memory_order_acquire); }
+
+    Stats stats() const;
+
+  private:
+    struct TupleShip {
+        int tap_slot = -1;
+        std::uint64_t next_seq = 0;  ///< next ring seq to drain
+        std::uint64_t acked = 0;     ///< receiver-confirmed cursor
+    };
+
+    /** A serialized frame kept until the receiver credits past it. */
+    struct PendingFrame {
+        std::uint32_t tuple = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t count = 0;
+        std::vector<std::uint8_t> bytes; ///< header + body, wire-ready
+    };
+
+    std::size_t drainTuple(std::uint32_t tuple);
+    bool writeFrame(const PendingFrame &frame);
+    void handleCredits();
+    /** Any tuple ring with events the tap has not drained yet? */
+    bool ringBacklog();
+    /** Ship all remaining ring events, waiting (bounded) for credits
+     *  when the window closes — the shutdown tail must not truncate. */
+    void drainRemaining();
+    void pumpLoop();
+    Status sendHello(FrameType type);
+    void dropLink();
+
+    const shmem::Region *region_;
+    const core::EngineLayout *layout_;
+    Options options_;
+    int socket_fd_ = -1;
+    std::atomic<bool> link_up_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+    netio::EventLoop loop_;
+
+    TupleShip tuples_[core::kMaxTuples];
+    std::deque<PendingFrame> unacked_;
+    mutable std::mutex mutex_; ///< guards tuples_/unacked_/stats_/socket
+    Stats stats_;
+};
+
+} // namespace varan::wire
+
+#endif // VARAN_WIRE_SHIPPER_H

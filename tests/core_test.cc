@@ -12,10 +12,14 @@
  * statistics.
  */
 
+#include <atomic>
 #include <fcntl.h>
+#include <memory>
 #include <poll.h>
+#include <sys/mman.h>
 #include <sys/wait.h>
 #include <unistd.h>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -701,6 +705,139 @@ TEST(NvxTest, MultiTupleRunsUseDistinctPoolArenas)
     }
     // Healthy arenas never fall back to the shared one.
     EXPECT_EQ(nvx.poolSpills(), 0u);
+}
+
+TEST(NvxTest, CoalescedRunFlushesOnComputeBoundLeader)
+{
+    // A leader that goes compute-bound dispatches no further syscalls,
+    // so no barrier path can flush its pending run — only the
+    // time-based flusher can. The app publishes five payload-free
+    // events, then spins on a shared flag the test raises only once
+    // the events became visible to the engine.
+    auto *flag = static_cast<std::atomic<std::uint32_t> *>(
+        ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+    ASSERT_NE(flag, MAP_FAILED);
+    new (flag) std::atomic<std::uint32_t>(0);
+
+    NvxOptions options = fastOptions();
+    options.publish_coalesce = true;
+    options.coalesce_max = 64;           // five events never fill the run
+    options.coalesce_window_ns = 50000000; // 50 ms staleness cap
+    auto app = [flag]() -> int {
+        for (int i = 0; i < 5; ++i)
+            sys::vgetpid();
+        // Compute-bound phase: no syscalls at all.
+        while (flag->load(std::memory_order_acquire) == 0) {
+        }
+        return 0;
+    };
+    Nvx nvx(options);
+    ASSERT_TRUE(nvx.start({app, app}).isOk());
+
+    // Without the flusher this loops to the deadline: the run would sit
+    // in the coalescer while the leader spins.
+    std::uint64_t deadline = monotonicNs() + 5000000000ULL;
+    while (nvx.eventsStreamed() < 5 && monotonicNs() < deadline)
+        sleepNs(1000000);
+    EXPECT_GE(nvx.eventsStreamed(), 5u)
+        << "stale coalesced run never flushed";
+
+    flag->store(1, std::memory_order_release);
+    auto results = nvx.wait();
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed);
+        EXPECT_EQ(r.status, 0);
+    }
+    ::munmap(flag, 4096);
+}
+
+TEST(NvxTest, ManyTuplesFdTransferStress)
+{
+    // Regression for the per-tuple descriptor-routing race: leader
+    // threads of several tuples create descriptors concurrently, all
+    // funneled through one data channel per follower. Before transfers
+    // carried tuple tags (and the follower demuxed them), concurrent
+    // recvmsg could hand tuple A's descriptor to tuple B and the
+    // mirroring dup2/close dance could destroy a live descriptor.
+    constexpr int kWorkers = 3;
+    constexpr int kOpensPerTuple = 25;
+    auto app = []() -> int {
+        auto churn = []() -> bool {
+            for (int i = 0; i < kOpensPerTuple; ++i) {
+                long fd = sys::vopen("/dev/null", O_RDONLY);
+                if (fd < 0)
+                    return false;
+                char buf[4];
+                sys::vread(static_cast<int>(fd), buf, sizeof(buf));
+                if (sys::vclose(static_cast<int>(fd)) < 0)
+                    return false;
+            }
+            return true;
+        };
+        std::atomic<int> ok{0};
+        {
+            std::vector<std::unique_ptr<VThread>> workers;
+            for (int w = 0; w < kWorkers; ++w) {
+                workers.push_back(std::make_unique<VThread>([&ok, churn] {
+                    if (churn())
+                        ok.fetch_add(1, std::memory_order_relaxed);
+                }));
+            }
+            if (churn())
+                ok.fetch_add(1, std::memory_order_relaxed);
+        }
+        return ok.load(std::memory_order_relaxed) == kWorkers + 1 ? 0 : 93;
+    };
+
+    NvxOptions options = fastOptions();
+    options.progress_timeout_ns = 20000000000ULL;
+    Nvx nvx(options);
+    auto results = nvx.run({app, app});
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.crashed) << "variant " << r.variant;
+        EXPECT_EQ(r.status, 0) << "variant " << r.variant;
+    }
+    EXPECT_EQ(nvx.divergencesFatal(), 0u);
+    EXPECT_GT(nvx.fdTransfers(),
+              static_cast<std::uint64_t>(kWorkers * kOpensPerTuple));
+}
+
+TEST(NvxTest, PoolStatsExposeArenaPressure)
+{
+    // The coordinator status slice: per-arena carve cursors and chunk
+    // counts, fed by real payload traffic on tuple 0.
+    char path[] = "/tmp/varan-core-stats-XXXXXX";
+    int tmp = ::mkstemp(path);
+    ASSERT_GE(tmp, 0);
+    ASSERT_EQ(::write(tmp, "stats", 5), 5);
+    ::close(tmp);
+
+    std::string file(path);
+    auto app = [file]() -> int {
+        for (int i = 0; i < 10; ++i) {
+            long fd = sys::vopen(file.c_str(), O_RDONLY);
+            char buf[8];
+            sys::vread(static_cast<int>(fd), buf, sizeof(buf));
+            sys::vclose(static_cast<int>(fd));
+        }
+        return 0;
+    };
+    Nvx nvx(fastOptions());
+    auto results = nvx.run({app, app});
+    ::unlink(path);
+    for (const auto &r : results)
+        EXPECT_FALSE(r.crashed);
+
+    shmem::PoolStats stats = nvx.poolStats();
+    EXPECT_EQ(stats.num_shards, kMaxTuples);
+    EXPECT_EQ(stats.spills, nvx.poolSpills());
+    // Tuple 0 carved from its own arena; nobody touched the others.
+    EXPECT_GT(stats.shard[0].bytes_carved, 0u);
+    EXPECT_GT(stats.shard[0].live_chunks + stats.shard[0].free_chunks, 0u);
+    EXPECT_EQ(stats.shard[1].bytes_carved, 0u);
+    EXPECT_EQ(stats.global.live_chunks, 0u);
+    EXPECT_LE(stats.shard[0].bytes_carved, stats.shard[0].bytes_total);
 }
 
 } // namespace

@@ -299,6 +299,50 @@ TEST_F(ShardedPoolTest, AllocateReleasePerShard)
     EXPECT_EQ(pool_.liveAllocations(), 0u);
 }
 
+TEST_F(ShardedPoolTest, StatsTrackCarveAndChunkCounts)
+{
+    PoolStats before = pool_.stats();
+    EXPECT_EQ(before.num_shards, kShards);
+    EXPECT_EQ(before.spills, 0u);
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+        EXPECT_EQ(before.shard[s].bytes_carved, 0u);
+        EXPECT_EQ(before.shard[s].live_chunks, 0u);
+        EXPECT_EQ(before.shard[s].free_chunks, 0u);
+        EXPECT_GT(before.shard[s].bytes_total, 0u);
+    }
+
+    // Three allocations on shard 1, one released: the arena carved one
+    // segment, two chunks live, the rest of the segment on free lists.
+    Offset a = pool_.allocate(1, 100);
+    Offset b = pool_.allocate(1, 100);
+    Offset c = pool_.allocate(1, 100);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    ASSERT_NE(c, 0u);
+    pool_.release(b);
+
+    PoolStats after = pool_.stats();
+    EXPECT_GT(after.shard[1].bytes_carved, 0u);
+    EXPECT_LE(after.shard[1].bytes_carved, after.shard[1].bytes_total);
+    EXPECT_EQ(after.shard[1].live_chunks, 2u);
+    EXPECT_GE(after.shard[1].free_chunks, 1u);
+    // Untouched arenas stay pristine.
+    EXPECT_EQ(after.shard[0].bytes_carved, 0u);
+    EXPECT_EQ(after.global.live_chunks, 0u);
+
+    // A spill shows up in both the counter and the global arena.
+    Offset spilled = pool_.allocate(kShards + 5, 100);
+    ASSERT_NE(spilled, 0u);
+    PoolStats with_spill = pool_.stats();
+    EXPECT_EQ(with_spill.spills, 1u);
+    EXPECT_EQ(with_spill.global.live_chunks, 1u);
+    EXPECT_GT(with_spill.global.bytes_carved, 0u);
+    pool_.release(a);
+    pool_.release(c);
+    pool_.release(spilled);
+    EXPECT_EQ(pool_.stats().shard[1].live_chunks, 0u);
+}
+
 TEST_F(ShardedPoolTest, ReleaseFindsOwningArenaWithoutShardHint)
 {
     Offset p = pool_.allocate(2, 512);

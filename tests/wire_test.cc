@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Multi-node event shipping tests: frame validation, framing round
+ * trips over a socketpair, corrupt/truncated frame rejection, a full
+ * end-to-end leader -> wire -> remote-follower run through the
+ * unmodified dispatch loop, link-drop failover with retransmission,
+ * and the pool-statistics handshake snapshot.
+ */
+
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/nvx.h"
+#include "netio/socketio.h"
+#include "syscalls/sys.h"
+#include "wire/protocol.h"
+#include "wire/receiver.h"
+#include "wire/shipper.h"
+
+namespace varan::wire {
+namespace {
+
+constexpr std::uint32_t kCap = 64;
+
+/** A leader-side harness: region + layout a test publishes into. */
+struct FakeLeader {
+    shmem::Region region;
+    core::EngineLayout layout;
+
+    FakeLeader()
+    {
+        auto r = shmem::Region::create(8 << 20);
+        VARAN_CHECK(r.ok());
+        region = std::move(r.value());
+        layout = core::EngineLayout::create(&region, 1, 0, kCap);
+    }
+
+    /** Publish one event the way Monitor::publishEvent does. */
+    void
+    publish(std::uint32_t tuple, ring::Event event,
+            const void *payload_data = nullptr,
+            std::uint32_t payload_size = 0)
+    {
+        core::ControlBlock *cb = layout.controlBlock(&region);
+        shmem::ShardedPool pool = layout.pool(&region);
+        ring::RingBuffer ring = layout.tupleRing(&region, tuple);
+        std::uint64_t *shadow = layout.tupleShadow(&region, tuple);
+
+        shmem::Offset payload = 0;
+        if (payload_data != nullptr) {
+            payload = pool.allocate(tuple, payload_size, 1);
+            VARAN_CHECK(payload != 0);
+            std::memcpy(pool.pointer(payload, payload_size), payload_data,
+                        payload_size);
+            event.flags |= ring::kHasPayload;
+            event.payload = static_cast<std::uint32_t>(payload);
+            event.payload_size = payload_size;
+        }
+        std::uint64_t seq = 0;
+        VARAN_CHECK(ring.claim(1, &seq, {}));
+        std::uint64_t idx = seq & (cb->ring_capacity - 1);
+        if (shadow[idx] != 0)
+            pool.release(shadow[idx]);
+        shadow[idx] = payload;
+        ring.commit({&event, 1});
+    }
+};
+
+/** A remote-side harness: external-leader layout + attached consumer. */
+struct FakeRemote {
+    shmem::Region region;
+    core::EngineLayout layout;
+
+    FakeRemote()
+    {
+        auto r = shmem::Region::create(8 << 20);
+        VARAN_CHECK(r.ok());
+        region = std::move(r.value());
+        layout =
+            core::EngineLayout::create(&region, 1, core::kNoLeader, kCap);
+    }
+
+    /** Drain everything re-materialized into tuple @p tuple. */
+    std::vector<ring::Event>
+    drain(std::uint32_t tuple)
+    {
+        ring::RingBuffer ring = layout.tupleRing(&region, tuple);
+        std::vector<ring::Event> out;
+        ring::Event event;
+        // Slot 0 was pre-attached by the external-leader layout.
+        while (ring.poll(0, &event))
+            out.push_back(event);
+        return out;
+    }
+};
+
+ring::Event
+syscallEvent(std::uint64_t timestamp, std::uint16_t nr, std::int64_t result)
+{
+    ring::Event event = {};
+    event.type = ring::EventType::Syscall;
+    event.timestamp = timestamp;
+    event.nr = nr;
+    event.result = result;
+    return event;
+}
+
+TEST(WireProtocolTest, HeaderValidation)
+{
+    FrameHeader h = makeHeader(FrameType::Events, 128);
+    h.tuple = 3;
+    EXPECT_TRUE(headerValid(h));
+
+    FrameHeader bad_magic = h;
+    bad_magic.magic ^= 1;
+    EXPECT_FALSE(headerValid(bad_magic));
+
+    FrameHeader bad_version = h;
+    bad_version.version = kWireVersion + 1;
+    EXPECT_FALSE(headerValid(bad_version));
+
+    FrameHeader bad_type = h;
+    bad_type.type = 99;
+    EXPECT_FALSE(headerValid(bad_type));
+
+    FrameHeader bad_len = h;
+    bad_len.body_len = kMaxBodyBytes + 1;
+    EXPECT_FALSE(headerValid(bad_len));
+
+    FrameHeader bad_tuple = h;
+    bad_tuple.tuple = core::kMaxTuples;
+    EXPECT_FALSE(headerValid(bad_tuple));
+}
+
+TEST(WireProtocolTest, ChecksumDetectsFlips)
+{
+    std::uint8_t body[64];
+    for (std::size_t i = 0; i < sizeof(body); ++i)
+        body[i] = static_cast<std::uint8_t>(i * 7);
+    std::uint32_t crc = bodyChecksum(body, sizeof(body));
+    body[40] ^= 0x10;
+    EXPECT_NE(crc, bodyChecksum(body, sizeof(body)));
+}
+
+TEST(WireShipTest, FramingRoundTripWithPayloads)
+{
+    FakeLeader leader;
+    FakeRemote remote;
+
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    Shipper::Options ship_opts;
+    ship_opts.ship_batch = 8;
+    Shipper shipper(&leader.region, &leader.layout, ship_opts);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+
+    Receiver receiver(&remote.region, &remote.layout);
+
+    // Handshake needs both ends active: receiver first (it blocks on
+    // Hello), then shipper.
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    // A mixed stream: payload-free, payload-carrying, fd event.
+    const char note[] = "remote payload";
+    leader.publish(0, syscallEvent(1, 39 /*getpid*/, 4242));
+    leader.publish(0, syscallEvent(2, 0 /*read*/, sizeof(note)), note,
+                   sizeof(note));
+    ring::Event fd_event = syscallEvent(3, 2 /*open*/, 7);
+    fd_event.flags |= ring::kFdTransfer;
+    leader.publish(0, fd_event);
+
+    EXPECT_EQ(shipper.pumpOnce(), 3u);
+    EXPECT_EQ(receiver.serveOnce(1000), 1);
+
+    auto events = remote.drain(0);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].nr, 39);
+    EXPECT_EQ(events[0].result, 4242);
+    EXPECT_EQ(events[1].nr, 0);
+    ASSERT_TRUE(events[1].hasPayload());
+    EXPECT_EQ(events[1].payload_size, sizeof(note));
+    shmem::ShardedPool pool = remote.layout.pool(&remote.region);
+    EXPECT_EQ(std::memcmp(pool.pointer(events[1].payload, sizeof(note)),
+                          note, sizeof(note)),
+              0);
+    // Descriptor transfer is virtualised across the wire.
+    EXPECT_FALSE(events[2].transfersFd());
+
+    EXPECT_EQ(receiver.stats().events, 3u);
+    EXPECT_EQ(receiver.stats().corrupt_frames, 0u);
+    // The fd event is an ack point: a credit went back immediately.
+    EXPECT_GE(receiver.stats().credits_sent, 1u);
+
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(WireShipTest, CorruptFrameDropsLink)
+{
+    FakeLeader leader;
+    FakeRemote remote;
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    Shipper shipper(&leader.region, &leader.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+    Receiver receiver(&remote.region, &remote.layout);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    // A frame whose checksum does not match its body.
+    ring::Event event = syscallEvent(1, 39, 0);
+    FrameHeader header = makeHeader(FrameType::Events, sizeof(event));
+    header.tuple = 0;
+    header.seq = 0;
+    header.count = 1;
+    header.body_crc = bodyChecksum(&event, sizeof(event)) ^ 0xdead;
+    ASSERT_EQ(::send(sv[0], &header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    ASSERT_EQ(::send(sv[0], &event, sizeof(event), 0),
+              static_cast<ssize_t>(sizeof(event)));
+
+    EXPECT_EQ(receiver.serveOnce(1000), -1);
+    EXPECT_FALSE(receiver.linkUp());
+    EXPECT_EQ(receiver.stats().corrupt_frames, 1u);
+    EXPECT_EQ(receiver.stats().events, 0u);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(WireShipTest, TruncatedFrameDropsLink)
+{
+    FakeLeader leader;
+    FakeRemote remote;
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    Shipper shipper(&leader.region, &leader.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+    Receiver receiver(&remote.region, &remote.layout);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    // Announce a 2-event frame but deliver half an event, then hang up.
+    ring::Event event = syscallEvent(1, 39, 0);
+    FrameHeader header = makeHeader(
+        FrameType::Events, 2 * sizeof(ring::Event));
+    header.tuple = 0;
+    header.count = 2;
+    header.body_crc = 0;
+    ASSERT_EQ(::send(sv[0], &header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    ASSERT_EQ(::send(sv[0], &event, sizeof(event) / 2, 0),
+              static_cast<ssize_t>(sizeof(event) / 2));
+    ::close(sv[0]);
+
+    EXPECT_EQ(receiver.serveOnce(1000), -1);
+    EXPECT_FALSE(receiver.linkUp());
+    EXPECT_EQ(receiver.stats().events, 0u);
+    ::close(sv[1]);
+}
+
+TEST(WireShipTest, HandshakeCarriesPoolStats)
+{
+    FakeLeader leader;
+    FakeRemote remote;
+
+    // Put visible pressure on tuple 0's arena before the handshake.
+    shmem::ShardedPool pool = leader.layout.pool(&leader.region);
+    ASSERT_NE(pool.allocate(0, 1000, 1), 0u);
+    ASSERT_NE(pool.allocate(0, 1000, 1), 0u);
+
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Shipper shipper(&leader.region, &leader.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+    Receiver receiver(&remote.region, &remote.layout);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    const HelloBody &hello = receiver.remoteHello();
+    EXPECT_EQ(hello.ring_capacity, kCap);
+    EXPECT_EQ(hello.max_tuples, core::kMaxTuples);
+    EXPECT_EQ(hello.pool.num_shards, core::kMaxTuples);
+    EXPECT_EQ(hello.pool.shard[0].live_chunks, 2u);
+    EXPECT_GT(hello.pool.shard[0].bytes_carved, 0u);
+    EXPECT_GT(hello.pool.shard[0].free_chunks, 0u);
+    EXPECT_EQ(hello.pool.shard[1].live_chunks, 0u);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(WireShipTest, LinkDropFailoverRetransmitsWithoutLossOrDup)
+{
+    FakeLeader leader;
+    FakeRemote remote;
+
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    Shipper::Options ship_opts;
+    ship_opts.ship_batch = 4;
+    Shipper shipper(&leader.region, &leader.layout, ship_opts);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+
+    Receiver::Options recv_opts;
+    recv_opts.credit_every = 4; // ack the first frame promptly
+    Receiver receiver(&remote.region, &remote.layout, recv_opts);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    // First frame lands and is credited.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        leader.publish(0, syscallEvent(i + 1, 39, 100 + i));
+    EXPECT_EQ(shipper.pumpOnce(), 4u);
+    EXPECT_EQ(receiver.serveOnce(1000), 1);
+    EXPECT_EQ(receiver.stats().credits_sent, 1u);
+
+    // The link dies mid-batch: a second frame is shipped but the
+    // receiver never sees it.
+    for (std::uint64_t i = 4; i < 6; ++i)
+        leader.publish(0, syscallEvent(i + 1, 39, 100 + i));
+    ::close(sv[1]); // remote end gone
+    shipper.pumpOnce();
+    // The write may only fail once the kernel notices; pump again.
+    shipper.pumpOnce();
+    EXPECT_FALSE(shipper.linkUp());
+    ::close(sv[0]);
+
+    // More events pile up while the link is down (buffered, unacked).
+    for (std::uint64_t i = 6; i < 9; ++i)
+        leader.publish(0, syscallEvent(i + 1, 39, 100 + i));
+    shipper.pumpOnce();
+
+    // Failover: a replacement socket, re-handshake, retransmit.
+    int sv2[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv2), 0);
+    std::thread readopting(
+        [&] { ASSERT_TRUE(receiver.adopt(sv2[1]).isOk()); });
+    ASSERT_TRUE(shipper.reconnect(sv2[0]).isOk());
+    readopting.join();
+    EXPECT_GE(shipper.stats().reconnects, 1u);
+    EXPECT_GE(receiver.stats().reconnects, 1u);
+
+    while (receiver.serveOnce(200) > 0) {
+    }
+
+    // Exactly events 1..9, in order, no duplicates, no holes.
+    auto events = remote.drain(0);
+    ASSERT_EQ(events.size(), 9u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].timestamp, i + 1);
+        EXPECT_EQ(events[i].result,
+                  static_cast<std::int64_t>(100 + i));
+    }
+    EXPECT_EQ(receiver.nextSeq(0), 9u);
+    ::close(sv2[0]);
+    ::close(sv2[1]);
+}
+
+TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
+{
+    // The real thing: a leader engine ships its rings through a socket
+    // to a Receiver feeding an external-leader engine whose follower
+    // replays the stream through the unmodified dispatch loop —
+    // payloads, descriptor events, thread tuples and the exit.
+    int pipe_fds[2];
+    ASSERT_EQ(::pipe(pipe_fds), 0);
+
+    auto app = [pipe_fds]() -> int {
+        long pid = sys::vgetpid();
+        long fd = sys::vopen("/dev/null", 0 /*O_RDONLY*/);
+        char buf[32] = {};
+        sys::vread(static_cast<int>(fd), buf, sizeof(buf));
+        sys::vclose(static_cast<int>(fd));
+        sys::vwrite(pipe_fds[1], "wire", 4);
+        long t = 0;
+        sys::vtime(&t);
+        return static_cast<int>((pid ^ t) & 0x3f);
+    };
+
+    const std::string endpoint =
+        "varan-wire-e2e-" + std::to_string(::getpid());
+    auto listening = netio::listenAbstract(endpoint);
+    ASSERT_TRUE(listening.ok());
+
+    // Remote node: external-leader engine + receiver.
+    core::NvxOptions remote_options;
+    remote_options.ring_capacity = 128;
+    remote_options.shm_bytes = 16 << 20;
+    remote_options.external_leader = true;
+    remote_options.progress_timeout_ns = 20000000000ULL;
+    core::Nvx remote_nvx(remote_options);
+    ASSERT_TRUE(remote_nvx.start({app}).isOk());
+    Receiver receiver(remote_nvx.region(), &remote_nvx.layout());
+
+    std::thread accepting([&] {
+        long conn = netio::acceptConnection(listening.value(), false);
+        ASSERT_GE(conn, 0);
+        ASSERT_TRUE(receiver.adopt(static_cast<int>(conn)).isOk());
+        receiver.start();
+    });
+
+    // Leader node: ordinary engine with remote shipping on.
+    int live_status = 0;
+    {
+        core::NvxOptions options;
+        options.ring_capacity = 128;
+        options.shm_bytes = 16 << 20;
+        options.remote_endpoint = endpoint;
+        options.remote_ship_batch = 8;
+        core::Nvx nvx(options);
+        ASSERT_TRUE(nvx.start({app}).isOk());
+        auto results = nvx.waitFor(30000000000ULL);
+        ASSERT_EQ(results.size(), 1u);
+        ASSERT_FALSE(results[0].crashed);
+        live_status = results[0].status;
+        ASSERT_GT(nvx.shipper()->stats().events, 0u);
+    }
+    accepting.join();
+
+    auto remote_results = remote_nvx.waitFor(30000000000ULL);
+    ASSERT_TRUE(receiver.finish().isOk());
+    ASSERT_EQ(remote_results.size(), 1u);
+    EXPECT_FALSE(remote_results[0].crashed);
+    // Bit-exact replay: the remote follower reproduces pid ^ time.
+    EXPECT_EQ(remote_results[0].status, live_status);
+
+    // The pipe write happened exactly once (on the leader node).
+    char buf[8] = {};
+    EXPECT_EQ(::read(pipe_fds[0], buf, 4), 4);
+    EXPECT_STREQ(buf, "wire");
+
+    EXPECT_GT(receiver.stats().events, 0u);
+    EXPECT_GT(receiver.stats().payload_bytes, 0u);
+    EXPECT_EQ(receiver.stats().corrupt_frames, 0u);
+    EXPECT_GT(receiver.remoteHello().ring_capacity, 0u);
+
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    sys::vclose(static_cast<int>(listening.value()));
+}
+
+} // namespace
+} // namespace varan::wire
