@@ -45,12 +45,12 @@ run(std::uint32_t capacity, bool busy_only, int config)
     };
     c.shutdown = [endpoint] { kvShutdown(endpoint); };
 
-    core::NvxOptions options;
-    options.ring_capacity = capacity;
-    options.shm_bytes = 64 << 20;
-    options.progress_timeout_ns = 120000000000ULL;
-    options.wait.busy_only = busy_only;
-    return runNvx(c, 1, options).ops_per_sec;
+    core::EngineConfig engine;
+    engine.ring.capacity = capacity;
+    engine.shm_bytes = 64 << 20;
+    engine.ring.progress_timeout_ns = 120000000000ULL;
+    engine.ring.wait.busy_only = busy_only;
+    return runNvx(c, 1, engine).ops_per_sec;
 }
 
 } // namespace

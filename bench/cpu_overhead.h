@@ -37,10 +37,10 @@ inline double
 kernelSecondsNvx(const apps::cpu::Kernel &kernel, std::uint32_t scale,
                  int followers)
 {
-    core::NvxOptions options;
-    options.shm_bytes = 64 << 20;
-    options.progress_timeout_ns = 600000000000ULL;
-    core::Nvx nvx(options);
+    core::EngineConfig config;
+    config.shm_bytes = 64 << 20;
+    config.ring.progress_timeout_ns = 600000000000ULL;
+    core::Nvx nvx(config);
     auto variant = [&kernel, scale]() -> int {
         return static_cast<int>(kernel.run(scale) & 0x3f);
     };

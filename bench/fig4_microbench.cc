@@ -155,10 +155,10 @@ engineCycles(bool follower_mode, double out[5])
     int fds[2];
     if (::pipe(fds) != 0)
         return;
-    core::NvxOptions options;
-    options.ring_capacity = 256;
-    options.shm_bytes = 64 << 20;
-    options.progress_timeout_ns = 120000000000ULL;
+    core::EngineConfig config;
+    config.ring.capacity = 256;
+    config.shm_bytes = 64 << 20;
+    config.ring.progress_timeout_ns = 120000000000ULL;
 
     const std::size_t iters = g_iters / 4; // engine paths are slower
     auto variant = [fds, follower_mode, iters]() -> int {
@@ -176,7 +176,7 @@ engineCycles(bool follower_mode, double out[5])
         return 0;
     };
 
-    core::Nvx nvx(options);
+    core::Nvx nvx(config);
     std::vector<core::VariantFn> variants;
     variants.push_back(variant);
     if (follower_mode)

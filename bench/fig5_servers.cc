@@ -159,10 +159,10 @@ main(int argc, char **argv)
                 [&] {
                     ServerCase c = makeCase(
                         app.ours, endpointFor(app.ours, config++));
-                    core::NvxOptions options;
-                    options.shm_bytes = 64 << 20;
-                    options.progress_timeout_ns = 120000000000ULL;
-                    return runNvx(c, f, options).ops_per_sec;
+                    core::EngineConfig engine;
+                    engine.shm_bytes = 64 << 20;
+                    engine.ring.progress_timeout_ns = 120000000000ULL;
+                    return runNvx(c, f, engine).ops_per_sec;
                 },
                 2);
             row.push_back(fmt(overhead(native, tput), "%.2f"));

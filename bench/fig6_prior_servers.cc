@@ -101,10 +101,10 @@ main(int argc, char **argv)
             double tput = medianOfRuns(
                 [&] {
                     ServerCase sc = make(endpointFor(config++));
-                    core::NvxOptions options;
-                    options.shm_bytes = 64 << 20;
-                    options.progress_timeout_ns = 120000000000ULL;
-                    return runNvx(sc, f, options).ops_per_sec;
+                    core::EngineConfig engine;
+                    engine.shm_bytes = 64 << 20;
+                    engine.ring.progress_timeout_ns = 120000000000ULL;
+                    return runNvx(sc, f, engine).ops_per_sec;
                 },
                 2);
             row.push_back(fmt(overhead(native, tput), "%.2f"));

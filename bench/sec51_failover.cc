@@ -51,10 +51,10 @@ runScenario(bool buggy_is_leader, int revisions)
 {
     std::string endpoint =
         endpointFor(buggy_is_leader ? "leader" : "follower");
-    core::NvxOptions options;
-    options.shm_bytes = 64 << 20;
-    options.progress_timeout_ns = 120000000000ULL;
-    options.tick_ns = 1000000; // 1 ms: promotion latency matters here
+    core::EngineConfig config;
+    config.shm_bytes = 64 << 20;
+    config.ring.progress_timeout_ns = 120000000000ULL;
+    config.ring.tick_ns = 1000000; // 1 ms: promotion latency matters here
 
     // Revisions 9a22de8..7fb16ba: only the newest crashes on HMGET.
     std::vector<core::VariantFn> variants;
@@ -68,7 +68,7 @@ runScenario(bool buggy_is_leader, int revisions)
         });
     }
 
-    core::Nvx nvx(options);
+    core::Nvx nvx(config);
     if (!nvx.start(std::move(variants)).isOk())
         return {};
 

@@ -83,10 +83,10 @@ runPair(const char *rule, apps::vhttpd::Revision old_rev,
         int pair)
 {
     std::string endpoint = endpointFor(pair);
-    core::NvxOptions options;
-    options.shm_bytes = 64 << 20;
-    options.progress_timeout_ns = 120000000000ULL;
-    options.rewrite_rules.push_back(rule);
+    core::EngineConfig config;
+    config.shm_bytes = 64 << 20;
+    config.ring.progress_timeout_ns = 120000000000ULL;
+    config.rewrite_rules.push_back(rule);
 
     auto make = [endpoint, docroot](apps::vhttpd::Revision rev) {
         return [endpoint, docroot, rev]() -> int {
@@ -98,7 +98,7 @@ runPair(const char *rule, apps::vhttpd::Revision old_rev,
         };
     };
 
-    core::Nvx nvx(options);
+    core::Nvx nvx(config);
     PairResult out;
     if (!nvx.start({make(old_rev), make(new_rev)}).isOk())
         return out;

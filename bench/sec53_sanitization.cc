@@ -47,9 +47,9 @@ Run
 measure(int sanitize_passes, const char *tag)
 {
     std::string endpoint = endpointFor(tag);
-    core::NvxOptions options;
-    options.shm_bytes = 64 << 20;
-    options.progress_timeout_ns = 120000000000ULL;
+    core::EngineConfig config;
+    config.shm_bytes = 64 << 20;
+    config.ring.progress_timeout_ns = 120000000000ULL;
 
     auto plain = [endpoint]() -> int {
         apps::vstore::Options o;
@@ -63,7 +63,7 @@ measure(int sanitize_passes, const char *tag)
         return apps::vstore::serve(o);
     };
 
-    core::Nvx nvx(options);
+    core::Nvx nvx(config);
     if (!nvx.start({plain, follower}).isOk())
         return {};
 

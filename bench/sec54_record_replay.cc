@@ -77,10 +77,10 @@ main()
     std::uint64_t recorded_events = 0;
     {
         std::string endpoint = endpointFor("record");
-        core::NvxOptions options;
-        options.shm_bytes = 64 << 20;
-        options.progress_timeout_ns = 120000000000ULL;
-        core::Nvx nvx(options);
+        core::EngineConfig config;
+        config.shm_bytes = 64 << 20;
+        config.ring.progress_timeout_ns = 120000000000ULL;
+        core::Nvx nvx(config);
         rr::Recorder recorder(nvx.region(), &nvx.layout(), log_path);
         auto server = [endpoint]() -> int {
             apps::vstore::Options o;
@@ -129,11 +129,11 @@ main()
     bool replay_ok = false;
     {
         std::string endpoint = endpointFor("replay");
-        core::NvxOptions options;
-        options.shm_bytes = 64 << 20;
-        options.external_leader = true;
-        options.progress_timeout_ns = 120000000000ULL;
-        core::Nvx nvx(options);
+        core::EngineConfig config;
+        config.shm_bytes = 64 << 20;
+        config.external_leader = true;
+        config.ring.progress_timeout_ns = 120000000000ULL;
+        core::Nvx nvx(config);
         auto server = [endpoint]() -> int {
             apps::vstore::Options o;
             o.endpoint = endpoint;

@@ -58,10 +58,10 @@ cpuSuiteSeconds(const std::vector<apps::cpu::Kernel> &suite, int mode)
         int status;
         ::waitpid(pid, &status, 0);
     } else if (mode == 1) {
-        core::NvxOptions options;
-        options.shm_bytes = 64 << 20;
-        options.progress_timeout_ns = 600000000000ULL;
-        core::Nvx nvx(options);
+        core::EngineConfig config;
+        config.shm_bytes = 64 << 20;
+        config.ring.progress_timeout_ns = 600000000000ULL;
+        core::Nvx nvx(config);
         nvx.run({variant, variant});
     } else {
         lockstep::LockstepEngine engine;

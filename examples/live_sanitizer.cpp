@@ -5,6 +5,11 @@
  * I/O — it replays the leader's events — so its extra checking work
  * stays off the service's critical path.
  *
+ * The sanitized build is declared FollowerOnly: a checking build must
+ * never be promoted to leader during failover (its instrumentation
+ * belongs off the critical path, crash or no crash), which the role on
+ * its VariantSpec guarantees.
+ *
  *   $ ./examples/live_sanitizer
  */
 
@@ -36,19 +41,26 @@ main()
         return apps::vstore::serve(o);
     };
 
-    core::Nvx nvx;
-    if (!nvx.start({production, sanitized}).isOk())
+    auto nvx = core::Nvx::Builder()
+                   .variant(core::VariantSpec(production).named("prod"))
+                   .variant(core::VariantSpec(sanitized)
+                                .named("asan")
+                                .as(core::VariantRole::FollowerOnly))
+                   .build();
+    if (!nvx->start().isOk())
         return 1;
 
     auto load = bench::kvBench(endpoint, 2, 200);
     std::printf("leader throughput with sanitized follower: %.0f ops/s\n",
                 load.ops_per_sec);
+    core::StatusReport status = nvx->status();
     std::printf("log distance (leader ahead of sanitized follower): %llu "
                 "events\n",
-                static_cast<unsigned long long>(nvx.ringLagOf(1)));
+                static_cast<unsigned long long>(
+                    status.variants[1].ring_lag));
 
     bench::kvShutdown(endpoint);
-    auto results = nvx.wait();
+    auto results = nvx->wait();
     for (const auto &r : results) {
         std::printf("%s build: %s\n",
                     r.variant == 0 ? "production" : "sanitized",

@@ -6,6 +6,11 @@
  * together. VARAN resolves the divergences with the BPF rewrite rule
  * of the paper's Listing 1, shown here verbatim.
  *
+ * The rule belongs to revision 2436 — the revision whose behaviour
+ * diverges — so it rides on that revision's VariantSpec rather than on
+ * the whole engine: pairing 2435 with a third, rule-less revision in
+ * the same engine would still hold that revision to strict lockstep.
+ *
  *   $ ./examples/multi_revision
  */
 
@@ -36,8 +41,8 @@ main()
     ::close(doc);
     std::string doc_path(docroot);
 
-    core::NvxOptions options;
-    options.rewrite_rules.push_back(
+    // The paper's Listing 1, verbatim.
+    const char *listing1 =
         "ld event[0]\n"
         "jeq #108, getegid /* __NR_getegid */\n"
         "jeq #2, open /* __NR_open */\n"
@@ -49,7 +54,7 @@ main()
         "ld [0] /* offsetof(struct seccomp_data, nr) */\n"
         "jeq #104, good /* __NR_getgid */\n"
         "bad: ret #0 /* SECCOMP_RET_KILL */\n"
-        "good: ret #0x7fff0000 /* SECCOMP_RET_ALLOW */\n");
+        "good: ret #0x7fff0000 /* SECCOMP_RET_ALLOW */\n";
 
     auto rev2435 = [endpoint, doc_path]() -> int {
         apps::vhttpd::Options o;
@@ -65,8 +70,15 @@ main()
         return apps::vhttpd::serve(o);
     };
 
-    core::Nvx nvx(options);
-    if (!nvx.start({rev2435, rev2436}).isOk())
+    // No engine-global rewrite_rules: the Listing 1 rule is attached to
+    // revision 2436's spec only.
+    auto nvx = core::Nvx::Builder()
+                   .variant(core::VariantSpec(rev2435).named("2435"))
+                   .variant(core::VariantSpec(rev2436)
+                                .named("2436")
+                                .rule(listing1))
+                   .build();
+    if (!nvx->start().isOk())
         return 1;
 
     auto load = bench::httpBench(endpoint, 2, 20);
@@ -74,13 +86,14 @@ main()
                 "2436 (follower)\n",
                 load.total_ops);
     bench::httpShutdown(endpoint);
-    auto results = nvx.wait();
+    auto results = nvx->wait();
 
+    core::StatusReport status = nvx->status();
     std::printf("divergences resolved by the Listing 1 rule: %llu "
                 "(fatal: %llu)\n",
                 static_cast<unsigned long long>(
-                    nvx.divergencesResolved()),
-                static_cast<unsigned long long>(nvx.divergencesFatal()));
+                    status.divergences_resolved),
+                static_cast<unsigned long long>(status.divergences_fatal));
     for (const auto &r : results) {
         std::printf("revision %s: %s\n", r.variant == 0 ? "2435" : "2436",
                     r.crashed ? "CRASHED" : "clean exit");

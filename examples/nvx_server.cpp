@@ -32,10 +32,13 @@ main(int argc, char **argv)
         return apps::vstore::serve(o);
     };
 
-    core::Nvx nvx;
-    std::vector<core::VariantFn> variants(
-        static_cast<std::size_t>(followers) + 1, server);
-    if (!nvx.start(std::move(variants)).isOk())
+    core::Nvx::Builder builder;
+    for (int v = 0; v <= followers; ++v) {
+        builder.variant(core::VariantSpec(server).named(
+            v == 0 ? "leader" : "follower-" + std::to_string(v)));
+    }
+    auto nvx = builder.build();
+    if (!nvx->start().isOk())
         return 1;
     std::printf("vstore running as %d versions (leader + %d followers) "
                 "on @%s\n",
@@ -46,12 +49,13 @@ main(int argc, char **argv)
                 "us)\n",
                 load.total_ops, load.ops_per_sec, load.latency_us_p50,
                 load.latency_us_p99);
+    core::StatusReport status = nvx->status();
     std::printf("events streamed: %llu; descriptor transfers: %llu\n",
-                static_cast<unsigned long long>(nvx.eventsStreamed()),
-                static_cast<unsigned long long>(nvx.fdTransfers()));
+                static_cast<unsigned long long>(status.events_streamed),
+                static_cast<unsigned long long>(status.fd_transfers));
 
     bench::kvShutdown(endpoint);
-    auto results = nvx.wait();
+    auto results = nvx->wait();
     for (const auto &r : results) {
         std::printf("variant %d: %s\n", r.variant,
                     r.crashed ? "crashed" : "clean exit");

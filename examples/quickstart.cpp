@@ -7,6 +7,10 @@
  * the follower replays the event stream, so the pair behaves exactly
  * like a single process.
  *
+ * This is the coordinator API in its smallest form: a fluent
+ * Nvx::Builder assembles the engine and its VariantSpecs, run() drives
+ * it, and Nvx::status() returns the one consolidated StatusReport.
+ *
  *   $ ./examples/quickstart
  */
 
@@ -55,16 +59,20 @@ main()
         return static_cast<int>(got);
     };
 
-    core::NvxOptions options;
-    options.ring_capacity = 256; // the paper's default
-    core::Nvx nvx(options);
-    auto results = nvx.run({app, app});
+    auto nvx = core::Nvx::Builder()
+                   .ringCapacity(256) // the paper's default
+                   .variant(core::VariantSpec(app).named("v1"))
+                   .variant(core::VariantSpec(app).named("v2"))
+                   .build();
+    auto results = nvx->run();
 
-    std::printf("\nengine: leader=%d, events streamed=%llu, fd "
+    // One snapshot carries every statistic the engine keeps.
+    core::StatusReport status = nvx->status();
+    std::printf("\nengine: leader=%u, events streamed=%llu, fd "
                 "transfers=%llu\n",
-                nvx.currentLeader(),
-                static_cast<unsigned long long>(nvx.eventsStreamed()),
-                static_cast<unsigned long long>(nvx.fdTransfers()));
+                status.leader,
+                static_cast<unsigned long long>(status.events_streamed),
+                static_cast<unsigned long long>(status.fd_transfers));
     for (const auto &r : results) {
         std::printf("variant %d: %s, status %d\n", r.variant,
                     r.crashed ? "crashed" : "exited", r.status);

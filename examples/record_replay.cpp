@@ -67,9 +67,9 @@ main()
     {
         std::printf("phase 2: replaying the log against a fresh "
                     "instance...\n");
-        core::NvxOptions options;
-        options.external_leader = true; // the log is the leader now
-        core::Nvx nvx(options);
+        core::EngineConfig config;
+        config.external_leader = true; // the log is the leader now
+        core::Nvx nvx(config);
         if (!nvx.start({app}).isOk())
             return 1;
         rr::Replayer replayer(nvx.region(), &nvx.layout(), log_path);

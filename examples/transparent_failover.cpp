@@ -6,9 +6,13 @@
  * promoted mid-request and the client never notices beyond a one-off
  * latency blip.
  *
+ * The election is observed through EngineConfig's on_failover lifecycle
+ * hook rather than by polling the getters.
+ *
  *   $ ./examples/transparent_failover
  */
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <unistd.h>
@@ -37,9 +41,21 @@ main()
         return apps::vstore::serve(o);
     };
 
-    core::Nvx nvx;
+    std::atomic<std::uint32_t> elected{0xffffffffu};
     // The buggy revision leads; the healthy one follows.
-    if (!nvx.start({buggy, healthy}).isOk())
+    auto nvx = core::Nvx::Builder()
+                   .onFailover([&elected](std::uint32_t epoch,
+                                          std::uint32_t leader) {
+                       std::fprintf(stderr,
+                                    "[hook] epoch %u: variant %u "
+                                    "promoted to leader\n",
+                                    epoch, leader);
+                       elected.store(leader, std::memory_order_relaxed);
+                   })
+                   .variant(core::VariantSpec(buggy).named("7fb16ba"))
+                   .variant(core::VariantSpec(healthy).named("healthy"))
+                   .build();
+    if (!nvx->start().isOk())
         return 1;
 
     std::printf("seeding: %s", bench::kvCommandLatency(
@@ -53,16 +69,21 @@ main()
     std::printf("  -> served anyway (%.1f us, reply %s)",
                 crash.us, crash.reply.c_str());
     std::printf("  [leader is now variant %d, election epoch %u]\n",
-                nvx.currentLeader(), nvx.epoch());
+                nvx->currentLeader(), nvx->epoch());
 
     auto after = bench::kvCommandLatency(endpoint, "GET missing");
     std::printf("post-failover GET latency: %.1f us\n", after.us);
 
     bench::kvShutdown(endpoint);
-    auto results = nvx.wait();
+    auto results = nvx->wait();
     for (const auto &r : results) {
         std::printf("variant %d: %s (status %d)\n", r.variant,
                     r.crashed ? "crashed" : "clean exit", r.status);
+    }
+    if (elected.load(std::memory_order_relaxed) != 0xffffffffu) {
+        std::printf("on_failover hook observed the election of variant "
+                    "%u\n",
+                    elected.load(std::memory_order_relaxed));
     }
     return 0;
 }

@@ -67,10 +67,10 @@ runNative(const ServerCase &c)
 }
 
 LoadResult
-runNvx(const ServerCase &c, int followers, core::NvxOptions options)
+runNvx(const ServerCase &c, int followers, core::EngineConfig config)
 {
     ignoreSigpipe();
-    core::Nvx nvx(std::move(options));
+    core::Nvx nvx(std::move(config));
     std::vector<core::VariantFn> variants(
         static_cast<std::size_t>(followers) + 1, c.server);
     Status started = nvx.start(std::move(variants));

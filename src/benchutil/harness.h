@@ -30,7 +30,7 @@ LoadResult runNative(const ServerCase &c);
 
 /** Run under the event-streaming engine with @p followers followers. */
 LoadResult runNvx(const ServerCase &c, int followers,
-                  core::NvxOptions options = {});
+                  core::EngineConfig config = {});
 
 /** Run under the centralised lockstep baseline with @p variants. */
 LoadResult runLockstep(const ServerCase &c, int variants);

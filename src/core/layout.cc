@@ -37,6 +37,10 @@ EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
         cb->variants[v].exit_status.store(0, std::memory_order_relaxed);
         cb->variants[v].pid.store(0, std::memory_order_relaxed);
         cb->variants[v].syscalls.store(0, std::memory_order_relaxed);
+        cb->variants[v].role.store(
+            static_cast<std::uint32_t>(VariantRole::LeaderCandidate),
+            std::memory_order_relaxed);
+        cb->variants[v].restarts.store(0, std::memory_order_relaxed);
         ring::LamportClock::initialize(
             region, region->offsetOf(&cb->clocks[v]));
     }

@@ -50,12 +50,25 @@ enum class VariantState : std::uint32_t {
 
 enum class Role : std::uint32_t { Leader = 0, Follower = 1 };
 
+/**
+ * A variant's election eligibility (VariantSpec::role). FollowerOnly
+ * variants — sanitizer builds, experimental revisions — are never
+ * elected during transparent failover; they replay the stream but can
+ * never produce it.
+ */
+enum class VariantRole : std::uint32_t {
+    LeaderCandidate = 0,
+    FollowerOnly = 1,
+};
+
 /** Per-variant status, written by variants and the coordinator. */
 struct VariantSlot {
     std::atomic<std::uint32_t> state;   ///< VariantState
     std::atomic<std::int32_t> exit_status;
     std::atomic<std::uint32_t> pid;
     std::atomic<std::uint64_t> syscalls; ///< dispatched call count (stats)
+    std::atomic<std::uint32_t> role;     ///< VariantRole (election gate)
+    std::atomic<std::uint32_t> restarts; ///< respawns by the restart policy
 };
 
 /** One thread/process tuple: ring + payload shadow (section 3.3.3).

@@ -149,6 +149,7 @@ Monitor::Monitor(const shmem::Region *region, EngineLayout layout,
         if (!rules_.addRule(text).isOk())
             fatal("invalid rewrite rule: %s", rules_.lastError().c_str());
     }
+    clock_resync_pending_ = config_.resync_clock;
     tick_wait_ = config_.wait;
     tick_wait_.timeout_ns = config_.tick_ns;
 }
@@ -885,6 +886,16 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
         }
         const ring::Event &event = cache.events[cache.pos];
 
+        // A restarted incarnation joined at the stream tail: its shared
+        // clock is frozen wherever the dead incarnation left it, so the
+        // first observed event defines "now". Single-tuple semantics —
+        // with several live tuples the cross-tuple order before this
+        // point is unrecoverable (see RestartPolicy docs).
+        if (clock_resync_pending_) {
+            clock_.advanceTo(event.timestamp - 1);
+            clock_resync_pending_ = false;
+        }
+
         // Enforce the leader's total order across tuples (Figure 3).
         if (!clock_.awaitTurn(event.timestamp, tick_wait_))
             continue; // re-check promotion/shutdown, then retry
@@ -1001,6 +1012,10 @@ Monitor::handleExit(int tuple, long nr, const std::uint64_t args[6])
                 continue;
             }
             for (std::size_t i = 0; i < n && draining; ++i) {
+                if (clock_resync_pending_) {
+                    clock_.advanceTo(batch[i].timestamp - 1);
+                    clock_resync_pending_ = false;
+                }
                 while (!clock_.awaitTurn(batch[i].timestamp, tick_wait_)) {
                     if (isLeader() || monotonicNs() > deadline) {
                         draining = false;

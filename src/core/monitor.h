@@ -62,6 +62,14 @@ class Monitor : public sys::Dispatcher
         bool coalesce_publish = false;
         std::uint32_t coalesce_max = 16;        ///< pending run cap
         std::uint64_t coalesce_window_ns = 200000; ///< 200 µs gap cap
+
+        /** Restart-policy respawn: this incarnation joins the live
+         *  stream at the ring tail, so the variant's shared Lamport
+         *  clock (frozen where the dead incarnation left it) must be
+         *  resynchronised from the first event observed — otherwise
+         *  awaitTurn() would wait forever for timestamps that passed
+         *  while the variant was down. */
+        bool resync_clock = false;
     };
 
     /**
@@ -196,6 +204,10 @@ class Monitor : public sys::Dispatcher
     bpf::RuleSet rules_;
     std::mutex promote_mutex_;
     ring::WaitSpec tick_wait_;
+
+    /** Restarted incarnation: resync the variant clock from the first
+     *  event observed (see Config::resync_clock). */
+    bool clock_resync_pending_ = false;
 
     // --- leader-side publish coalescing (one per tuple; each tuple's
     //     producer side is owned by exactly one thread) ---

@@ -11,14 +11,38 @@
 
 namespace varan::core {
 
-Nvx::Nvx(NvxOptions options) : options_(std::move(options))
+EngineConfig
+NvxOptions::toEngineConfig() const
 {
-    auto region = shmem::Region::create(options_.shm_bytes);
+    EngineConfig config;
+    config.shm_bytes = shm_bytes;
+    config.leader_index = leader_index;
+    config.verify_divergence = verify_divergence;
+    config.external_leader = external_leader;
+    config.rewrite_rules = rewrite_rules;
+    config.ring.capacity = ring_capacity;
+    config.ring.wait = wait;
+    config.ring.progress_timeout_ns = progress_timeout_ns;
+    config.ring.tick_ns = tick_ns;
+    config.coalesce.enabled = publish_coalesce;
+    config.coalesce.max_run = coalesce_max;
+    config.coalesce.window_ns = coalesce_window_ns;
+    config.remote.endpoint = remote_endpoint;
+    config.remote.ship_batch = remote_ship_batch;
+    config.remote.credit_window = remote_credit_window;
+    return config;
+}
+
+Nvx::Nvx(EngineConfig config) : config_(std::move(config))
+{
+    auto region = shmem::Region::create(config_.shm_bytes);
     if (!region.ok())
         fatal("cannot create shared region: %s",
               region.error().message().c_str());
     region_ = std::move(region.value());
 }
+
+Nvx::Nvx(const NvxOptions &options) : Nvx(options.toEngineConfig()) {}
 
 Nvx::~Nvx()
 {
@@ -39,6 +63,21 @@ Nvx::controlBlock() const
 }
 
 Status
+Nvx::start(std::vector<VariantSpec> specs)
+{
+    specs_ = std::move(specs);
+    return start();
+}
+
+Status
+Nvx::start(std::vector<VariantSpec> specs,
+           const std::function<void(Nvx &)> &pre_spawn)
+{
+    specs_ = std::move(specs);
+    return start(pre_spawn);
+}
+
+Status
 Nvx::start(std::vector<VariantFn> variants)
 {
     return start(std::move(variants), {});
@@ -48,36 +87,78 @@ Status
 Nvx::start(std::vector<VariantFn> variants,
            const std::function<void(Nvx &)> &pre_spawn)
 {
+    std::vector<VariantSpec> specs;
+    specs.reserve(variants.size());
+    for (VariantFn &fn : variants)
+        specs.emplace_back(std::move(fn));
+    specs_ = std::move(specs);
+    return start(pre_spawn);
+}
+
+Status
+Nvx::start()
+{
+    return start(std::function<void(Nvx &)>{});
+}
+
+Status
+Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
+{
     VARAN_CHECK(!started_);
-    VARAN_CHECK(!variants.empty() && variants.size() <= kMaxVariants);
-    VARAN_CHECK(options_.leader_index < variants.size());
-    variants_ = std::move(variants);
-    num_variants_ = static_cast<std::uint32_t>(variants_.size());
+    VARAN_CHECK(!specs_.empty() && specs_.size() <= kMaxVariants);
+    for (const VariantSpec &spec : specs_)
+        VARAN_CHECK(spec.entry != nullptr);
+    num_variants_ = static_cast<std::uint32_t>(specs_.size());
     results_.assign(num_variants_, VariantResult{});
-    reaped_.assign(num_variants_, false);
+    reaped_ = std::vector<std::atomic<bool>>(num_variants_);
+    restarts_.assign(num_variants_, 0);
     for (std::uint32_t v = 0; v < num_variants_; ++v)
         results_[v].variant = static_cast<int>(v);
 
-    layout_ = EngineLayout::create(&region_, num_variants_,
-                                   options_.external_leader
-                                       ? kNoLeader
-                                       : options_.leader_index,
-                                   options_.ring_capacity);
+    // Initial leader: the configured index, unless its spec is
+    // FollowerOnly — then the lowest LeaderCandidate takes the role.
+    std::uint32_t leader = kNoLeader;
+    if (!config_.external_leader) {
+        VARAN_CHECK(config_.leader_index < num_variants_);
+        leader = config_.leader_index;
+        if (specs_[leader].role == VariantRole::FollowerOnly) {
+            leader = kNoLeader;
+            for (std::uint32_t v = 0; v < num_variants_; ++v) {
+                if (specs_[v].role == VariantRole::LeaderCandidate) {
+                    leader = v;
+                    break;
+                }
+            }
+            if (leader == kNoLeader)
+                return Status(Errno{EINVAL}); // nobody may lead
+            inform("leader index %u is FollowerOnly; variant %u leads",
+                   config_.leader_index, leader);
+        }
+    }
+
+    layout_ = EngineLayout::create(&region_, num_variants_, leader,
+                                   config_.ring.capacity);
+    ControlBlock *cb = controlBlock();
+    for (std::uint32_t v = 0; v < num_variants_; ++v)
+        cb->variants[v].role.store(
+            static_cast<std::uint32_t>(specs_[v].role),
+            std::memory_order_release);
+
     if (pre_spawn)
         pre_spawn(*this);
 
     // Multi-node shipping: taps must attach before any variant runs so
     // the remote stream starts at event one, and the link must be up
     // before the leader can outrun the credit window.
-    if (!options_.remote_endpoint.empty()) {
+    if (!config_.remote.endpoint.empty()) {
         wire::Shipper::Options ship;
-        ship.ship_batch = options_.remote_ship_batch;
-        ship.credit_window = options_.remote_credit_window;
+        ship.ship_batch = config_.remote.ship_batch;
+        ship.credit_window = config_.remote.credit_window;
         shipper_ = std::make_unique<wire::Shipper>(&region_, &layout_, ship);
         Status taps = shipper_->attachTaps();
         if (!taps.isOk())
             return taps;
-        auto sock = netio::connectAbstract(options_.remote_endpoint);
+        auto sock = netio::connectAbstract(config_.remote.endpoint);
         if (!sock.ok())
             return Status(sock.error());
         Status shaken = shipper_->handshake(sock.value());
@@ -120,11 +201,13 @@ Nvx::start(std::vector<VariantFn> variants,
         if (!reply.ok())
             return Status(reply.error());
         if (reply.value().type == CtrlMsg::SpawnReply) {
-            controlBlock()
-                ->variants[reply.value().variant]
-                .pid.store(
-                    static_cast<std::uint32_t>(reply.value().value),
-                    std::memory_order_release);
+            if (reply.value().value > 0) {
+                controlBlock()
+                    ->variants[reply.value().variant]
+                    .pid.store(
+                        static_cast<std::uint32_t>(reply.value().value),
+                        std::memory_order_release);
+            }
             ++acked;
         } else {
             early_zygote_msgs_.push_back(reply.value());
@@ -189,12 +272,37 @@ Nvx::zygoteMain()
                 ::_exit(0);
             continue;
         }
-        if (msg.value().type != CtrlMsg::SpawnRequest)
+        // Once teardown started, late respawn requests must not fork a
+        // child nobody will ever reap into a dying engine.
+        if (!accepting || msg.value().type != CtrlMsg::SpawnRequest)
             continue;
         const auto v =
             static_cast<std::uint32_t>(msg.value().variant);
+        // Restart respawns flag themselves (CtrlMsg::value != 0): the
+        // fresh follower joins the live stream at the tail and must
+        // resynchronise its Lamport clock from the first event it sees.
+        const bool restart_spawn = msg.value().value != 0;
 
         pid_t pid = ::fork();
+        if (pid < 0) {
+            // Spawn failed (EAGAIN under pid/memory pressure). Ack so
+            // start()'s spawn count still completes, then report an
+            // immediate synthetic exit: the coordinator rolls the
+            // variant's armed state back (detaches the pre-attached
+            // ring cursors, clears the live bit) instead of leaving a
+            // phantom consumer gating the leader forever.
+            CtrlMsg reply;
+            reply.type = CtrlMsg::SpawnReply;
+            reply.variant = msg.value().variant;
+            reply.value = -1;
+            sendCtrl(zfd, reply);
+            CtrlMsg note;
+            note.type = CtrlMsg::VariantExited;
+            note.variant = msg.value().variant;
+            note.value = 127 << 8; // WEXITSTATUS(status) == 127
+            sendCtrl(zfd, note);
+            continue;
+        }
         if (pid == 0) {
             // ---- variant process (Figure 2 right-hand side) ----
             // Own process group: teardown kills the variant's whole
@@ -206,19 +314,25 @@ Nvx::zygoteMain()
 
             Monitor::Config config;
             config.variant_id = v;
-            config.wait = options_.wait;
-            config.verify_divergence = options_.verify_divergence;
-            config.rules_text = options_.rewrite_rules;
-            config.progress_timeout_ns = options_.progress_timeout_ns;
-            config.tick_ns = options_.tick_ns;
-            config.coalesce_publish = options_.publish_coalesce;
-            config.coalesce_max = options_.coalesce_max;
-            config.coalesce_window_ns = options_.coalesce_window_ns;
+            config.wait = config_.ring.wait;
+            config.verify_divergence = config_.verify_divergence;
+            // This variant's own rules come first (first verdict other
+            // than KILL wins), then the engine-global set.
+            config.rules_text = specs_[v].rewrite_rules;
+            config.rules_text.insert(config.rules_text.end(),
+                                     config_.rewrite_rules.begin(),
+                                     config_.rewrite_rules.end());
+            config.progress_timeout_ns = config_.ring.progress_timeout_ns;
+            config.tick_ns = config_.ring.tick_ns;
+            config.coalesce_publish = config_.coalesce.enabled;
+            config.coalesce_max = config_.coalesce.max_run;
+            config.coalesce_window_ns = config_.coalesce.window_ns;
+            config.resync_clock = restart_spawn;
             Monitor *monitor =
                 Monitor::initVariant(&region_, layout_, &channels_,
                                      config);
 
-            int status = variants_[v]();
+            int status = specs_[v].entry();
             monitor->finishVariant(status);
             ::_exit(status & 0xff);
         }
@@ -252,18 +366,158 @@ Nvx::markVariantDead(std::uint32_t variant, bool crashed)
             ring.detachConsumer(static_cast<int>(variant));
     }
 
-    // Election: when the leader dies, the lowest live id takes over.
+    // Election: the lowest live *LeaderCandidate* takes over.
+    // FollowerOnly variants (sanitizer builds, experimental revisions)
+    // are never promoted; with no candidate left the stream simply
+    // ends and the remaining followers drain what was published.
     if (cb->leader_id.load(std::memory_order_acquire) == variant) {
         std::uint32_t remaining = live & ~bit;
-        if (remaining != 0) {
+        std::uint32_t candidates = 0;
+        for (std::uint32_t v = 0; v < num_variants_; ++v) {
+            if (!(remaining & (1u << v)))
+                continue;
+            if (cb->variants[v].role.load(std::memory_order_acquire) ==
+                static_cast<std::uint32_t>(VariantRole::LeaderCandidate)) {
+                candidates |= 1u << v;
+            }
+        }
+        if (candidates != 0) {
             std::uint32_t new_leader = 0;
-            while (!(remaining & (1u << new_leader)))
+            while (!(candidates & (1u << new_leader)))
                 ++new_leader;
-            cb->epoch.fetch_add(1, std::memory_order_acq_rel);
+            std::uint32_t epoch =
+                cb->epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
             cb->leader_id.store(new_leader, std::memory_order_release);
             inform("leader %u %s; elected variant %u", variant,
                    crashed ? "crashed" : "exited", new_leader);
+            if (config_.on_failover)
+                config_.on_failover(epoch, new_leader);
+        } else if (remaining != 0) {
+            warn("leader %u %s; no leader candidate among surviving "
+                 "variants",
+                 variant, crashed ? "crashed" : "exited");
         }
+    }
+}
+
+bool
+Nvx::shouldRestart(std::uint32_t variant, bool crashed) const
+{
+    const VariantSpec &spec = specs_[variant];
+    switch (spec.restart) {
+      case RestartPolicy::Never:
+        return false;
+      case RestartPolicy::OnCrash:
+        if (!crashed)
+            return false;
+        break;
+      case RestartPolicy::Always:
+        break;
+    }
+    if (restarts_[variant] >= spec.max_restarts)
+        return false;
+    if (shutdown_requested_.load(std::memory_order_acquire))
+        return false;
+    ControlBlock *cb = controlBlock();
+    // A respawned follower needs a stream to join: a live variant that
+    // is (or can become) the leader, or an external one.
+    if (!config_.external_leader &&
+        cb->live_mask.load(std::memory_order_acquire) == 0) {
+        return false;
+    }
+    // If leadership was never transferred away (no LeaderCandidate
+    // survived the election), a respawn would come back *as leader* —
+    // Monitor derives its role from leader_id — and publish from fresh
+    // program state into followers mid-replay. Refuse instead.
+    if (!config_.external_leader &&
+        cb->leader_id.load(std::memory_order_acquire) == variant) {
+        return false;
+    }
+    return true;
+}
+
+bool
+Nvx::restartVariant(std::uint32_t variant)
+{
+    ControlBlock *cb = controlBlock();
+
+    // Stale fast-path notifications from the dead incarnation must not
+    // tear the fresh one down: drain the variant's control channel.
+    int cfd = channels_.controlCoordinatorEnd(variant);
+    for (;;) {
+        struct pollfd pfd = {cfd, POLLIN, 0};
+        if (::poll(&pfd, 1, 0) <= 0)
+            break;
+        if (!recvCtrl(cfd).ok())
+            break;
+    }
+
+    // Re-attach the follower's cursor at the current stream tail on
+    // every ring (mirroring the pre-attach of EngineLayout::create, so
+    // tuples opened later also find it). Events published before this
+    // point are gone for the new incarnation — its Monitor
+    // resynchronises the variant Lamport clock from the first event it
+    // observes (Config::resync_clock).
+    for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+        ring::RingBuffer ring = layout_.tupleRing(&region_, t);
+        if (!ring.consumerActive(static_cast<int>(variant)))
+            ring.attachConsumerAt(static_cast<int>(variant));
+    }
+
+    VariantSlot &slot = cb->variants[variant];
+    slot.state.store(static_cast<std::uint32_t>(VariantState::Running),
+                     std::memory_order_release);
+    slot.exit_status.store(0, std::memory_order_release);
+    slot.pid.store(0, std::memory_order_release);
+    // A respawned incarnation replays from the stream tail with fresh
+    // program state; electing it leader later (original leader dies)
+    // would have it publish that fresh state into followers mid-replay.
+    // Demote it to FollowerOnly for the rest of the engine's life.
+    slot.role.store(static_cast<std::uint32_t>(VariantRole::FollowerOnly),
+                    std::memory_order_release);
+    cb->live_mask.fetch_or(1u << variant, std::memory_order_acq_rel);
+
+    CtrlMsg request;
+    request.type = CtrlMsg::SpawnRequest;
+    request.variant = static_cast<std::int32_t>(variant);
+    request.value = 1; // restart spawn: resync the Lamport clock
+    Status sent = sendCtrl(channels_.zygoteCoordinatorEnd(), request);
+    if (!sent.isOk()) {
+        // Zygote gone: roll back so nothing gates on a cursor whose
+        // consumer will never exist.
+        cb->live_mask.fetch_and(~(1u << variant),
+                                std::memory_order_acq_rel);
+        slot.state.store(static_cast<std::uint32_t>(VariantState::Exited),
+                         std::memory_order_release);
+        for (std::uint32_t t = 0; t < kMaxTuples; ++t) {
+            ring::RingBuffer ring = layout_.tupleRing(&region_, t);
+            if (ring.consumerActive(static_cast<int>(variant)))
+                ring.detachConsumer(static_cast<int>(variant));
+        }
+        return false;
+    }
+    restarts_[variant] += 1;
+    slot.restarts.fetch_add(1, std::memory_order_acq_rel);
+    inform("variant %u respawned by restart policy (attempt %u/%u)",
+           variant, restarts_[variant], specs_[variant].max_restarts);
+    return true;
+}
+
+void
+Nvx::observeDivergences()
+{
+    if (!config_.on_divergence)
+        return;
+    ControlBlock *cb = controlBlock();
+    std::uint64_t resolved =
+        cb->divergences_resolved.load(std::memory_order_relaxed);
+    std::uint64_t fatal =
+        cb->divergences_fatal.load(std::memory_order_relaxed);
+    if (resolved != seen_divergences_resolved_ ||
+        fatal != seen_divergences_fatal_) {
+        seen_divergences_resolved_ = resolved;
+        seen_divergences_fatal_ = fatal;
+        config_.on_divergence(resolved, fatal);
     }
 }
 
@@ -278,6 +532,17 @@ Nvx::monitorLoop()
 
     std::uint32_t reaped = 0;
     auto handleZygoteMsg = [&](const CtrlMsg &msg) {
+        if (msg.type == CtrlMsg::SpawnReply) {
+            // A restart respawn acknowledged: record the fresh pid. A
+            // failed fork replies value -1 followed by a synthetic
+            // VariantExited that rolls the armed state back.
+            if (msg.value > 0) {
+                controlBlock()->variants[msg.variant].pid.store(
+                    static_cast<std::uint32_t>(msg.value),
+                    std::memory_order_release);
+            }
+            return;
+        }
         if (msg.type != CtrlMsg::VariantExited)
             return;
         const auto v = static_cast<std::uint32_t>(msg.variant);
@@ -288,13 +553,22 @@ Nvx::monitorLoop()
             cb->variants[v].state.load(std::memory_order_acquire) ==
                 static_cast<std::uint32_t>(VariantState::Crashed);
         markVariantDead(v, crashed);
-        if (!reaped_[v]) {
-            reaped_[v] = true;
+        if (reaped_[v].load(std::memory_order_relaxed))
+            return;
+        VariantResult result;
+        result.variant = static_cast<int>(v);
+        result.crashed = crashed;
+        result.status = WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                            : WEXITSTATUS(status);
+        result.restarts = restarts_[v];
+        const bool restarting =
+            shouldRestart(v, crashed) && restartVariant(v);
+        if (config_.on_variant_exit)
+            config_.on_variant_exit(result, restarting);
+        if (!restarting) {
+            reaped_[v].store(true, std::memory_order_release);
             ++reaped;
-            results_[v].crashed = crashed;
-            results_[v].status = WIFSIGNALED(status)
-                                     ? 128 + WTERMSIG(status)
-                                     : WEXITSTATUS(status);
+            results_[v] = result;
         }
     };
     for (const CtrlMsg &msg : early_zygote_msgs_)
@@ -305,6 +579,7 @@ Nvx::monitorLoop()
         for (auto &p : pfds)
             p.revents = 0;
         int n = ::poll(pfds.data(), pfds.size(), 100);
+        observeDivergences();
         if (n < 0 && errno != EINTR)
             break;
         if (n <= 0)
@@ -322,6 +597,13 @@ Nvx::monitorLoop()
         for (std::uint32_t v = 0; v < num_variants_; ++v) {
             if (!(pfds[1 + v].revents & POLLIN))
                 continue;
+            // The readiness may be stale: restartVariant() drains this
+            // very channel when the zygote message (handled above) led
+            // to a respawn, and a blocking recv on the emptied socket
+            // would wedge the whole monitor loop.
+            struct pollfd probe = {pfds[1 + v].fd, POLLIN, 0};
+            if (::poll(&probe, 1, 0) <= 0)
+                continue;
             auto msg = recvCtrl(pfds[1 + v].fd);
             if (!msg.ok())
                 continue;
@@ -337,6 +619,7 @@ Nvx::monitorLoop()
             }
         }
     }
+    observeDivergences();
 }
 
 std::vector<VariantResult>
@@ -360,19 +643,41 @@ Nvx::waitFor(std::uint64_t timeout_ns)
     while (monotonicNs() < deadline) {
         bool all = true;
         for (std::uint32_t v = 0; v < num_variants_; ++v)
-            all = all && reaped_[v];
+            all = all && reaped_[v].load(std::memory_order_acquire);
         if (all)
             return wait();
         sleepNs(5000000);
     }
     warn("engine wait timed out; killing surviving variants");
+    // Snapshot who was still running at the deadline: their results
+    // must read "killed at timeout", never a fabricated clean exit —
+    // whatever exit notifications trickle in during the teardown below.
+    std::vector<bool> timed_out(num_variants_, false);
+    for (std::uint32_t v = 0; v < num_variants_; ++v)
+        timed_out[v] = !reaped_[v].load(std::memory_order_acquire);
     shutdownZygote();
     if (monitor_thread_.joinable())
         monitor_thread_.join();
     finished_ = true;
     if (shipper_)
         shipper_->finish();
+    for (std::uint32_t v = 0; v < num_variants_; ++v) {
+        if (timed_out[v]) {
+            results_[v].crashed = false;
+            results_[v].status = kTimedOutStatus;
+            // The monitor thread never recorded a final result for this
+            // variant; the respawns it consumed still count.
+            results_[v].restarts = restarts_[v];
+        }
+    }
     return results_;
+}
+
+std::vector<VariantResult>
+Nvx::run(std::vector<VariantSpec> specs)
+{
+    specs_ = std::move(specs);
+    return run();
 }
 
 std::vector<VariantResult>
@@ -384,14 +689,35 @@ Nvx::run(std::vector<VariantFn> variants)
     return wait();
 }
 
+std::vector<VariantResult>
+Nvx::run()
+{
+    Status status = start();
+    if (!status.isOk())
+        fatal("engine start failed: %s", status.error().message().c_str());
+    return wait();
+}
+
 void
 Nvx::shutdownZygote()
 {
+    shutdown_requested_.store(true, std::memory_order_release);
     if (zygote_pid_ <= 0)
         return;
     CtrlMsg msg;
     msg.type = CtrlMsg::Shutdown;
     sendCtrl(channels_.zygoteCoordinatorEnd(), msg);
+}
+
+StatusReport
+Nvx::status() const
+{
+    StatusReport report = collectStatus(&region_, layout_);
+    if (shipper_) {
+        wire::Shipper::fillWireStatus(report.shipper, shipper_->stats(),
+                                      shipper_->linkUp());
+    }
+    return report;
 }
 
 int

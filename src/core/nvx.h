@@ -6,8 +6,38 @@
  * Figure 2, forks the zygote, asks it to spawn variants, and then gets
  * out of the fast path entirely — during execution it only watches the
  * control channels to reap exits, unsubscribe crashed followers from
- * the rings and run leader elections for transparent failover
- * (section 5.1).
+ * the rings, run leader elections for transparent failover
+ * (section 5.1) and honour each variant's restart policy.
+ *
+ * The public surface is built from three types:
+ *
+ *  - VariantSpec describes one variant: its entry function, a name,
+ *    its election role (LeaderCandidate or FollowerOnly), per-variant
+ *    BPF rewrite rules (the paper's section 5.2 multi-revision rules
+ *    attach to the revision that diverges, not to the whole engine)
+ *    and an on-exit restart policy;
+ *  - EngineConfig groups the engine knobs into RingConfig /
+ *    CoalesceConfig / RemoteConfig sub-structs and carries the
+ *    lifecycle hooks (on_divergence, on_failover, on_variant_exit);
+ *  - StatusReport (core/status.h) is the single consolidated snapshot
+ *    replacing the grab-bag of counter getters, also served to remote
+ *    peers over the wire Status RPC.
+ *
+ * Nvx::Builder composes all of it fluently:
+ *
+ *   auto nvx = core::Nvx::Builder()
+ *                  .ringCapacity(256)
+ *                  .onFailover([](auto epoch, auto leader) { ... })
+ *                  .variant(core::VariantSpec(rev2435).named("2435"))
+ *                  .variant(core::VariantSpec(rev2436)
+ *                               .named("2436")
+ *                               .rule(kListing1Rule))
+ *                  .build();
+ *   auto results = nvx->run();
+ *
+ * The flat NvxOptions struct and the std::vector<VariantFn> overloads
+ * remain as a deprecated source-compatibility shim for one release;
+ * new code should use EngineConfig + VariantSpec.
  */
 
 #ifndef VARAN_CORE_NVX_H
@@ -15,12 +45,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/channels.h"
 #include "core/layout.h"
 #include "core/monitor.h"
+#include "core/status.h"
 #include "shmem/pool.h"
 #include "shmem/region.h"
 
@@ -33,75 +65,217 @@ namespace varan::core {
 /** A variant's application entry point ("main"). */
 using VariantFn = std::function<int()>;
 
-/** Engine configuration. */
-struct NvxOptions {
-    std::uint32_t ring_capacity = 256; ///< events per tuple ring (paper)
-    std::size_t shm_bytes = 64 << 20;  ///< total shared region size
-    std::uint32_t leader_index = 0;    ///< initial leader (section 2.2)
-    ring::WaitSpec wait;               ///< follower wait policy
-    bool verify_divergence = true;     ///< hash write buffers
-    std::vector<std::string> rewrite_rules; ///< BPF rules (section 3.4)
-    std::uint64_t progress_timeout_ns = 30000000000ULL;
+/**
+ * What the coordinator does when a variant leaves the engine
+ * (VariantSpec::restart). A respawned variant re-runs its entry
+ * function as a follower re-attached at the current stream tail with
+ * its Lamport clock resynchronised from the first event it observes —
+ * sound for single-tuple workloads whose replay converges (sanitizer
+ * followers, stateless services); a restarted variant that diverges
+ * from the live stream is killed like any other divergence. A
+ * respawned incarnation is demoted to FollowerOnly for the rest of the
+ * run (its fresh program state must never lead mid-stream), and a
+ * variant that still holds leadership when it dies — no candidate
+ * survived to take over — is not respawned at all.
+ */
+enum class RestartPolicy : std::uint32_t {
+    Never = 0,   ///< the exit/crash is final (classic behaviour)
+    OnCrash = 1, ///< respawn after a crash; a clean exit is final
+    Always = 2,  ///< respawn after any exit while the engine still runs
+};
 
+/**
+ * One variant of the N-version set. Construct from the entry function
+ * and refine with the fluent setters:
+ *
+ *   VariantSpec(entry).named("asan").as(VariantRole::FollowerOnly)
+ *                     .rule(bpf_text).restartOn(RestartPolicy::OnCrash)
+ */
+struct VariantSpec {
+    VariantFn entry;
+    std::string name;                       ///< for logs and status
+    VariantRole role = VariantRole::LeaderCandidate;
+    std::vector<std::string> rewrite_rules; ///< this variant's BPF rules
+    RestartPolicy restart = RestartPolicy::Never;
+    std::uint32_t max_restarts = 1;         ///< respawn budget
+
+    VariantSpec() = default;
+    /** Explicit so brace-lists of plain functions still pick the
+     *  (deprecated) VariantFn overloads unambiguously. */
+    explicit VariantSpec(VariantFn fn) : entry(std::move(fn)) {}
+
+    VariantSpec &
+    named(std::string n)
+    {
+        name = std::move(n);
+        return *this;
+    }
+
+    VariantSpec &
+    as(VariantRole r)
+    {
+        role = r;
+        return *this;
+    }
+
+    /** Append one BPF rewrite rule evaluated only in this variant. */
+    VariantSpec &
+    rule(std::string text)
+    {
+        rewrite_rules.push_back(std::move(text));
+        return *this;
+    }
+
+    VariantSpec &
+    restartOn(RestartPolicy policy, std::uint32_t budget = 1)
+    {
+        restart = policy;
+        max_restarts = budget;
+        return *this;
+    }
+};
+
+/** Event-stream geometry and follower pacing. */
+struct RingConfig {
+    std::uint32_t capacity = 256;      ///< events per tuple ring (paper)
+    ring::WaitSpec wait;               ///< follower wait policy
+    std::uint64_t progress_timeout_ns = 30000000000ULL; ///< 30 s
     /** Follower poll tick: bounds how quickly an elected follower
      *  notices its promotion (transparent-failover latency). */
     std::uint64_t tick_ns = 5000000; // 5 ms
+};
 
-    /**
-     * Run every variant as a follower; events come from an artificial
-     * leader outside the variant set (record-replay, section 5.4).
-     */
-    bool external_leader = false;
+/**
+ * Leader-side publish coalescing: payload-free syscall events
+ * accumulate into a pending run shipped with one head store + one
+ * futex wake (DMON-style relaxed batching). Runs flush before any
+ * blocking call, payload/descriptor event, tuple opening, sleeping
+ * follower, or once the run goes stale, so followers never starve.
+ *
+ * Off by default because it relaxes failover exactness: events
+ * executed but still pending when the leader crashes are lost, so the
+ * promoted follower re-executes up to max_run calls whose external
+ * effects (writes) already happened — the crash window widens from one
+ * event to one run. Enable it for throughput when at-least-once
+ * effects across a leader crash are acceptable.
+ */
+struct CoalesceConfig {
+    bool enabled = false;
+    std::uint32_t max_run = 16;        ///< events per run cap
+    std::uint64_t window_ns = 200000;  ///< staleness cap (200 µs)
+};
 
-    /**
-     * Leader-side publish coalescing: payload-free syscall events
-     * accumulate into a pending run shipped with one head store + one
-     * futex wake (DMON-style relaxed batching). Runs flush before any
-     * blocking call, payload/descriptor event, tuple opening, sleeping
-     * follower, or once the run goes stale, so followers never starve.
-     *
-     * Off by default because it relaxes failover exactness: events
-     * executed but still pending when the leader crashes are lost, so
-     * the promoted follower re-executes up to coalesce_max calls whose
-     * external effects (writes) already happened — the crash window
-     * widens from one event to one run. Enable it for throughput when
-     * at-least-once effects across a leader crash are acceptable.
-     */
-    bool publish_coalesce = false;
-    std::uint32_t coalesce_max = 16;           ///< events per run cap
-    std::uint64_t coalesce_window_ns = 200000; ///< staleness cap (200 µs)
-
-    /**
-     * Multi-node event shipping: when non-empty, the coordinator
-     * connects to this abstract-socket endpoint and streams the
-     * leader's rings to a remote wire::Receiver (DMON-style relaxed
-     * batching across the wire). The remote node runs an
-     * external-leader engine whose followers consume the stream
-     * through the unmodified dispatch loop. Taps attach before any
-     * variant runs, so the remote stream is complete from event one.
-     */
-    std::string remote_endpoint;
-    std::uint32_t remote_ship_batch = 16;  ///< events per wire frame
-    std::uint32_t remote_credit_window = 4096; ///< max unacked events
+/**
+ * Multi-node event shipping: when endpoint is non-empty, the
+ * coordinator connects to this abstract-socket endpoint and streams
+ * the leader's rings to a remote wire::Receiver. The remote node runs
+ * an external-leader engine whose followers consume the stream through
+ * the unmodified dispatch loop. Taps attach before any variant runs,
+ * so the remote stream is complete from event one.
+ */
+struct RemoteConfig {
+    std::string endpoint;
+    std::uint32_t ship_batch = 16;     ///< events per wire frame
+    std::uint32_t credit_window = 4096; ///< max unacked events
 };
 
 /** Final state of one variant. */
 struct VariantResult {
     int variant = -1;
     bool crashed = false;
-    int status = 0; ///< exit status, or 128+signal when crashed
+    /** Exit status; 128+signal when crashed; kTimedOutStatus when the
+     *  variant was still running at a waitFor() deadline and the
+     *  engine shut it down. */
+    int status = 0;
+    std::uint32_t restarts = 0; ///< respawns this variant consumed
+};
+
+/** VariantResult::status of a variant killed at a waitFor deadline —
+ *  distinguishable from a genuine exit(0). */
+inline constexpr int kTimedOutStatus = -1;
+
+/**
+ * Engine configuration. Lifecycle hooks run on the coordinator's
+ * monitor thread while the engine is live — keep them brief and do not
+ * call back into Nvx teardown from inside one.
+ */
+struct EngineConfig {
+    std::size_t shm_bytes = 64 << 20;  ///< total shared region size
+    std::uint32_t leader_index = 0;    ///< initial leader (section 2.2)
+    bool verify_divergence = true;     ///< hash write buffers
+
+    /**
+     * Run every variant as a follower; events come from an artificial
+     * leader outside the variant set (record-replay, section 5.4, and
+     * the remote end of multi-node shipping).
+     */
+    bool external_leader = false;
+
+    /** Engine-global BPF rules, evaluated in every variant after that
+     *  variant's own VariantSpec::rewrite_rules. */
+    std::vector<std::string> rewrite_rules;
+
+    RingConfig ring;
+    CoalesceConfig coalesce;
+    RemoteConfig remote;
+
+    /** Observed divergence counters changed: (resolved, fatal) totals.
+     *  Divergences resolve inside variant processes; the coordinator
+     *  reports them at monitor-tick granularity. */
+    std::function<void(std::uint64_t resolved, std::uint64_t fatal)>
+        on_divergence;
+
+    /** A leader election completed: the new epoch and leader id. */
+    std::function<void(std::uint32_t epoch, std::uint32_t new_leader)>
+        on_failover;
+
+    /** A variant left the engine (final result so far); @p restarting
+     *  reports whether the restart policy is respawning it. */
+    std::function<void(const VariantResult &result, bool restarting)>
+        on_variant_exit;
+};
+
+/**
+ * Deprecated flat engine options — source-compatibility shim for one
+ * release. Converts 1:1 into EngineConfig (see toEngineConfig());
+ * per-variant rules, roles, restart policies and lifecycle hooks exist
+ * only on the new surface.
+ */
+struct NvxOptions {
+    std::uint32_t ring_capacity = 256;
+    std::size_t shm_bytes = 64 << 20;
+    std::uint32_t leader_index = 0;
+    ring::WaitSpec wait;
+    bool verify_divergence = true;
+    std::vector<std::string> rewrite_rules;
+    std::uint64_t progress_timeout_ns = 30000000000ULL;
+    std::uint64_t tick_ns = 5000000;
+    bool external_leader = false;
+    bool publish_coalesce = false;
+    std::uint32_t coalesce_max = 16;
+    std::uint64_t coalesce_window_ns = 200000;
+    std::string remote_endpoint;
+    std::uint32_t remote_ship_batch = 16;
+    std::uint32_t remote_credit_window = 4096;
+
+    /** The grouped equivalent of this flat struct. */
+    EngineConfig toEngineConfig() const;
 };
 
 class Nvx
 {
   public:
-    explicit Nvx(NvxOptions options = NvxOptions{});
+    class Builder;
+
+    explicit Nvx(EngineConfig config = EngineConfig{});
+    /** Deprecated: construct from the flat options shim. */
+    explicit Nvx(const NvxOptions &options);
     ~Nvx();
 
     VARAN_NO_COPY_NO_MOVE(Nvx);
 
     /** Spawn all variants (index 0..n-1). Returns once all run. */
-    Status start(std::vector<VariantFn> variants);
+    Status start(std::vector<VariantSpec> specs);
 
     /**
      * Like start(), invoking @p pre_spawn after the shared layout is
@@ -109,6 +283,16 @@ class Nvx
      * record-replay taps attach their ring cursors so they can never
      * miss an event.
      */
+    Status start(std::vector<VariantSpec> specs,
+                 const std::function<void(Nvx &)> &pre_spawn);
+
+    /** Run the Builder-supplied variant set. */
+    Status start();
+    Status start(const std::function<void(Nvx &)> &pre_spawn);
+
+    /** Convenience: anonymous entry points — each function becomes a
+     *  default VariantSpec (LeaderCandidate, no rules, no restart). */
+    Status start(std::vector<VariantFn> variants);
     Status start(std::vector<VariantFn> variants,
                  const std::function<void(Nvx &)> &pre_spawn);
 
@@ -116,15 +300,30 @@ class Nvx
     std::vector<VariantResult> wait();
 
     /**
-     * wait() with a deadline; on expiry the engine is shut down (all
-     * surviving variants killed) and partial results are returned.
+     * wait() with a deadline; on expiry the engine is shut down and
+     * partial results are returned. Variants still running at the
+     * deadline report status == kTimedOutStatus ("killed at timeout"),
+     * never a fabricated clean exit.
      */
     std::vector<VariantResult> waitFor(std::uint64_t timeout_ns);
 
     /** start() + wait(). */
+    std::vector<VariantResult> run(std::vector<VariantSpec> specs);
+    std::vector<VariantResult> run(); ///< Builder-supplied variants
+    /** Convenience: anonymous entry points, default specs. */
     std::vector<VariantResult> run(std::vector<VariantFn> variants);
 
-    // --- live statistics (readable while variants run) ---
+    // --- coordinator status -------------------------------------------
+
+    /**
+     * The unified snapshot: geometry, election state, stream counters,
+     * per-variant state/ring-lag/restarts, pool pressure and wire
+     * shipper statistics. Readable while variants run; the same bytes
+     * a remote peer obtains through the wire Status RPC.
+     */
+    StatusReport status() const;
+
+    // Narrow accessors kept for convenience (all subsumed by status()).
     int currentLeader() const;
     std::uint32_t epoch() const;
     std::uint64_t eventsStreamed() const;
@@ -135,9 +334,7 @@ class Nvx
     std::uint64_t eventsCoalesced() const; ///< events shipped batched
     std::uint64_t poolSpills() const;      ///< global-arena fallbacks
 
-    /** Per-shard payload-pool pressure: carve cursor, live/free chunk
-     *  counts per arena plus the fallback — the first slice of the
-     *  coordinator status API, also reported in the wire handshake. */
+    /** Per-shard payload-pool pressure snapshot. */
     shmem::PoolStats poolStats() const;
 
     /** The wire shipper when remote shipping is on, else nullptr. */
@@ -158,22 +355,185 @@ class Nvx
     void markVariantDead(std::uint32_t variant, bool crashed);
     void shutdownZygote();
 
-    NvxOptions options_;
+    /** Restart-policy verdict for a just-exited variant. */
+    bool shouldRestart(std::uint32_t variant, bool crashed) const;
+
+    /** Re-arm shared state (ring cursors at the stream tail, slot
+     *  state, live bit) and ask the zygote to respawn @p variant.
+     *  @return false when the respawn could not be requested. */
+    bool restartVariant(std::uint32_t variant);
+
+    /** Poll divergence counters and fire on_divergence on change. */
+    void observeDivergences();
+
+    EngineConfig config_;
+    std::vector<VariantSpec> specs_;
     shmem::Region region_;
     EngineLayout layout_;
     ChannelSet channels_;
-    std::vector<VariantFn> variants_;
     std::uint32_t num_variants_ = 0;
     pid_t zygote_pid_ = -1;
     std::thread monitor_thread_;
     bool started_ = false;
     bool finished_ = false;
+    std::atomic<bool> shutdown_requested_{false};
     std::vector<VariantResult> results_;
-    std::vector<bool> reaped_;
+    /** Per-variant "final result recorded" flags; written by the
+     *  monitor thread, polled by waitFor() — hence atomic. */
+    std::vector<std::atomic<bool>> reaped_;
+    /** Respawns performed per variant (coordinator-side ledger). */
+    std::vector<std::uint32_t> restarts_;
+    /** Divergence totals last reported through on_divergence. */
+    std::uint64_t seen_divergences_resolved_ = 0;
+    std::uint64_t seen_divergences_fatal_ = 0;
     /** Zygote messages that raced ahead of the spawn acknowledgements. */
     std::vector<CtrlMsg> early_zygote_msgs_;
-    /** Multi-node event shipping (NvxOptions::remote_endpoint). */
+    /** Multi-node event shipping (EngineConfig::remote). */
     std::unique_ptr<wire::Shipper> shipper_;
+};
+
+/**
+ * Fluent construction of a configured engine plus its variant set:
+ *
+ *   auto nvx = Nvx::Builder()
+ *                  .shmBytes(32 << 20)
+ *                  .ringCapacity(128)
+ *                  .variant(leader_fn)
+ *                  .variant(VariantSpec(sanitized_fn)
+ *                               .named("asan")
+ *                               .as(VariantRole::FollowerOnly))
+ *                  .build();
+ *   auto results = nvx->run();
+ */
+class Nvx::Builder
+{
+  public:
+    Builder() = default;
+
+    Builder &
+    shmBytes(std::size_t bytes)
+    {
+        config_.shm_bytes = bytes;
+        return *this;
+    }
+
+    Builder &
+    leaderIndex(std::uint32_t index)
+    {
+        config_.leader_index = index;
+        return *this;
+    }
+
+    Builder &
+    verifyDivergence(bool on)
+    {
+        config_.verify_divergence = on;
+        return *this;
+    }
+
+    Builder &
+    externalLeader(bool on)
+    {
+        config_.external_leader = on;
+        return *this;
+    }
+
+    /** Append one engine-global BPF rewrite rule. */
+    Builder &
+    rule(std::string text)
+    {
+        config_.rewrite_rules.push_back(std::move(text));
+        return *this;
+    }
+
+    Builder &
+    ring(RingConfig ring_config)
+    {
+        config_.ring = std::move(ring_config);
+        return *this;
+    }
+
+    Builder &
+    ringCapacity(std::uint32_t capacity)
+    {
+        config_.ring.capacity = capacity;
+        return *this;
+    }
+
+    Builder &
+    progressTimeoutNs(std::uint64_t ns)
+    {
+        config_.ring.progress_timeout_ns = ns;
+        return *this;
+    }
+
+    Builder &
+    coalesce(CoalesceConfig coalesce_config)
+    {
+        config_.coalesce = std::move(coalesce_config);
+        return *this;
+    }
+
+    Builder &
+    remote(RemoteConfig remote_config)
+    {
+        config_.remote = std::move(remote_config);
+        return *this;
+    }
+
+    Builder &
+    onDivergence(
+        std::function<void(std::uint64_t, std::uint64_t)> hook)
+    {
+        config_.on_divergence = std::move(hook);
+        return *this;
+    }
+
+    Builder &
+    onFailover(std::function<void(std::uint32_t, std::uint32_t)> hook)
+    {
+        config_.on_failover = std::move(hook);
+        return *this;
+    }
+
+    Builder &
+    onVariantExit(
+        std::function<void(const VariantResult &, bool)> hook)
+    {
+        config_.on_variant_exit = std::move(hook);
+        return *this;
+    }
+
+    Builder &
+    variant(VariantSpec spec)
+    {
+        specs_.push_back(std::move(spec));
+        return *this;
+    }
+
+    Builder &
+    variant(VariantFn fn)
+    {
+        specs_.emplace_back(std::move(fn));
+        return *this;
+    }
+
+    /** Escape hatch for knobs without a dedicated setter. */
+    EngineConfig &config() { return config_; }
+
+    /** Create the engine; run()/start() with no arguments use the
+     *  variants accumulated here. */
+    std::unique_ptr<Nvx>
+    build()
+    {
+        auto nvx = std::make_unique<Nvx>(std::move(config_));
+        nvx->specs_ = std::move(specs_);
+        return nvx;
+    }
+
+  private:
+    EngineConfig config_;
+    std::vector<VariantSpec> specs_;
 };
 
 /**

@@ -1,0 +1,61 @@
+#include "core/status.h"
+
+namespace varan::core {
+
+StatusReport
+collectStatus(const shmem::Region *region, const EngineLayout &layout)
+{
+    StatusReport report = {};
+    ControlBlock *cb = layout.controlBlock(region);
+
+    report.num_variants = cb->num_variants;
+    report.ring_capacity = cb->ring_capacity;
+    report.leader = cb->leader_id.load(std::memory_order_acquire);
+    report.epoch = cb->epoch.load(std::memory_order_acquire);
+    report.live_mask = cb->live_mask.load(std::memory_order_acquire);
+    report.num_tuples = cb->num_tuples.load(std::memory_order_acquire);
+
+    report.events_streamed =
+        cb->events_streamed.load(std::memory_order_relaxed);
+    report.divergences_resolved =
+        cb->divergences_resolved.load(std::memory_order_relaxed);
+    report.divergences_fatal =
+        cb->divergences_fatal.load(std::memory_order_relaxed);
+    report.fd_transfers = cb->fd_transfers.load(std::memory_order_relaxed);
+    report.publish_batches =
+        cb->publish_batches.load(std::memory_order_relaxed);
+    report.events_coalesced =
+        cb->events_coalesced.load(std::memory_order_relaxed);
+
+    const std::uint32_t tuples =
+        report.num_tuples < kMaxTuples ? report.num_tuples : kMaxTuples;
+    for (std::uint32_t v = 0; v < kMaxVariants; ++v) {
+        const VariantSlot &slot = cb->variants[v];
+        VariantStatus &out = report.variants[v];
+        out.state = slot.state.load(std::memory_order_acquire);
+        out.role = slot.role.load(std::memory_order_acquire);
+        out.exit_status = slot.exit_status.load(std::memory_order_acquire);
+        out.pid = slot.pid.load(std::memory_order_acquire);
+        out.restarts = slot.restarts.load(std::memory_order_acquire);
+        out.syscalls = slot.syscalls.load(std::memory_order_relaxed);
+        // Leader-to-follower distance (the "log size" of section 5.3),
+        // maximised over the variant's attached tuple rings.
+        std::uint64_t max_lag = 0;
+        if (v < report.num_variants) {
+            for (std::uint32_t t = 0; t < tuples; ++t) {
+                ring::RingBuffer ring = layout.tupleRing(region, t);
+                if (!ring.consumerActive(static_cast<int>(v)))
+                    continue;
+                std::uint64_t lag = ring.lag(static_cast<int>(v));
+                if (lag > max_lag)
+                    max_lag = lag;
+            }
+        }
+        out.ring_lag = max_lag;
+    }
+
+    report.pool = layout.pool(region).stats();
+    return report;
+}
+
+} // namespace varan::core

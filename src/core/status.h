@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The coordinator status API: one consolidated, point-in-time snapshot
+ * of everything a running engine can report about itself.
+ *
+ * StatusReport subsumes what used to be nine ad-hoc counter getters on
+ * Nvx plus poolStats(): engine geometry, election state, the stream
+ * counters, per-variant state (role, pid, syscalls, ring lag, restart
+ * count), the sharded-pool pressure snapshot and — when multi-node
+ * shipping is active — the wire shipper/receiver statistics.
+ *
+ * The struct is deliberately plain-old-data (fixed size, no pointers,
+ * native-endian like the event layout itself) so the identical bytes
+ * serve three consumers:
+ *
+ *  - Nvx::status() hands it to local callers;
+ *  - the wire Status frame carries it to a remote peer (the status
+ *    RPC: a receiver sends an empty Status frame as a request, the
+ *    shipper answers with a Status frame whose body is this struct);
+ *  - tests assert bit-exact round trips through that frame.
+ */
+
+#ifndef VARAN_CORE_STATUS_H
+#define VARAN_CORE_STATUS_H
+
+#include <cstdint>
+#include <type_traits>
+
+#include "core/layout.h"
+#include "shmem/pool.h"
+
+namespace varan::core {
+
+/** One variant's slice of the coordinator status. */
+struct VariantStatus {
+    std::uint32_t state;       ///< VariantState
+    std::uint32_t role;        ///< VariantRole (LeaderCandidate/FollowerOnly)
+    std::int32_t exit_status;  ///< valid once state is Crashed/Exited
+    std::uint32_t pid;
+    std::uint32_t restarts;    ///< respawns performed by the restart policy
+    std::uint32_t reserved;
+    std::uint64_t syscalls;    ///< calls dispatched by this variant
+    std::uint64_t ring_lag;    ///< leader-to-follower distance, max over tuples
+};
+
+/** Leader-node wire shipping statistics (zeros when shipping is off). */
+struct ShipperWireStatus {
+    std::uint32_t active;   ///< a shipper exists on this engine
+    std::uint32_t link_up;
+    std::uint64_t frames;
+    std::uint64_t events;
+    std::uint64_t bytes;
+    std::uint64_t payload_bytes;
+    std::uint64_t credits_received;
+    std::uint64_t retransmitted_frames;
+    std::uint64_t reconnects;
+};
+
+/** Remote-node wire receiving statistics (zeros when not receiving). */
+struct ReceiverWireStatus {
+    std::uint32_t active;   ///< a receiver feeds this engine
+    std::uint32_t link_up;
+    std::uint64_t frames;
+    std::uint64_t events;
+    std::uint64_t payload_bytes;
+    std::uint64_t duplicates_dropped;
+    std::uint64_t corrupt_frames;
+    std::uint64_t credits_sent;
+    std::uint64_t reconnects;
+};
+
+/** The unified coordinator status snapshot. */
+struct StatusReport {
+    // Geometry + election state.
+    std::uint32_t num_variants;
+    std::uint32_t ring_capacity;
+    std::uint32_t leader;      ///< current leader id, or kNoLeader
+    std::uint32_t epoch;       ///< election count
+    std::uint32_t live_mask;   ///< bit per running variant
+    std::uint32_t num_tuples;  ///< live thread/process tuples
+
+    // Stream counters (the former one-off getters).
+    std::uint64_t events_streamed;
+    std::uint64_t divergences_resolved;
+    std::uint64_t divergences_fatal;
+    std::uint64_t fd_transfers;
+    std::uint64_t publish_batches;   ///< coalesced flushes
+    std::uint64_t events_coalesced;  ///< events shipped batched
+
+    VariantStatus variants[kMaxVariants];
+    shmem::PoolStats pool;           ///< per-arena pressure + spills
+    ShipperWireStatus shipper;
+    ReceiverWireStatus receiver;
+};
+
+static_assert(std::is_trivially_copyable_v<StatusReport>,
+              "StatusReport travels in wire Status frames by memcpy");
+
+/**
+ * Assemble the shared-memory-derived part of a StatusReport: geometry,
+ * election state, stream counters, per-variant status and the pool
+ * snapshot. The wire sections are left zeroed — the owner of the
+ * shipper/receiver fills its own side in.
+ *
+ * Safe to call from any process mapping the region (the coordinator,
+ * or the wire shipper answering a remote status request).
+ */
+StatusReport collectStatus(const shmem::Region *region,
+                           const EngineLayout &layout);
+
+} // namespace varan::core
+
+#endif // VARAN_CORE_STATUS_H

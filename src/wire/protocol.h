@@ -28,8 +28,13 @@
  *             batched flow control. The shipper keeps at most
  *             `credit_window` unacknowledged events per tuple and
  *             drops its retransmit buffer up to each credited cursor.
- *   Status    shipper -> receiver: refreshed pool statistics snapshot
- *             (same body as Hello), sent on demand.
+ *   Status    the coordinator status RPC. An empty-body Status frame
+ *             (receiver -> shipper) is a *request*; the shipper
+ *             answers with a Status frame whose body is one
+ *             core::StatusReport — the same consolidated snapshot
+ *             Nvx::status() serves locally (geometry, election state,
+ *             stream counters, per-variant state, pool pressure and
+ *             the shipper's own wire statistics).
  *   Bye       either side: orderly end of stream.
  *
  * Integers are native-endian (x86-64 on both ends, matching the event
@@ -43,15 +48,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "core/layout.h"
+#include "core/status.h"
 #include "ring/event.h"
 #include "shmem/pool.h"
 
 namespace varan::wire {
 
 inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
-inline constexpr std::uint16_t kWireVersion = 1;
+/** v2: the Status frame became the status RPC (empty body = request,
+ *  core::StatusReport body = reply); in v1 it carried a HelloBody and
+ *  nothing ever sent it. */
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /** Upper bound on a frame body; anything larger is corruption. */
 inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
@@ -152,6 +162,49 @@ headerValid(const FrameHeader &h)
     if (h.tuple >= core::kMaxTuples &&
         static_cast<FrameType>(h.type) == FrameType::Events)
         return false;
+    return true;
+}
+
+/** Wire size of a Status reply: header + serialized StatusReport. */
+inline constexpr std::size_t kStatusFrameBytes =
+    sizeof(FrameHeader) + sizeof(core::StatusReport);
+
+/** A status *request* is an empty-body Status frame. */
+inline FrameHeader
+makeStatusRequest()
+{
+    return makeHeader(FrameType::Status, 0);
+}
+
+/** Serialize @p report into a wire-ready Status reply frame. */
+inline void
+encodeStatusFrame(const core::StatusReport &report,
+                  std::uint8_t out[kStatusFrameBytes])
+{
+    FrameHeader header =
+        makeHeader(FrameType::Status, sizeof(core::StatusReport));
+    header.body_crc = bodyChecksum(&report, sizeof(report));
+    std::memcpy(out, &header, sizeof(header));
+    std::memcpy(out + sizeof(header), &report, sizeof(report));
+}
+
+/**
+ * Decode a Status reply body received with @p header.
+ * @return false on type, length or checksum mismatch.
+ */
+inline bool
+decodeStatusFrame(const FrameHeader &header, const void *body,
+                  std::size_t body_len, core::StatusReport *out)
+{
+    if (static_cast<FrameType>(header.type) != FrameType::Status)
+        return false;
+    if (body_len != sizeof(core::StatusReport) ||
+        header.body_len != body_len) {
+        return false;
+    }
+    if (header.body_crc != bodyChecksum(body, body_len))
+        return false;
+    std::memcpy(out, body, sizeof(core::StatusReport));
     return true;
 }
 

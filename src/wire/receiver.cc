@@ -88,6 +88,9 @@ Receiver::adopt(int socket_fd)
     }
     hello_ = hello;
     seen_hello_ = true;
+    // A cached status reply belongs to the previous peer (failover may
+    // have handed us a different node): force a fresh request.
+    seen_status_ = false;
 
     HelloAckBody ack = {};
     ack.max_tuples = core::kMaxTuples;
@@ -338,8 +341,15 @@ Receiver::readFrame()
         }
         return true;
       case FrameType::Status:
-        if (body.size() == sizeof(HelloBody))
-            std::memcpy(&hello_, body.data(), sizeof(HelloBody));
+        // The status RPC reply: a serialized core::StatusReport.
+        if (!decodeStatusFrame(header, body.data(), body.size(),
+                               &remote_status_)) {
+            ++stats_.corrupt_frames;
+            dropLink();
+            return false;
+        }
+        seen_status_ = true;
+        ++stats_.status_reports;
         return true;
       case FrameType::Bye:
         // Orderly end: flush remaining credits so the shipper retires
@@ -421,6 +431,49 @@ Receiver::finish()
         dropLink();
     }
     return Status::ok();
+}
+
+Status
+Receiver::requestStatus()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!link_up_.load(std::memory_order_acquire))
+        return Status(Errno{EPIPE});
+    FrameHeader request = makeStatusRequest();
+    if (!writeFull(socket_fd_, &request, sizeof(request))) {
+        dropLink();
+        return Status(Errno{EPIPE});
+    }
+    ++stats_.status_requests;
+    return Status::ok();
+}
+
+bool
+Receiver::remoteStatus(core::StatusReport *out) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!seen_status_)
+        return false;
+    *out = remote_status_;
+    return true;
+}
+
+core::StatusReport
+Receiver::localStatus() const
+{
+    core::StatusReport report = core::collectStatus(region_, *layout_);
+    std::lock_guard<std::mutex> guard(mutex_);
+    report.receiver.active = 1;
+    report.receiver.link_up =
+        link_up_.load(std::memory_order_acquire) ? 1 : 0;
+    report.receiver.frames = stats_.frames;
+    report.receiver.events = stats_.events;
+    report.receiver.payload_bytes = stats_.payload_bytes;
+    report.receiver.duplicates_dropped = stats_.duplicates_dropped;
+    report.receiver.corrupt_frames = stats_.corrupt_frames;
+    report.receiver.credits_sent = stats_.credits_sent;
+    report.receiver.reconnects = stats_.reconnects;
+    return report;
 }
 
 std::uint64_t

@@ -60,6 +60,8 @@ class Receiver
         std::uint64_t corrupt_frames = 0;
         std::uint64_t credits_sent = 0;
         std::uint64_t reconnects = 0;
+        std::uint64_t status_requests = 0; ///< status RPCs sent
+        std::uint64_t status_reports = 0;  ///< status replies decoded
     };
 
     Receiver(const shmem::Region *region, const core::EngineLayout *layout,
@@ -94,6 +96,26 @@ class Receiver
      *  pressure) — the first brick of the coordinator status API. */
     const HelloBody &remoteHello() const { return hello_; }
 
+    /**
+     * The coordinator status RPC: send an empty-body Status frame to
+     * the shipper. The reply — a full core::StatusReport of the
+     * leader-node engine — arrives through the normal frame stream and
+     * is retrievable with remoteStatus() once decoded.
+     */
+    Status requestStatus();
+
+    /** Copy out the newest decoded remote StatusReport.
+     *  @return false while no report has arrived yet. */
+    bool remoteStatus(core::StatusReport *out) const;
+
+    /**
+     * The *receiving node's* consolidated status: collectStatus() over
+     * the local (external-leader) engine layout with this receiver's
+     * wire section filled in — the counterpart of Nvx::status() on the
+     * shipping node.
+     */
+    core::StatusReport localStatus() const;
+
     /** Next ring sequence expected for @p tuple (resume cursor). */
     std::uint64_t nextSeq(std::uint32_t tuple) const;
 
@@ -126,6 +148,8 @@ class Receiver
     std::thread thread_;
     HelloBody hello_ = {};
     bool seen_hello_ = false;
+    core::StatusReport remote_status_ = {};
+    bool seen_status_ = false;
 
     std::uint64_t next_seq_[core::kMaxTuples] = {};
     std::uint64_t credited_[core::kMaxTuples] = {};

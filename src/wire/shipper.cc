@@ -239,6 +239,16 @@ Shipper::handleCredits()
         }
         break;
       }
+      case FrameType::Status:
+        // The status RPC: an empty-body Status frame is a request for
+        // the coordinator snapshot; anything else from the receiver on
+        // this frame type is a protocol violation.
+        if (header.body_len != 0) {
+            dropLink();
+            return;
+        }
+        serveStatusRequest();
+        break;
       case FrameType::Bye:
         dropLink();
         break;
@@ -247,6 +257,41 @@ Shipper::handleCredits()
         dropLink();
         break;
     }
+}
+
+void
+Shipper::fillWireStatus(core::ShipperWireStatus &out, const Stats &stats,
+                        bool link_up)
+{
+    out.active = 1;
+    out.link_up = link_up ? 1 : 0;
+    out.frames = stats.frames;
+    out.events = stats.events;
+    out.bytes = stats.bytes;
+    out.payload_bytes = stats.payload_bytes;
+    out.credits_received = stats.credits_received;
+    out.retransmitted_frames = stats.retransmitted_frames;
+    out.reconnects = stats.reconnects;
+}
+
+void
+Shipper::serveStatusRequest()
+{
+    // Runs under mutex_ (handleCredits is invoked from loop_.runOnce
+    // inside pumpOnce), so stats_ and the socket are stable.
+    core::StatusReport report = core::collectStatus(region_, *layout_);
+    fillWireStatus(report.shipper, stats_, /*link_up=*/true);
+
+    std::uint8_t frame[kStatusFrameBytes];
+    encodeStatusFrame(report, frame);
+    struct iovec iov = {frame, sizeof(frame)};
+    if (!writevAll(socket_fd_, &iov, 1)) {
+        dropLink();
+        return;
+    }
+    ++stats_.frames;
+    stats_.bytes += sizeof(frame);
+    ++stats_.status_requests_served;
 }
 
 std::size_t

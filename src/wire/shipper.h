@@ -64,6 +64,7 @@ class Shipper
         std::uint64_t credits_received = 0;
         std::uint64_t retransmitted_frames = 0;
         std::uint64_t reconnects = 0;
+        std::uint64_t status_requests_served = 0; ///< status RPC replies
     };
 
     Shipper(const shmem::Region *region, const core::EngineLayout *layout,
@@ -107,6 +108,12 @@ class Shipper
 
     Stats stats() const;
 
+    /** Fill a StatusReport's shipper section from a Stats snapshot —
+     *  the one mapping used by both Nvx::status() and the wire Status
+     *  RPC reply, so local and remote reports can never disagree. */
+    static void fillWireStatus(core::ShipperWireStatus &out,
+                               const Stats &stats, bool link_up);
+
   private:
     struct TupleShip {
         int tap_slot = -1;
@@ -125,6 +132,10 @@ class Shipper
     std::size_t drainTuple(std::uint32_t tuple);
     bool writeFrame(const PendingFrame &frame);
     void handleCredits();
+    /** Answer a status request: assemble a core::StatusReport from the
+     *  shared region plus this shipper's own statistics and send it as
+     *  a Status frame (the coordinator status RPC). */
+    void serveStatusRequest();
     /** Any tuple ring with events the tap has not drained yet? */
     bool ringBacklog();
     /** Ship all remaining ring events, waiting (bounded) for credits

@@ -36,14 +36,14 @@ uniqueEndpoint(const char *tag)
            std::to_string(counter.fetch_add(1));
 }
 
-core::NvxOptions
-engineOptions()
+core::EngineConfig
+engineConfig()
 {
-    core::NvxOptions options;
-    options.ring_capacity = 128;
-    options.shm_bytes = 32 << 20;
-    options.progress_timeout_ns = 15000000000ULL;
-    return options;
+    core::EngineConfig config;
+    config.ring.capacity = 128;
+    config.shm_bytes = 32 << 20;
+    config.ring.progress_timeout_ns = 15000000000ULL;
+    return config;
 }
 
 // --- vstore units ---
@@ -303,7 +303,7 @@ TEST(ServeNativeTest, VproxyPreforkServes)
 TEST(ServeNvxTest, VstoreWithTwoFollowers)
 {
     std::string endpoint = uniqueEndpoint("nvx-store");
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     auto server = [endpoint]() -> int {
         apps::vstore::Options options;
         options.endpoint = endpoint;
@@ -328,7 +328,7 @@ TEST(ServeNvxTest, VstoreWithTwoFollowers)
 TEST(ServeNvxTest, VhttpdWithOneFollower)
 {
     std::string endpoint = uniqueEndpoint("nvx-httpd");
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     auto server = [endpoint]() -> int {
         apps::vhttpd::Options options;
         options.endpoint = endpoint;
@@ -348,7 +348,7 @@ TEST(ServeNvxTest, VhttpdWithOneFollower)
 TEST(ServeNvxTest, VcacheMultithreadedUnderEngine)
 {
     std::string endpoint = uniqueEndpoint("nvx-cache");
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     auto server = [endpoint]() -> int {
         apps::vcache::Options options;
         options.endpoint = endpoint;
@@ -371,7 +371,7 @@ TEST(ServeNvxTest, TransparentFailoverWhileServing)
     // that crashes it is answered by the promoted follower, and
     // service continues without interruption.
     std::string endpoint = uniqueEndpoint("nvx-failover");
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     auto buggy = [endpoint]() -> int {
         apps::vstore::Options options;
         options.endpoint = endpoint;
@@ -414,8 +414,8 @@ TEST(ServeNvxTest, MultiRevisionHttpdWithRewriteRules)
     // (follower), which makes two additional syscalls (getuid,
     // getgid); the Listing 1 rule resolves the divergence.
     std::string endpoint = uniqueEndpoint("nvx-multirev");
-    core::NvxOptions options = engineOptions();
-    options.rewrite_rules.push_back(
+    core::EngineConfig config = engineConfig();
+    config.rewrite_rules.push_back(
         "ld event[0]\n"
         "jeq #108, getegid /* __NR_getegid */\n"
         "jeq #2, open /* __NR_open */\n"
@@ -454,7 +454,7 @@ TEST(ServeNvxTest, MultiRevisionHttpdWithRewriteRules)
         return apps::vhttpd::serve(o);
     };
 
-    core::Nvx nvx(options);
+    core::Nvx nvx(config);
     ASSERT_TRUE(nvx.start({rev2435, rev2436}).isOk());
     auto result = bench::httpBench(endpoint, 1, 10);
     EXPECT_TRUE(result.ok);
@@ -483,7 +483,7 @@ TEST(ServeNvxTest, MultiRevisionWithoutRulesKillsFollower)
         o.revision.issetugid_checks = true;
         return apps::vhttpd::serve(o);
     };
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     ASSERT_TRUE(nvx.start({rev2435, rev2436}).isOk());
     auto result = bench::httpBench(endpoint, 1, 5);
     EXPECT_TRUE(result.ok); // leader keeps serving

@@ -20,15 +20,15 @@
 namespace varan::core {
 namespace {
 
-NvxOptions
-fastOptions(std::uint32_t ring = 64)
+EngineConfig
+fastConfig(std::uint32_t ring = 64)
 {
-    NvxOptions options;
-    options.ring_capacity = ring;
-    options.shm_bytes = 16 << 20;
-    options.progress_timeout_ns = 15000000000ULL;
-    options.tick_ns = 2000000; // 2 ms: quick promotions
-    return options;
+    EngineConfig config;
+    config.ring.capacity = ring;
+    config.shm_bytes = 16 << 20;
+    config.ring.progress_timeout_ns = 15000000000ULL;
+    config.ring.tick_ns = 2000000; // 2 ms: quick promotions
+    return config;
 }
 
 std::string
@@ -74,7 +74,7 @@ TEST(FailoverRobustnessTest, TwoSequentialLeaderCrashes)
         }
         return 0;
     };
-    Nvx nvx(fastOptions());
+    Nvx nvx(fastConfig());
     auto results = nvx.run({app, app, app});
     EXPECT_TRUE(results[0].crashed);
     EXPECT_TRUE(results[1].crashed);
@@ -110,7 +110,7 @@ TEST(FailoverRobustnessTest, LeaderCrashWhileRingSaturated)
         }
         return 0;
     };
-    Nvx nvx(fastOptions(8));
+    Nvx nvx(fastConfig(8));
     auto results = nvx.run({app, app});
     EXPECT_TRUE(results[0].crashed);
     EXPECT_FALSE(results[1].crashed);
@@ -156,7 +156,7 @@ TEST(FailoverRobustnessTest, PromotedLeaderContinuesFdStream)
         return (a[0] - '0') * 10 + (b[0] - '0');
     };
 
-    Nvx nvx(fastOptions());
+    Nvx nvx(fastConfig());
     auto results = nvx.run({app, app});
     ::unlink(path);
     EXPECT_TRUE(results[0].crashed);
@@ -173,7 +173,7 @@ TEST(FailoverRobustnessTest, AllVariantsCrashReportsCleanly)
         *p = 1;
         return 0;
     };
-    Nvx nvx(fastOptions());
+    Nvx nvx(fastConfig());
     auto results = nvx.run({app, app});
     EXPECT_TRUE(results[0].crashed);
     EXPECT_TRUE(results[1].crashed);
@@ -202,7 +202,7 @@ TEST(FailoverRobustnessTest, FollowerCrashDuringLeaderElection)
         }
         return 0;
     };
-    Nvx nvx(fastOptions());
+    Nvx nvx(fastConfig());
     auto results = nvx.run({app, app, app});
     EXPECT_TRUE(results[0].crashed);
     EXPECT_FALSE(results[2].crashed);

@@ -27,14 +27,14 @@
 namespace varan {
 namespace {
 
-core::NvxOptions
-engineOptions(std::uint32_t ring_capacity = 128)
+core::EngineConfig
+engineConfig(std::uint32_t ring_capacity = 128)
 {
-    core::NvxOptions options;
-    options.ring_capacity = ring_capacity;
-    options.shm_bytes = 32 << 20;
-    options.progress_timeout_ns = 15000000000ULL;
-    return options;
+    core::EngineConfig config;
+    config.ring.capacity = ring_capacity;
+    config.shm_bytes = 32 << 20;
+    config.ring.progress_timeout_ns = 15000000000ULL;
+    return config;
 }
 
 /** Deterministic mixed-syscall workload derived from a seed. */
@@ -110,7 +110,7 @@ TEST_P(RandomSequenceTest, VariantsAgreeWithoutDivergence)
     const int variants = std::get<1>(GetParam());
     const std::uint32_t capacity = std::get<2>(GetParam());
 
-    core::Nvx nvx(engineOptions(capacity));
+    core::Nvx nvx(engineConfig(capacity));
     std::vector<core::VariantFn> fns(
         static_cast<std::size_t>(variants),
         [seed]() { return randomWorkload(seed, 120); });
@@ -162,7 +162,7 @@ TEST(RewriteEngineTest, PatchedMachineCodeStreamsThroughTheEngine)
         return static_cast<int>(pid & 0x7f);
     };
 
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     auto results = nvx.run({variant, variant});
     ASSERT_EQ(results.size(), 2u);
     EXPECT_FALSE(results[0].crashed);
@@ -176,9 +176,9 @@ TEST(FailoverUnderLoadTest, ServiceSurvivesLeaderCrashMidBenchmark)
 {
     std::string endpoint =
         "varan-integ-failover-" + std::to_string(::getpid());
-    core::NvxOptions options = engineOptions();
-    options.tick_ns = 1000000;
-    core::Nvx nvx(options);
+    core::EngineConfig config = engineConfig();
+    config.ring.tick_ns = 1000000;
+    core::Nvx nvx(config);
     auto buggy = [endpoint]() -> int {
         apps::vstore::Options o;
         o.endpoint = endpoint;
@@ -212,7 +212,7 @@ TEST(ScaleTest, ManyEventsThroughTinyRing)
 {
     // 5000 replicated calls through an 8-slot ring exercise thousands
     // of wrap-arounds, gating stalls and waitlock sleeps.
-    core::Nvx nvx(engineOptions(8));
+    core::Nvx nvx(engineConfig(8));
     auto app = []() -> int {
         std::uint64_t acc = 0;
         for (int i = 0; i < 5000; ++i)

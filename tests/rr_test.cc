@@ -20,14 +20,14 @@
 namespace varan::rr {
 namespace {
 
-core::NvxOptions
-engineOptions()
+core::EngineConfig
+engineConfig()
 {
-    core::NvxOptions options;
-    options.ring_capacity = 64;
-    options.shm_bytes = 16 << 20;
-    options.progress_timeout_ns = 15000000000ULL;
-    return options;
+    core::EngineConfig config;
+    config.ring.capacity = 64;
+    config.shm_bytes = 16 << 20;
+    config.ring.progress_timeout_ns = 15000000000ULL;
+    return config;
 }
 
 std::string
@@ -41,7 +41,7 @@ tempLogPath()
 TEST(RecorderTest, CapturesEveryEvent)
 {
     std::string path = tempLogPath();
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     Recorder recorder(nvx.region(), &nvx.layout(), path);
 
     auto app = []() -> int {
@@ -80,7 +80,7 @@ TEST(RecorderTest, CapturesPayloads)
     ASSERT_EQ(::write(tmp, "payload!", 8), 8);
     ::close(tmp);
 
-    core::Nvx nvx(engineOptions());
+    core::Nvx nvx(engineConfig());
     Recorder recorder(nvx.region(), &nvx.layout(), path);
     std::string fname(file_path);
     auto app = [fname]() -> int {
@@ -138,7 +138,7 @@ TEST(ReplayTest, RecordThenReplayDrivesFollowers)
     int live_status = 0;
     {
         // Phase 1: record a live run.
-        core::Nvx nvx(engineOptions());
+        core::Nvx nvx(engineConfig());
         Recorder recorder(nvx.region(), &nvx.layout(), path);
         ASSERT_TRUE(nvx.start({app}, [&](core::Nvx &) {
                            ASSERT_TRUE(recorder.attachTaps().isOk());
@@ -156,9 +156,9 @@ TEST(ReplayTest, RecordThenReplayDrivesFollowers)
     {
         // Phase 2: replay against two followers at once ("replay
         // multiple versions at once", section 5.4).
-        core::NvxOptions options = engineOptions();
-        options.external_leader = true;
-        core::Nvx nvx(options);
+        core::EngineConfig config = engineConfig();
+        config.external_leader = true;
+        core::Nvx nvx(config);
         ASSERT_TRUE(nvx.start({app, app}).isOk());
         Replayer replayer(nvx.region(), &nvx.layout(), path);
         auto stats = replayer.replayAll();

@@ -4,7 +4,9 @@
  * trips over a socketpair, corrupt/truncated frame rejection, a full
  * end-to-end leader -> wire -> remote-follower run through the
  * unmodified dispatch loop, link-drop failover with retransmission,
- * and the pool-statistics handshake snapshot.
+ * the pool-statistics handshake snapshot, and the coordinator status
+ * RPC (StatusReport encode/decode round trip + a live remote request
+ * answered by the shipper).
  */
 
 #include <cstring>
@@ -395,12 +397,12 @@ TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
     ASSERT_TRUE(listening.ok());
 
     // Remote node: external-leader engine + receiver.
-    core::NvxOptions remote_options;
-    remote_options.ring_capacity = 128;
-    remote_options.shm_bytes = 16 << 20;
-    remote_options.external_leader = true;
-    remote_options.progress_timeout_ns = 20000000000ULL;
-    core::Nvx remote_nvx(remote_options);
+    core::EngineConfig remote_config;
+    remote_config.ring.capacity = 128;
+    remote_config.shm_bytes = 16 << 20;
+    remote_config.external_leader = true;
+    remote_config.ring.progress_timeout_ns = 20000000000ULL;
+    core::Nvx remote_nvx(remote_config);
     ASSERT_TRUE(remote_nvx.start({app}).isOk());
     Receiver receiver(remote_nvx.region(), &remote_nvx.layout());
 
@@ -414,12 +416,12 @@ TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
     // Leader node: ordinary engine with remote shipping on.
     int live_status = 0;
     {
-        core::NvxOptions options;
-        options.ring_capacity = 128;
-        options.shm_bytes = 16 << 20;
-        options.remote_endpoint = endpoint;
-        options.remote_ship_batch = 8;
-        core::Nvx nvx(options);
+        core::EngineConfig config;
+        config.ring.capacity = 128;
+        config.shm_bytes = 16 << 20;
+        config.remote.endpoint = endpoint;
+        config.remote.ship_batch = 8;
+        core::Nvx nvx(config);
         ASSERT_TRUE(nvx.start({app}).isOk());
         auto results = nvx.waitFor(30000000000ULL);
         ASSERT_EQ(results.size(), 1u);
@@ -448,6 +450,197 @@ TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
 
     ::close(pipe_fds[0]);
     ::close(pipe_fds[1]);
+    sys::vclose(static_cast<int>(listening.value()));
+}
+
+// --- the coordinator status RPC ----------------------------------------
+
+TEST(WireStatusTest, StatusReportFrameRoundTripBitExact)
+{
+    // Fill every byte of a StatusReport with a pattern, push it through
+    // the wire encoding and back: the decoded struct must be bit-exact.
+    core::StatusReport in;
+    auto *raw = reinterpret_cast<std::uint8_t *>(&in);
+    for (std::size_t i = 0; i < sizeof(in); ++i)
+        raw[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    in.num_variants = 3;
+    in.leader = 1;
+    in.events_streamed = 0x0123456789abcdefULL;
+    in.variants[2].ring_lag = 42;
+    in.shipper.active = 1;
+
+    std::uint8_t frame[kStatusFrameBytes];
+    encodeStatusFrame(in, frame);
+
+    FrameHeader header = {};
+    std::memcpy(&header, frame, sizeof(header));
+    ASSERT_TRUE(headerValid(header));
+    ASSERT_EQ(static_cast<FrameType>(header.type), FrameType::Status);
+    ASSERT_EQ(header.body_len, sizeof(core::StatusReport));
+
+    core::StatusReport out = {};
+    ASSERT_TRUE(decodeStatusFrame(header, frame + sizeof(header),
+                                  header.body_len, &out));
+    EXPECT_EQ(std::memcmp(&in, &out, sizeof(in)), 0);
+
+    // A flipped body byte must fail the checksum, not decode silently.
+    frame[sizeof(header) + 100] ^= 0x40;
+    EXPECT_FALSE(decodeStatusFrame(header, frame + sizeof(header),
+                                   header.body_len, &out));
+}
+
+TEST(WireStatusTest, StatusRequestServedOverSocketpair)
+{
+    // Receiver sends the empty-body request; the shipper answers with
+    // a full report assembled from the shared region + its own stats.
+    FakeLeader leader;
+    FakeRemote remote;
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    Shipper shipper(&leader.region, &leader.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+    Receiver receiver(&remote.region, &remote.layout);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    for (std::uint64_t i = 0; i < 3; ++i)
+        leader.publish(0, syscallEvent(i + 1, 39, 0));
+    EXPECT_EQ(shipper.pumpOnce(), 3u);
+    EXPECT_EQ(receiver.serveOnce(1000), 1);
+
+    ASSERT_TRUE(receiver.requestStatus().isOk());
+    EXPECT_EQ(receiver.stats().status_requests, 1u);
+    // The shipper's pump delivers the request and writes the reply.
+    shipper.pumpOnce();
+    EXPECT_EQ(shipper.stats().status_requests_served, 1u);
+    EXPECT_EQ(receiver.serveOnce(1000), 1);
+
+    core::StatusReport report = {};
+    ASSERT_TRUE(receiver.remoteStatus(&report));
+    EXPECT_EQ(receiver.stats().status_reports, 1u);
+    EXPECT_EQ(report.num_variants, 1u);
+    EXPECT_EQ(report.ring_capacity, kCap);
+    EXPECT_EQ(report.shipper.active, 1u);
+    EXPECT_EQ(report.shipper.link_up, 1u);
+    EXPECT_EQ(report.shipper.events, 3u);
+    EXPECT_EQ(report.pool.num_shards, core::kMaxTuples);
+    EXPECT_EQ(report.receiver.active, 0u); // filled by the remote side
+
+    // The receiving node's own consolidated report: local engine state
+    // plus this receiver's wire section (counterpart of Nvx::status()).
+    core::StatusReport local = receiver.localStatus();
+    EXPECT_EQ(local.receiver.active, 1u);
+    EXPECT_EQ(local.receiver.link_up, 1u);
+    EXPECT_EQ(local.receiver.events, receiver.stats().events);
+    EXPECT_EQ(local.receiver.credits_sent, receiver.stats().credits_sent);
+    EXPECT_EQ(local.shipper.active, 0u);
+    EXPECT_EQ(local.ring_capacity, kCap);
+
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(WireEndToEndTest, StatusRpcMatchesLiveLeaderGetters)
+{
+    // The acceptance scenario: a remote node requests the coordinator
+    // status over the wire while the leader engine runs; the decoded
+    // StatusReport's counters must match the leader's live getters.
+    int gate[2];
+    ASSERT_EQ(::pipe(gate), 0);
+
+    auto app = [gate]() -> int {
+        for (int i = 0; i < 6; ++i)
+            sys::vgetpid();
+        long fd = sys::vopen("/dev/null", 0 /*O_RDONLY*/);
+        char buf[8] = {};
+        sys::vread(static_cast<int>(fd), buf, sizeof(buf));
+        sys::vclose(static_cast<int>(fd));
+        char go = 0;
+        sys::vread(gate[0], &go, 1); // parks the leader, stream quiesces
+        return 0;
+    };
+
+    const std::string endpoint =
+        "varan-wire-status-" + std::to_string(::getpid());
+    auto listening = netio::listenAbstract(endpoint);
+    ASSERT_TRUE(listening.ok());
+
+    core::EngineConfig remote_config;
+    remote_config.ring.capacity = 128;
+    remote_config.shm_bytes = 16 << 20;
+    remote_config.external_leader = true;
+    remote_config.ring.progress_timeout_ns = 20000000000ULL;
+    core::Nvx remote_nvx(remote_config);
+    ASSERT_TRUE(remote_nvx.start({core::VariantSpec(app)}).isOk());
+    Receiver receiver(remote_nvx.region(), &remote_nvx.layout());
+
+    std::thread accepting([&] {
+        long conn = netio::acceptConnection(listening.value(), false);
+        ASSERT_GE(conn, 0);
+        ASSERT_TRUE(receiver.adopt(static_cast<int>(conn)).isOk());
+        receiver.start();
+    });
+
+    core::EngineConfig config;
+    config.ring.capacity = 128;
+    config.shm_bytes = 16 << 20;
+    config.remote.endpoint = endpoint;
+    config.remote.ship_batch = 8;
+    core::Nvx nvx(config);
+    ASSERT_TRUE(nvx.start({core::VariantSpec(app).named("leader")}).isOk());
+
+    // Let the leader publish its pre-gate stream (9 syscall events),
+    // then request the status while everything is quiescent.
+    std::uint64_t deadline = monotonicNs() + 10000000000ULL;
+    while (nvx.eventsStreamed() < 9 && monotonicNs() < deadline)
+        sleepNs(1000000);
+    ASSERT_GE(nvx.eventsStreamed(), 9u);
+    // ...and the shipper drain them, so the report's wire section is
+    // deterministic when the snapshot is taken.
+    while (nvx.shipper()->stats().events < 9 && monotonicNs() < deadline)
+        sleepNs(1000000);
+    ASSERT_GE(nvx.shipper()->stats().events, 9u);
+    while (!receiver.linkUp() && monotonicNs() < deadline)
+        sleepNs(1000000);
+    ASSERT_TRUE(receiver.linkUp());
+
+    ASSERT_TRUE(receiver.requestStatus().isOk());
+    core::StatusReport report = {};
+    while (!receiver.remoteStatus(&report) && monotonicNs() < deadline)
+        sleepNs(1000000);
+    ASSERT_TRUE(receiver.remoteStatus(&report)) << "no status reply";
+
+    // The RPC's counters agree with the leader's live getters.
+    EXPECT_EQ(report.events_streamed, nvx.eventsStreamed());
+    EXPECT_EQ(report.divergences_resolved, nvx.divergencesResolved());
+    EXPECT_EQ(report.divergences_fatal, nvx.divergencesFatal());
+    EXPECT_EQ(report.fd_transfers, nvx.fdTransfers());
+    EXPECT_EQ(report.leader,
+              static_cast<std::uint32_t>(nvx.currentLeader()));
+    EXPECT_EQ(report.epoch, nvx.epoch());
+    EXPECT_EQ(report.num_variants, 1u);
+    EXPECT_EQ(report.ring_capacity, 128u);
+    EXPECT_EQ(report.variants[0].state,
+              static_cast<std::uint32_t>(core::VariantState::Running));
+    EXPECT_EQ(report.shipper.active, 1u);
+    EXPECT_GT(report.shipper.events, 0u);
+    EXPECT_EQ(report.pool.spills, nvx.poolSpills());
+
+    // Release the leader and drain both engines.
+    ASSERT_EQ(::write(gate[1], "gg", 2), 2);
+    auto results = nvx.waitFor(30000000000ULL);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].crashed);
+    accepting.join();
+    auto remote_results = remote_nvx.waitFor(30000000000ULL);
+    ASSERT_TRUE(receiver.finish().isOk());
+    ASSERT_EQ(remote_results.size(), 1u);
+    EXPECT_FALSE(remote_results[0].crashed);
+
+    ::close(gate[0]);
+    ::close(gate[1]);
     sys::vclose(static_cast<int>(listening.value()));
 }
 
