@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cross-node failover: leadership survives the loss of the leader
+ * *node*, not just the leader variant.
+ *
+ * A leader engine (run in a forked child so it can be SIGKILLed like a
+ * real machine loss) fans its event stream out to two receiver nodes
+ * over wire protocol v3. Node 1 arms promotion: when the link stays
+ * dead past promote_after, it elects its local replica, bumps the
+ * epoch and stream generation, and starts shipping the promoted stream
+ * to node 2 — which reconciles against the new generation and replays
+ * to completion, nothing lost, nothing applied twice.
+ *
+ *   $ ./examples/cross_node_failover
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "core/nvx.h"
+#include "netio/socketio.h"
+#include "syscalls/sys.h"
+#include "wire/receiver.h"
+
+using namespace varan;
+
+int
+main()
+{
+    int gate[2];
+    if (::pipe(gate) != 0)
+        return 1;
+
+    // The replicated application: a burst of work, a blocking read
+    // (where the leader node will die), then a final burst.
+    auto app = [gate]() -> int {
+        for (int i = 0; i < 8; ++i)
+            sys::vgetpid();
+        char go = 0;
+        sys::vread(gate[0], &go, 1);
+        for (int i = 0; i < 4; ++i)
+            sys::vgetpid();
+        return 7;
+    };
+
+    const std::string ep1 =
+        "varan-example-xnode1-" + std::to_string(::getpid());
+    const std::string ep2 =
+        "varan-example-xnode2-" + std::to_string(::getpid());
+    auto listening1 = netio::listenAbstract(ep1);
+    auto listening2 = netio::listenAbstract(ep2);
+    if (!listening1.ok() || !listening2.ok())
+        return 1;
+
+    // --- the leader node, as a killable process -------------------------
+    pid_t leader_node = ::fork();
+    if (leader_node < 0)
+        return 1;
+    if (leader_node == 0) {
+        core::EngineConfig config;
+        config.ring.capacity = 128;
+        config.shm_bytes = 16 << 20;
+        config.remote.endpoints = {ep1, ep2}; // fan-out: one shipper, 2 nodes
+        core::Nvx nvx(config);
+        if (!nvx.start({core::VariantSpec(app).named("leader")}).isOk())
+            ::_exit(1);
+        nvx.wait();
+        ::_exit(0);
+    }
+
+    // --- receiver node 1: promotion armed -------------------------------
+    core::EngineConfig remote_config;
+    remote_config.ring.capacity = 128;
+    remote_config.shm_bytes = 16 << 20;
+    remote_config.external_leader = true;
+    core::Nvx node1(remote_config);
+    if (!node1.start({core::VariantSpec(app).named("replica1")}).isOk())
+        return 1;
+    wire::Receiver::Options r1_opts;
+    r1_opts.promote_after_ns = 500000000ULL; // 500 ms without a leader
+    r1_opts.standby_peers = {ep2};           // ship onward after takeover
+    r1_opts.on_promote = [](std::uint32_t epoch, std::uint32_t leader) {
+        std::printf("[node1] leader node lost — promoted local variant "
+                    "%u (epoch %u)\n",
+                    leader, epoch);
+    };
+    wire::Receiver receiver1(node1.region(), &node1.layout(), r1_opts);
+
+    // --- receiver node 2: plain observer --------------------------------
+    core::Nvx node2(remote_config);
+    if (!node2.start({core::VariantSpec(app).named("replica2")}).isOk())
+        return 1;
+    wire::Receiver receiver2(node2.region(), &node2.layout());
+
+    auto acceptInto = [](long listen_fd, wire::Receiver &receiver) {
+        if (!netio::waitReadable(static_cast<int>(listen_fd), 15000))
+            return false;
+        long conn =
+            netio::acceptConnection(static_cast<int>(listen_fd), false);
+        return conn >= 0 &&
+               receiver.adopt(static_cast<int>(conn)).isOk();
+    };
+    if (!acceptInto(listening1.value(), receiver1) ||
+        !acceptInto(listening2.value(), receiver2)) {
+        return 1;
+    }
+    receiver1.start();
+    receiver2.start();
+
+    // Wait for the pre-crash stream to reach both nodes.
+    while (receiver1.nextSeq(0) < 8 || receiver2.nextSeq(0) < 8)
+        sleepNs(5000000);
+    std::printf("both nodes mirrored the first %llu events (generation "
+                "%u)\n",
+                static_cast<unsigned long long>(receiver1.nextSeq(0)),
+                receiver1.remoteHello().stream_generation);
+
+    std::printf("killing the leader node (pid %d) mid-stream...\n",
+                static_cast<int>(leader_node));
+    ::kill(leader_node, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(leader_node, &wstatus, 0);
+
+    // Node 1 promotes on its own; accept its onward stream for node 2.
+    if (!acceptInto(listening2.value(), receiver2))
+        return 1;
+    std::printf("[node2] rebased onto the promoted stream (generation "
+                "%u)\n",
+                receiver2.remoteHello().stream_generation);
+
+    // Release the gate: only the promoted leader executes the read —
+    // node 2 keeps replaying results from the wire.
+    if (::write(gate[1], "g", 1) != 1)
+        return 1;
+
+    auto results1 = node1.waitFor(30000000000ULL);
+    auto results2 = node2.waitFor(30000000000ULL);
+    std::printf("node1 replica: %s (status %d)\n",
+                results1[0].crashed ? "crashed" : "clean exit",
+                results1[0].status);
+    std::printf("node2 replica: %s (status %d)\n",
+                results2[0].crashed ? "crashed" : "clean exit",
+                results2[0].status);
+
+    core::StatusReport status = node1.status();
+    std::printf("node1 now leads: leader=%u epoch=%u generation=%u "
+                "promotions=%u\n",
+                status.leader, status.epoch, status.stream_generation,
+                status.promotions);
+    std::printf("node2 reconciled without duplication: %llu duplicates "
+                "dropped, %llu rebases\n",
+                static_cast<unsigned long long>(
+                    receiver2.stats().duplicates_dropped),
+                static_cast<unsigned long long>(
+                    receiver2.stats().rebases));
+
+    receiver1.finish();
+    receiver2.finish();
+    ::close(gate[0]);
+    ::close(gate[1]);
+    return results1[0].status == results2[0].status ? 0 : 1;
+}

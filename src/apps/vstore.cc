@@ -6,6 +6,17 @@
 #include "netio/socketio.h"
 #include "syscalls/sys.h"
 
+// GCC 12's -Wrestrict misfires on `"lit" + std::string` once the
+// libstdc++ string concatenation is fully inlined at -O3: the
+// dead impossible-overlap branch of _M_replace survives into the
+// diagnostic pass with bogus [PTRDIFF_MAX]-sized bounds (the
+// GCC bugzilla PR105329 family, fixed in GCC 13). Every reply
+// builder below trips it under Release + -Werror on GCC 12, so
+// suppress that one diagnostic for this translation unit.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace varan::apps::vstore {
 
 std::vector<std::string>

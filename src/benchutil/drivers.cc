@@ -9,6 +9,14 @@
 #include "netio/socketio.h"
 #include "syscalls/sys.h"
 
+// Same GCC 12 -O3 -Wrestrict false positive as vstore.cc (bogus
+// overlap bounds from fully-inlined libstdc++ string concatenation;
+// the PR105329 family, fixed in GCC 13) — the memcached-style request
+// builders in cacheBench() trip it under Release + -Werror.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace varan::bench {
 
 namespace {

@@ -21,6 +21,11 @@ EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
     cb->ring_capacity = ring_capacity;
     cb->leader_id.store(leader_id, std::memory_order_relaxed);
     cb->epoch.store(0, std::memory_order_relaxed);
+    // Generation 0 means "no stream yet": an external-leader engine
+    // adopts the shipping node's generation at the wire handshake.
+    cb->stream_generation.store(leader_id == kNoLeader ? 0 : 1,
+                                std::memory_order_relaxed);
+    cb->promotions.store(0, std::memory_order_relaxed);
     cb->num_tuples.store(1, std::memory_order_relaxed); // tuple 0 = main
     cb->shutdown.store(0, std::memory_order_relaxed);
     std::uint32_t mask = 0;

@@ -91,6 +91,17 @@ struct ControlBlock {
 
     std::atomic<std::uint32_t> leader_id;
     std::atomic<std::uint32_t> epoch;     ///< bumped on every election
+    /** Identity of the event stream this engine publishes or consumes.
+     *  A live leader starts at 1; an external-leader engine starts at 0
+     *  and adopts the shipping node's generation from the wire Hello.
+     *  Cross-node promotion bumps it — a resurrected pre-failover
+     *  leader then fails the handshake instead of splitting the brain.
+     *  Local elections do NOT bump it: the stream continues on the
+     *  same node, only the epoch moves. */
+    std::atomic<std::uint32_t> stream_generation;
+    /** Leader promotions performed on this engine (local elections on
+     *  a leader node, cross-node promotions on a receiver node). */
+    std::atomic<std::uint32_t> promotions;
     std::atomic<std::uint32_t> live_mask; ///< bit per running variant
     std::atomic<std::uint32_t> num_tuples;
     std::atomic<std::uint32_t> shutdown;

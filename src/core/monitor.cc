@@ -821,8 +821,14 @@ Monitor::maybePromote()
     // variant records instead of replaying. Per-tuple backlogs drain
     // before each thread starts producing (see dispatch()).
     role_.store(Role::Leader, std::memory_order_release);
-    inform("variant %u promoted to leader (epoch %u)", config_.variant_id,
-           cb_->epoch.load(std::memory_order_acquire));
+    // Same line for a local election and a cross-node promotion (an
+    // external-leader engine whose receiver elected this variant): the
+    // generation tells an operator which stream identity this leader
+    // now publishes.
+    inform("variant %u promoted to leader (epoch %u, stream generation "
+           "%u)",
+           config_.variant_id, cb_->epoch.load(std::memory_order_acquire),
+           cb_->stream_generation.load(std::memory_order_acquire));
     return true;
 }
 

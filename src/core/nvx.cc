@@ -148,9 +148,11 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
         pre_spawn(*this);
 
     // Multi-node shipping: taps must attach before any variant runs so
-    // the remote stream starts at event one, and the link must be up
-    // before the leader can outrun the credit window.
-    if (!config_.remote.endpoint.empty()) {
+    // the remote stream starts at event one, and every link must be up
+    // before the leader can outrun the credit windows. One shipper
+    // serves all configured peers (fan-out).
+    const std::vector<std::string> peers = config_.remote.allEndpoints();
+    if (!peers.empty()) {
         wire::Shipper::Options ship;
         ship.ship_batch = config_.remote.ship_batch;
         ship.credit_window = config_.remote.credit_window;
@@ -158,12 +160,14 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
         Status taps = shipper_->attachTaps();
         if (!taps.isOk())
             return taps;
-        auto sock = netio::connectAbstract(config_.remote.endpoint);
-        if (!sock.ok())
-            return Status(sock.error());
-        Status shaken = shipper_->handshake(sock.value());
-        if (!shaken.isOk())
-            return shaken;
+        for (const std::string &endpoint : peers) {
+            auto sock = netio::connectAbstract(endpoint);
+            if (!sock.ok())
+                return Status(sock.error());
+            Status shaken = shipper_->addPeer(sock.value());
+            if (!shaken.isOk())
+                return shaken;
+        }
         shipper_->start();
     }
 
@@ -387,6 +391,11 @@ Nvx::markVariantDead(std::uint32_t variant, bool crashed)
                 ++new_leader;
             std::uint32_t epoch =
                 cb->epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+            // The stream continues on this node: the epoch moves, the
+            // stream generation does not (that bump is reserved for
+            // cross-node promotion, where a *different* engine takes
+            // over publishing).
+            cb->promotions.fetch_add(1, std::memory_order_acq_rel);
             cb->leader_id.store(new_leader, std::memory_order_release);
             inform("leader %u %s; elected variant %u", variant,
                    crashed ? "crashed" : "exited", new_leader);

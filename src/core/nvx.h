@@ -166,17 +166,32 @@ struct CoalesceConfig {
 };
 
 /**
- * Multi-node event shipping: when endpoint is non-empty, the
- * coordinator connects to this abstract-socket endpoint and streams
- * the leader's rings to a remote wire::Receiver. The remote node runs
- * an external-leader engine whose followers consume the stream through
- * the unmodified dispatch loop. Taps attach before any variant runs,
- * so the remote stream is complete from event one.
+ * Multi-node event shipping: when any endpoint is configured, the
+ * coordinator connects to each abstract-socket endpoint and streams
+ * the leader's rings to the wire::Receiver behind it — one shipper,
+ * N remote nodes, each with its own credit window (a stalled node
+ * buffers and is eventually evicted; it never gates its siblings).
+ * Each remote node runs an external-leader engine whose followers
+ * consume the stream through the unmodified dispatch loop. Taps
+ * attach before any variant runs, so the remote stream is complete
+ * from event one.
  */
 struct RemoteConfig {
-    std::string endpoint;
+    std::string endpoint;              ///< single peer (legacy spelling)
+    std::vector<std::string> endpoints; ///< fan-out peers (appended)
     std::uint32_t ship_batch = 16;     ///< events per wire frame
-    std::uint32_t credit_window = 4096; ///< max unacked events
+    std::uint32_t credit_window = 4096; ///< max unacked events per peer
+
+    /** Every configured peer endpoint (endpoint + endpoints). */
+    std::vector<std::string>
+    allEndpoints() const
+    {
+        std::vector<std::string> all;
+        if (!endpoint.empty())
+            all.push_back(endpoint);
+        all.insert(all.end(), endpoints.begin(), endpoints.end());
+        return all;
+    }
 };
 
 /** Final state of one variant. */

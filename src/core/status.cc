@@ -14,6 +14,9 @@ collectStatus(const shmem::Region *region, const EngineLayout &layout)
     report.epoch = cb->epoch.load(std::memory_order_acquire);
     report.live_mask = cb->live_mask.load(std::memory_order_acquire);
     report.num_tuples = cb->num_tuples.load(std::memory_order_acquire);
+    report.stream_generation =
+        cb->stream_generation.load(std::memory_order_acquire);
+    report.promotions = cb->promotions.load(std::memory_order_acquire);
 
     report.events_streamed =
         cb->events_streamed.load(std::memory_order_relaxed);

@@ -46,7 +46,9 @@ struct VariantStatus {
 /** Leader-node wire shipping statistics (zeros when shipping is off). */
 struct ShipperWireStatus {
     std::uint32_t active;   ///< a shipper exists on this engine
-    std::uint32_t link_up;
+    std::uint32_t link_up;  ///< at least one peer link is usable
+    std::uint32_t peers;          ///< registered receiver sessions
+    std::uint32_t peers_evicted;  ///< sessions dropped as hopelessly behind
     std::uint64_t frames;
     std::uint64_t events;
     std::uint64_t bytes;
@@ -60,6 +62,8 @@ struct ShipperWireStatus {
 struct ReceiverWireStatus {
     std::uint32_t active;   ///< a receiver feeds this engine
     std::uint32_t link_up;
+    std::uint32_t promoted;      ///< this node took over leadership
+    std::uint32_t errors;        ///< Error frames sent + received
     std::uint64_t frames;
     std::uint64_t events;
     std::uint64_t payload_bytes;
@@ -78,6 +82,8 @@ struct StatusReport {
     std::uint32_t epoch;       ///< election count
     std::uint32_t live_mask;   ///< bit per running variant
     std::uint32_t num_tuples;  ///< live thread/process tuples
+    std::uint32_t stream_generation; ///< bumped on cross-node promotion
+    std::uint32_t promotions;        ///< elections performed on this engine
 
     // Stream counters (the former one-off getters).
     std::uint64_t events_streamed;

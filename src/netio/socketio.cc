@@ -1,8 +1,10 @@
 #include "netio/socketio.h"
 
+#include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 
@@ -134,6 +136,33 @@ acceptConnection(int listen_fd, bool nonblocking)
 {
     return sys::vaccept4(listen_fd, nullptr, nullptr,
                          nonblocking ? SOCK_NONBLOCK : 0);
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    // Plain libc, like the wire I/O helpers: the callers (failover
+    // accept loops, test harnesses) run in coordinator context where
+    // nothing must stream through an installed Dispatcher.
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const std::uint64_t deadline =
+        monotonicNs() + static_cast<std::uint64_t>(timeout_ms) * 1000000ULL;
+    for (;;) {
+        int n = ::poll(&pfd, 1, timeout_ms);
+        if (n > 0)
+            return (pfd.revents & POLLIN) != 0;
+        if (n == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+        // Interrupted: retry with whatever time is left.
+        const std::uint64_t now = monotonicNs();
+        if (now >= deadline)
+            return false;
+        timeout_ms = static_cast<int>((deadline - now) / 1000000ULL);
+        if (timeout_ms <= 0)
+            return false;
+    }
 }
 
 Status

@@ -36,6 +36,13 @@ Result<int> connectTcp(std::uint16_t port, int timeout_ms = 5000);
 /** accept4 with CLOEXEC; returns the connection fd. */
 long acceptConnection(int listen_fd, bool nonblocking);
 
+/** Wait up to @p timeout_ms for @p fd to become readable (a listening
+ *  socket: an acceptable connection). EINTR is retried within the
+ *  deadline. @return true when readable, false on timeout or error —
+ *  the deadline-bounded accept loops of multi-node failover tests and
+ *  operators hang on this instead of a blocking accept. */
+bool waitReadable(int fd, int timeout_ms);
+
 /** Blocking send/recv helpers over the sys layer. */
 Status sendAll(int fd, const void *data, std::size_t len);
 Result<std::string> recvSome(int fd, std::size_t max = 4096);

@@ -3,21 +3,33 @@
  * Framed wire protocol for multi-node event shipping (DMON-style
  * relaxed batching across the wire, arXiv:1903.03643).
  *
+ * The normative byte-level specification — frame header layout,
+ * checksum coverage, every body struct, the epoch-reconciliation rules
+ * and the v1→v3 version history — lives in docs/WIRE_PROTOCOL.md.
+ * Keep the two in sync: CI greps that document for the version this
+ * header declares.
+ *
  * A Shipper on the leader's node drains the tuple rings and streams
- * them to a Receiver on a remote node, which re-materializes the
- * events into a local ring/pool arena so an unmodified follower
- * dispatch loop can consume them. The stream is a sequence of frames:
+ * them to one or more Receivers on remote nodes, each of which
+ * re-materializes the events into a local ring/pool arena so an
+ * unmodified follower dispatch loop can consume them. The stream is a
+ * sequence of frames:
  *
  *   [FrameHeader][body bytes]
  *
  * Frame types:
  *   Hello     shipper -> receiver: engine geometry (ring capacity,
- *             tuple count, variants) plus a per-shard pool statistics
- *             snapshot — the receiver validates compatibility before
+ *             tuple count, variants), the shipping engine's
+ *             (engine_epoch, stream_generation) stamp, plus a
+ *             per-shard pool statistics snapshot — the receiver
+ *             validates compatibility and epoch freshness before
  *             anything streams.
- *   HelloAck  receiver -> shipper: per-tuple resume cursors (next ring
- *             sequence the receiver expects). A fresh link acks all
- *             zeros; a reconnect acks what already arrived, so the
+ *   HelloAck  receiver -> shipper: the receiver's stable identity
+ *             (receiver_id, so a reconnect resumes *its* session on a
+ *             fan-out shipper), the (epoch, generation) it last
+ *             reconciled against, and per-tuple resume cursors (next
+ *             ring sequence the receiver expects). A fresh link acks
+ *             all zeros; a reconnect acks what already arrived, so the
  *             shipper retransmits only the unacknowledged tail.
  *   Events    shipper -> receiver: `count` ring events for one tuple
  *             starting at ring sequence `seq`, followed by the pool
@@ -26,21 +38,26 @@
  *             event's payload_size field).
  *   Credit    receiver -> shipper: per-tuple delivery confirmations —
  *             batched flow control. The shipper keeps at most
- *             `credit_window` unacknowledged events per tuple and
- *             drops its retransmit buffer up to each credited cursor.
+ *             `credit_window` unacknowledged events per tuple *per
+ *             peer* and retires its retransmit buffer up to the
+ *             slowest peer's credited cursor.
  *   Status    the coordinator status RPC. An empty-body Status frame
  *             (receiver -> shipper) is a *request*; the shipper
  *             answers with a Status frame whose body is one
  *             core::StatusReport — the same consolidated snapshot
- *             Nvx::status() serves locally (geometry, election state,
- *             stream counters, per-variant state, pool pressure and
- *             the shipper's own wire statistics).
+ *             Nvx::status() serves locally. Receivers also use it as a
+ *             liveness probe before cross-node promotion.
  *   Bye       either side: orderly end of stream.
+ *   Error     either side: a decodable rejection (stale epoch or
+ *             generation, geometry mismatch, resume cursor behind the
+ *             retained tail). Carries both sides' (epoch, generation)
+ *             so the operator can see *why* the link was refused. The
+ *             sender drops the link after an Error.
  *
  * Integers are native-endian (x86-64 on both ends, matching the event
  * layout itself which is memcpy'd); the body is integrity-checked with
- * FNV-1a. Version changes bump kWireVersion, and a receiver rejects
- * frames whose version it does not speak.
+ * FNV-1a. Version changes bump kProtocolVersion, and a receiver
+ * rejects frames whose version it does not speak.
  */
 
 #ifndef VARAN_WIRE_PROTOCOL_H
@@ -58,10 +75,14 @@
 namespace varan::wire {
 
 inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
-/** v2: the Status frame became the status RPC (empty body = request,
+/** v3: Hello/HelloAck carry (engine_epoch, stream_generation) and the
+ *  receiver's stable identity; the Error frame makes rejections
+ *  decodable — the epoch-reconciliation handshake behind cross-node
+ *  failover and one-shipper/N-receiver fan-out.
+ *  v2: the Status frame became the status RPC (empty body = request,
  *  core::StatusReport body = reply); in v1 it carried a HelloBody and
  *  nothing ever sent it. */
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /** Upper bound on a frame body; anything larger is corruption. */
 inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
@@ -74,6 +95,35 @@ enum class FrameType : std::uint16_t {
     Credit,
     Status,
     Bye,
+    Error,
+};
+
+/** Why a peer refused the link (ErrorBody::code). */
+enum class WireError : std::uint32_t {
+    None = 0,
+    /** The peer's stream_generation is older than what this side
+     *  already reconciled against — a resurrected pre-failover leader
+     *  must not overwrite the promoted stream. */
+    StaleGeneration = 1,
+    /** Same generation, but the peer's engine_epoch regressed. */
+    StaleEpoch = 2,
+    /** Ring capacity / tuple bound do not match the local layout. */
+    GeometryMismatch = 3,
+    /** The receiver's resume cursor is behind the shipper's retained
+     *  tail (frames already retired or never taped) — the receiver
+     *  needs a full resync this stream cannot provide. */
+    PeerTooFarBehind = 4,
+    /** The receiver's resume cursor is *ahead* of the shipper's drain
+     *  cursor: it holds a tail the dead leader never replicated to
+     *  this (promoted) node. Accepting it would silently diverge —
+     *  the promoted leader publishes different events at those
+     *  positions. */
+    CursorAheadOfStream = 5,
+    /** The node behind this endpoint no longer consumes any stream —
+     *  it promoted and leads its own generation. Tells a concurrently
+     *  promoted sibling (or a resurrected leader) that nothing it
+     *  ships here will ever be read. */
+    PeerNotReceiving = 6,
 };
 
 /** Fixed preamble of every frame. */
@@ -90,22 +140,28 @@ struct FrameHeader {
 
 static_assert(sizeof(FrameHeader) == 32, "header layout is part of the protocol");
 
-/** Geometry + pool pressure snapshot (Hello and Status bodies). */
+/** Geometry + epoch stamp + pool pressure snapshot (Hello body). */
 struct HelloBody {
     std::uint32_t num_variants;   ///< variants on the shipping node
     std::uint32_t ring_capacity;  ///< events per tuple ring
     std::uint32_t max_tuples;     ///< compile-time tuple bound
     std::uint32_t num_tuples;     ///< live tuples at snapshot time
     std::uint32_t leader_id;
+    std::uint32_t engine_epoch;       ///< election count on the shipper
+    std::uint32_t stream_generation;  ///< bumped on cross-node promotion
     std::uint32_t reserved;
     std::uint64_t events_streamed;
     shmem::PoolStats pool;        ///< per-shard carve/free/spill stats
 };
 
-/** Per-tuple resume cursors (HelloAck body). */
+/** Receiver identity + reconciliation stamp + resume cursors
+ *  (HelloAck body). */
 struct HelloAckBody {
     std::uint32_t max_tuples;
+    std::uint32_t engine_epoch;       ///< epoch the receiver last adopted
+    std::uint32_t stream_generation;  ///< generation it reconciled against
     std::uint32_t reserved;
+    std::uint64_t receiver_id;        ///< stable per-receiver identity
     std::uint64_t next_seq[core::kMaxTuples]; ///< next expected ring seq
 };
 
@@ -114,6 +170,18 @@ struct CreditEntry {
     std::uint32_t tuple;
     std::uint32_t reserved;
     std::uint64_t delivered; ///< ring sequences < delivered have landed
+};
+
+/** A decodable link rejection (Error body). `local` is the sender of
+ *  the Error frame, `peer` echoes what the rejected side announced. */
+struct ErrorBody {
+    std::uint32_t code;              ///< WireError
+    std::uint32_t reserved;
+    std::uint32_t local_epoch;
+    std::uint32_t local_generation;
+    std::uint32_t peer_epoch;
+    std::uint32_t peer_generation;
+    std::uint64_t detail;            ///< code-specific (e.g. cursor floor)
 };
 
 /** FNV-1a over arbitrary bytes — the frame body checksum. */
@@ -137,7 +205,7 @@ makeHeader(FrameType type, std::uint32_t body_len)
 {
     FrameHeader h = {};
     h.magic = kFrameMagic;
-    h.version = kWireVersion;
+    h.version = kProtocolVersion;
     h.type = static_cast<std::uint16_t>(type);
     h.body_len = body_len;
     h.body_crc = bodyChecksum(nullptr, 0);
@@ -153,9 +221,9 @@ makeHeader(FrameType type, std::uint32_t body_len)
 inline bool
 headerValid(const FrameHeader &h)
 {
-    if (h.magic != kFrameMagic || h.version != kWireVersion)
+    if (h.magic != kFrameMagic || h.version != kProtocolVersion)
         return false;
-    if (h.type == 0 || h.type > static_cast<std::uint16_t>(FrameType::Bye))
+    if (h.type == 0 || h.type > static_cast<std::uint16_t>(FrameType::Error))
         return false;
     if (h.body_len > kMaxBodyBytes)
         return false;
@@ -205,6 +273,38 @@ decodeStatusFrame(const FrameHeader &header, const void *body,
     if (header.body_crc != bodyChecksum(body, body_len))
         return false;
     std::memcpy(out, body, sizeof(core::StatusReport));
+    return true;
+}
+
+/** Wire size of an Error frame: header + ErrorBody. */
+inline constexpr std::size_t kErrorFrameBytes =
+    sizeof(FrameHeader) + sizeof(ErrorBody);
+
+/** Serialize a link rejection into a wire-ready Error frame. */
+inline void
+encodeErrorFrame(const ErrorBody &error, std::uint8_t out[kErrorFrameBytes])
+{
+    FrameHeader header = makeHeader(FrameType::Error, sizeof(ErrorBody));
+    header.body_crc = bodyChecksum(&error, sizeof(error));
+    std::memcpy(out, &header, sizeof(header));
+    std::memcpy(out + sizeof(header), &error, sizeof(error));
+}
+
+/**
+ * Decode an Error body received with @p header.
+ * @return false on type, length or checksum mismatch.
+ */
+inline bool
+decodeErrorFrame(const FrameHeader &header, const void *body,
+                 std::size_t body_len, ErrorBody *out)
+{
+    if (static_cast<FrameType>(header.type) != FrameType::Error)
+        return false;
+    if (body_len != sizeof(ErrorBody) || header.body_len != body_len)
+        return false;
+    if (header.body_crc != bodyChecksum(body, body_len))
+        return false;
+    std::memcpy(out, body, sizeof(ErrorBody));
     return true;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "netio/socketio.h"
 #include "wire/io.h"
 
 namespace varan::wire {
@@ -34,10 +35,16 @@ hasAckPoint(const ring::Event *events, std::size_t count)
 
 Receiver::Receiver(const shmem::Region *region,
                    const core::EngineLayout *layout, Options options)
-    : region_(region), layout_(layout), options_(options)
+    : region_(region), layout_(layout), options_(std::move(options))
 {
     if (options_.credit_every == 0)
         options_.credit_every = 1;
+    // A stable identity for the shipper's session table: a fan-out
+    // shipper matches a reconnecting receiver to its session (credit
+    // cursors, retransmit tail) by this value, not by socket.
+    receiver_id_ =
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^ monotonicNs() ^
+        reinterpret_cast<std::uintptr_t>(this);
 }
 
 Receiver::~Receiver()
@@ -45,6 +52,22 @@ Receiver::~Receiver()
     stopping_.store(true, std::memory_order_release);
     if (thread_.joinable())
         thread_.join();
+}
+
+void
+Receiver::sendHandshakeError(int socket_fd, WireError code,
+                             const HelloBody &hello)
+{
+    ErrorBody error = {};
+    error.code = static_cast<std::uint32_t>(code);
+    error.local_epoch = last_epoch_;
+    error.local_generation = last_generation_;
+    error.peer_epoch = hello.engine_epoch;
+    error.peer_generation = hello.stream_generation;
+    std::uint8_t frame[kErrorFrameBytes];
+    encodeErrorFrame(error, frame);
+    writeFull(socket_fd, frame, sizeof(frame));
+    ++stats_.errors_sent;
 }
 
 Status
@@ -84,8 +107,65 @@ Receiver::adopt(int socket_fd)
     core::ControlBlock *cb = layout_->controlBlock(region_);
     if (hello.ring_capacity != cb->ring_capacity ||
         hello.max_tuples != core::kMaxTuples) {
+        sendHandshakeError(socket_fd_, WireError::GeometryMismatch, hello);
         return Status(Errno{EPROTO});
     }
+
+    // A promoted node leads its own generation and consumes no stream:
+    // nothing shipped here would ever be read (the serve loop is
+    // parked). Refuse decodably — this is what a concurrently promoted
+    // sibling sees, where the stale checks below would wrongly pass an
+    // equal-or-newer stamp and mirror a foreign stamp into an engine
+    // that is itself leading.
+    if (promoted_.load(std::memory_order_acquire)) {
+        warn("wire receiver: refusing shipper (gen %u epoch %u) — this "
+             "node promoted and leads generation %u",
+             hello.stream_generation, hello.engine_epoch,
+             last_generation_);
+        sendHandshakeError(socket_fd_, WireError::PeerNotReceiving,
+                           hello);
+        return Status(Errno{EBUSY});
+    }
+
+    // Epoch reconciliation: never accept a stream older than what this
+    // receiver already reconciled against. A resurrected pre-failover
+    // leader (stale generation) or a leader whose epoch regressed
+    // within a generation must not rewind the materialized stream —
+    // answer with a decodable Error so the operator sees *why*.
+    if (hello.stream_generation < last_generation_) {
+        warn("wire receiver: rejecting stale generation %u (reconciled "
+             "against %u)",
+             hello.stream_generation, last_generation_);
+        sendHandshakeError(socket_fd_, WireError::StaleGeneration, hello);
+        return Status(Errno{EPROTO});
+    }
+    if (hello.stream_generation == last_generation_ &&
+        hello.engine_epoch < last_epoch_) {
+        warn("wire receiver: rejecting stale epoch %u (reconciled "
+             "against %u in generation %u)",
+             hello.engine_epoch, last_epoch_, last_generation_);
+        sendHandshakeError(socket_fd_, WireError::StaleEpoch, hello);
+        return Status(Errno{EPROTO});
+    }
+    if (hello.stream_generation > last_generation_ &&
+        last_generation_ != 0) {
+        // A promotion happened upstream: the new leader continues the
+        // same logical stream from what its node materialized, so our
+        // prefix and resume cursors stay valid — rebase, don't reset.
+        inform("wire receiver: rebasing onto generation %u epoch %u "
+               "(was %u/%u)",
+               hello.stream_generation, hello.engine_epoch,
+               last_generation_, last_epoch_);
+        ++stats_.rebases;
+    }
+    last_epoch_ = hello.engine_epoch;
+    last_generation_ = hello.stream_generation;
+    // Mirror the adopted stamp into the local control block so
+    // collectStatus() on this node reports the stream it consumes.
+    cb->epoch.store(last_epoch_, std::memory_order_release);
+    cb->stream_generation.store(last_generation_,
+                                std::memory_order_release);
+
     hello_ = hello;
     seen_hello_ = true;
     // A cached status reply belongs to the previous peer (failover may
@@ -94,6 +174,9 @@ Receiver::adopt(int socket_fd)
 
     HelloAckBody ack = {};
     ack.max_tuples = core::kMaxTuples;
+    ack.engine_epoch = last_epoch_;
+    ack.stream_generation = last_generation_;
+    ack.receiver_id = receiver_id_;
     for (std::uint32_t t = 0; t < core::kMaxTuples; ++t)
         ack.next_seq[t] = next_seq_[t];
     FrameHeader ack_header = makeHeader(FrameType::HelloAck, sizeof(ack));
@@ -351,6 +434,21 @@ Receiver::readFrame()
         seen_status_ = true;
         ++stats_.status_reports;
         return true;
+      case FrameType::Error:
+        // A decodable rejection mid-stream (e.g. the shipper evicted
+        // this receiver as too far behind): remember it and drop.
+        if (decodeErrorFrame(header, body.data(), body.size(),
+                             &last_error_)) {
+            ++stats_.errors_received;
+            warn("wire receiver: shipper reported error %u "
+                 "(its epoch %u gen %u)",
+                 last_error_.code, last_error_.local_epoch,
+                 last_error_.local_generation);
+        } else {
+            ++stats_.corrupt_frames;
+        }
+        dropLink();
+        return false;
       case FrameType::Bye:
         // Orderly end: flush remaining credits so the shipper retires
         // its retransmit buffer, then close down.
@@ -397,15 +495,168 @@ Receiver::serveOnce(int timeout_ms)
     }
 }
 
+bool
+Receiver::promoteLocked(std::uint32_t *epoch_out,
+                        std::uint32_t *leader_out)
+{
+    if (promoted_.load(std::memory_order_acquire) ||
+        stopping_.load(std::memory_order_acquire)) {
+        return false;
+    }
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    if (cb->leader_id.load(std::memory_order_acquire) != core::kNoLeader) {
+        // Not an external-leader engine (or already promoted): nothing
+        // to take over.
+        return false;
+    }
+
+    // The same election markVariantDead runs locally: the lowest live
+    // LeaderCandidate takes over. FollowerOnly variants (sanitizer
+    // builds) are never promoted, across nodes either.
+    const std::uint32_t live =
+        cb->live_mask.load(std::memory_order_acquire);
+    std::uint32_t new_leader = core::kNoLeader;
+    for (std::uint32_t v = 0; v < cb->num_variants; ++v) {
+        if (!(live & (1u << v)))
+            continue;
+        if (cb->variants[v].role.load(std::memory_order_acquire) ==
+            static_cast<std::uint32_t>(core::VariantRole::LeaderCandidate)) {
+            new_leader = v;
+            break;
+        }
+    }
+    if (new_leader == core::kNoLeader) {
+        warn("wire receiver: leader node lost but no local leader "
+             "candidate survives — cannot promote");
+        return false;
+    }
+
+    dropLink();
+
+    // Standby shipping: attach the taps *before* the election so the
+    // promoted stream is complete from its first event (nothing can
+    // publish until leader_id flips).
+    if (!options_.standby_peers.empty()) {
+        promoted_shipper_ =
+            std::make_unique<Shipper>(region_, layout_,
+                                      options_.promoted_ship);
+        Status taps = promoted_shipper_->attachTaps();
+        if (!taps.isOk()) {
+            warn("wire receiver: standby shipper tap attach failed: %s",
+                 taps.error().message().c_str());
+            promoted_shipper_.reset();
+        }
+    }
+
+    const std::uint32_t epoch =
+        cb->epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::uint32_t generation =
+        cb->stream_generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+    cb->promotions.fetch_add(1, std::memory_order_acq_rel);
+    cb->leader_id.store(new_leader, std::memory_order_release);
+    // A resurrected pre-failover shipper must fail the next adopt().
+    last_epoch_ = epoch;
+    last_generation_ = generation;
+    promoted_.store(true, std::memory_order_release);
+    inform("wire receiver: leader node lost — promoted local variant %u "
+           "(epoch %u, stream generation %u)",
+           new_leader, epoch, generation);
+
+    // Ship the promoted stream to the surviving nodes. A standby that
+    // cannot be reached just misses the new stream — promotion itself
+    // must not fail on it.
+    if (promoted_shipper_) {
+        for (const std::string &endpoint : options_.standby_peers) {
+            auto sock = netio::connectAbstract(endpoint, 2000);
+            if (!sock.ok()) {
+                warn("wire receiver: standby peer '%s' unreachable",
+                     endpoint.c_str());
+                continue;
+            }
+            Status added = promoted_shipper_->addPeer(sock.value());
+            if (!added.isOk()) {
+                warn("wire receiver: standby peer '%s' refused the "
+                     "promoted stream: %s",
+                     endpoint.c_str(), added.error().message().c_str());
+                ::close(sock.value());
+            }
+        }
+        promoted_shipper_->start();
+    }
+
+    *epoch_out = epoch;
+    *leader_out = new_leader;
+    return true;
+}
+
+bool
+Receiver::promoteNow()
+{
+    std::uint32_t epoch = 0;
+    std::uint32_t leader = 0;
+    bool took_over = false;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        took_over = promoteLocked(&epoch, &leader);
+    }
+    // The hook runs unlocked so it may call back into the receiver
+    // (stats(), localStatus()) without deadlocking.
+    if (took_over && options_.on_promote)
+        options_.on_promote(epoch, leader);
+    return took_over;
+}
+
 void
 Receiver::serveLoop()
 {
+    // quiet = no frame arrived and no adopt() succeeded. Once it
+    // exceeds promote_after the leader node is presumed dead; halfway
+    // there, a Status request doubles as a liveness probe so an idle
+    // but healthy leader is never deposed (its reply is a frame and
+    // resets the clock).
+    std::uint64_t quiet_since = monotonicNs();
+    bool probe_sent = false;
+    const std::uint64_t promote_after = options_.promote_after_ns;
+
     while (!stopping_.load(std::memory_order_acquire)) {
-        if (serveOnce(options_.tick_ms) < 0) {
-            // Link down: wait for an adopt() from the failover path.
-            while (!stopping_.load(std::memory_order_acquire) &&
-                   !link_up_.load(std::memory_order_acquire)) {
-                sleepNs(1000000);
+        if (promoted_.load(std::memory_order_acquire)) {
+            // This node leads now; the promoted shipper's own pump
+            // serves the stream. Stay parked until finish().
+            sleepNs(1000000);
+            continue;
+        }
+        if (link_up_.load(std::memory_order_acquire)) {
+            int frames = serveOnce(options_.tick_ms);
+            if (frames > 0) {
+                quiet_since = monotonicNs();
+                probe_sent = false;
+                continue;
+            }
+            if (frames < 0)
+                continue; // link dropped; the quiet clock keeps running
+            if (promote_after == 0)
+                continue;
+            const std::uint64_t now = monotonicNs();
+            if (!probe_sent && now - quiet_since > promote_after / 2) {
+                // Idle or dead? Ask. requestStatus() drops the link
+                // itself when the socket is already gone.
+                requestStatus();
+                probe_sent = true;
+            }
+            if (now - quiet_since > promote_after)
+                promoteNow();
+        } else {
+            // Link down: wait for an adopt() from the failover path —
+            // or take over when nobody re-connects in time.
+            if (promote_after != 0 &&
+                monotonicNs() - quiet_since > promote_after) {
+                promoteNow();
+                continue;
+            }
+            sleepNs(1000000);
+            if (link_up_.load(std::memory_order_acquire)) {
+                quiet_since = monotonicNs();
+                probe_sent = false;
             }
         }
     }
@@ -424,6 +675,8 @@ Receiver::finish()
     stopping_.store(true, std::memory_order_release);
     if (thread_.joinable())
         thread_.join();
+    if (promoted_shipper_)
+        promoted_shipper_->finish();
     std::lock_guard<std::mutex> guard(mutex_);
     if (link_up_.load(std::memory_order_acquire)) {
         FrameHeader bye = makeHeader(FrameType::Bye, 0);
@@ -466,6 +719,10 @@ Receiver::localStatus() const
     report.receiver.active = 1;
     report.receiver.link_up =
         link_up_.load(std::memory_order_acquire) ? 1 : 0;
+    report.receiver.promoted =
+        promoted_.load(std::memory_order_acquire) ? 1 : 0;
+    report.receiver.errors = static_cast<std::uint32_t>(
+        stats_.errors_sent + stats_.errors_received);
     report.receiver.frames = stats_.frames;
     report.receiver.events = stats_.events;
     report.receiver.payload_bytes = stats_.payload_bytes;
@@ -482,6 +739,13 @@ Receiver::nextSeq(std::uint32_t tuple) const
     std::lock_guard<std::mutex> guard(mutex_);
     VARAN_CHECK(tuple < core::kMaxTuples);
     return next_seq_[tuple];
+}
+
+ErrorBody
+Receiver::lastError() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return last_error_;
 }
 
 Receiver::Stats

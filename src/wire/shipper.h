@@ -4,29 +4,53 @@
  *
  * A Shipper attaches tap consumer slots to every tuple ring (exactly
  * like the record-replay recorder) and streams the leader's event
- * history to a remote Receiver over a connected socket. Batching is
- * DMON-style relaxed: events are drained with peekBatch() — one head
- * acquire per run — serialized into Events frames of up to
- * `ship_batch` events (payload bytes inlined behind the event array)
- * and written with one writev() per claimed chunk through a
- * netio::EventLoop that also delivers the receiver's Credit frames.
+ * history to one or more remote Receivers — one shipper, N peers.
+ * Batching is DMON-style relaxed: events are drained with peekBatch()
+ * — one head acquire per run — serialized once into Events frames of
+ * up to `ship_batch` events (payload bytes inlined behind the event
+ * array) and fanned out to every peer whose credit window is open,
+ * through a netio::EventLoop that also delivers each peer's Credit
+ * frames.
  *
- * Flow control is credit-based: at most `credit_window` events per
- * tuple may be unacknowledged; beyond that the shipper leaves events
- * in the ring, which eventually gates the leader — remote backpressure
- * propagates exactly like a slow local follower. Shipped-but-unacked
- * frames are kept in a retransmit buffer, so a link drop mid-batch is
- * survivable: reconnect() re-handshakes, learns the receiver's
- * per-tuple resume cursors from the HelloAck, drops what already
- * landed and retransmits the rest — at-least-once delivery with
- * receiver-side dedup, never a hole.
+ * Fan-out bookkeeping is a per-peer session table keyed by the
+ * receiver's stable identity (HelloAck::receiver_id): each session
+ * carries its own credit window, send cursor and non-blocking outbox,
+ * so a stalled peer neither gates its siblings nor wedges the pump
+ * thread in a blocking write. Frames are retired from the shared
+ * retransmit buffer once the *slowest* registered session credits past
+ * them; a session that falls further behind than `retain_limit` events
+ * is evicted (it would pin the buffer forever) and must resync from a
+ * fresh stream. Ring drain is gated by the *fastest* live session —
+ * remote backpressure only propagates to the leader when every peer
+ * stalls.
+ *
+ * Flow control is credit-based per peer: at most `credit_window`
+ * events per tuple may be unacknowledged to one peer; beyond that,
+ * frames stay buffered for that peer while faster peers keep
+ * receiving. Shipped-but-unacked frames are kept in the retransmit
+ * buffer, so a link drop mid-batch is survivable: addPeer() on a
+ * replacement socket re-handshakes, matches the session by
+ * receiver_id, learns the resume cursors from the HelloAck, drops what
+ * already landed and retransmits the rest — at-least-once delivery
+ * with receiver-side dedup, never a hole.
+ *
+ * The v3 handshake is epoch-stamped: Hello carries the engine's
+ * (engine_epoch, stream_generation); a receiver that already
+ * reconciled against a newer generation answers with a decodable
+ * Error frame instead of a HelloAck, and a receiver whose resume
+ * cursor is behind this shipper's retained tail is rejected with
+ * PeerTooFarBehind. A promoted shipper (taps attached mid-stream)
+ * therefore serves exactly the suffix it owns and refuses peers it
+ * cannot complete.
  */
 
 #ifndef VARAN_WIRE_SHIPPER_H
 #define VARAN_WIRE_SHIPPER_H
 
 #include <atomic>
+#include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,22 +73,38 @@ class Shipper
          *  shipping, 16-64 amortize framing + writev cost. Clamped to
          *  [1, kMaxShipBatch]. */
         std::size_t ship_batch = 16;
-        /** Max unacknowledged events per tuple before shipping pauses
-         *  (bounds the retransmit buffer and remote run-ahead). */
+        /** Max unacknowledged events per tuple *per peer* before that
+         *  peer stops receiving new frames (bounds remote run-ahead). */
         std::size_t credit_window = 4096;
+        /** A session whose credited cursor falls this many events
+         *  behind the drain cursor is evicted — it would pin the
+         *  retransmit buffer forever. 0 = 4 * credit_window. With a
+         *  single peer the drain gate keeps the lag under
+         *  credit_window, so eviction can only fire in fan-out. */
+        std::size_t retain_limit = 0;
+        /** Per-peer outbox cap (bytes buffered for a peer whose socket
+         *  is full before new frames stop being queued to it). Soft by
+         *  one frame: a frame whose direct send hits EAGAIN mid-write
+         *  must park its remainder whole to preserve framing, so peak
+         *  usage is the cap plus one frame. */
+        std::size_t outbox_limit = 4u << 20;
         /** Pump tick while idle (ms). */
         int tick_ms = 20;
     };
 
     struct Stats {
-        std::uint64_t frames = 0;
-        std::uint64_t events = 0;
+        std::uint64_t frames = 0;  ///< frame transmissions (per peer)
+        std::uint64_t events = 0;  ///< events drained from the rings
         std::uint64_t bytes = 0;
         std::uint64_t payload_bytes = 0;
         std::uint64_t credits_received = 0;
         std::uint64_t retransmitted_frames = 0;
         std::uint64_t reconnects = 0;
         std::uint64_t status_requests_served = 0; ///< status RPC replies
+        std::uint64_t errors_sent = 0;     ///< Error frames sent
+        std::uint64_t errors_received = 0; ///< Error frames decoded
+        std::uint32_t peers = 0;           ///< registered sessions
+        std::uint32_t peers_evicted = 0;   ///< sessions dropped as behind
     };
 
     Shipper(const shmem::Region *region, const core::EngineLayout *layout,
@@ -77,18 +117,31 @@ class Shipper
 
     VARAN_NO_COPY_NO_MOVE(Shipper);
 
-    /** Attach a tap consumer slot on every tuple ring. Must run before
-     *  the leader starts publishing (pre-spawn hook) so no event is
-     *  missed. */
+    /** Attach a tap consumer slot on every tuple ring. On a fresh
+     *  engine (pre-spawn hook) the taps see the stream from event one;
+     *  on a promoted engine they attach at the current ring head and
+     *  the shipper serves the suffix from there (its cursor floor). */
     Status attachTaps();
 
-    /** Adopt a connected socket: send Hello (geometry + pool stats),
-     *  await HelloAck, adopt the receiver's resume cursors. */
-    Status handshake(int socket_fd);
+    /**
+     * Adopt a connected socket as a peer: send Hello (geometry + epoch
+     * stamp + pool stats), await HelloAck, and bind or resume the
+     * session keyed by the receiver's identity. A resumed session
+     * adopts the receiver's cursors and retransmits the
+     * unacknowledged tail; a new session starts at the receiver's
+     * cursors (all zeros for a fresh receiver). A receiver that
+     * rejects the link answers with an Error frame, which is decoded
+     * into lastError() and surfaced as EPROTO.
+     */
+    Status addPeer(int socket_fd);
 
-    /** Failover path: adopt a replacement socket after a link drop,
-     *  re-handshake, and retransmit everything past the receiver's
-     *  resume cursors. */
+    /** Compatibility alias for the single-peer API: adopt the first
+     *  (or a replacement) socket. Identical to addPeer(). */
+    Status handshake(int socket_fd) { return addPeer(socket_fd); }
+
+    /** Failover path: adopt a replacement socket after a link drop.
+     *  The session is matched by receiver_id and its unacknowledged
+     *  tail retransmitted. */
     Status reconnect(int socket_fd);
 
     /** Start the background pump thread. */
@@ -99,12 +152,20 @@ class Shipper
     Status finish();
 
     /** One synchronous pump pass (tests and benches drive this
-     *  directly): handle pending credits, drain every ring once, write
-     *  out what fits. @return events shipped this pass. */
+     *  directly): handle pending credits, drain every ring once, fan
+     *  out what fits to every open peer window. @return events drained
+     *  this pass. */
     std::size_t pumpOnce();
 
-    /** True while the socket is usable. */
+    /** True while at least one peer link is usable. */
     bool linkUp() const { return link_up_.load(std::memory_order_acquire); }
+
+    /** Registered peer sessions (live or awaiting reconnect). */
+    std::size_t peerCount() const;
+
+    /** The last Error frame a peer answered a handshake with (zeroed
+     *  code when no handshake was ever rejected). */
+    ErrorBody lastError() const;
 
     Stats stats() const;
 
@@ -118,10 +179,10 @@ class Shipper
     struct TupleShip {
         int tap_slot = -1;
         std::uint64_t next_seq = 0;  ///< next ring seq to drain
-        std::uint64_t acked = 0;     ///< receiver-confirmed cursor
+        std::uint64_t floor_seq = 0; ///< oldest seq this shipper can serve
     };
 
-    /** A serialized frame kept until the receiver credits past it. */
+    /** A serialized frame kept until every session credits past it. */
     struct PendingFrame {
         std::uint32_t tuple = 0;
         std::uint64_t seq = 0;
@@ -129,34 +190,69 @@ class Shipper
         std::vector<std::uint8_t> bytes; ///< header + body, wire-ready
     };
 
+    /** One receiver's view of the stream. */
+    struct PeerSession {
+        std::uint64_t receiver_id = 0;
+        int socket_fd = -1;
+        bool link_up = false;
+        std::uint64_t sent[core::kMaxTuples] = {};  ///< next seq to send
+        std::uint64_t acked[core::kMaxTuples] = {}; ///< credited cursor
+        std::vector<std::uint8_t> outbox; ///< bytes the socket refused
+        std::size_t outbox_head = 0;      ///< consumed prefix of outbox
+    };
+
     std::size_t drainTuple(std::uint32_t tuple);
-    bool writeFrame(const PendingFrame &frame);
-    void handleCredits();
+    /** Send buffered frames to every live peer whose window is open. */
+    void fanOut();
+    void sendBacklog(PeerSession &peer);
+    /** Queue wire-ready bytes to @p peer (non-blocking; socket first,
+     *  outbox overflow second). @return false when the outbox cap is
+     *  hit — the caller must not advance its cursor. */
+    bool queueBytes(PeerSession &peer, const std::uint8_t *data,
+                    std::size_t len);
+    /** Flush the peer's outbox as far as the socket accepts. */
+    void flushOutbox(PeerSession &peer);
+    void handlePeerInput(int fd);
+    void handleCredits(PeerSession &peer, const FrameHeader &header);
     /** Answer a status request: assemble a core::StatusReport from the
      *  shared region plus this shipper's own statistics and send it as
      *  a Status frame (the coordinator status RPC). */
-    void serveStatusRequest();
+    void serveStatusRequest(PeerSession &peer);
+    /** Retire buffered frames every session has credited, advancing
+     *  the per-tuple cursor floor. */
+    void retireAcked();
+    /** Drop sessions whose lag exceeds retain_limit. */
+    void evictStragglers();
+    PeerSession *peerByFd(int fd);
+    /** Highest credited cursor among live sessions — the drain gate
+     *  (falls back to all sessions when no link is up, so a sole
+     *  disconnected peer keeps its reconnect-retransmit window). */
+    std::uint64_t fastestAcked(std::uint32_t tuple) const;
     /** Any tuple ring with events the tap has not drained yet? */
     bool ringBacklog();
+    /** Any live peer with drained frames not yet on the wire? */
+    bool unsentBacklog();
     /** Ship all remaining ring events, waiting (bounded) for credits
      *  when the window closes — the shutdown tail must not truncate. */
     void drainRemaining();
     void pumpLoop();
-    Status sendHello(FrameType type);
-    void dropLink();
+    Status sendHello(int socket_fd);
+    void dropPeerLink(PeerSession &peer);
+    void refreshLinkUp();
 
     const shmem::Region *region_;
     const core::EngineLayout *layout_;
     Options options_;
-    int socket_fd_ = -1;
     std::atomic<bool> link_up_{false};
     std::atomic<bool> stopping_{false};
     std::thread thread_;
     netio::EventLoop loop_;
 
     TupleShip tuples_[core::kMaxTuples];
+    std::vector<std::unique_ptr<PeerSession>> peers_;
     std::deque<PendingFrame> unacked_;
-    mutable std::mutex mutex_; ///< guards tuples_/unacked_/stats_/socket
+    ErrorBody last_error_ = {};
+    mutable std::mutex mutex_; ///< guards tuples_/peers_/unacked_/stats_
     Stats stats_;
 };
 

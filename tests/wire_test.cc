@@ -4,13 +4,19 @@
  * trips over a socketpair, corrupt/truncated frame rejection, a full
  * end-to-end leader -> wire -> remote-follower run through the
  * unmodified dispatch loop, link-drop failover with retransmission,
- * the pool-statistics handshake snapshot, and the coordinator status
- * RPC (StatusReport encode/decode round trip + a live remote request
- * answered by the shipper).
+ * the pool-statistics handshake snapshot, the coordinator status RPC
+ * (StatusReport encode/decode round trip + a live remote request
+ * answered by the shipper), and — protocol v3 — epoch reconciliation
+ * across leader generations, decodable stale-Hello rejection,
+ * one-shipper/N-receiver fan-out with per-peer credit isolation, and
+ * cross-node promotion (unit-level election plus the full
+ * kill-the-leader-node end-to-end scenario).
  */
 
+#include <csignal>
 #include <cstring>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -121,7 +127,7 @@ TEST(WireProtocolTest, HeaderValidation)
     EXPECT_FALSE(headerValid(bad_magic));
 
     FrameHeader bad_version = h;
-    bad_version.version = kWireVersion + 1;
+    bad_version.version = kProtocolVersion + 1;
     EXPECT_FALSE(headerValid(bad_version));
 
     FrameHeader bad_type = h;
@@ -453,6 +459,367 @@ TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
     sys::vclose(static_cast<int>(listening.value()));
 }
 
+// --- epoch reconciliation (protocol v3) --------------------------------
+
+TEST(WireEpochTest, HandshakeCarriesEpochStamp)
+{
+    FakeLeader leader;
+    FakeRemote remote;
+    core::ControlBlock *lcb = leader.layout.controlBlock(&leader.region);
+    lcb->epoch.store(3, std::memory_order_release);
+
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Shipper shipper(&leader.region, &leader.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+    Receiver receiver(&remote.region, &remote.layout);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    EXPECT_EQ(receiver.remoteHello().engine_epoch, 3u);
+    // A live leader publishes stream generation 1 (layout init).
+    EXPECT_EQ(receiver.remoteHello().stream_generation, 1u);
+    // The adopted stamp is mirrored into the receiving node's control
+    // block, so its own StatusReport names the stream it consumes.
+    core::StatusReport local = receiver.localStatus();
+    EXPECT_EQ(local.epoch, 3u);
+    EXPECT_EQ(local.stream_generation, 1u);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(WireEpochTest, ReceiverSurvivesTwoLeaderGenerations)
+{
+    // A receiver outlives its leader node: generation 1 ships a
+    // prefix, dies; a promoted node (generation 2, same logical
+    // stream, taps attached at the materialized position) takes over.
+    // The receiver must rebase and resume with no loss and no
+    // duplication.
+    FakeRemote remote;
+    Receiver receiver(&remote.region, &remote.layout);
+
+    {
+        FakeLeader first;
+        int sv[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        Shipper shipper(&first.region, &first.layout);
+        ASSERT_TRUE(shipper.attachTaps().isOk());
+        std::thread adopting(
+            [&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+        ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+        adopting.join();
+
+        for (std::uint64_t i = 0; i < 6; ++i)
+            first.publish(0, syscallEvent(i + 1, 39, 100 + i));
+        EXPECT_EQ(shipper.pumpOnce(), 6u);
+        EXPECT_EQ(receiver.serveOnce(1000), 1);
+        EXPECT_EQ(receiver.nextSeq(0), 6u);
+
+        // The leader node dies: no Bye, the link just goes away.
+        ::close(sv[0]);
+        ::close(sv[1]);
+    }
+
+    // The promoted node: it materialized the same 6-event prefix
+    // before taking over (its rings hold the stream up to there), its
+    // epoch and generation are bumped, and its shipper taps attach at
+    // the promotion point — exactly what Receiver promotion produces.
+    FakeLeader promoted;
+    core::ControlBlock *pcb =
+        promoted.layout.controlBlock(&promoted.region);
+    pcb->epoch.store(1, std::memory_order_release);
+    pcb->stream_generation.store(2, std::memory_order_release);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        promoted.publish(0, syscallEvent(i + 1, 39, 100 + i));
+
+    Shipper shipper2(&promoted.region, &promoted.layout);
+    ASSERT_TRUE(shipper2.attachTaps().isOk()); // floor = 6, not 0
+    for (std::uint64_t i = 6; i < 10; ++i)
+        promoted.publish(0, syscallEvent(i + 1, 39, 100 + i));
+
+    int sv2[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv2), 0);
+    std::thread readopting(
+        [&] { ASSERT_TRUE(receiver.adopt(sv2[1]).isOk()); });
+    ASSERT_TRUE(shipper2.handshake(sv2[0]).isOk());
+    readopting.join();
+
+    EXPECT_EQ(shipper2.pumpOnce(), 4u);
+    while (receiver.serveOnce(200) > 0) {
+    }
+
+    // Exactly events 1..10, in order: the generation-1 prefix plus the
+    // generation-2 suffix, nothing twice, nothing missing.
+    auto events = remote.drain(0);
+    ASSERT_EQ(events.size(), 10u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].timestamp, i + 1);
+    EXPECT_EQ(receiver.nextSeq(0), 10u);
+    EXPECT_EQ(receiver.stats().rebases, 1u);
+    EXPECT_EQ(receiver.stats().duplicates_dropped, 0u);
+    core::StatusReport local = receiver.localStatus();
+    EXPECT_EQ(local.stream_generation, 2u);
+    EXPECT_EQ(local.epoch, 1u);
+    ::close(sv2[0]);
+    ::close(sv2[1]);
+}
+
+TEST(WireEpochTest, StaleGenerationHelloRejectedWithDecodableError)
+{
+    // A resurrected pre-failover leader (stream generation 1) knocks
+    // on a receiver that already reconciled against generation 2: the
+    // receiver must refuse with an Error frame the shipper can decode,
+    // not silently rewind the stream.
+    FakeRemote remote;
+    Receiver receiver(&remote.region, &remote.layout);
+
+    FakeLeader current;
+    current.layout.controlBlock(&current.region)
+        ->stream_generation.store(2, std::memory_order_release);
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Shipper shipper(&current.region, &current.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    FakeLeader stale; // default: generation 1
+    int sv2[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv2), 0);
+    Shipper stale_shipper(&stale.region, &stale.layout);
+    ASSERT_TRUE(stale_shipper.attachTaps().isOk());
+    Status adopt_status = Status::ok();
+    std::thread rejecting([&] { adopt_status = receiver.adopt(sv2[1]); });
+    Status shaken = stale_shipper.handshake(sv2[0]);
+    rejecting.join();
+
+    EXPECT_FALSE(shaken.isOk());
+    EXPECT_FALSE(adopt_status.isOk());
+    ErrorBody error = stale_shipper.lastError();
+    EXPECT_EQ(error.code,
+              static_cast<std::uint32_t>(WireError::StaleGeneration));
+    EXPECT_EQ(error.local_generation, 2u); // what the receiver holds
+    EXPECT_EQ(error.peer_generation, 1u);  // what the stale side offered
+    EXPECT_EQ(receiver.stats().errors_sent, 1u);
+    EXPECT_EQ(stale_shipper.stats().errors_received, 1u);
+    // The live link is untouched by the rejected knock.
+    EXPECT_TRUE(shipper.linkUp());
+    ::close(sv[0]);
+    ::close(sv[1]);
+    ::close(sv2[0]);
+    ::close(sv2[1]);
+}
+
+// --- one shipper, N receivers ------------------------------------------
+
+TEST(WireFanOutTest, TwoReceiversBothGetTheStream)
+{
+    FakeLeader leader;
+    FakeRemote remote_a;
+    FakeRemote remote_b;
+
+    int sva[2], svb[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sva), 0);
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, svb), 0);
+
+    Shipper::Options ship_opts;
+    ship_opts.ship_batch = 4;
+    Shipper shipper(&leader.region, &leader.layout, ship_opts);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+
+    Receiver receiver_a(&remote_a.region, &remote_a.layout);
+    Receiver receiver_b(&remote_b.region, &remote_b.layout);
+    std::thread adopt_a(
+        [&] { ASSERT_TRUE(receiver_a.adopt(sva[1]).isOk()); });
+    ASSERT_TRUE(shipper.addPeer(sva[0]).isOk());
+    adopt_a.join();
+    std::thread adopt_b(
+        [&] { ASSERT_TRUE(receiver_b.adopt(svb[1]).isOk()); });
+    ASSERT_TRUE(shipper.addPeer(svb[0]).isOk());
+    adopt_b.join();
+    EXPECT_EQ(shipper.peerCount(), 2u);
+
+    const char note[] = "fan-out payload";
+    for (std::uint64_t i = 0; i < 11; ++i)
+        leader.publish(0, syscallEvent(i + 1, 39, 100 + i));
+    leader.publish(0, syscallEvent(12, 0 /*read*/, sizeof(note)), note,
+                   sizeof(note));
+    while (shipper.pumpOnce() > 0) {
+    }
+    while (receiver_a.serveOnce(200) > 0) {
+    }
+    while (receiver_b.serveOnce(200) > 0) {
+    }
+
+    for (FakeRemote *remote : {&remote_a, &remote_b}) {
+        auto events = remote->drain(0);
+        ASSERT_EQ(events.size(), 12u);
+        for (std::size_t i = 0; i < events.size(); ++i)
+            EXPECT_EQ(events[i].timestamp, i + 1);
+        ASSERT_TRUE(events[11].hasPayload());
+        shmem::ShardedPool pool = remote->layout.pool(&remote->region);
+        EXPECT_EQ(std::memcmp(pool.pointer(events[11].payload,
+                                           sizeof(note)),
+                              note, sizeof(note)),
+                  0);
+    }
+    EXPECT_EQ(receiver_a.stats().events, 12u);
+    EXPECT_EQ(receiver_b.stats().events, 12u);
+    // Events are drained (and counted) once, transmitted per peer.
+    EXPECT_EQ(shipper.stats().events, 12u);
+    EXPECT_EQ(shipper.stats().peers, 2u);
+
+    ::close(sva[0]);
+    ::close(sva[1]);
+    ::close(svb[0]);
+    ::close(svb[1]);
+}
+
+TEST(WireFanOutTest, StalledPeerDoesNotGateTheOther)
+{
+    // Peer B stops serving (no credits) while peer A keeps consuming:
+    // A must receive the whole stream — the drain is gated by the
+    // *fastest* peer — and B is eventually evicted as hopelessly
+    // behind instead of pinning the retransmit buffer forever.
+    FakeLeader leader;
+    FakeRemote remote_a;
+    FakeRemote remote_b;
+
+    int sva[2], svb[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sva), 0);
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, svb), 0);
+
+    Shipper::Options ship_opts;
+    ship_opts.ship_batch = 8;
+    ship_opts.credit_window = 8;
+    ship_opts.retain_limit = 16;
+    Shipper shipper(&leader.region, &leader.layout, ship_opts);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+
+    Receiver::Options prompt_credits;
+    prompt_credits.credit_every = 4;
+    Receiver receiver_a(&remote_a.region, &remote_a.layout,
+                        prompt_credits);
+    Receiver receiver_b(&remote_b.region, &remote_b.layout);
+    std::thread adopt_a(
+        [&] { ASSERT_TRUE(receiver_a.adopt(sva[1]).isOk()); });
+    ASSERT_TRUE(shipper.addPeer(sva[0]).isOk());
+    adopt_a.join();
+    std::thread adopt_b(
+        [&] { ASSERT_TRUE(receiver_b.adopt(svb[1]).isOk()); });
+    ASSERT_TRUE(shipper.addPeer(svb[0]).isOk());
+    adopt_b.join();
+
+    // B never serves another frame from here on.
+    std::uint64_t published = 0;
+    for (int round = 0; round < 16; ++round) {
+        for (int i = 0; i < 4; ++i)
+            leader.publish(0, syscallEvent(++published, 39, 0));
+        shipper.pumpOnce();
+        receiver_a.serveOnce(200);
+        shipper.pumpOnce(); // deliver A's credits, re-open the window
+    }
+    while (shipper.pumpOnce() > 0) {
+    }
+    while (receiver_a.serveOnce(200) > 0) {
+    }
+
+    // A saw everything, in order, despite B's stall.
+    auto events = remote_a.drain(0);
+    ASSERT_EQ(events.size(), published);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].timestamp, i + 1);
+
+    // B fell past retain_limit and was evicted.
+    EXPECT_EQ(shipper.stats().peers_evicted, 1u);
+    EXPECT_EQ(shipper.peerCount(), 1u);
+    EXPECT_LT(receiver_b.stats().events, published);
+
+    ::close(sva[0]);
+    ::close(sva[1]);
+    ::close(svb[0]);
+    ::close(svb[1]);
+}
+
+// --- cross-node promotion ----------------------------------------------
+
+TEST(WirePromotionTest, ReceiverPromotesAfterLinkLoss)
+{
+    // Unit-level promotion: the link dies, nobody reconnects within
+    // promote_after, and the receiver elects the local engine's
+    // LeaderCandidate — epoch and stream generation bump, leader_id
+    // flips, and a resurrected old shipper is refused as stale.
+    FakeLeader leader;
+    FakeRemote remote;
+
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Shipper shipper(&leader.region, &leader.layout);
+    ASSERT_TRUE(shipper.attachTaps().isOk());
+
+    std::atomic<std::uint32_t> promoted_epoch{0};
+    std::atomic<std::uint32_t> promoted_leader{0xffffffffu};
+    Receiver::Options opts;
+    opts.promote_after_ns = 200000000ULL; // 200 ms
+    opts.on_promote = [&](std::uint32_t epoch, std::uint32_t leader_id) {
+        promoted_epoch.store(epoch);
+        promoted_leader.store(leader_id);
+    };
+    Receiver receiver(&remote.region, &remote.layout, opts);
+    std::thread adopting([&] { ASSERT_TRUE(receiver.adopt(sv[1]).isOk()); });
+    ASSERT_TRUE(shipper.handshake(sv[0]).isOk());
+    adopting.join();
+
+    for (std::uint64_t i = 0; i < 3; ++i)
+        leader.publish(0, syscallEvent(i + 1, 39, 0));
+    EXPECT_EQ(shipper.pumpOnce(), 3u);
+    EXPECT_EQ(receiver.serveOnce(1000), 1);
+
+    receiver.start();
+    // The leader node dies: both socket ends vanish, no Bye.
+    ::close(sv[0]);
+    ::close(sv[1]);
+
+    const std::uint64_t deadline = monotonicNs() + 5000000000ULL;
+    while (!receiver.promoted() && monotonicNs() < deadline)
+        sleepNs(5000000);
+    ASSERT_TRUE(receiver.promoted());
+
+    core::ControlBlock *cb = remote.layout.controlBlock(&remote.region);
+    EXPECT_EQ(cb->leader_id.load(std::memory_order_acquire), 0u);
+    EXPECT_EQ(cb->epoch.load(std::memory_order_acquire), 1u);
+    EXPECT_EQ(cb->stream_generation.load(std::memory_order_acquire), 2u);
+    EXPECT_EQ(cb->promotions.load(std::memory_order_acquire), 1u);
+    EXPECT_EQ(promoted_epoch.load(), 1u);
+    EXPECT_EQ(promoted_leader.load(), 0u);
+    core::StatusReport local = receiver.localStatus();
+    EXPECT_EQ(local.receiver.promoted, 1u);
+    EXPECT_EQ(local.leader, 0u);
+
+    // Promotion is idempotent.
+    EXPECT_FALSE(receiver.promoteNow());
+
+    // The dead leader comes back: this node promoted and consumes no
+    // stream at all now — the refusal says so decodably.
+    int sv2[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv2), 0);
+    Status adopt_status = Status::ok();
+    std::thread rejecting([&] { adopt_status = receiver.adopt(sv2[1]); });
+    Status shaken = shipper.reconnect(sv2[0]);
+    rejecting.join();
+    EXPECT_FALSE(shaken.isOk());
+    EXPECT_FALSE(adopt_status.isOk());
+    EXPECT_EQ(shipper.lastError().code,
+              static_cast<std::uint32_t>(WireError::PeerNotReceiving));
+    EXPECT_EQ(shipper.lastError().local_generation, 2u);
+
+    ASSERT_TRUE(receiver.finish().isOk());
+    ::close(sv2[0]);
+    ::close(sv2[1]);
+}
+
 // --- the coordinator status RPC ----------------------------------------
 
 TEST(WireStatusTest, StatusReportFrameRoundTripBitExact)
@@ -642,6 +1009,181 @@ TEST(WireEndToEndTest, StatusRpcMatchesLiveLeaderGetters)
     ::close(gate[0]);
     ::close(gate[1]);
     sys::vclose(static_cast<int>(listening.value()));
+}
+
+TEST(WireEndToEndTest, CrossNodePromotionAfterLeaderNodeDeath)
+{
+    // The acceptance scenario for cross-node failover: a leader node
+    // (run in a forked child so it can be SIGKILLed like a real node
+    // loss) fans its stream out to two receiver nodes. Mid-stream the
+    // leader node dies. Receiver node 1 promotes within promote_after:
+    // its local variant is elected, continues executing from the exact
+    // replay point, and ships the promoted stream (bumped epoch +
+    // generation) to the surviving node 2 — which reconciles against
+    // the new generation and replays to completion without loss or
+    // duplication.
+    int gate[2];
+    ASSERT_EQ(::pipe(gate), 0);
+
+    auto app = [gate]() -> int {
+        for (int i = 0; i < 8; ++i)
+            sys::vgetpid();
+        char go = 0;
+        sys::vread(gate[0], &go, 1); // parks the leader mid-stream
+        for (int i = 0; i < 4; ++i)
+            sys::vgetpid();
+        return 42;
+    };
+
+    const std::string ep1 =
+        "varan-wire-promote1-" + std::to_string(::getpid());
+    const std::string ep2 =
+        "varan-wire-promote2-" + std::to_string(::getpid());
+    auto listening1 = netio::listenAbstract(ep1);
+    auto listening2 = netio::listenAbstract(ep2);
+    ASSERT_TRUE(listening1.ok());
+    ASSERT_TRUE(listening2.ok());
+
+    // The leader node: a separate process, so killing it takes down
+    // its coordinator, zygote, variant and shipper at once — a node
+    // loss, not an orderly Bye. Forked before any engine or thread
+    // exists in this process.
+    pid_t leader_node = ::fork();
+    ASSERT_GE(leader_node, 0);
+    if (leader_node == 0) {
+        core::EngineConfig config;
+        config.ring.capacity = 128;
+        config.shm_bytes = 16 << 20;
+        config.remote.endpoints = {ep1, ep2};
+        config.remote.ship_batch = 8;
+        core::Nvx nvx(config);
+        if (!nvx.start({core::VariantSpec(app).named("leader")}).isOk())
+            ::_exit(1);
+        nvx.wait(); // parked on the gate until killed
+        ::_exit(0);
+    }
+
+    // Receiver node 1: external-leader engine, promotion armed, node 2
+    // configured as the standby peer of the post-promotion stream.
+    core::EngineConfig remote_config;
+    remote_config.ring.capacity = 128;
+    remote_config.shm_bytes = 16 << 20;
+    remote_config.external_leader = true;
+    remote_config.ring.progress_timeout_ns = 20000000000ULL;
+    core::Nvx remote1(remote_config);
+    ASSERT_TRUE(
+        remote1.start({core::VariantSpec(app).named("standby1")}).isOk());
+    std::atomic<std::uint32_t> promoted_epoch{0};
+    Receiver::Options r1_opts;
+    r1_opts.promote_after_ns = 500000000ULL; // 500 ms
+    r1_opts.standby_peers = {ep2};
+    r1_opts.promoted_ship.ship_batch = 8;
+    r1_opts.on_promote = [&](std::uint32_t epoch, std::uint32_t) {
+        promoted_epoch.store(epoch);
+    };
+    Receiver receiver1(remote1.region(), &remote1.layout(), r1_opts);
+
+    // Receiver node 2: a plain observer that must survive both leader
+    // generations.
+    core::Nvx remote2(remote_config);
+    ASSERT_TRUE(
+        remote2.start({core::VariantSpec(app).named("standby2")}).isOk());
+    Receiver receiver2(remote2.region(), &remote2.layout());
+
+    ASSERT_TRUE(netio::waitReadable(
+        static_cast<int>(listening1.value()), 15000));
+    long conn1 = netio::acceptConnection(
+        static_cast<int>(listening1.value()), false);
+    ASSERT_GE(conn1, 0);
+    ASSERT_TRUE(receiver1.adopt(static_cast<int>(conn1)).isOk());
+    receiver1.start();
+    ASSERT_TRUE(netio::waitReadable(
+        static_cast<int>(listening2.value()), 15000));
+    long conn2 = netio::acceptConnection(
+        static_cast<int>(listening2.value()), false);
+    ASSERT_GE(conn2, 0);
+    ASSERT_TRUE(receiver2.adopt(static_cast<int>(conn2)).isOk());
+    receiver2.start();
+
+    // Let the pre-gate stream (8 events) reach both receiver nodes.
+    std::uint64_t deadline = monotonicNs() + 15000000000ULL;
+    while ((receiver1.nextSeq(0) < 8 || receiver2.nextSeq(0) < 8) &&
+           monotonicNs() < deadline) {
+        sleepNs(5000000);
+    }
+    ASSERT_GE(receiver1.nextSeq(0), 8u);
+    ASSERT_GE(receiver2.nextSeq(0), 8u);
+
+    // The leader node dies mid-stream.
+    const std::uint64_t killed_at = monotonicNs();
+    ASSERT_EQ(::kill(leader_node, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(leader_node, &wstatus, 0), leader_node);
+
+    // Node 1 promotes within promote_after (plus scheduling slack) and
+    // dials node 2 with the promoted stream; accept that connection.
+    ASSERT_TRUE(netio::waitReadable(
+        static_cast<int>(listening2.value()), 15000));
+    long conn3 = netio::acceptConnection(
+        static_cast<int>(listening2.value()), false);
+    ASSERT_GE(conn3, 0);
+    ASSERT_TRUE(receiver2.adopt(static_cast<int>(conn3)).isOk());
+    ASSERT_TRUE(receiver1.promoted());
+    const std::uint64_t promoted_by = monotonicNs();
+    EXPECT_LT(promoted_by - killed_at, 10000000000ULL);
+    // The hook fires after the standby links are up; give it a beat.
+    deadline = monotonicNs() + 10000000000ULL;
+    while (promoted_epoch.load() == 0 && monotonicNs() < deadline)
+        sleepNs(5000000);
+    EXPECT_GE(promoted_epoch.load(), 1u);
+
+    // Release the gate: the promoted leader (node 1's variant) resumes
+    // from the exact replay point, executes the read and the post-gate
+    // tail, and ships it all to node 2.
+    ASSERT_EQ(::write(gate[1], "g", 1), 1);
+
+    auto results1 = remote1.waitFor(30000000000ULL);
+    ASSERT_EQ(results1.size(), 1u);
+    EXPECT_FALSE(results1[0].crashed);
+    EXPECT_EQ(results1[0].status, 42);
+
+    auto results2 = remote2.waitFor(30000000000ULL);
+    ASSERT_EQ(results2.size(), 1u);
+    EXPECT_FALSE(results2[0].crashed);
+    EXPECT_EQ(results2[0].status, 42);
+
+    // Node 2 reconciled the generations without loss or duplication:
+    // its engine saw exactly the events node 1's engine did.
+    EXPECT_EQ(remote2.eventsStreamed(), remote1.eventsStreamed());
+    EXPECT_EQ(receiver2.stats().duplicates_dropped, 0u);
+    EXPECT_EQ(receiver2.stats().corrupt_frames, 0u);
+    EXPECT_EQ(receiver2.stats().rebases, 1u);
+
+    // The promoted engine serves a StatusReport over the wire showing
+    // the bumped epoch, the bumped generation and a live leader.
+    ASSERT_TRUE(receiver2.requestStatus().isOk());
+    core::StatusReport report = {};
+    deadline = monotonicNs() + 10000000000ULL;
+    while (!receiver2.remoteStatus(&report) && monotonicNs() < deadline)
+        sleepNs(5000000);
+    ASSERT_TRUE(receiver2.remoteStatus(&report)) << "no status reply";
+    EXPECT_EQ(report.epoch, promoted_epoch.load());
+    EXPECT_EQ(report.stream_generation, 2u);
+    EXPECT_EQ(report.leader, 0u);
+    EXPECT_GE(report.promotions, 1u);
+    EXPECT_EQ(report.shipper.active, 1u);
+    EXPECT_GT(report.shipper.events, 0u);
+
+    core::StatusReport local1 = receiver1.localStatus();
+    EXPECT_EQ(local1.receiver.promoted, 1u);
+    EXPECT_EQ(local1.stream_generation, 2u);
+
+    ASSERT_TRUE(receiver1.finish().isOk());
+    ASSERT_TRUE(receiver2.finish().isOk());
+    ::close(gate[0]);
+    ::close(gate[1]);
+    sys::vclose(static_cast<int>(listening1.value()));
+    sys::vclose(static_cast<int>(listening2.value()));
 }
 
 } // namespace
