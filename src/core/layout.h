@@ -114,6 +114,16 @@ struct ControlBlock {
     std::atomic<std::uint64_t> publish_batches;  ///< coalesced flushes
     std::atomic<std::uint64_t> events_coalesced; ///< events shipped batched
 
+    // Record-replay sink statistics, mirrored here by rr::LogSink so a
+    // StatusReport — local or served over the wire status RPC — can
+    // carry the recorder's health without reaching into its process.
+    std::atomic<std::uint32_t> rr_active;      ///< taps attached
+    std::atomic<std::uint32_t> rr_evicted;     ///< sink gave up (slow disk)
+    std::atomic<std::int32_t> rr_write_errno;  ///< first latched failure
+    std::atomic<std::uint64_t> rr_events;      ///< records drained
+    std::atomic<std::uint64_t> rr_bytes_written;
+    std::atomic<std::uint64_t> rr_spill_peak;  ///< spill-buffer high water
+
     VariantSlot variants[kMaxVariants];
     TupleSlot tuples[kMaxTuples];
     ring::ClockState clocks[kMaxVariants]; ///< per-variant Lamport clocks

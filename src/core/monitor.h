@@ -58,7 +58,7 @@ class Monitor : public sys::Dispatcher
          *  or on any ordering fence (payload/fd/fork/exit event).
          *  Off by default: a leader crash loses the pending run, so the
          *  promoted follower re-executes those calls (at-least-once
-         *  external effects) — see NvxOptions::publish_coalesce. */
+         *  external effects) — see CoalesceConfig::enabled. */
         bool coalesce_publish = false;
         std::uint32_t coalesce_max = 16;        ///< pending run cap
         std::uint64_t coalesce_window_ns = 200000; ///< 200 µs gap cap

@@ -11,28 +11,6 @@
 
 namespace varan::core {
 
-EngineConfig
-NvxOptions::toEngineConfig() const
-{
-    EngineConfig config;
-    config.shm_bytes = shm_bytes;
-    config.leader_index = leader_index;
-    config.verify_divergence = verify_divergence;
-    config.external_leader = external_leader;
-    config.rewrite_rules = rewrite_rules;
-    config.ring.capacity = ring_capacity;
-    config.ring.wait = wait;
-    config.ring.progress_timeout_ns = progress_timeout_ns;
-    config.ring.tick_ns = tick_ns;
-    config.coalesce.enabled = publish_coalesce;
-    config.coalesce.max_run = coalesce_max;
-    config.coalesce.window_ns = coalesce_window_ns;
-    config.remote.endpoint = remote_endpoint;
-    config.remote.ship_batch = remote_ship_batch;
-    config.remote.credit_window = remote_credit_window;
-    return config;
-}
-
 Nvx::Nvx(EngineConfig config) : config_(std::move(config))
 {
     auto region = shmem::Region::create(config_.shm_bytes);
@@ -41,8 +19,6 @@ Nvx::Nvx(EngineConfig config) : config_(std::move(config))
               region.error().message().c_str());
     region_ = std::move(region.value());
 }
-
-Nvx::Nvx(const NvxOptions &options) : Nvx(options.toEngineConfig()) {}
 
 Nvx::~Nvx()
 {
@@ -570,8 +546,13 @@ Nvx::monitorLoop()
         result.status = WIFSIGNALED(status) ? 128 + WTERMSIG(status)
                                             : WEXITSTATUS(status);
         result.restarts = restarts_[v];
-        const bool restarting =
-            shouldRestart(v, crashed) && restartVariant(v);
+        bool restarting = shouldRestart(v, crashed);
+        // Quiesce point: the policy committed to a respawn but the
+        // fresh cursors are not attached yet — an external replayer
+        // must stop publishing before restartVariant() picks the tail.
+        if (restarting && config_.on_restart)
+            config_.on_restart(v, restarts_[v] + 1);
+        restarting = restarting && restartVariant(v);
         if (config_.on_variant_exit)
             config_.on_variant_exit(result, restarting);
         if (!restarting) {

@@ -35,9 +35,10 @@
  *                  .build();
  *   auto results = nvx->run();
  *
- * The flat NvxOptions struct and the std::vector<VariantFn> overloads
- * remain as a deprecated source-compatibility shim for one release;
- * new code should use EngineConfig + VariantSpec.
+ * The std::vector<VariantFn> overloads remain as a convenience for
+ * anonymous entry points; the flat NvxOptions struct (deprecated in
+ * the API redesign, kept for one release) has been removed — use
+ * EngineConfig + VariantSpec.
  */
 
 #ifndef VARAN_CORE_NVX_H
@@ -248,33 +249,18 @@ struct EngineConfig {
      *  reports whether the restart policy is respawning it. */
     std::function<void(const VariantResult &result, bool restarting)>
         on_variant_exit;
-};
 
-/**
- * Deprecated flat engine options — source-compatibility shim for one
- * release. Converts 1:1 into EngineConfig (see toEngineConfig());
- * per-variant rules, roles, restart policies and lifecycle hooks exist
- * only on the new surface.
- */
-struct NvxOptions {
-    std::uint32_t ring_capacity = 256;
-    std::size_t shm_bytes = 64 << 20;
-    std::uint32_t leader_index = 0;
-    ring::WaitSpec wait;
-    bool verify_divergence = true;
-    std::vector<std::string> rewrite_rules;
-    std::uint64_t progress_timeout_ns = 30000000000ULL;
-    std::uint64_t tick_ns = 5000000;
-    bool external_leader = false;
-    bool publish_coalesce = false;
-    std::uint32_t coalesce_max = 16;
-    std::uint64_t coalesce_window_ns = 200000;
-    std::string remote_endpoint;
-    std::uint32_t remote_ship_batch = 16;
-    std::uint32_t remote_credit_window = 4096;
-
-    /** The grouped equivalent of this flat struct. */
-    EngineConfig toEngineConfig() const;
+    /**
+     * The restart policy decided to respawn @p variant but its ring
+     * cursors are not yet re-armed. This is the quiesce window for
+     * replay-into-restart: an external replayer must stop publishing
+     * before it returns, or events published between the respawn's
+     * tail attach and the rewound re-feed would reach the fresh
+     * incarnation out of order (see docs/RECORD_REPLAY.md). Runs on
+     * the monitor thread — keep it brief.
+     */
+    std::function<void(std::uint32_t variant, std::uint32_t attempt)>
+        on_restart;
 };
 
 class Nvx
@@ -283,8 +269,6 @@ class Nvx
     class Builder;
 
     explicit Nvx(EngineConfig config = EngineConfig{});
-    /** Deprecated: construct from the flat options shim. */
-    explicit Nvx(const NvxOptions &options);
     ~Nvx();
 
     VARAN_NO_COPY_NO_MOVE(Nvx);
@@ -516,6 +500,13 @@ class Nvx::Builder
         std::function<void(const VariantResult &, bool)> hook)
     {
         config_.on_variant_exit = std::move(hook);
+        return *this;
+    }
+
+    Builder &
+    onRestart(std::function<void(std::uint32_t, std::uint32_t)> hook)
+    {
+        config_.on_restart = std::move(hook);
         return *this;
     }
 

@@ -58,6 +58,17 @@ collectStatus(const shmem::Region *region, const EngineLayout &layout)
     }
 
     report.pool = layout.pool(region).stats();
+
+    report.recorder.active = cb->rr_active.load(std::memory_order_relaxed);
+    report.recorder.evicted =
+        cb->rr_evicted.load(std::memory_order_relaxed);
+    report.recorder.write_errno =
+        cb->rr_write_errno.load(std::memory_order_relaxed);
+    report.recorder.events = cb->rr_events.load(std::memory_order_relaxed);
+    report.recorder.bytes_written =
+        cb->rr_bytes_written.load(std::memory_order_relaxed);
+    report.recorder.spill_peak =
+        cb->rr_spill_peak.load(std::memory_order_relaxed);
     return report;
 }
 

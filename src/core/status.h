@@ -73,6 +73,18 @@ struct ReceiverWireStatus {
     std::uint64_t reconnects;
 };
 
+/** Record-replay sink statistics (zeros when no recorder ever ran).
+ *  Mirrored from ControlBlock, where rr::LogSink publishes them. */
+struct RecorderStatus {
+    std::uint32_t active;      ///< a recorder's taps are attached
+    std::uint32_t evicted;     ///< the sink self-evicted (slow disk)
+    std::int32_t write_errno;  ///< first latched write failure (0 = ok)
+    std::uint32_t reserved;
+    std::uint64_t events;      ///< records drained from the rings
+    std::uint64_t bytes_written;
+    std::uint64_t spill_peak;  ///< spill-buffer high-water mark (bytes)
+};
+
 /** The unified coordinator status snapshot. */
 struct StatusReport {
     // Geometry + election state.
@@ -97,6 +109,7 @@ struct StatusReport {
     shmem::PoolStats pool;           ///< per-arena pressure + spills
     ShipperWireStatus shipper;
     ReceiverWireStatus receiver;
+    RecorderStatus recorder;
 };
 
 static_assert(std::is_trivially_copyable_v<StatusReport>,
@@ -104,8 +117,9 @@ static_assert(std::is_trivially_copyable_v<StatusReport>,
 
 /**
  * Assemble the shared-memory-derived part of a StatusReport: geometry,
- * election state, stream counters, per-variant status and the pool
- * snapshot. The wire sections are left zeroed — the owner of the
+ * election state, stream counters, per-variant status, the pool
+ * snapshot and the recorder counters (rr::LogSink mirrors them into
+ * ControlBlock). The wire sections are left zeroed — the owner of the
  * shipper/receiver fills its own side in.
  *
  * Safe to call from any process mapping the region (the coordinator,

@@ -10,33 +10,51 @@
 
 namespace varan::rr {
 
-Recorder::Recorder(const shmem::Region *region,
-                   const core::EngineLayout *layout, std::string path)
-    : region_(region), layout_(layout), path_(std::move(path))
+LogSink::LogSink(const shmem::Region *region,
+                 const core::EngineLayout *layout, std::string path,
+                 Options options)
+    : region_(region), layout_(layout), path_(std::move(path)),
+      options_(options)
 {
+    if (options_.drain_batch < 1)
+        options_.drain_batch = 1;
+    if (options_.drain_batch > kMaxDrainBatch)
+        options_.drain_batch = kMaxDrainBatch;
     for (auto &slot : tap_slot_)
         slot = -1;
 }
 
-Recorder::~Recorder()
+LogSink::~LogSink()
 {
-    if (thread_.joinable())
+    if (drain_thread_.joinable() || writer_thread_.joinable() || fd_ >= 0)
         finish();
-    if (file_)
-        std::fclose(file_);
 }
 
 Status
-Recorder::attachTaps()
+LogSink::attachTaps()
 {
-    file_ = std::fopen(path_.c_str(), "wb");
-    if (!file_)
+    fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd_ < 0) {
+        warn("rr sink: open(%s) failed: %s", path_.c_str(),
+             std::strerror(errno));
         return Status::fromErrno();
+    }
+
     LogHeader header = {};
     std::memcpy(header.magic, kLogMagic, sizeof(kLogMagic));
-    header.version = 1;
-    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
-        return Status::fromErrno();
+    header.version = kLogVersion;
+    if (!writeFileFull(fd_, &header, sizeof(header))) {
+        const int err = errno != 0 ? errno : EIO;
+        warn("rr sink: header write failed: %s", std::strerror(err));
+        ::close(fd_);
+        fd_ = -1;
+        ::unlink(path_.c_str());
+        return Status(Errno{err});
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.bytes_written += sizeof(header);
+    }
 
     for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
         ring::RingBuffer ring = layout_->tupleRing(region_, t);
@@ -48,70 +66,207 @@ Recorder::attachTaps()
                 break;
             }
         }
-        if (tap_slot_[t] < 0)
+        if (tap_slot_[t] < 0) {
+            warn("rr sink: no free tap slot on tuple %u", t);
+            // No free tap slot: undo everything — a partially written
+            // log with no recorder behind it must not linger on disk,
+            // and half-attached taps must not gate the rings.
+            detachTaps();
+            ::close(fd_);
+            fd_ = -1;
+            ::unlink(path_.c_str());
             return Status(Errno{EBUSY});
+        }
     }
+    publishStats();
     return Status::ok();
 }
 
 std::size_t
-Recorder::drainOnce()
+LogSink::drainTuple(std::uint32_t tuple)
 {
+    if (tap_slot_[tuple] < 0)
+        return 0;
+    ring::RingBuffer ring = layout_->tupleRing(region_, tuple);
     shmem::ShardedPool pool = layout_->pool(region_);
-    std::size_t drained = 0;
-    core::ControlBlock *cb = layout_->controlBlock(region_);
-    std::uint32_t tuples = cb->num_tuples.load(std::memory_order_acquire);
-    for (std::uint32_t t = 0; t < tuples && t < core::kMaxTuples; ++t) {
-        ring::RingBuffer ring = layout_->tupleRing(region_, t);
-        ring::Event event = {};
-        ring::WaitSpec nowait;
-        nowait.spin_iterations = 0;
-        nowait.timeout_ns = 1; // poll
-        while (ring.peek(tap_slot_[t], &event, nowait)) {
-            RecordHeader rec = {};
-            rec.tuple = t;
-            rec.event = event;
-            rec.payload_size =
-                event.hasPayload() ? event.payload_size : 0;
-            std::fwrite(&rec, sizeof(rec), 1, file_);
-            if (rec.payload_size > 0) {
-                const void *payload =
-                    pool.pointer(event.payload, rec.payload_size);
-                std::fwrite(payload, 1, rec.payload_size, file_);
-                stats_.payload_bytes += rec.payload_size;
-            }
-            ring.advance(tap_slot_[t]);
-            ++stats_.events;
-            ++drained;
+    ring::Event events[kMaxDrainBatch];
+    ring::WaitSpec nowait;
+    nowait.spin_iterations = 0;
+    nowait.timeout_ns = 1; // poll
+
+    std::size_t total = 0;
+    for (;;) {
+        if (failed_.load(std::memory_order_acquire) ||
+            evicted_.load(std::memory_order_acquire)) {
+            break;
         }
+        const std::size_t n = ring.peekBatch(
+            tap_slot_[tuple], events, options_.drain_batch, nowait);
+        if (n == 0)
+            break;
+
+        // Serialize while peekBatch still pins the payload slots (the
+        // same copy-before-advance rule as wire::Shipper::drainTuple).
+        std::vector<std::uint8_t> chunk;
+        std::uint64_t payload_bytes = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const void *payload = nullptr;
+            std::size_t payload_size = 0;
+            if (events[i].hasPayload()) {
+                payload_size = events[i].payload_size;
+                payload = pool.pointer(events[i].payload,
+                                       events[i].payload_size);
+                payload_bytes += payload_size;
+            }
+            appendRecord(chunk, tuple, events[i], payload, payload_size);
+        }
+        ring.advanceBy(tap_slot_[tuple], n);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.events += n;
+            stats_.payload_bytes += payload_bytes;
+        }
+        total += n;
+        if (!submitChunk(std::move(chunk)))
+            break;
+        if (n < options_.drain_batch)
+            break;
     }
+    return total;
+}
+
+std::size_t
+LogSink::drainOnce()
+{
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    const std::uint32_t tuples =
+        cb->num_tuples.load(std::memory_order_acquire);
+    std::size_t drained = 0;
+    for (std::uint32_t t = 0; t < tuples && t < core::kMaxTuples; ++t)
+        drained += drainTuple(t);
     return drained;
 }
 
-void
-Recorder::drainLoop()
+bool
+LogSink::submitChunk(std::vector<std::uint8_t> chunk)
 {
-    while (!stopping_.load(std::memory_order_acquire)) {
+    if (chunk.empty())
+        return true;
+    if (options_.synchronous)
+        return writeChunk(chunk);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t size = chunk.size();
+    if (queued_bytes_ + size > options_.spill_limit && !queue_.empty()) {
+        if (options_.overflow == Overflow::Gate) {
+            // Soft cap by one chunk (like the shipper outbox): an
+            // empty queue always accepts, so an oversized chunk can
+            // never deadlock the gate.
+            space_cv_.wait(lock, [&] {
+                return failed_.load(std::memory_order_acquire) ||
+                       queue_.empty() ||
+                       queued_bytes_ + size <= options_.spill_limit;
+            });
+        } else {
+            // Evict: the disk lost the race. Stop consuming — the
+            // drain loop detaches the taps — and let the log end at
+            // the durable prefix instead of gating the leader.
+            stats_.evicted = 1;
+            evicted_.store(true, std::memory_order_release);
+            return false;
+        }
+    }
+    if (failed_.load(std::memory_order_acquire))
+        return false;
+    queued_bytes_ += size;
+    if (queued_bytes_ > stats_.spill_peak)
+        stats_.spill_peak = queued_bytes_;
+    queue_.push_back(std::move(chunk));
+    writer_cv_.notify_one();
+    return true;
+}
+
+bool
+LogSink::writeChunk(const std::vector<std::uint8_t> &chunk)
+{
+    if (!writeFileFull(fd_, chunk.data(), chunk.size())) {
+        const int err = errno != 0 ? errno : EIO;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stats_.write_errno == 0)
+                stats_.write_errno = err;
+        }
+        failed_.store(true, std::memory_order_release);
+        space_cv_.notify_all();
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.bytes_written += chunk.size();
+    ++stats_.write_batches;
+    return true;
+}
+
+void
+LogSink::drainLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire) &&
+           !failed_.load(std::memory_order_acquire) &&
+           !evicted_.load(std::memory_order_acquire)) {
         if (drainOnce() == 0)
             sleepNs(200000); // 0.2 ms idle poll
+        publishStats();
     }
-    drainOnce(); // final sweep
+    if (!failed_.load(std::memory_order_acquire) &&
+        !evicted_.load(std::memory_order_acquire)) {
+        drainOnce(); // final sweep
+    }
+    // The drain thread owns the taps: detaching here (and only here
+    // once draining started) keeps detachConsumer from racing a
+    // concurrent peekBatch, whether we stopped, failed or evicted.
+    detachTaps();
+    publishStats();
 }
 
 void
-Recorder::startDraining()
+LogSink::writerLoop()
 {
-    VARAN_CHECK(file_ != nullptr);
-    thread_ = std::thread([this] { drainLoop(); });
+    for (;;) {
+        std::vector<std::uint8_t> chunk;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            writer_cv_.wait(lock, [&] {
+                return !queue_.empty() ||
+                       drain_done_.load(std::memory_order_acquire);
+            });
+            if (queue_.empty())
+                break; // drain finished and everything is on disk
+            chunk = std::move(queue_.front());
+            queue_.pop_front();
+            queued_bytes_ -= chunk.size();
+        }
+        space_cv_.notify_all();
+        if (!writeChunk(chunk)) {
+            // Latched; discard the backlog so finish() cannot block on
+            // a disk that stopped accepting bytes.
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.clear();
+            queued_bytes_ = 0;
+        }
+    }
 }
 
-Result<Recorder::Stats>
-Recorder::finish()
+void
+LogSink::startDraining()
 {
-    stopping_.store(true, std::memory_order_release);
-    if (thread_.joinable())
-        thread_.join();
-    // Detach taps so they never gate future producers.
+    VARAN_CHECK(fd_ >= 0);
+    if (!options_.synchronous)
+        writer_thread_ = std::thread([this] { writerLoop(); });
+    drain_thread_ = std::thread([this] { drainLoop(); });
+}
+
+void
+LogSink::detachTaps()
+{
     for (std::uint32_t t = 0; t < core::kMaxTuples; ++t) {
         if (tap_slot_[t] >= 0) {
             ring::RingBuffer ring = layout_->tupleRing(region_, t);
@@ -119,29 +274,72 @@ Recorder::finish()
             tap_slot_[t] = -1;
         }
     }
-    if (file_) {
-        if (std::fflush(file_) != 0)
-            return errnoResult<Stats>();
-        std::fclose(file_);
-        file_ = nullptr;
+}
+
+void
+LogSink::publishStats()
+{
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    Stats snapshot = stats();
+    bool attached = false;
+    for (const int slot : tap_slot_)
+        attached = attached || slot >= 0;
+    cb->rr_active.store(attached ? 1 : 0, std::memory_order_relaxed);
+    cb->rr_evicted.store(snapshot.evicted, std::memory_order_relaxed);
+    cb->rr_write_errno.store(snapshot.write_errno,
+                             std::memory_order_relaxed);
+    cb->rr_events.store(snapshot.events, std::memory_order_relaxed);
+    cb->rr_bytes_written.store(snapshot.bytes_written,
+                               std::memory_order_relaxed);
+    cb->rr_spill_peak.store(snapshot.spill_peak,
+                            std::memory_order_relaxed);
+}
+
+Result<LogSink::Stats>
+LogSink::finish()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (drain_thread_.joinable())
+        drain_thread_.join();
+    drain_done_.store(true, std::memory_order_release);
+    writer_cv_.notify_all();
+    if (writer_thread_.joinable())
+        writer_thread_.join();
+    detachTaps(); // no-op when the drain loop already did
+
+    if (fd_ >= 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (::close(fd_) != 0 && stats_.write_errno == 0)
+            stats_.write_errno = errno;
+        fd_ = -1;
     }
+    publishStats();
+
+    Stats snapshot = stats();
+    if (snapshot.write_errno != 0)
+        return Result<Stats>(Errno{snapshot.write_errno});
+    return snapshot;
+}
+
+LogSink::Stats
+LogSink::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
 }
 
+// --- InBandRecorder ------------------------------------------------------
+
 InBandRecorder::InBandRecorder(const std::string &path)
 {
-    fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-    VARAN_CHECK(fd_ >= 0);
-    LogHeader header = {};
-    std::memcpy(header.magic, kLogMagic, sizeof(kLogMagic));
-    header.version = 1;
-    [[maybe_unused]] ssize_t n = ::write(fd_, &header, sizeof(header));
+    // A failed open (or header write) latches into the writer; every
+    // dispatch still executes its syscall, it just stops logging.
+    (void)writer_.open(path);
 }
 
 InBandRecorder::~InBandRecorder()
 {
-    if (fd_ >= 0)
-        ::close(fd_);
+    (void)writer_.close();
 }
 
 long
@@ -151,27 +349,27 @@ InBandRecorder::dispatch(long nr, const std::uint64_t args[6])
                                   args[4], args[5]);
     // The defining property of the baseline: the record write happens
     // synchronously, inside the intercepted call, before returning.
-    RecordHeader rec = {};
-    rec.tuple = 0;
-    rec.event.type = ring::EventType::Syscall;
-    rec.event.nr = static_cast<std::uint16_t>(nr);
-    rec.event.result = result;
+    ring::Event event = {};
+    event.type = ring::EventType::Syscall;
+    event.nr = static_cast<std::uint16_t>(nr);
+    event.result = result;
     for (unsigned i = 0; i < ring::kInlineArgs; ++i)
-        rec.event.args[i] = args[i];
+        event.args[i] = args[i];
 
     const sys::SyscallInfo &info = sys::syscallInfo(nr);
     const std::uint8_t *extra = nullptr;
-    if (info.out[0].arg >= 0 && info.out[0].len_from ==
-            sys::LenFrom::Result && result > 0 &&
+    std::size_t extra_size = 0;
+    if (info.out[0].arg >= 0 &&
+        info.out[0].len_from == sys::LenFrom::Result && result > 0 &&
         args[info.out[0].arg] != 0) {
-        rec.payload_size = static_cast<std::uint32_t>(result);
+        extra_size = static_cast<std::size_t>(result);
         extra = reinterpret_cast<const std::uint8_t *>(
             args[info.out[0].arg]);
     }
-    [[maybe_unused]] ssize_t n = ::write(fd_, &rec, sizeof(rec));
-    if (extra)
-        n = ::write(fd_, extra, rec.payload_size);
-    ++events_;
+    // append() flushes per record (threshold 0), so the event count
+    // only grows past records that actually reached the kernel.
+    if (writer_.append(0, event, extra, extra_size).isOk())
+        ++events_;
     return result;
 }
 

@@ -1,8 +1,6 @@
 #include "rr/replayer.h"
 
-#include <cstdio>
 #include <cstring>
-#include <vector>
 
 #include "common/logging.h"
 
@@ -43,76 +41,116 @@ Replayer::Replayer(const shmem::Region *region,
 {
 }
 
+Status
+Replayer::open()
+{
+    if (reader_.isOpen())
+        return Status::ok();
+    return reader_.open(path_);
+}
+
+Status
+Replayer::publishRecord(const LogRecord &record)
+{
+    shmem::ShardedPool pool = layout_->pool(region_);
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+
+    shmem::Offset payload = 0;
+    if (!record.payload.empty()) {
+        const auto size =
+            static_cast<std::uint32_t>(record.payload.size());
+        payload = pool.allocate(record.tuple, size, 1);
+        if (payload == 0)
+            return Status(Errno{ENOMEM});
+        std::memcpy(pool.pointer(payload, size), record.payload.data(),
+                    size);
+        stats_.payload_bytes += size;
+    }
+
+    ring::Event event = record.event;
+    // Virtualise descriptor transfer: replayed followers replay
+    // results only; there is no live leader to duplicate fds from.
+    event.flags &= ~static_cast<std::uint32_t>(ring::kFdTransfer);
+    if (payload != 0) {
+        event.payload = static_cast<std::uint32_t>(payload);
+        event.payload_size =
+            static_cast<std::uint32_t>(record.payload.size());
+        event.flags |= ring::kHasPayload;
+    } else if (event.hasPayload()) {
+        event.flags &= ~static_cast<std::uint32_t>(ring::kHasPayload);
+        event.payload = 0;
+        event.payload_size = 0;
+    }
+
+    // Fork events activate tuples exactly as a live leader would (a
+    // second pass re-activates them idempotently).
+    if (event.type == ring::EventType::Fork) {
+        auto t = static_cast<std::uint32_t>(event.args[0]);
+        VARAN_CHECK(t < core::kMaxTuples);
+        std::uint32_t current =
+            cb->num_tuples.load(std::memory_order_acquire);
+        while (current <= t && !cb->num_tuples.compare_exchange_weak(
+                                   current, t + 1,
+                                   std::memory_order_acq_rel)) {
+        }
+        cb->tuples[t].active.store(1, std::memory_order_release);
+    }
+
+    publishWithShadow(region_, layout_, record.tuple, event, payload);
+    ++stats_.events;
+    return Status::ok();
+}
+
+Result<std::size_t>
+Replayer::replayChunk(std::size_t max_events)
+{
+    Status opened = open();
+    if (!opened.isOk())
+        return Result<std::size_t>(Errno{opened.error().code});
+    if (finished_)
+        return static_cast<std::size_t>(0);
+
+    std::size_t published = 0;
+    LogRecord record;
+    while (published < max_events) {
+        LogReader::Next n = reader_.next(&record);
+        if (n != LogReader::Next::Record) {
+            finished_ = true;
+            stats_.truncated = n == LogReader::Next::Truncated;
+            ++stats_.passes;
+            break;
+        }
+        Status status = publishRecord(record);
+        if (!status.isOk())
+            return Result<std::size_t>(Errno{status.error().code});
+        ++published;
+    }
+    return published;
+}
+
 Result<Replayer::Stats>
 Replayer::replayAll()
 {
-    std::FILE *file = std::fopen(path_.c_str(), "rb");
-    if (!file)
-        return errnoResult<Stats>();
-
-    LogHeader header = {};
-    if (std::fread(&header, sizeof(header), 1, file) != 1 ||
-        std::memcmp(header.magic, kLogMagic, sizeof(kLogMagic)) != 0) {
-        std::fclose(file);
-        return Result<Stats>(Errno{EPROTO});
+    for (;;) {
+        auto chunk = replayChunk(256);
+        if (!chunk.ok())
+            return Result<Stats>(chunk.error());
+        if (finished_)
+            return stats_;
     }
+}
 
-    shmem::ShardedPool pool = layout_->pool(region_);
-    core::ControlBlock *cb = layout_->controlBlock(region_);
-    Stats stats;
-    RecordHeader rec = {};
-    std::vector<std::uint8_t> payload_buf;
-    while (std::fread(&rec, sizeof(rec), 1, file) == 1) {
-        shmem::Offset payload = 0;
-        if (rec.payload_size > 0) {
-            payload_buf.resize(rec.payload_size);
-            if (std::fread(payload_buf.data(), 1, rec.payload_size,
-                           file) != rec.payload_size) {
-                std::fclose(file);
-                return Result<Stats>(Errno{EPROTO});
-            }
-            payload = pool.allocate(rec.tuple, rec.payload_size, 1);
-            if (payload == 0) {
-                std::fclose(file);
-                return Result<Stats>(Errno{ENOMEM});
-            }
-            std::memcpy(pool.pointer(payload, rec.payload_size),
-                        payload_buf.data(), rec.payload_size);
-            stats.payload_bytes += rec.payload_size;
-        }
-
-        ring::Event event = rec.event;
-        // Virtualise descriptor transfer: replayed followers replay
-        // results only; there is no live leader to duplicate fds from.
-        event.flags &= ~static_cast<std::uint32_t>(ring::kFdTransfer);
-        if (payload != 0) {
-            event.payload = static_cast<std::uint32_t>(payload);
-            event.payload_size = rec.payload_size;
-            event.flags |= ring::kHasPayload;
-        } else if (event.hasPayload()) {
-            event.flags &= ~static_cast<std::uint32_t>(ring::kHasPayload);
-            event.payload = 0;
-            event.payload_size = 0;
-        }
-
-        // Fork events activate tuples exactly as a live leader would.
-        if (event.type == ring::EventType::Fork) {
-            auto t = static_cast<std::uint32_t>(event.args[0]);
-            VARAN_CHECK(t < core::kMaxTuples);
-            std::uint32_t current =
-                cb->num_tuples.load(std::memory_order_acquire);
-            while (current <= t &&
-                   !cb->num_tuples.compare_exchange_weak(
-                       current, t + 1, std::memory_order_acq_rel)) {
-            }
-            cb->tuples[t].active.store(1, std::memory_order_release);
-        }
-
-        publishWithShadow(region_, layout_, rec.tuple, event, payload);
-        ++stats.events;
-    }
-    std::fclose(file);
-    return stats;
+Status
+Replayer::rewind()
+{
+    Status opened = open();
+    if (!opened.isOk())
+        return opened;
+    Status rewound = reader_.rewind();
+    if (!rewound.isOk())
+        return rewound;
+    finished_ = false;
+    return Status::ok();
 }
 
 } // namespace varan::rr

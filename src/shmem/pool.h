@@ -190,7 +190,7 @@ struct ShardedPoolHeader {
  * most its own arena plus the whole fallback (roughly half the pool +
  * 1/(2*num_shards)) — less than the flat allocator offered a single
  * tuple. Workloads with large live payload sets should size the region
- * (NvxOptions::shm_bytes) with that in mind.
+ * (EngineConfig::shm_bytes) with that in mind.
  */
 class ShardedPool
 {

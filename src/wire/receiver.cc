@@ -185,6 +185,23 @@ Receiver::adopt(int socket_fd)
                            {&ack, sizeof(ack)}};
     if (!writevAll(socket_fd_, iov, 2))
         return Status::fromErrno();
+
+    // First successful adopt opens the file sink; reconnects keep
+    // appending to the same capture (duplicate suppression above
+    // guarantees each event is logged exactly once).
+    if (!options_.record_path.empty() && !log_.isOpen() &&
+        log_.error() == 0) {
+        Status opened = log_.open(options_.record_path);
+        if (!opened.isOk()) {
+            warn("wire receiver: cannot open record log %s: %s",
+                 options_.record_path.c_str(),
+                 opened.error().message().c_str());
+            stats_.log_errno = opened.error().code;
+        } else {
+            log_.setFlushThreshold(64u << 10);
+        }
+    }
+
     link_up_.store(true, std::memory_order_release);
     return Status::ok();
 }
@@ -380,6 +397,33 @@ Receiver::applyEvents(const FrameHeader &header,
     next_seq_[tuple] += published;
     stats_.events += published;
     uncredited_[tuple] += published;
+
+    // File-backed sink: persist exactly the published window, reading
+    // payload bytes from the pristine wire body (prepareEvent left
+    // payload_size untouched). A latched writer error makes every
+    // append a fast no-op, so a dead disk never jeopardises the link.
+    if (log_.isOpen() && published > 0) {
+        const std::uint8_t *cursor =
+            body.data() + count * sizeof(ring::Event);
+        for (std::size_t i = 0; i < skip + published; ++i) {
+            const std::uint8_t *payload = cursor;
+            const std::size_t size =
+                events[i].hasPayload() ? events[i].payload_size : 0;
+            cursor += size;
+            if (i < skip)
+                continue;
+            if (log_.append(tuple, events[i], payload, size).isOk())
+                ++stats_.logged_events;
+        }
+        if (ack_point)
+            (void)log_.flush();
+        if (log_.error() != 0 && stats_.log_errno == 0) {
+            warn("wire receiver: record log failed: %s",
+                 std::strerror(log_.error()));
+            stats_.log_errno = log_.error();
+        }
+    }
+
     if (published < fresh)
         return false;
 
@@ -682,6 +726,11 @@ Receiver::finish()
         FrameHeader bye = makeHeader(FrameType::Bye, 0);
         writeFull(socket_fd_, &bye, sizeof(bye));
         dropLink();
+    }
+    if (log_.isOpen()) {
+        Status closed = log_.close();
+        if (!closed.isOk() && stats_.log_errno == 0)
+            stats_.log_errno = closed.error().code;
     }
     return Status::ok();
 }

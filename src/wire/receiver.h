@@ -71,6 +71,7 @@
 #include <vector>
 
 #include "core/layout.h"
+#include "rr/log.h"
 #include "wire/protocol.h"
 #include "wire/shipper.h"
 
@@ -107,6 +108,17 @@ class Receiver
          *  Runs on the receiver's serve thread. */
         std::function<void(std::uint32_t epoch, std::uint32_t leader)>
             on_promote;
+        /**
+         * File-backed sink: when set, every event this receiver
+         * publishes into its local rings is also appended to a
+         * record-replay log (format v2, rr/log.h) at this path — the
+         * continuous fleet-recording substrate: a remote node both
+         * follows the stream and keeps a replayable capture of it.
+         * Opened at the first successful adopt(); a write failure
+         * latches Stats::log_errno and stops the capture without
+         * touching the live link.
+         */
+        std::string record_path;
     };
 
     struct Stats {
@@ -122,6 +134,8 @@ class Receiver
         std::uint64_t errors_sent = 0;     ///< stale peers rejected
         std::uint64_t errors_received = 0; ///< rejections from shippers
         std::uint64_t rebases = 0;         ///< generations adopted
+        std::uint64_t logged_events = 0;   ///< records in the file sink
+        std::int32_t log_errno = 0;        ///< first file-sink failure
     };
 
     Receiver(const shmem::Region *region, const core::EngineLayout *layout,
@@ -249,6 +263,8 @@ class Receiver
     std::uint32_t last_epoch_ = 0;
     std::uint32_t last_generation_ = 0;
     std::unique_ptr<Shipper> promoted_shipper_;
+
+    rr::LogWriter log_; ///< optional file sink (Options::record_path)
 
     std::uint64_t next_seq_[core::kMaxTuples] = {};
     std::uint64_t credited_[core::kMaxTuples] = {};

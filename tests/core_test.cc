@@ -1212,19 +1212,20 @@ TEST(NvxTest, WaitForBeforeDeadlineKeepsRealStatuses)
     }
 }
 
-TEST(NvxTest, DeprecatedNvxOptionsShimStillRuns)
+TEST(NvxTest, AnonymousEntryPointsStillRun)
 {
-    // The flat-options shim must keep old call sites compiling and
-    // behaving for one release: same engine, grouped config underneath.
-    NvxOptions options;
-    options.ring_capacity = 64;
-    options.shm_bytes = 16 << 20;
-    options.progress_timeout_ns = 10000000000ULL;
+    // The NvxOptions shim is gone (its one-release grace period
+    // elapsed); the plain-function overloads remain and build default
+    // VariantSpecs under the hood.
+    EngineConfig config;
+    config.ring.capacity = 64;
+    config.shm_bytes = 16 << 20;
+    config.ring.progress_timeout_ns = 10000000000ULL;
     auto app = []() -> int {
         sys::vgetpid();
         return 6;
     };
-    Nvx nvx(options);
+    Nvx nvx(std::move(config));
     auto results = nvx.run({app, app});
     ASSERT_EQ(results.size(), 2u);
     for (const auto &r : results) {
@@ -1232,28 +1233,6 @@ TEST(NvxTest, DeprecatedNvxOptionsShimStillRuns)
         EXPECT_EQ(r.status, 6);
     }
     EXPECT_GE(nvx.eventsStreamed(), 1u);
-
-    // The conversion maps every flat field into its grouped home.
-    NvxOptions flat;
-    flat.ring_capacity = 32;
-    flat.wait.busy_only = true;
-    flat.publish_coalesce = true;
-    flat.coalesce_max = 7;
-    flat.coalesce_window_ns = 123;
-    flat.remote_endpoint = "ep";
-    flat.remote_ship_batch = 3;
-    flat.remote_credit_window = 9;
-    flat.external_leader = true;
-    EngineConfig converted = flat.toEngineConfig();
-    EXPECT_EQ(converted.ring.capacity, 32u);
-    EXPECT_TRUE(converted.ring.wait.busy_only);
-    EXPECT_TRUE(converted.coalesce.enabled);
-    EXPECT_EQ(converted.coalesce.max_run, 7u);
-    EXPECT_EQ(converted.coalesce.window_ns, 123u);
-    EXPECT_EQ(converted.remote.endpoint, "ep");
-    EXPECT_EQ(converted.remote.ship_batch, 3u);
-    EXPECT_EQ(converted.remote.credit_window, 9u);
-    EXPECT_TRUE(converted.external_leader);
 }
 
 } // namespace

@@ -3,18 +3,34 @@
  * Record-replay tests (section 5.4): the recorder follower persists
  * the event stream losslessly; the replayer drives fresh followers
  * from the log; the in-band (Scribe-like) baseline logs synchronously.
+ *
+ * The crash-consistency suite exercises log format v2: a recorder
+ * SIGKILLed mid-stream leaves a log whose valid prefix replays in
+ * full, write failures surface through finish() instead of silently
+ * corrupting the log, and version/checksum validation rejects garbage
+ * with decodable errors.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <atomic>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "core/nvx.h"
+#include "ring/ring_buffer.h"
 #include "rr/log.h"
 #include "rr/recorder.h"
 #include "rr/replayer.h"
+#include "shmem/region.h"
 #include "syscalls/sys.h"
 
 namespace varan::rr {
@@ -38,6 +54,17 @@ tempLogPath()
            std::to_string(counter.fetch_add(1)) + ".log";
 }
 
+ring::Event
+getpidEvent(std::uint64_t timestamp)
+{
+    ring::Event event = {};
+    event.type = ring::EventType::Syscall;
+    event.nr = SYS_getpid;
+    event.timestamp = timestamp;
+    event.result = 4242;
+    return event;
+}
+
 TEST(RecorderTest, CapturesEveryEvent)
 {
     std::string path = tempLogPath();
@@ -59,15 +86,19 @@ TEST(RecorderTest, CapturesEveryEvent)
     ASSERT_TRUE(stats.ok());
     // 25 getpids + 1 exit event.
     EXPECT_EQ(stats.value().events, 26u);
+    EXPECT_EQ(stats.value().write_errno, 0);
 
     auto log = readLog(path);
     ASSERT_TRUE(log.ok());
-    ASSERT_EQ(log.value().size(), 26u);
-    for (std::size_t i = 0; i + 1 < log.value().size(); ++i) {
-        EXPECT_EQ(log.value()[i].event.nr, SYS_getpid);
-        EXPECT_EQ(log.value()[i].event.timestamp, i + 1);
+    EXPECT_EQ(log.value().version, kLogVersion);
+    EXPECT_FALSE(log.value().truncated);
+    const auto &records = log.value().records;
+    ASSERT_EQ(records.size(), 26u);
+    for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+        EXPECT_EQ(records[i].event.nr, SYS_getpid);
+        EXPECT_EQ(records[i].event.timestamp, i + 1);
     }
-    EXPECT_EQ(log.value().back().event.type, ring::EventType::Exit);
+    EXPECT_EQ(records.back().event.type, ring::EventType::Exit);
     ::unlink(path.c_str());
 }
 
@@ -103,7 +134,7 @@ TEST(RecorderTest, CapturesPayloads)
     auto log = readLog(path);
     ASSERT_TRUE(log.ok());
     bool found_read = false;
-    for (const auto &rec : log.value()) {
+    for (const auto &rec : log.value().records) {
         if (rec.event.nr == SYS_read &&
             rec.event.type == ring::EventType::Syscall) {
             found_read = true;
@@ -118,6 +149,171 @@ TEST(RecorderTest, CapturesPayloads)
     EXPECT_TRUE(found_read);
     ::unlink(path.c_str());
     ::unlink(file_path);
+}
+
+TEST(RecorderTest, WriteFailureSurfacesInFinish)
+{
+    std::string path = tempLogPath();
+    core::Nvx nvx(engineConfig());
+    Recorder recorder(nvx.region(), &nvx.layout(), path);
+
+    auto app = []() -> int {
+        // 200 records at 80 bytes apiece blow well past the 4 KiB
+        // file-size limit imposed below.
+        for (int i = 0; i < 200; ++i)
+            sys::vgetpid();
+        return 0;
+    };
+
+    struct rlimit old_limit = {};
+    ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    auto old_handler = ::signal(SIGXFSZ, SIG_IGN);
+
+    // The shared region's ftruncate() must run before the limit drops,
+    // so the limit is lowered inside the pre-spawn hook — after
+    // attachTaps() wrote the log header, before any record does.
+    ASSERT_TRUE(nvx.start({app}, [&](core::Nvx &) {
+                       ASSERT_TRUE(recorder.attachTaps().isOk());
+                       struct rlimit lim = old_limit;
+                       lim.rlim_cur = 4096;
+                       ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &lim), 0);
+                       recorder.startDraining();
+                   })
+                    .isOk());
+    nvx.wait();
+    auto stats = recorder.finish();
+    ::setrlimit(RLIMIT_FSIZE, &old_limit);
+    ::signal(SIGXFSZ, old_handler);
+
+    // finish() must report the failure, not success over a torn log.
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.error().code, EFBIG);
+    EXPECT_EQ(recorder.stats().write_errno, EFBIG);
+    // ...and the error is mirrored into the coordinator status report.
+    EXPECT_EQ(nvx.status().recorder.write_errno, EFBIG);
+
+    // Whatever landed before the failure is still a valid prefix.
+    auto log = readLog(path);
+    ASSERT_TRUE(log.ok());
+    for (std::size_t i = 0; i < log.value().records.size(); ++i)
+        EXPECT_EQ(log.value().records[i].event.timestamp, i + 1);
+    ::unlink(path.c_str());
+}
+
+TEST(RecorderTest, AttachFailureUnlinksLog)
+{
+    std::string path = tempLogPath();
+    core::Nvx nvx(engineConfig());
+    Recorder recorder(nvx.region(), &nvx.layout(), path);
+
+    auto app = []() -> int { return 0; };
+    ASSERT_TRUE(
+        nvx.start({app},
+                  [&](core::Nvx &engine) {
+                      // Occupy every tap slot on tuple 0 so attachTaps
+                      // has nowhere to claim a cursor.
+                      ring::RingBuffer ring = engine.layout().tupleRing(
+                          engine.region(), 0);
+                      for (int slot = core::kTapConsumerSlot;
+                           slot < static_cast<int>(ring::kMaxConsumers);
+                           ++slot)
+                          ASSERT_TRUE(ring.attachConsumerAt(slot));
+
+                      Status attached = recorder.attachTaps();
+                      ASSERT_FALSE(attached.isOk());
+                      EXPECT_EQ(attached.error().code, EBUSY);
+                      // The partially written log (header only) must
+                      // not be left behind.
+                      EXPECT_NE(::access(path.c_str(), F_OK), 0);
+
+                      for (int slot = core::kTapConsumerSlot;
+                           slot < static_cast<int>(ring::kMaxConsumers);
+                           ++slot)
+                          ring.detachConsumer(slot);
+                  })
+            .isOk());
+    nvx.wait();
+}
+
+TEST(RecorderTest, SigkillMidStreamLeavesReplayablePrefix)
+{
+    std::string path = tempLogPath();
+    ::unlink(path.c_str());
+
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // ---- recorder process, killed mid-stream by the parent ----
+        core::Nvx nvx(engineConfig());
+        LogSink sink(nvx.region(), &nvx.layout(), path, {});
+        auto app = []() -> int {
+            struct timespec tick = {0, 500000}; // 0.5 ms
+            for (int i = 0; i < 4000; ++i) {
+                sys::vgetpid();
+                if (i % 8 == 0)
+                    sys::vnanosleep(&tick, nullptr);
+            }
+            return 0;
+        };
+        Status started = nvx.start({app}, [&](core::Nvx &) {
+            if (!sink.attachTaps().isOk())
+                ::_exit(11);
+            sink.startDraining();
+        });
+        if (!started.isOk())
+            ::_exit(12);
+        nvx.wait();
+        (void)sink.finish();
+        ::_exit(0);
+    }
+
+    // Wait until a few dozen records are durable, then SIGKILL the
+    // whole recorder engine mid-record.
+    const auto armed =
+        sizeof(LogHeader) + 32 * sizeof(RecordHeader);
+    bool reached = false;
+    for (int i = 0; i < 20000 && !reached; ++i) {
+        struct stat st = {};
+        reached = ::stat(path.c_str(), &st) == 0 &&
+                  static_cast<std::size_t>(st.st_size) >= armed;
+        if (!reached)
+            ::usleep(1000);
+    }
+    ASSERT_TRUE(reached) << "recorder never produced 32 records";
+    ASSERT_EQ(::kill(child, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Torn tail or not, the log must parse to a valid prefix — a
+    // whole-log EPROTO here is exactly the bug v2 fixes.
+    auto log = readLog(path);
+    ASSERT_TRUE(log.ok());
+    const auto &records = log.value().records;
+    ASSERT_GE(records.size(), 32u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_TRUE(records[i].event.nr == SYS_getpid ||
+                    records[i].event.nr == SYS_nanosleep);
+        EXPECT_EQ(records[i].event.timestamp, i + 1); // no holes
+    }
+
+    // ...and that prefix replays in full through the streaming reader.
+    auto created = shmem::Region::create(8 << 20);
+    ASSERT_TRUE(created.ok());
+    shmem::Region region = std::move(created.value());
+    core::EngineLayout layout =
+        core::EngineLayout::create(&region, 1, 0, 64);
+    // No follower in this harness: detach the pre-attached cursor so
+    // publishing never gates.
+    layout.tupleRing(&region, 0).detachConsumer(0);
+
+    Replayer replayer(&region, &layout, path);
+    auto stats = replayer.replayAll();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().events, records.size());
+    EXPECT_EQ(stats.value().truncated, log.value().truncated);
+    ::unlink(path.c_str());
 }
 
 TEST(ReplayTest, RecordThenReplayDrivesFollowers)
@@ -164,6 +360,7 @@ TEST(ReplayTest, RecordThenReplayDrivesFollowers)
         auto stats = replayer.replayAll();
         ASSERT_TRUE(stats.ok());
         EXPECT_GE(stats.value().events, 4u);
+        EXPECT_FALSE(stats.value().truncated);
         auto results = nvx.waitFor(30000000000ULL);
         for (const auto &r : results) {
             EXPECT_FALSE(r.crashed);
@@ -185,6 +382,112 @@ TEST(ReplayTest, RecordThenReplayDrivesFollowers)
     ::unlink(path.c_str());
 }
 
+TEST(ReplayTest, ReplayIntoRestart)
+{
+    std::string path = tempLogPath();
+    std::string flag =
+        "/tmp/varan-rr-flag-" + std::to_string(::getpid());
+    ::unlink(flag.c_str());
+
+    {
+        // Phase 1: record a clean 20-call run exiting with status 7.
+        auto app = []() -> int {
+            for (int i = 0; i < 20; ++i)
+                sys::vgetpid();
+            return 7;
+        };
+        core::Nvx nvx(engineConfig());
+        Recorder recorder(nvx.region(), &nvx.layout(), path);
+        ASSERT_TRUE(nvx.start({app}, [&](core::Nvx &) {
+                           ASSERT_TRUE(recorder.attachTaps().isOk());
+                           recorder.startDraining();
+                       })
+                        .isOk());
+        nvx.wait();
+        ASSERT_TRUE(recorder.finish().ok());
+    }
+
+    // Phase 2: replay into a variant whose first incarnation crashes
+    // after 5 calls. The restart policy respawns it; the replayer
+    // quiesces inside on_restart, waits for the respawn's cursors to
+    // re-arm, rewinds, and feeds the recorded prefix again from the
+    // top (replay-into-restart).
+    std::atomic<bool> quiesce{false};
+    std::atomic<bool> parked{false};
+    std::atomic<bool> done{false};
+
+    // The incarnation flag crosses process respawns through the
+    // filesystem with raw libc calls — invisible to the engine.
+    auto restartable = [flag]() -> int {
+        const bool respawned = ::access(flag.c_str(), F_OK) == 0;
+        if (!respawned) {
+            ::close(::open(flag.c_str(), O_CREAT | O_WRONLY, 0644));
+            for (int i = 0; i < 5; ++i)
+                sys::vgetpid();
+            *reinterpret_cast<volatile int *>(0) = 1; // deliberate crash
+        }
+        for (int i = 0; i < 20; ++i)
+            sys::vgetpid();
+        return 7;
+    };
+
+    auto nvx =
+        core::Nvx::Builder()
+            .externalLeader(true)
+            .shmBytes(16 << 20)
+            .ringCapacity(64)
+            .progressTimeoutNs(15000000000ULL)
+            .onRestart([&](std::uint32_t, std::uint32_t) {
+                quiesce.store(true, std::memory_order_release);
+                for (int i = 0; i < 15000 &&
+                                !parked.load(std::memory_order_acquire);
+                     ++i)
+                    ::usleep(1000);
+            })
+            .variant(core::VariantSpec(restartable)
+                         .named("restartable")
+                         .as(core::VariantRole::FollowerOnly)
+                         .restartOn(core::RestartPolicy::OnCrash))
+            .build();
+    ASSERT_TRUE(nvx->start().isOk());
+
+    Replayer replayer(nvx->region(), &nvx->layout(), path);
+    std::thread replay_thread([&] {
+        ASSERT_TRUE(replayer.open().isOk());
+        // Pass 1: feed the log until the crash forces a quiesce.
+        while (!quiesce.load(std::memory_order_acquire) &&
+               !done.load(std::memory_order_acquire)) {
+            auto n = replayer.replayChunk(4);
+            if (!n.ok())
+                break;
+            if (n.value() == 0)
+                ::usleep(1000);
+        }
+        parked.store(true, std::memory_order_release);
+        // Resume strictly after restartVariant re-armed the cursors
+        // (the restarts counter increments last).
+        while (!done.load(std::memory_order_acquire) &&
+               nvx->status().variants[0].restarts == 0)
+            ::usleep(1000);
+        if (done.load(std::memory_order_acquire))
+            return;
+        ASSERT_TRUE(replayer.rewind().isOk());
+        ASSERT_TRUE(replayer.replayAll().ok());
+    });
+
+    auto results = nvx->waitFor(30000000000ULL);
+    done.store(true, std::memory_order_release);
+    quiesce.store(true, std::memory_order_release);
+    replay_thread.join();
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, 7);
+    EXPECT_EQ(results[0].restarts, 1u);
+    EXPECT_GE(replayer.stats().passes, 1u);
+    ::unlink(path.c_str());
+    ::unlink(flag.c_str());
+}
+
 TEST(InBandRecorderTest, LogsSynchronously)
 {
     std::string path = tempLogPath();
@@ -196,12 +499,39 @@ TEST(InBandRecorderTest, LogsSynchronously)
         sys::vtime(&t);
         sys::setDispatcher(nullptr);
         EXPECT_EQ(recorder.eventsLogged(), 2u);
+        EXPECT_EQ(recorder.writeErrno(), 0);
     }
     auto log = readLog(path);
     ASSERT_TRUE(log.ok());
-    ASSERT_EQ(log.value().size(), 2u);
-    EXPECT_EQ(log.value()[0].event.nr, SYS_getpid);
-    EXPECT_EQ(log.value()[1].event.nr, SYS_time);
+    ASSERT_EQ(log.value().records.size(), 2u);
+    EXPECT_EQ(log.value().records[0].event.nr, SYS_getpid);
+    EXPECT_EQ(log.value().records[1].event.nr, SYS_time);
+    ::unlink(path.c_str());
+}
+
+TEST(InBandRecorderTest, SurfacesWriteFailure)
+{
+    std::string path = tempLogPath();
+    struct rlimit old_limit = {};
+    ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    auto old_handler = ::signal(SIGXFSZ, SIG_IGN);
+    {
+        // The header (written by the constructor) fits the limit;
+        // every record append after it must fail with EFBIG.
+        InBandRecorder recorder(path);
+        struct rlimit lim = old_limit;
+        lim.rlim_cur = sizeof(LogHeader);
+        ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &lim), 0);
+        sys::setDispatcher(&recorder);
+        long pid = sys::vgetpid();
+        sys::setDispatcher(nullptr);
+        ::setrlimit(RLIMIT_FSIZE, &old_limit);
+
+        EXPECT_GT(pid, 0); // the syscall itself still executes
+        EXPECT_EQ(recorder.writeErrno(), EFBIG);
+        EXPECT_EQ(recorder.eventsLogged(), 0u);
+    }
+    ::signal(SIGXFSZ, old_handler);
     ::unlink(path.c_str());
 }
 
@@ -212,15 +542,128 @@ TEST(LogTest, RejectsCorruptHeader)
     std::fwrite("garbage!", 1, 8, f);
     std::fclose(f);
     auto log = readLog(path);
-    EXPECT_FALSE(log.ok());
+    ASSERT_FALSE(log.ok());
+    EXPECT_EQ(log.error().code, EPROTO);
+    ::unlink(path.c_str());
+}
+
+TEST(LogTest, RejectsUnknownVersion)
+{
+    std::string path = tempLogPath();
+    LogHeader header = {};
+    std::memcpy(header.magic, kLogMagic, sizeof(header.magic));
+    header.version = 99;
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_EQ(std::fwrite(&header, 1, sizeof(header), f),
+              sizeof(header));
+    std::fclose(f);
+
+    // A future (or corrupt) version must be rejected decodably — not
+    // parsed as v1/v2 garbage, not reported as a protocol error.
+    auto log = readLog(path);
+    ASSERT_FALSE(log.ok());
+    EXPECT_EQ(log.error().code, ENOTSUP);
     ::unlink(path.c_str());
 }
 
 TEST(LogTest, MissingFileErrors)
 {
     auto log = readLog("/tmp/varan-definitely-missing.log");
-    EXPECT_FALSE(log.ok());
+    ASSERT_FALSE(log.ok());
     EXPECT_EQ(log.error().code, ENOENT);
+}
+
+TEST(LogTest, TornTailYieldsValidPrefix)
+{
+    std::string path = tempLogPath();
+    {
+        LogWriter writer;
+        ASSERT_TRUE(writer.open(path).isOk());
+        for (std::uint64_t i = 1; i <= 3; ++i)
+            ASSERT_TRUE(
+                writer.append(0, getpidEvent(i), nullptr, 0).isOk());
+        ASSERT_TRUE(writer.close().isOk());
+    }
+    // Tear the last record: drop its final 10 bytes.
+    struct stat st = {};
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    ASSERT_EQ(::truncate(path.c_str(), st.st_size - 10), 0);
+
+    auto log = readLog(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_TRUE(log.value().truncated);
+    ASSERT_EQ(log.value().records.size(), 2u);
+    EXPECT_EQ(log.value().records[0].event.timestamp, 1u);
+    EXPECT_EQ(log.value().records[1].event.timestamp, 2u);
+    ::unlink(path.c_str());
+}
+
+TEST(LogTest, ChecksumFailureTruncates)
+{
+    std::string path = tempLogPath();
+    {
+        LogWriter writer;
+        ASSERT_TRUE(writer.open(path).isOk());
+        for (std::uint64_t i = 1; i <= 3; ++i)
+            ASSERT_TRUE(
+                writer.append(0, getpidEvent(i), nullptr, 0).isOk());
+        ASSERT_TRUE(writer.close().isOk());
+    }
+    // Flip one byte inside the last record's event (crc-covered).
+    const off_t offset = static_cast<off_t>(sizeof(LogHeader) +
+                                            2 * sizeof(RecordHeader) + 12);
+    int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    std::uint8_t byte = 0;
+    ASSERT_EQ(::pread(fd, &byte, 1, offset), 1);
+    byte ^= 0x40;
+    ASSERT_EQ(::pwrite(fd, &byte, 1, offset), 1);
+    ::close(fd);
+
+    auto log = readLog(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_TRUE(log.value().truncated);
+    ASSERT_EQ(log.value().records.size(), 2u);
+    ::unlink(path.c_str());
+}
+
+TEST(LogTest, ReadsV1Logs)
+{
+    std::string path = tempLogPath();
+    LogHeader header = {};
+    std::memcpy(header.magic, kLogMagic, sizeof(header.magic));
+    header.version = 1;
+
+    RecordHeaderV1 first = {};
+    first.tuple = 0;
+    first.event = getpidEvent(1);
+    RecordHeaderV1 second = {};
+    second.tuple = 0;
+    second.event = getpidEvent(2);
+    second.payload_size = 4;
+    const char payload[4] = {'d', 'a', 't', 'a'};
+
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_EQ(std::fwrite(&header, 1, sizeof(header), f),
+              sizeof(header));
+    ASSERT_EQ(std::fwrite(&first, 1, sizeof(first), f), sizeof(first));
+    ASSERT_EQ(std::fwrite(&second, 1, sizeof(second), f),
+              sizeof(second));
+    ASSERT_EQ(std::fwrite(payload, 1, sizeof(payload), f),
+              sizeof(payload));
+    std::fclose(f);
+
+    auto log = readLog(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log.value().version, 1u);
+    EXPECT_FALSE(log.value().truncated);
+    ASSERT_EQ(log.value().records.size(), 2u);
+    EXPECT_EQ(log.value().records[0].event.timestamp, 1u);
+    ASSERT_EQ(log.value().records[1].payload.size(), 4u);
+    EXPECT_EQ(std::memcmp(log.value().records[1].payload.data(), "data",
+                          4),
+              0);
+    ::unlink(path.c_str());
 }
 
 } // namespace

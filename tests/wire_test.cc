@@ -459,6 +459,86 @@ TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
     sys::vclose(static_cast<int>(listening.value()));
 }
 
+TEST(WireEndToEndTest, ReceiverRecordsAdoptedStreamToLog)
+{
+    // Same wire path as above, but the receiver doubles as a recorder:
+    // Options::record_path sinks every adopted event into an rr log v2
+    // capture that readLog() accepts cleanly afterwards.
+    auto app = []() -> int {
+        for (int i = 0; i < 10; ++i)
+            sys::vgetpid();
+        long fd = sys::vopen("/dev/null", 0 /*O_RDONLY*/);
+        char buf[16] = {};
+        sys::vread(static_cast<int>(fd), buf, sizeof(buf));
+        sys::vclose(static_cast<int>(fd));
+        return 11;
+    };
+
+    const std::string endpoint =
+        "varan-wire-rec-" + std::to_string(::getpid());
+    const std::string log_path =
+        "/tmp/varan-wire-rrlog-" + std::to_string(::getpid()) + ".log";
+    auto listening = netio::listenAbstract(endpoint);
+    ASSERT_TRUE(listening.ok());
+
+    core::EngineConfig remote_config;
+    remote_config.ring.capacity = 128;
+    remote_config.shm_bytes = 16 << 20;
+    remote_config.external_leader = true;
+    remote_config.ring.progress_timeout_ns = 20000000000ULL;
+    core::Nvx remote_nvx(remote_config);
+    ASSERT_TRUE(remote_nvx.start({app}).isOk());
+    Receiver::Options options;
+    options.record_path = log_path;
+    Receiver receiver(remote_nvx.region(), &remote_nvx.layout(), options);
+
+    std::thread accepting([&] {
+        long conn = netio::acceptConnection(listening.value(), false);
+        ASSERT_GE(conn, 0);
+        ASSERT_TRUE(receiver.adopt(static_cast<int>(conn)).isOk());
+        receiver.start();
+    });
+
+    {
+        core::EngineConfig config;
+        config.ring.capacity = 128;
+        config.shm_bytes = 16 << 20;
+        config.remote.endpoint = endpoint;
+        config.remote.ship_batch = 8;
+        core::Nvx nvx(config);
+        ASSERT_TRUE(nvx.start({app}).isOk());
+        auto results = nvx.waitFor(30000000000ULL);
+        ASSERT_EQ(results.size(), 1u);
+        ASSERT_FALSE(results[0].crashed);
+    }
+    accepting.join();
+
+    auto remote_results = remote_nvx.waitFor(30000000000ULL);
+    ASSERT_TRUE(receiver.finish().isOk());
+    ASSERT_EQ(remote_results.size(), 1u);
+    EXPECT_EQ(remote_results[0].status, 11);
+
+    // Every event the receiver published also reached the capture, and
+    // the capture parses as a clean v2 log.
+    const Receiver::Stats stats = receiver.stats();
+    EXPECT_EQ(stats.log_errno, 0);
+    EXPECT_GT(stats.logged_events, 0u);
+    EXPECT_EQ(stats.logged_events, stats.events);
+
+    auto log = rr::readLog(log_path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log.value().version, rr::kLogVersion);
+    EXPECT_FALSE(log.value().truncated);
+    ASSERT_EQ(log.value().records.size(), stats.logged_events);
+    bool saw_payload = false;
+    for (const auto &record : log.value().records)
+        saw_payload = saw_payload || !record.payload.empty();
+    EXPECT_TRUE(saw_payload); // the vread result rode along
+
+    ::unlink(log_path.c_str());
+    sys::vclose(static_cast<int>(listening.value()));
+}
+
 // --- epoch reconciliation (protocol v3) --------------------------------
 
 TEST(WireEpochTest, HandshakeCarriesEpochStamp)
