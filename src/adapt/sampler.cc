@@ -1,0 +1,151 @@
+#include "adapt/sampler.h"
+
+#include <algorithm>
+
+#include "ring/ring_buffer.h"
+
+namespace varan::adapt {
+
+namespace {
+
+/** A syscall must carry at least 1/64 of the tick's dispatch mix to
+ *  count as "hot" — keeps the fast-path table from churning on noise. */
+constexpr std::uint64_t kHotShareDenominator = 64;
+
+} // namespace
+
+Sampler::Sampler(const shmem::Region *region,
+                 const core::EngineLayout *layout, WireSource wire)
+    : region_(region), layout_(layout), wire_(std::move(wire))
+{
+}
+
+Sample
+Sampler::tick(std::uint64_t now_ns)
+{
+    Sample sample;
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+
+    const std::uint64_t events =
+        cb->events_streamed.load(std::memory_order_relaxed);
+    const std::uint64_t spills = layout_->pool(region_).stats().spills;
+    WireSample wire;
+    if (wire_)
+        wire = wire_();
+
+    std::uint64_t hist[core::kSyscallStatsSlots];
+    for (std::uint32_t i = 0; i < core::kSyscallStatsSlots; ++i)
+        hist[i] = cb->tuning.sys_hist[i].load(std::memory_order_relaxed);
+
+    // Ring occupancy: the fullest active cursor across all tuples,
+    // mirrored per tuple into the shared lag EWMAs (16.16 fixed point,
+    // alpha = 1/8) for StatusReport and post-mortem inspection.
+    const std::uint32_t tuples =
+        std::min(cb->num_tuples.load(std::memory_order_acquire),
+                 core::kMaxTuples);
+    double occupancy = 0;
+    for (std::uint32_t t = 0; t < tuples; ++t) {
+        ring::RingBuffer ring = layout_->tupleRing(region_, t);
+        std::uint64_t max_lag = 0;
+        for (int c = 0; c < static_cast<int>(ring::kMaxConsumers); ++c) {
+            if (!ring.consumerActive(c))
+                continue;
+            max_lag = std::max(max_lag, ring.lag(c));
+        }
+        std::atomic<std::uint64_t> &ewma = cb->tuning.lag_ewma[t];
+        const std::uint64_t old = ewma.load(std::memory_order_relaxed);
+        ewma.store(old - old / 8 + (max_lag << 16) / 8,
+                   std::memory_order_relaxed);
+        if (ring.capacity() > 0)
+            occupancy = std::max(
+                occupancy, static_cast<double>(max_lag) / ring.capacity());
+    }
+    sample.occupancy = std::min(occupancy, 1.0);
+
+    if (!primed_) {
+        // First tick: establish baselines, report zero rates.
+        primed_ = true;
+        prev_ns_ = now_ns;
+        prev_events_ = events;
+        prev_spills_ = spills;
+        prev_wire_ = wire;
+        std::copy(hist, hist + core::kSyscallStatsSlots, prev_hist_);
+        sample.wire_active = wire.active;
+        return sample;
+    }
+
+    const std::uint64_t dt_ns = now_ns > prev_ns_ ? now_ns - prev_ns_ : 1;
+    const double dt = static_cast<double>(dt_ns) / 1e9;
+
+    sample.events_per_sec =
+        static_cast<double>(events - prev_events_) / dt;
+    sample.spills_per_sec =
+        static_cast<double>(spills - prev_spills_) / dt;
+
+    sample.wire_active = wire.active;
+    if (wire.active) {
+        sample.wire_events_per_sec =
+            static_cast<double>(wire.events - prev_wire_.events) / dt;
+        const std::uint64_t passes =
+            wire.drain_passes - prev_wire_.drain_passes;
+        const std::uint64_t stalls =
+            wire.credit_stalls - prev_wire_.credit_stalls;
+        if (passes + stalls > 0)
+            sample.credit_stall_frac =
+                static_cast<double>(stalls) /
+                static_cast<double>(passes + stalls);
+    }
+
+    // Syscall mix: the fast-path-eligible calls that carried at least
+    // 1/64 of this tick's dispatches, hottest first.
+    std::uint64_t total = 0;
+    std::uint64_t delta[core::kSyscallStatsSlots];
+    for (std::uint32_t i = 0; i < core::kSyscallStatsSlots; ++i) {
+        delta[i] = hist[i] - prev_hist_[i];
+        total += delta[i];
+    }
+    if (total > 0) {
+        struct Hot {
+            std::uint64_t count;
+            std::uint16_t nr;
+        };
+        Hot hot[core::kFastPathSlots];
+        std::uint32_t n = 0;
+        std::uint64_t eligible = 0;
+        for (std::uint32_t nr = 0; nr < core::kSyscallStatsSlots; ++nr) {
+            if (delta[nr] == 0)
+                continue;
+            if (!sys::fastpathEligible(static_cast<long>(nr)))
+                continue;
+            eligible += delta[nr];
+            if (delta[nr] * kHotShareDenominator < total)
+                continue;
+            const Hot entry = {delta[nr], static_cast<std::uint16_t>(nr)};
+            // Insertion sort into the fixed top-k table.
+            std::uint32_t pos = n < core::kFastPathSlots ? n : n - 1;
+            if (n < core::kFastPathSlots)
+                ++n;
+            else if (hot[pos].count >= entry.count)
+                continue;
+            while (pos > 0 && hot[pos - 1].count < entry.count) {
+                hot[pos] = hot[pos - 1];
+                --pos;
+            }
+            hot[pos] = entry;
+        }
+        sample.payload_free_frac =
+            static_cast<double>(eligible) / static_cast<double>(total);
+        sample.hot_count = n;
+        for (std::uint32_t i = 0; i < n; ++i)
+            sample.hot_nrs[i] = hot[i].nr;
+    }
+
+    prev_ns_ = now_ns;
+    prev_events_ = events;
+    prev_spills_ = spills;
+    prev_wire_ = wire;
+    std::copy(hist, hist + core::kSyscallStatsSlots, prev_hist_);
+    return sample;
+}
+
+} // namespace varan::adapt

@@ -49,18 +49,71 @@ RuleSet::addProgram(Program prog)
         return Status(Errno{EINVAL});
     }
     programs_.push_back(std::move(prog));
+    heat_.emplace_back();
     return Status::ok();
 }
 
 RuleDecision
 RuleSet::evaluate(const FilterContext &ctx) const
 {
-    for (const Program &prog : programs_) {
-        RuleDecision d = decodeAction(run(prog, ctx));
-        if (d.action != RuleAction::Kill)
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+        HeatSlot &slot = heat_[i];
+        slot.evaluations.fetch_add(1, std::memory_order_relaxed);
+        RuleDecision d = decodeAction(run(programs_[i], ctx));
+        if (d.action != RuleAction::Kill) {
+            const std::uint64_t wins =
+                slot.decisions.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (hot_hook_ && hot_threshold_ > 0 &&
+                wins >= hot_threshold_ &&
+                !slot.hook_fired.exchange(true,
+                                          std::memory_order_acq_rel)) {
+                RuleHeat heat;
+                heat.evaluations =
+                    slot.evaluations.load(std::memory_order_relaxed);
+                heat.decisions = wins;
+                hot_hook_(i, heat);
+            }
             return d;
+        }
     }
     return RuleDecision{}; // KILL
+}
+
+RuleHeat
+RuleSet::heat(std::size_t index) const
+{
+    RuleHeat out;
+    if (index < heat_.size()) {
+        out.evaluations =
+            heat_[index].evaluations.load(std::memory_order_relaxed);
+        out.decisions =
+            heat_[index].decisions.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+int
+RuleSet::hottestRule() const
+{
+    int hottest = -1;
+    std::uint64_t best = 0;
+    for (std::size_t i = 0; i < heat_.size(); ++i) {
+        const std::uint64_t wins =
+            heat_[i].decisions.load(std::memory_order_relaxed);
+        if (wins > best) {
+            best = wins;
+            hottest = static_cast<int>(i);
+        }
+    }
+    return hottest;
+}
+
+void
+RuleSet::onHotRule(std::uint64_t threshold,
+                   std::function<void(std::size_t, const RuleHeat &)> hook)
+{
+    hot_threshold_ = threshold;
+    hot_hook_ = std::move(hook);
 }
 
 } // namespace varan::bpf

@@ -18,6 +18,10 @@
 #ifndef VARAN_BPF_RULES_H
 #define VARAN_BPF_RULES_H
 
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +54,12 @@ struct RuleDecision {
 /** Decode a raw 32-bit filter return value. */
 RuleDecision decodeAction(std::uint32_t ret);
 
+/** Point-in-time heat counters for one rule (see RuleSet::heat). */
+struct RuleHeat {
+    std::uint64_t evaluations = 0; ///< times the rule's filter ran
+    std::uint64_t decisions = 0;   ///< times its non-KILL verdict won
+};
+
 /**
  * An ordered collection of verified rewrite-rule filters.
  *
@@ -73,12 +83,48 @@ class RuleSet
     /** Run the rules over a divergence context. */
     RuleDecision evaluate(const FilterContext &ctx) const;
 
+    // --- hot-rule detection (feeds the adaptive event path) ----------
+    //
+    // evaluate() keeps per-rule heat counters: how often each filter
+    // ran, and how often its verdict decided the divergence. The
+    // counters never change rule order — first-match semantics are
+    // sacrosanct — they only make the interpretation cost visible so
+    // the adaptive layer (and operators reading logs) can see which
+    // divergence pattern dominates a run.
+
+    /** Heat counters for rule @p index (insertion order). */
+    RuleHeat heat(std::size_t index) const;
+
+    /** Index of the rule that decided the most divergences so far,
+     *  or -1 while no rule has decided anything. */
+    int hottestRule() const;
+
+    /**
+     * Fire @p hook (at most once per rule, from inside evaluate()) when
+     * a rule's winning-verdict count reaches @p threshold. The hook
+     * runs on the dispatching thread mid-divergence — keep it brief
+     * (log, counter bump); it must not re-enter this RuleSet.
+     */
+    void onHotRule(std::uint64_t threshold,
+                   std::function<void(std::size_t, const RuleHeat &)> hook);
+
     std::size_t size() const { return programs_.size(); }
     bool empty() const { return programs_.empty(); }
     const std::string &lastError() const { return last_error_; }
 
   private:
+    /** Heat state lives in a deque so addProgram() never relocates a
+     *  slot out from under a concurrent evaluate(). */
+    struct HeatSlot {
+        std::atomic<std::uint64_t> evaluations{0};
+        std::atomic<std::uint64_t> decisions{0};
+        std::atomic<bool> hook_fired{false};
+    };
+
     std::vector<Program> programs_;
+    mutable std::deque<HeatSlot> heat_;
+    std::uint64_t hot_threshold_ = 0;
+    std::function<void(std::size_t, const RuleHeat &)> hot_hook_;
     std::string last_error_;
 };
 

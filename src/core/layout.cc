@@ -32,6 +32,10 @@ EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
     for (std::uint32_t v = 0; v < num_variants; ++v)
         mask |= 1u << v;
     cb->live_mask.store(mask, std::memory_order_relaxed);
+    // Knobs read sane before anyone seeds explicit values; the seeded
+    // mask stays clear so the first seeder (coordinator or a promoted
+    // component) still wins.
+    initTuningDefaults(cb->tuning);
 
     for (std::uint32_t v = 0; v < kMaxVariants; ++v) {
         cb->variants[v].state.store(

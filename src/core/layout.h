@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/tuning.h"
 #include "ring/lamport.h"
 #include "ring/ring_buffer.h"
 #include "shmem/pool.h"
@@ -124,10 +125,18 @@ struct ControlBlock {
     std::atomic<std::uint64_t> rr_bytes_written;
     std::atomic<std::uint64_t> rr_spill_peak;  ///< spill-buffer high water
 
+    /** Live event-path knobs + adaptive-controller statistics. Every
+     *  knob consumer (shipper, coalescer, monitor) re-reads from here
+     *  at batch boundaries instead of caching config at startup. */
+    TuningBlock tuning;
+
     VariantSlot variants[kMaxVariants];
     TupleSlot tuples[kMaxTuples];
     ring::ClockState clocks[kMaxVariants]; ///< per-variant Lamport clocks
 };
+
+static_assert(kTuningLagSlots == kMaxTuples,
+              "one lag EWMA slot per tuple");
 
 /** Offsets of the carved structures inside the Region. */
 struct EngineLayout {

@@ -14,6 +14,10 @@
 
 namespace varan::core {
 
+static_assert(kSyscallStatsSlots ==
+                  static_cast<std::uint32_t>(sys::kMaxSyscallNr),
+              "shared syscall-mix histogram covers the whole table");
+
 namespace {
 
 Monitor *g_monitor = nullptr;
@@ -124,6 +128,9 @@ crashHandler(int sig, siginfo_t *, void *)
     ::raise(sig);
 }
 
+/** Winning divergence verdicts before a rewrite rule is logged as hot. */
+constexpr std::uint64_t kHotRuleThreshold = 1000;
+
 } // namespace
 
 Monitor::Monitor(const shmem::Region *region, EngineLayout layout,
@@ -142,13 +149,38 @@ Monitor::Monitor(const shmem::Region *region, EngineLayout layout,
         rings_[t] = layout.tupleRing(region, t);
         shadows_[t] = layout.tupleShadow(region, t);
         tuple_refs_[t] = TupleRef{this, t};
-        coalescers_[t].reset(&rings_[t], config_.coalesce_max,
+        // Hard cap at the coalescer's storage ceiling; the run length
+        // actually in force is the live CoalesceRun knob, re-read on
+        // every add() so retuning needs no reset.
+        coalescers_[t].reset(&rings_[t], ring::PublishCoalescer::kMaxPending,
                              &Monitor::recycleSlots, &tuple_refs_[t]);
+        coalescers_[t].bindLiveLimit(
+            &cb_->tuning.values[static_cast<std::uint32_t>(
+                Knob::CoalesceRun)]);
     }
+    // First-seeder-wins: a no-op under the coordinator (which seeds all
+    // knobs from EngineConfig before forking variants), effective when
+    // a Monitor is stood up directly over a raw layout.
+    seedKnob(cb_->tuning, Knob::CoalesceRun, config_.coalesce_max);
+    seedKnob(cb_->tuning, Knob::CoalesceWindowNs,
+             config_.coalesce_window_ns);
     for (const std::string &text : config_.rules_text) {
         if (!rules_.addRule(text).isOk())
             fatal("invalid rewrite rule: %s", rules_.lastError().c_str());
     }
+    // Hot-rule detection: a rule resolving divergences at this volume
+    // is a standing pattern, not an incident — surface it once so the
+    // operator knows interpretation cost is recurring on this variant.
+    const std::uint32_t variant_id = config_.variant_id;
+    rules_.onHotRule(
+        kHotRuleThreshold,
+        [variant_id](std::size_t index, const bpf::RuleHeat &heat) {
+            inform("variant %u: rewrite rule #%zu is hot (%llu of %llu "
+                   "evaluations resolved a divergence)",
+                   variant_id, index,
+                   static_cast<unsigned long long>(heat.decisions),
+                   static_cast<unsigned long long>(heat.evaluations));
+        });
     clock_resync_pending_ = config_.resync_clock;
     tick_wait_ = config_.wait;
     tick_wait_.timeout_ns = config_.tick_ns;
@@ -254,6 +286,13 @@ Monitor::dispatch(long nr, const std::uint64_t args[6])
     const sys::SyscallInfo &info = sys::syscallInfo(nr);
     cb_->variants[config_.variant_id].syscalls.fetch_add(
         1, std::memory_order_relaxed);
+
+    // Hottest payload-free calls skip the classification branching
+    // below entirely (adaptive top-k fast path; off until the
+    // FastpathTopK knob goes non-zero).
+    long fast_result = 0;
+    if (tryFastPath(nr, args, &fast_result))
+        return fast_result;
 
     switch (info.cls) {
       case sys::SyscallClass::Local:
@@ -387,6 +426,12 @@ Monitor::flushCoalesced(int tuple)
     cb_->events_coalesced.fetch_add(n, std::memory_order_relaxed);
 }
 
+std::uint64_t
+Monitor::liveCoalesceWindowNs() const
+{
+    return liveKnob(cb_->tuning, Knob::CoalesceWindowNs);
+}
+
 void
 Monitor::coalesceBarrier(int tuple, const sys::SyscallInfo &info)
 {
@@ -396,27 +441,130 @@ Monitor::coalesceBarrier(int tuple, const sys::SyscallInfo &info)
         rings_[tuple].consumersWaiting() > 0 ||
         monotonicNs() -
                 coalesce_last_ns_[tuple].load(std::memory_order_acquire) >=
-            config_.coalesce_window_ns) {
+            liveCoalesceWindowNs()) {
         std::lock_guard<std::mutex> guard(coalesce_mutex_[tuple]);
         flushCoalesced(tuple);
     }
 }
 
 void
+Monitor::recordSyscallMix(long nr)
+{
+    if (nr >= 0 && nr < static_cast<long>(kSyscallStatsSlots)) {
+        cb_->tuning.sys_hist[nr].fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Monitor::coalesceAdd(int tuple, ring::Event &event)
+{
+    std::lock_guard<std::mutex> guard(coalesce_mutex_[tuple]);
+    event.timestamp = clock_.tick();
+    event.flags |= config_.variant_id << kPublisherShift;
+    // Flush through flushCoalesced (not add's internal overflow path)
+    // so the stream statistics see every shipped run. effectiveMax()
+    // is the live CoalesceRun knob: a retune applies to the very next
+    // event.
+    if (coalescers_[tuple].pending() >= coalescers_[tuple].effectiveMax())
+        flushCoalesced(tuple);
+    ring::WaitSpec publish_wait = config_.wait;
+    publish_wait.timeout_ns = kPublishStallNs;
+    if (!coalescers_[tuple].add(event, publish_wait))
+        panic("coalesced publish stalled: follower wedged?");
+    coalesce_last_ns_[tuple].store(monotonicNs(),
+                                   std::memory_order_release);
+    // A follower already asleep in the waitlock wants this event now;
+    // holding the run back would trade its latency for nothing.
+    if (rings_[tuple].consumersWaiting() > 0)
+        flushCoalesced(tuple);
+}
+
+bool
+Monitor::tryFastPath(long nr, const std::uint64_t args[6], long *result_out)
+{
+    const auto top_k = static_cast<std::uint32_t>(
+        liveKnob(cb_->tuning, Knob::FastpathTopK));
+    if (top_k == 0 || !isLeader())
+        return false;
+    if (nr < 0 || nr >= sys::kMaxSyscallNr)
+        return false;
+    // Membership scan of the shared hot table (slots hold nr + 1).
+    const std::uint32_t tag = static_cast<std::uint32_t>(nr) + 1;
+    bool hot = false;
+    for (std::uint32_t i = 0; i < top_k && i < kFastPathSlots; ++i) {
+        if (cb_->tuning.fastpath_nrs[i].load(std::memory_order_relaxed) ==
+            tag) {
+            hot = true;
+            break;
+        }
+    }
+    if (!hot)
+        return false;
+    std::int8_t ok = fastpath_ok_[nr];
+    if (ok == 0) {
+        ok = sys::fastpathEligible(nr) ? 1 : -1;
+        fastpath_ok_[nr] = ok;
+    }
+    if (ok < 0)
+        return false;
+
+    const int tuple = currentTuple();
+    const int slot = static_cast<int>(config_.variant_id);
+    // A promoted leader still draining its backlog replays, it does
+    // not record — same gate as the slow path.
+    if (rings_[tuple].consumerActive(slot)) {
+        if (rings_[tuple].lag(slot) > 0)
+            return false;
+        rings_[tuple].detachConsumer(slot);
+    }
+
+    recordSyscallMix(nr);
+    long result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                                  args[4], args[5]);
+    if (result == sys::kErestartsys) {
+        result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
+                                 args[4], args[5]);
+    }
+
+    ring::Event event = {};
+    event.type = ring::EventType::Syscall;
+    event.nr = static_cast<std::uint16_t>(nr);
+    event.result = result;
+    for (unsigned i = 0; i < ring::kInlineArgs; ++i)
+        event.args[i] = args[i];
+
+    cb_->tuning.fastpath_hits.fetch_add(1, std::memory_order_relaxed);
+    // Eligible calls are payload-free by construction, so the
+    // coalesced run is the natural sink when it is enabled (single
+    // live tuple only, as on the slow path).
+    if (config_.coalesce_publish &&
+        cb_->num_tuples.load(std::memory_order_acquire) == 1) {
+        coalesceAdd(tuple, event);
+    } else {
+        publishEvent(tuple, event, 0);
+    }
+    *result_out = result;
+    return true;
+}
+
+void
 Monitor::flusherLoop()
 {
-    // Tick at half the staleness window so a stale run waits at most
-    // ~1.5 windows even when the leader never dispatches again. Floor
-    // at 1 ms: this thread is a last-resort backstop (the dispatch
-    // barriers cover every active path), so sub-millisecond wakeups in
-    // every variant would be pure overhead. Cap at 10 ms so shutdown
-    // (which joins this thread) stays prompt under huge windows.
-    std::uint64_t tick = config_.coalesce_window_ns / 2;
-    if (tick < 1000000)
-        tick = 1000000;
-    if (tick > 10000000)
-        tick = 10000000;
     while (!flusher_stop_.load(std::memory_order_acquire)) {
+        // Tick at half the staleness window so a stale run waits at
+        // most ~1.5 windows even when the leader never dispatches
+        // again. Floor at 1 ms: this thread is a last-resort backstop
+        // (the dispatch barriers cover every active path), so
+        // sub-millisecond wakeups in every variant would be pure
+        // overhead. Cap at 10 ms so shutdown (which joins this thread)
+        // stays prompt under huge windows. Recomputed every tick from
+        // the live knob: retuning the window also retunes the backstop.
+        const std::uint64_t window = liveCoalesceWindowNs();
+        std::uint64_t tick = window / 2;
+        if (tick < 1000000)
+            tick = 1000000;
+        if (tick > 10000000)
+            tick = 10000000;
         sleepNs(tick);
         if (!isLeader())
             continue;
@@ -425,7 +573,7 @@ Monitor::flusherLoop()
             if (coalescers_[t].pending() == 0)
                 continue;
             if (now - coalesce_last_ns_[t].load(std::memory_order_acquire) <
-                config_.coalesce_window_ns) {
+                window) {
                 continue;
             }
             std::lock_guard<std::mutex> guard(coalesce_mutex_[t]);
@@ -435,7 +583,7 @@ Monitor::flusherLoop()
                 continue;
             if (monotonicNs() -
                     coalesce_last_ns_[t].load(std::memory_order_acquire) <
-                config_.coalesce_window_ns) {
+                window) {
                 continue;
             }
             flushCoalesced(static_cast<int>(t));
@@ -485,6 +633,7 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
     // A pending coalesced run must not sit behind a call that can wait
     // indefinitely, and a stale run (leader went quiet) ships now.
     coalesceBarrier(tuple, info);
+    recordSyscallMix(nr);
 
     long result = sys::rawSyscall(nr, args[0], args[1], args[2], args[3],
                                   args[4], args[5]);
@@ -529,26 +678,7 @@ Monitor::dispatchLeader(int tuple, long nr, const std::uint64_t args[6],
     if (config_.coalesce_publish && payload == 0 &&
         info.cls != sys::SyscallClass::FdCreating &&
         cb_->num_tuples.load(std::memory_order_acquire) == 1) {
-        std::lock_guard<std::mutex> guard(coalesce_mutex_[tuple]);
-        event.timestamp = clock_.tick();
-        event.flags |= config_.variant_id << kPublisherShift;
-        // Flush through flushCoalesced (not add's internal overflow
-        // path) so the stream statistics see every shipped run.
-        if (coalescers_[tuple].pending() ==
-            coalescers_[tuple].maxPending()) {
-            flushCoalesced(tuple);
-        }
-        ring::WaitSpec publish_wait = config_.wait;
-        publish_wait.timeout_ns = kPublishStallNs;
-        if (!coalescers_[tuple].add(event, publish_wait))
-            panic("coalesced publish stalled: follower wedged?");
-        coalesce_last_ns_[tuple].store(monotonicNs(),
-                                       std::memory_order_release);
-        // A follower already asleep in the waitlock wants this event
-        // now; holding the run back would trade its latency for
-        // nothing.
-        if (rings_[tuple].consumersWaiting() > 0)
-            flushCoalesced(tuple);
+        coalesceAdd(tuple, event);
         return result;
     }
 

@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "adapt/autotuner.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "netio/socketio.h"
@@ -120,6 +121,11 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
             static_cast<std::uint32_t>(specs_[v].role),
             std::memory_order_release);
 
+    // Seed the live knob surface from the shim-resolved initial Tuning.
+    // Seeding is first-writer-wins, so a pre_spawn hook (or anyone
+    // else) writing through Nvx::tuning() afterwards still overrides.
+    seedTuning(cb->tuning, config_.effectiveTuning());
+
     if (pre_spawn)
         pre_spawn(*this);
 
@@ -129,9 +135,11 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
     // serves all configured peers (fan-out).
     const std::vector<std::string> peers = config_.remote.allEndpoints();
     if (!peers.empty()) {
+        const Tuning initial = config_.effectiveTuning();
         wire::Shipper::Options ship;
-        ship.ship_batch = config_.remote.ship_batch;
-        ship.credit_window = config_.remote.credit_window;
+        ship.ship_batch = initial.ship_batch;
+        ship.credit_window = initial.credit_window;
+        ship.status_push_ns = config_.remote.status_push_interval_ns;
         shipper_ = std::make_unique<wire::Shipper>(&region_, &layout_, ship);
         Status taps = shipper_->attachTaps();
         if (!taps.isOk())
@@ -195,6 +203,34 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
     }
 
     started_ = true;
+
+    // Adaptive controller: retunes the unpinned knobs online from the
+    // sampled syscall mix, ring occupancy and (when shipping) the wire
+    // drain statistics. Started after the spawn acks so its first
+    // baseline tick sees a running engine.
+    if (config_.adapt.enabled) {
+        adapt::AutoTuner::Options opts;
+        opts.tick_ns = config_.adapt.tick_ns;
+        opts.controller.hysteresis = config_.adapt.hysteresis;
+        opts.controller.settle_ticks = config_.adapt.settle_ticks;
+        adapt::Sampler::WireSource wire_source;
+        if (shipper_) {
+            wire::Shipper *shipper = shipper_.get();
+            wire_source = [shipper] {
+                adapt::WireSample w;
+                const auto stats = shipper->stats();
+                w.active = true;
+                w.events = stats.events;
+                w.drain_passes = stats.drain_passes;
+                w.credit_stalls = stats.credit_stalls;
+                return w;
+            };
+        }
+        autotuner_ = std::make_unique<adapt::AutoTuner>(
+            &region_, &layout_, opts, std::move(wire_source));
+        autotuner_->start();
+    }
+
     monitor_thread_ = std::thread([this] { monitorLoop(); });
     return Status::ok();
 }
@@ -304,9 +340,10 @@ Nvx::zygoteMain()
                                      config_.rewrite_rules.end());
             config.progress_timeout_ns = config_.ring.progress_timeout_ns;
             config.tick_ns = config_.ring.tick_ns;
+            const Tuning initial = config_.effectiveTuning();
             config.coalesce_publish = config_.coalesce.enabled;
-            config.coalesce_max = config_.coalesce.max_run;
-            config.coalesce_window_ns = config_.coalesce.window_ns;
+            config.coalesce_max = initial.coalesce_run;
+            config.coalesce_window_ns = initial.coalesce_window_ns;
             config.resync_clock = restart_spawn;
             Monitor *monitor =
                 Monitor::initVariant(&region_, layout_, &channels_,
@@ -620,6 +657,8 @@ Nvx::wait()
         monitor_thread_.join();
     finished_ = true;
     shutdownZygote();
+    if (autotuner_)
+        autotuner_->stop(); // no retuning during the drain
     if (shipper_)
         shipper_->finish(); // drain the ring tails, send Bye
     return results_;
@@ -649,6 +688,8 @@ Nvx::waitFor(std::uint64_t timeout_ns)
     if (monitor_thread_.joinable())
         monitor_thread_.join();
     finished_ = true;
+    if (autotuner_)
+        autotuner_->stop();
     if (shipper_)
         shipper_->finish();
     for (std::uint32_t v = 0; v < num_variants_; ++v) {
@@ -708,6 +749,18 @@ Nvx::status() const
                                       shipper_->linkUp());
     }
     return report;
+}
+
+std::string
+Nvx::statusText() const
+{
+    return ::varan::core::statusText(status());
+}
+
+TuningHandle
+Nvx::tuning() const
+{
+    return TuningHandle(&controlBlock()->tuning);
 }
 
 int

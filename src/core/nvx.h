@@ -61,6 +61,10 @@ namespace varan::wire {
 class Shipper;
 }
 
+namespace varan::adapt {
+class AutoTuner;
+}
+
 namespace varan::core {
 
 /** A variant's application entry point ("main"). */
@@ -162,7 +166,11 @@ struct RingConfig {
  */
 struct CoalesceConfig {
     bool enabled = false;
+    /** @deprecated Seeds Tuning::coalesce_run for one more release;
+     *  set EngineConfig::tuning (or retune live via Nvx::tuning()). */
     std::uint32_t max_run = 16;        ///< events per run cap
+    /** @deprecated Seeds Tuning::coalesce_window_ns for one more
+     *  release; set EngineConfig::tuning instead. */
     std::uint64_t window_ns = 200000;  ///< staleness cap (200 µs)
 };
 
@@ -180,8 +188,17 @@ struct CoalesceConfig {
 struct RemoteConfig {
     std::string endpoint;              ///< single peer (legacy spelling)
     std::vector<std::string> endpoints; ///< fan-out peers (appended)
+    /** @deprecated Seeds Tuning::ship_batch for one more release; set
+     *  EngineConfig::tuning (or retune live via Nvx::tuning()). */
     std::uint32_t ship_batch = 16;     ///< events per wire frame
+    /** @deprecated Seeds Tuning::credit_window for one more release;
+     *  set EngineConfig::tuning instead. */
     std::uint32_t credit_window = 4096; ///< max unacked events per peer
+    /** Unsolicited Status-frame broadcast cadence to every connected
+     *  peer (0 = off, the classic request/response RPC only). The
+     *  receiver needs no opt-in: any incoming Status frame refreshes
+     *  its remoteStatus() snapshot. */
+    std::uint64_t status_push_interval_ns = 0;
 
     /** Every configured peer endpoint (endpoint + endpoints). */
     std::vector<std::string>
@@ -234,6 +251,47 @@ struct EngineConfig {
     RingConfig ring;
     CoalesceConfig coalesce;
     RemoteConfig remote;
+
+    /**
+     * The unified event-path knob surface (API redesign): one struct
+     * holding every batching/pacing parameter that used to be spread
+     * across CoalesceConfig and RemoteConfig. Seeds the shared
+     * TuningBlock at start(); after that the values live in shared
+     * memory — retune them at runtime through Nvx::tuning() without
+     * restarting anything.
+     *
+     * Shim rule (one release): a legacy field (coalesce.max_run,
+     * coalesce.window_ns, remote.ship_batch, remote.credit_window)
+     * that was moved off its historical default still wins over the
+     * corresponding field here — see effectiveTuning().
+     */
+    Tuning tuning;
+
+    /** The adaptive controller (src/adapt/). When enabled, an
+     *  AutoTuner thread retunes the unpinned knobs online from the
+     *  sampled syscall mix, ring occupancy and wire statistics. */
+    AdaptConfig adapt;
+
+    /**
+     * The initial Tuning that actually seeds the engine: `tuning`
+     * overlaid with any deprecated legacy field that differs from its
+     * historical default (explicit legacy settings keep working for
+     * one release; remove them in favour of `tuning`).
+     */
+    Tuning
+    effectiveTuning() const
+    {
+        Tuning t = tuning;
+        if (coalesce.max_run != CoalesceConfig{}.max_run)
+            t.coalesce_run = coalesce.max_run;
+        if (coalesce.window_ns != CoalesceConfig{}.window_ns)
+            t.coalesce_window_ns = coalesce.window_ns;
+        if (remote.ship_batch != RemoteConfig{}.ship_batch)
+            t.ship_batch = remote.ship_batch;
+        if (remote.credit_window != RemoteConfig{}.credit_window)
+            t.credit_window = remote.credit_window;
+        return t;
+    }
 
     /** Observed divergence counters changed: (resolved, fatal) totals.
      *  Divergences resolve inside variant processes; the coordinator
@@ -322,6 +380,23 @@ class Nvx
      */
     StatusReport status() const;
 
+    /** status() rendered as a Prometheus-style text metrics page
+     *  (core::statusText): ready for a /metrics scrape, a log line, or
+     *  an operator's eyeball. Includes the live knob values and the
+     *  adaptive controller's sample/decision counters. */
+    std::string statusText() const;
+
+    /**
+     * The live tuning handle (valid once start() ran). Setters write
+     * straight into the shared TuningBlock: the publish coalescer, the
+     * flusher and the wire shipper re-read the knobs at batch
+     * boundaries, so a change takes effect within one batch — no
+     * restart, no reconnect. set() pins the knob by default so the
+     * adaptive controller (EngineConfig::adapt) never fights a manual
+     * override; unpin() hands it back.
+     */
+    TuningHandle tuning() const;
+
     // Narrow accessors kept for convenience (all subsumed by status()).
     int currentLeader() const;
     std::uint32_t epoch() const;
@@ -389,6 +464,8 @@ class Nvx
     std::vector<CtrlMsg> early_zygote_msgs_;
     /** Multi-node event shipping (EngineConfig::remote). */
     std::unique_ptr<wire::Shipper> shipper_;
+    /** Adaptive knob controller (EngineConfig::adapt). */
+    std::unique_ptr<adapt::AutoTuner> autotuner_;
 };
 
 /**
@@ -477,6 +554,30 @@ class Nvx::Builder
     remote(RemoteConfig remote_config)
     {
         config_.remote = std::move(remote_config);
+        return *this;
+    }
+
+    /** Seed the unified live knob surface (EngineConfig::tuning). */
+    Builder &
+    tuning(Tuning initial)
+    {
+        config_.tuning = initial;
+        return *this;
+    }
+
+    /** Enable/configure the adaptive controller. */
+    Builder &
+    adapt(AdaptConfig adapt_config)
+    {
+        config_.adapt = adapt_config;
+        return *this;
+    }
+
+    /** Shorthand: turn the adaptive controller on with defaults. */
+    Builder &
+    adaptive(bool on = true)
+    {
+        config_.adapt.enabled = on;
         return *this;
     }
 

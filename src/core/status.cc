@@ -69,7 +69,223 @@ collectStatus(const shmem::Region *region, const EngineLayout &layout)
         cb->rr_bytes_written.load(std::memory_order_relaxed);
     report.recorder.spill_peak =
         cb->rr_spill_peak.load(std::memory_order_relaxed);
+
+    const TuningBlock &tuning = cb->tuning;
+    report.adapt.active =
+        tuning.adapt_active.load(std::memory_order_acquire);
+    report.adapt.pinned_mask =
+        tuning.pinned_mask.load(std::memory_order_acquire);
+    report.adapt.samples =
+        tuning.adapt_samples.load(std::memory_order_relaxed);
+    report.adapt.decisions =
+        tuning.adapt_decisions.load(std::memory_order_relaxed);
+    report.adapt.fastpath_hits =
+        tuning.fastpath_hits.load(std::memory_order_relaxed);
+    report.adapt.ship_batch =
+        static_cast<std::uint32_t>(liveKnob(tuning, Knob::ShipBatch));
+    report.adapt.credit_window =
+        static_cast<std::uint32_t>(liveKnob(tuning, Knob::CreditWindow));
+    report.adapt.coalesce_run =
+        static_cast<std::uint32_t>(liveKnob(tuning, Knob::CoalesceRun));
+    report.adapt.fastpath_top_k =
+        static_cast<std::uint32_t>(liveKnob(tuning, Knob::FastpathTopK));
+    report.adapt.coalesce_window_ns =
+        liveKnob(tuning, Knob::CoalesceWindowNs);
+    for (std::uint32_t i = 0; i < kFastPathSlots; ++i) {
+        report.adapt.fastpath_nrs[i] =
+            tuning.fastpath_nrs[i].load(std::memory_order_relaxed);
+    }
     return report;
+}
+
+namespace {
+
+void
+metric(std::string &out, const char *name, const char *type,
+       const char *help, std::uint64_t value)
+{
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+}
+
+void
+variantMetric(std::string &out, const char *name, const char *type,
+              const char *help, const StatusReport &report,
+              std::uint64_t (*pick)(const VariantStatus &))
+{
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+    for (std::uint32_t v = 0; v < report.num_variants; ++v) {
+        out += name;
+        out += "{variant=\"";
+        out += std::to_string(v);
+        out += "\"} ";
+        out += std::to_string(pick(report.variants[v]));
+        out += '\n';
+    }
+}
+
+} // namespace
+
+std::string
+statusText(const StatusReport &report)
+{
+    std::string out;
+    out.reserve(4096);
+
+    // Geometry + election state.
+    metric(out, "varan_num_variants", "gauge",
+           "Variants configured on this engine", report.num_variants);
+    metric(out, "varan_ring_capacity", "gauge",
+           "Per-tuple ring capacity (events)", report.ring_capacity);
+    metric(out, "varan_leader", "gauge",
+           "Current leader variant id (4294967295 = none)", report.leader);
+    metric(out, "varan_epoch", "counter", "Leader elections performed",
+           report.epoch);
+    metric(out, "varan_live_mask", "gauge", "Bitmask of running variants",
+           report.live_mask);
+    metric(out, "varan_num_tuples", "gauge", "Live thread/process tuples",
+           report.num_tuples);
+    metric(out, "varan_stream_generation", "gauge",
+           "Event stream generation (bumped on cross-node promotion)",
+           report.stream_generation);
+    metric(out, "varan_promotions_total", "counter",
+           "Leader promotions performed on this engine",
+           report.promotions);
+
+    // Stream counters.
+    metric(out, "varan_events_streamed_total", "counter",
+           "Events published into the tuple rings",
+           report.events_streamed);
+    metric(out, "varan_divergences_resolved_total", "counter",
+           "Divergences resolved by rewrite rules",
+           report.divergences_resolved);
+    metric(out, "varan_divergences_fatal_total", "counter",
+           "Fatal divergences", report.divergences_fatal);
+    metric(out, "varan_fd_transfers_total", "counter",
+           "Descriptor transfers to followers", report.fd_transfers);
+    metric(out, "varan_publish_batches_total", "counter",
+           "Coalesced publish flushes", report.publish_batches);
+    metric(out, "varan_events_coalesced_total", "counter",
+           "Events shipped through coalesced runs",
+           report.events_coalesced);
+
+    // Per-variant series.
+    variantMetric(out, "varan_variant_state", "gauge",
+                  "Variant state (0 empty, 1 running, 2 crashed, 3 exited)",
+                  report,
+                  [](const VariantStatus &v) -> std::uint64_t {
+                      return v.state;
+                  });
+    variantMetric(out, "varan_variant_syscalls_total", "counter",
+                  "Syscalls dispatched by the variant", report,
+                  [](const VariantStatus &v) -> std::uint64_t {
+                      return v.syscalls;
+                  });
+    variantMetric(out, "varan_variant_ring_lag", "gauge",
+                  "Leader-to-follower event distance (max over tuples)",
+                  report,
+                  [](const VariantStatus &v) -> std::uint64_t {
+                      return v.ring_lag;
+                  });
+    variantMetric(out, "varan_variant_restarts_total", "counter",
+                  "Respawns performed by the restart policy", report,
+                  [](const VariantStatus &v) -> std::uint64_t {
+                      return v.restarts;
+                  });
+
+    // Pool pressure.
+    metric(out, "varan_pool_spills_total", "counter",
+           "Arena exhaustions spilled to the global fallback",
+           report.pool.spills);
+    metric(out, "varan_pool_global_live_chunks", "gauge",
+           "Allocations outstanding in the global fallback arena",
+           report.pool.global.live_chunks);
+
+    // Wire shipper.
+    metric(out, "varan_shipper_active", "gauge",
+           "A wire shipper exists on this engine", report.shipper.active);
+    metric(out, "varan_shipper_link_up", "gauge",
+           "At least one peer link is usable", report.shipper.link_up);
+    metric(out, "varan_shipper_peers", "gauge",
+           "Registered receiver sessions", report.shipper.peers);
+    metric(out, "varan_shipper_frames_total", "counter",
+           "Frames transmitted (per peer)", report.shipper.frames);
+    metric(out, "varan_shipper_events_total", "counter",
+           "Events drained from the rings", report.shipper.events);
+    metric(out, "varan_shipper_bytes_total", "counter",
+           "Bytes transmitted", report.shipper.bytes);
+    metric(out, "varan_shipper_credit_stalls_total", "counter",
+           "Drain passes gated by a closed credit window",
+           report.shipper.credit_stalls);
+    metric(out, "varan_shipper_drain_passes_total", "counter",
+           "Drain passes that found ring backlog",
+           report.shipper.drain_passes);
+    metric(out, "varan_shipper_status_pushes_total", "counter",
+           "Unsolicited Status frame broadcasts",
+           report.shipper.status_pushes);
+
+    // Wire receiver.
+    metric(out, "varan_receiver_active", "gauge",
+           "A wire receiver feeds this engine", report.receiver.active);
+    metric(out, "varan_receiver_events_total", "counter",
+           "Events materialized from the wire", report.receiver.events);
+    metric(out, "varan_receiver_promoted", "gauge",
+           "This node took over leadership", report.receiver.promoted);
+
+    // Recorder.
+    metric(out, "varan_recorder_active", "gauge",
+           "Record-replay taps are attached", report.recorder.active);
+    metric(out, "varan_recorder_events_total", "counter",
+           "Records drained by the rr sink", report.recorder.events);
+
+    // Live tuning + adaptive controller.
+    metric(out, "varan_adapt_active", "gauge",
+           "An AutoTuner thread is running", report.adapt.active);
+    metric(out, "varan_adapt_samples_total", "counter",
+           "Controller sampling ticks taken", report.adapt.samples);
+    metric(out, "varan_adapt_decisions_total", "counter",
+           "Knob adjustments applied by the controller",
+           report.adapt.decisions);
+    metric(out, "varan_adapt_pinned_mask", "gauge",
+           "Bitmask of knobs pinned against adaptation",
+           report.adapt.pinned_mask);
+    metric(out, "varan_fastpath_hits_total", "counter",
+           "Leader dispatches taken by the top-k fast path",
+           report.adapt.fastpath_hits);
+    metric(out, "varan_tuning_ship_batch", "gauge",
+           "Live ship batch (events per wire frame)",
+           report.adapt.ship_batch);
+    metric(out, "varan_tuning_credit_window", "gauge",
+           "Live credit window (unacked events per tuple per peer)",
+           report.adapt.credit_window);
+    metric(out, "varan_tuning_coalesce_run", "gauge",
+           "Live publish-coalescing run cap", report.adapt.coalesce_run);
+    metric(out, "varan_tuning_coalesce_window_ns", "gauge",
+           "Live coalesce staleness window (ns)",
+           report.adapt.coalesce_window_ns);
+    metric(out, "varan_tuning_fastpath_top_k", "gauge",
+           "Live hot-syscall fast-path width (0 = off)",
+           report.adapt.fastpath_top_k);
+    return out;
 }
 
 } // namespace varan::core

@@ -24,6 +24,7 @@
 #define VARAN_CORE_STATUS_H
 
 #include <cstdint>
+#include <string>
 #include <type_traits>
 
 #include "core/layout.h"
@@ -56,6 +57,9 @@ struct ShipperWireStatus {
     std::uint64_t credits_received;
     std::uint64_t retransmitted_frames;
     std::uint64_t reconnects;
+    std::uint64_t drain_passes;   ///< drain passes with ring backlog
+    std::uint64_t credit_stalls;  ///< passes gated by the credit window
+    std::uint64_t status_pushes;  ///< unsolicited Status broadcasts
 };
 
 /** Remote-node wire receiving statistics (zeros when not receiving). */
@@ -85,6 +89,27 @@ struct RecorderStatus {
     std::uint64_t spill_peak;  ///< spill-buffer high-water mark (bytes)
 };
 
+/** Live tuning knobs + adaptive-controller state (src/adapt/): the
+ *  values in force right now, and what the controller did to them.
+ *  Mirrored straight from the shared TuningBlock, so a knob retuned
+ *  mid-run is visible in the very next StatusReport — local or served
+ *  over the wire. */
+struct AdaptStatus {
+    std::uint32_t active;       ///< an AutoTuner thread is running
+    std::uint32_t pinned_mask;  ///< knobs excluded from adaptation
+    std::uint64_t samples;      ///< controller ticks taken
+    std::uint64_t decisions;    ///< knob adjustments applied
+    std::uint64_t fastpath_hits; ///< leader fast-path dispatches
+    // The live knob values (core::Tuning mirror).
+    std::uint32_t ship_batch;
+    std::uint32_t credit_window;
+    std::uint32_t coalesce_run;
+    std::uint32_t fastpath_top_k;
+    std::uint64_t coalesce_window_ns;
+    /** The hot table behind the top-k fast path (nr + 1; 0 = empty). */
+    std::uint32_t fastpath_nrs[kFastPathSlots];
+};
+
 /** The unified coordinator status snapshot. */
 struct StatusReport {
     // Geometry + election state.
@@ -110,6 +135,7 @@ struct StatusReport {
     ShipperWireStatus shipper;
     ReceiverWireStatus receiver;
     RecorderStatus recorder;
+    AdaptStatus adapt;               ///< live knobs + controller state
 };
 
 static_assert(std::is_trivially_copyable_v<StatusReport>,
@@ -127,6 +153,14 @@ static_assert(std::is_trivially_copyable_v<StatusReport>,
  */
 StatusReport collectStatus(const shmem::Region *region,
                            const EngineLayout &layout);
+
+/**
+ * Render a StatusReport as a Prometheus-style text metrics page: one
+ * `varan_*` gauge/counter per field (per-variant series labelled
+ * `{variant="N"}`), `# HELP`/`# TYPE` headers included. The same bytes
+ * work for a /metrics scrape endpoint, a log line, or a human.
+ */
+std::string statusText(const StatusReport &report);
 
 } // namespace varan::core
 

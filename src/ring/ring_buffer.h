@@ -258,6 +258,7 @@ class PublishCoalescer
             max_pending_ = 1;
         recycler_ = recycler;
         recycler_ctx_ = recycler_ctx;
+        live_limit_ = nullptr;
         count_.store(0, std::memory_order_relaxed);
     }
 
@@ -273,13 +274,42 @@ class PublishCoalescer
 
     std::size_t maxPending() const { return max_pending_; }
 
+    /**
+     * Bind the run cap to a live atomic (a `Tuning` knob in the shared
+     * region): every add() re-reads it, so retuning the coalesce run
+     * length mid-stream takes effect at the next event — no reset, no
+     * restart. max_pending_ (and kMaxPending) stay the hard ceiling;
+     * a zero or over-large live value is clamped, never trusted.
+     */
+    void
+    bindLiveLimit(const std::atomic<std::uint64_t> *limit)
+    {
+        live_limit_ = limit;
+    }
+
+    /** The run cap in force right now: the live knob when bound
+     *  (clamped to [1, maxPending()]), else maxPending(). */
+    std::size_t
+    effectiveMax() const
+    {
+        if (live_limit_ == nullptr)
+            return max_pending_;
+        std::uint64_t live =
+            live_limit_->load(std::memory_order_relaxed);
+        if (live < 1)
+            return 1;
+        if (live > max_pending_)
+            return max_pending_;
+        return static_cast<std::size_t>(live);
+    }
+
     /** Append one event; auto-flushes first when the run is full.
      *  @return false if a required flush timed out (event not added). */
     bool
     add(const Event &event, const WaitSpec &wait = {})
     {
         std::size_t count = count_.load(std::memory_order_relaxed);
-        if (count == max_pending_) {
+        if (count >= effectiveMax()) {
             if (!flush(wait))
                 return false;
             count = 0;
@@ -297,6 +327,7 @@ class PublishCoalescer
     RingBuffer *ring_ = nullptr;
     SlotRecycler recycler_ = nullptr;
     void *recycler_ctx_ = nullptr;
+    const std::atomic<std::uint64_t> *live_limit_ = nullptr;
     std::size_t max_pending_ = 16;
     std::atomic<std::size_t> count_{0};
     Event pending_[kMaxPending];

@@ -75,14 +75,19 @@
 namespace varan::wire {
 
 inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
-/** v3: Hello/HelloAck carry (engine_epoch, stream_generation) and the
+/** v4: the Status frame body (core::StatusReport) grew the live-tuning
+ *  AdaptStatus section and extended shipper statistics, and the
+ *  shipper may broadcast unsolicited Status frames on a configured
+ *  push interval (the receiver's decode path is unchanged — any
+ *  non-empty Status frame updates its remote snapshot).
+ *  v3: Hello/HelloAck carry (engine_epoch, stream_generation) and the
  *  receiver's stable identity; the Error frame makes rejections
  *  decodable — the epoch-reconciliation handshake behind cross-node
  *  failover and one-shipper/N-receiver fan-out.
  *  v2: the Status frame became the status RPC (empty body = request,
  *  core::StatusReport body = reply); in v1 it carried a HelloBody and
  *  nothing ever sent it. */
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 /** Upper bound on a frame body; anything larger is corruption. */
 inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;

@@ -17,7 +17,9 @@ namespace varan::wire {
 
 Shipper::Shipper(const shmem::Region *region,
                  const core::EngineLayout *layout, Options options)
-    : region_(region), layout_(layout), options_(options)
+    : region_(region), layout_(layout), options_(options),
+      tuning_(&layout->controlBlock(region)->tuning),
+      retain_explicit_(options.retain_limit != 0)
 {
     if (options_.ship_batch == 0)
         options_.ship_batch = 1;
@@ -25,10 +27,48 @@ Shipper::Shipper(const shmem::Region *region,
         options_.ship_batch = kMaxShipBatch;
     if (options_.credit_window == 0)
         options_.credit_window = 1;
-    if (options_.retain_limit == 0)
-        options_.retain_limit = 4 * options_.credit_window;
-    if (options_.retain_limit < options_.credit_window)
+    if (options_.retain_limit != 0 &&
+        options_.retain_limit < options_.credit_window)
         options_.retain_limit = options_.credit_window;
+    // Seed the live knobs (first-seeder-wins): a shipper constructed
+    // after a retune — a promoted shipper on a receiver node — finds
+    // the seeded bit set and adopts the live value instead of
+    // clobbering it with its own construction options.
+    core::seedKnob(*tuning_, core::Knob::ShipBatch, options_.ship_batch);
+    core::seedKnob(*tuning_, core::Knob::CreditWindow,
+                   options_.credit_window);
+}
+
+std::size_t
+Shipper::liveShipBatch() const
+{
+    std::uint64_t batch = core::liveKnob(*tuning_, core::Knob::ShipBatch);
+    if (batch > kMaxShipBatch)
+        batch = kMaxShipBatch;
+    if (batch == 0)
+        batch = 1;
+    return static_cast<std::size_t>(batch);
+}
+
+std::size_t
+Shipper::liveCreditWindow() const
+{
+    std::uint64_t window =
+        core::liveKnob(*tuning_, core::Knob::CreditWindow);
+    if (window == 0)
+        window = 1;
+    return static_cast<std::size_t>(window);
+}
+
+std::size_t
+Shipper::liveRetainLimit() const
+{
+    // An explicit retain_limit is an operator decision and stays put;
+    // the default tracks the live credit window so retuning the window
+    // never turns healthy peers into stragglers.
+    if (retain_explicit_)
+        return options_.retain_limit;
+    return 4 * liveCreditWindow();
 }
 
 Shipper::~Shipper()
@@ -388,6 +428,7 @@ Shipper::sendBacklog(PeerSession &peer)
     if (!peer.link_up)
         return;
     flushOutbox(peer);
+    const std::size_t credit_window = liveCreditWindow();
     for (const PendingFrame &frame : unacked_) {
         if (!peer.link_up)
             return;
@@ -399,7 +440,7 @@ Shipper::sendBacklog(PeerSession &peer)
             continue; // an earlier frame was held back: keep order
         if (end <= peer.sent[t])
             continue; // already on the wire
-        if (end > peer.acked[t] + options_.credit_window)
+        if (end > peer.acked[t] + credit_window)
             continue; // this peer's window is closed
         if (!queueBytes(peer, frame.bytes.data(), frame.bytes.size()))
             return; // outbox cap hit: retry next pass
@@ -440,12 +481,12 @@ Shipper::retireAcked()
 void
 Shipper::evictStragglers()
 {
+    const std::size_t retain_limit = liveRetainLimit();
     for (std::size_t i = 0; i < peers_.size();) {
         PeerSession &peer = *peers_[i];
         bool evict = false;
         for (std::uint32_t t = 0; t < core::kMaxTuples && !evict; ++t) {
-            if (tuples_[t].next_seq - peer.acked[t] >
-                options_.retain_limit) {
+            if (tuples_[t].next_seq - peer.acked[t] > retain_limit) {
                 evict = true;
             }
         }
@@ -456,8 +497,7 @@ Shipper::evictStragglers()
         warn("wire shipper: evicting peer %#llx (%s, > %zu events "
              "behind) — it must resync from a fresh stream",
              static_cast<unsigned long long>(peer.receiver_id),
-             peer.link_up ? "stalled" : "link down",
-             options_.retain_limit);
+             peer.link_up ? "stalled" : "link down", retain_limit);
         dropPeerLink(peer);
         peers_.erase(peers_.begin() + static_cast<std::ptrdiff_t>(i));
         ++stats_.peers_evicted;
@@ -586,18 +626,28 @@ Shipper::drainTuple(std::uint32_t tuple)
     if (ship.tap_slot < 0)
         return 0;
 
+    ring::RingBuffer ring = layout_->tupleRing(region_, tuple);
+    if (ring.lag(ship.tap_slot) == 0)
+        return 0;
+    ++stats_.drain_passes;
+
     // Credit window against the *fastest* peer: the drain (and with it
     // the leader, through ring backpressure) is only gated when every
     // peer has stopped crediting. Slower peers are served from the
-    // retransmit buffer.
+    // retransmit buffer. Both the window and the batch size are live
+    // `Tuning` knobs, re-read here — at the batch boundary — so a
+    // retune applies to the very next frame.
+    const std::size_t credit_window = liveCreditWindow();
     const std::uint64_t unacked = ship.next_seq - fastestAcked(tuple);
-    if (unacked >= options_.credit_window)
+    if (unacked >= credit_window) {
+        ++stats_.credit_stalls;
         return 0;
-    std::size_t budget = options_.credit_window - unacked;
-    if (budget > options_.ship_batch)
-        budget = options_.ship_batch;
+    }
+    std::size_t budget = credit_window - unacked;
+    const std::size_t ship_batch = liveShipBatch();
+    if (budget > ship_batch)
+        budget = ship_batch;
 
-    ring::RingBuffer ring = layout_->tupleRing(region_, tuple);
     ring::Event events[kMaxShipBatch];
 
     ring::WaitSpec nowait;
@@ -664,7 +714,37 @@ Shipper::pumpOnce()
         drained += drainTuple(t);
     fanOut();
     evictStragglers();
+    maybePushStatus();
     return drained;
+}
+
+void
+Shipper::maybePushStatus()
+{
+    // Runs under mutex_ (from pumpOnce), like serveStatusRequest.
+    if (options_.status_push_ns == 0 || peers_.empty())
+        return;
+    const std::uint64_t now = monotonicNs();
+    if (now - last_status_push_ns_ < options_.status_push_ns)
+        return;
+    last_status_push_ns_ = now;
+
+    core::StatusReport report = core::collectStatus(region_, *layout_);
+    Stats snapshot = stats_;
+    snapshot.peers = static_cast<std::uint32_t>(peers_.size());
+    fillWireStatus(report.shipper, snapshot,
+                   link_up_.load(std::memory_order_acquire));
+    std::uint8_t frame[kStatusFrameBytes];
+    encodeStatusFrame(report, frame);
+    for (auto &peer : peers_) {
+        if (!peer->link_up)
+            continue;
+        if (!queueBytes(*peer, frame, sizeof(frame)))
+            continue; // outbox cap hit: the next interval retries
+        ++stats_.frames;
+        stats_.bytes += sizeof(frame);
+    }
+    ++stats_.status_pushes;
 }
 
 bool

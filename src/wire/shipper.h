@@ -71,10 +71,16 @@ class Shipper
         /** Max events per Events frame (the ship batch of section-style
          *  "relaxed synchronization"): 1 degenerates to per-event
          *  shipping, 16-64 amortize framing + writev cost. Clamped to
-         *  [1, kMaxShipBatch]. */
+         *  [1, kMaxShipBatch]. Seeds the live ShipBatch `Tuning` knob
+         *  (first-seeder-wins); the value actually in force is re-read
+         *  from the shared region at every batch boundary, so a live
+         *  retune — operator or adaptive controller — applies without
+         *  restart. */
         std::size_t ship_batch = 16;
         /** Max unacknowledged events per tuple *per peer* before that
-         *  peer stops receiving new frames (bounds remote run-ahead). */
+         *  peer stops receiving new frames (bounds remote run-ahead).
+         *  Seeds the live CreditWindow `Tuning` knob, re-read like
+         *  ship_batch. */
         std::size_t credit_window = 4096;
         /** A session whose credited cursor falls this many events
          *  behind the drain cursor is evicted — it would pin the
@@ -90,6 +96,11 @@ class Shipper
         std::size_t outbox_limit = 4u << 20;
         /** Pump tick while idle (ms). */
         int tick_ms = 20;
+        /** Unsolicited Status frame broadcast interval (ns); 0 = off.
+         *  Every live peer receives the same coordinator snapshot the
+         *  status RPC serves — the receiver-side decode path is
+         *  identical, no request round-trip needed. */
+        std::uint64_t status_push_ns = 0;
     };
 
     struct Stats {
@@ -101,8 +112,11 @@ class Shipper
         std::uint64_t retransmitted_frames = 0;
         std::uint64_t reconnects = 0;
         std::uint64_t status_requests_served = 0; ///< status RPC replies
+        std::uint64_t status_pushes = 0;   ///< unsolicited Status rounds
         std::uint64_t errors_sent = 0;     ///< Error frames sent
         std::uint64_t errors_received = 0; ///< Error frames decoded
+        std::uint64_t drain_passes = 0;    ///< drainTuple passes with work
+        std::uint64_t credit_stalls = 0;   ///< passes gated by the window
         std::uint32_t peers = 0;           ///< registered sessions
         std::uint32_t peers_evicted = 0;   ///< sessions dropped as behind
     };
@@ -201,6 +215,18 @@ class Shipper
         std::size_t outbox_head = 0;      ///< consumed prefix of outbox
     };
 
+    /** The live `Tuning` knob values in force right now (clamped to
+     *  this shipper's own hard limits). */
+    std::size_t liveShipBatch() const;
+    std::size_t liveCreditWindow() const;
+    /** Eviction threshold derived from the live credit window unless
+     *  Options::retain_limit was set explicitly. */
+    std::size_t liveRetainLimit() const;
+
+    /** Broadcast an unsolicited Status frame to every live peer when
+     *  the push interval elapsed (Options::status_push_ns). */
+    void maybePushStatus();
+
     std::size_t drainTuple(std::uint32_t tuple);
     /** Send buffered frames to every live peer whose window is open. */
     void fanOut();
@@ -243,6 +269,9 @@ class Shipper
     const shmem::Region *region_;
     const core::EngineLayout *layout_;
     Options options_;
+    core::TuningBlock *tuning_ = nullptr;
+    bool retain_explicit_ = false;
+    std::uint64_t last_status_push_ns_ = 0;
     std::atomic<bool> link_up_{false};
     std::atomic<bool> stopping_{false};
     std::thread thread_;

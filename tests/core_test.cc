@@ -649,8 +649,8 @@ TEST(NvxTest, CoalescedRunsFlushBeforeBlockingCalls)
     config.coalesce.enabled = true;
     // A window far larger than the test runtime: only the may_block
     // barrier can flush in time.
-    config.coalesce.window_ns = 60000000000ULL;
-    config.coalesce.max_run = 64;
+    config.tuning.coalesce_window_ns = 60000000000ULL;
+    config.tuning.coalesce_run = 64;
     auto app = [out, in]() -> int {
         for (int i = 0; i < 5; ++i) {
             char c = static_cast<char>('0' + i);
@@ -747,8 +747,8 @@ TEST(NvxTest, CoalescedRunFlushesOnComputeBoundLeader)
 
     EngineConfig config = fastConfig();
     config.coalesce.enabled = true;
-    config.coalesce.max_run = 64;           // five events never fill the run
-    config.coalesce.window_ns = 50000000; // 50 ms staleness cap
+    config.tuning.coalesce_run = 64;        // five events never fill the run
+    config.tuning.coalesce_window_ns = 50000000; // 50 ms staleness cap
     auto app = [flag]() -> int {
         for (int i = 0; i < 5; ++i)
             sys::vgetpid();

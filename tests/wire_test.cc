@@ -426,7 +426,7 @@ TEST(WireEndToEndTest, RemoteFollowerConsumesLiveStream)
         config.ring.capacity = 128;
         config.shm_bytes = 16 << 20;
         config.remote.endpoint = endpoint;
-        config.remote.ship_batch = 8;
+        config.tuning.ship_batch = 8;
         core::Nvx nvx(config);
         ASSERT_TRUE(nvx.start({app}).isOk());
         auto results = nvx.waitFor(30000000000ULL);
@@ -504,7 +504,7 @@ TEST(WireEndToEndTest, ReceiverRecordsAdoptedStreamToLog)
         config.ring.capacity = 128;
         config.shm_bytes = 16 << 20;
         config.remote.endpoint = endpoint;
-        config.remote.ship_batch = 8;
+        config.tuning.ship_batch = 8;
         core::Nvx nvx(config);
         ASSERT_TRUE(nvx.start({app}).isOk());
         auto results = nvx.waitFor(30000000000ULL);
@@ -1034,7 +1034,7 @@ TEST(WireEndToEndTest, StatusRpcMatchesLiveLeaderGetters)
     config.ring.capacity = 128;
     config.shm_bytes = 16 << 20;
     config.remote.endpoint = endpoint;
-    config.remote.ship_batch = 8;
+    config.tuning.ship_batch = 8;
     core::Nvx nvx(config);
     ASSERT_TRUE(nvx.start({core::VariantSpec(app).named("leader")}).isOk());
 
@@ -1135,7 +1135,7 @@ TEST(WireEndToEndTest, CrossNodePromotionAfterLeaderNodeDeath)
         config.ring.capacity = 128;
         config.shm_bytes = 16 << 20;
         config.remote.endpoints = {ep1, ep2};
-        config.remote.ship_batch = 8;
+        config.tuning.ship_batch = 8;
         core::Nvx nvx(config);
         if (!nvx.start({core::VariantSpec(app).named("leader")}).isOk())
             ::_exit(1);
