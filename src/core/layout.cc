@@ -18,6 +18,11 @@ EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
     auto *cb = new (region->bytesAt(layout.control, sizeof(ControlBlock)))
         ControlBlock();
     cb->num_variants = num_variants;
+    // Tracing defaults on: the flight recorder and histograms are
+    // sampled/batch-granular and cost <5% on the hot paths (see
+    // bench/sec57_trace.cc); operators flip trace.enabled live to
+    // shed even that.
+    cb->trace.enabled.store(1, std::memory_order_relaxed);
     cb->ring_capacity = ring_capacity;
     cb->leader_id.store(leader_id, std::memory_order_relaxed);
     cb->epoch.store(0, std::memory_order_relaxed);
@@ -86,6 +91,32 @@ EngineLayout::create(shmem::Region *region, std::uint32_t num_variants,
     shmem::Offset pool_begin = region->carveRemainder(&pool_bytes);
     shmem::ShardedPool::initialize(region, layout.pool_header, pool_begin,
                                    pool_begin + pool_bytes, kMaxTuples);
+
+    // Publish the attach anchors last: an out-of-process inspector
+    // that observes the magic can trust everything carved above.
+    cb->pool_header_off = layout.pool_header;
+    cb->magic.store(kControlMagic, std::memory_order_release);
+    return layout;
+}
+
+Result<EngineLayout>
+EngineLayout::attach(const shmem::Region *region)
+{
+    // create() carves the ControlBlock first, so it always sits at the
+    // first carve offset (the cache line after the reserved null page
+    // of offset 0).
+    if (!region->valid() ||
+        region->size() < kCacheLineSize + sizeof(ControlBlock)) {
+        return Errno{EINVAL};
+    }
+    EngineLayout layout;
+    layout.control = kCacheLineSize;
+    const ControlBlock *cb = layout.controlBlock(region);
+    if (cb->magic.load(std::memory_order_acquire) != kControlMagic)
+        return Errno{EINVAL};
+    if (cb->pool_header_off == 0 || cb->pool_header_off >= region->size())
+        return Errno{EINVAL};
+    layout.pool_header = cb->pool_header_off;
     return layout;
 }
 

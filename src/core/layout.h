@@ -18,17 +18,24 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/result.h"
 #include "core/tuning.h"
 #include "ring/lamport.h"
 #include "ring/ring_buffer.h"
 #include "shmem/pool.h"
 #include "shmem/region.h"
+#include "trace/trace.h"
 
 namespace varan::core {
 
 /** Compile-time bounds; the paper evaluates up to 1 leader + 6. */
 inline constexpr std::uint32_t kMaxVariants = 8;
 inline constexpr std::uint32_t kMaxTuples = 16;
+
+/** First word of the ControlBlock. Lets an out-of-process inspector
+ *  (`varanctl`) validate that a mapped memfd really is an engine
+ *  region before dereferencing anything else. */
+inline constexpr std::uint32_t kControlMagic = 0x5641524eu; // "VARN"
 
 /** Consumer-slot ids >= kMaxVariants are reserved for taps (rr). */
 inline constexpr int kTapConsumerSlot = static_cast<int>(kMaxVariants);
@@ -87,8 +94,15 @@ static_assert(kMaxTuples <= shmem::kMaxPoolShards,
 
 /** Engine-wide shared control state. */
 struct ControlBlock {
+    /** kControlMagic, written last during create() — an attacher that
+     *  reads it can trust the rest of the block is initialised. */
+    std::atomic<std::uint32_t> magic;
     std::uint32_t num_variants;
     std::uint32_t ring_capacity;
+    std::uint32_t reserved0;
+    /** Pool-header offset, persisted so EngineLayout::attach() can
+     *  reconstruct the layout from the region alone. */
+    shmem::Offset pool_header_off;
 
     std::atomic<std::uint32_t> leader_id;
     std::atomic<std::uint32_t> epoch;     ///< bumped on every election
@@ -130,6 +144,11 @@ struct ControlBlock {
      *  at batch boundaries instead of caching config at startup. */
     TuningBlock tuning;
 
+    /** Flight recorder, latency histograms, divergence ledger. Lives
+     *  in the shared block so every attached process — including an
+     *  out-of-process `varanctl` — reads the same telemetry. */
+    trace::TraceBlock trace;
+
     VariantSlot variants[kMaxVariants];
     TupleSlot tuples[kMaxTuples];
     ring::ClockState clocks[kMaxVariants]; ///< per-variant Lamport clocks
@@ -154,6 +173,15 @@ struct EngineLayout {
                                std::uint32_t num_variants,
                                std::uint32_t leader_id,
                                std::uint32_t ring_capacity);
+
+    /**
+     * Reconstruct the layout of an engine region created elsewhere
+     * (another process, via `Region::fromFd`). Validates the control
+     * magic; fails with EINVAL when the mapping is not an initialised
+     * engine region. The basis: `create()` always carves the
+     * ControlBlock first, so it sits at the first carve offset.
+     */
+    static Result<EngineLayout> attach(const shmem::Region *region);
 
     ControlBlock *
     controlBlock(const shmem::Region *region) const

@@ -424,6 +424,19 @@ Monitor::flushCoalesced(int tuple)
     cb_->events_streamed.fetch_add(n, std::memory_order_relaxed);
     cb_->publish_batches.fetch_add(1, std::memory_order_relaxed);
     cb_->events_coalesced.fetch_add(n, std::memory_order_relaxed);
+    if (trace::enabled(cb_->trace)) {
+        // Batch-granular: one clock read and one histogram sample per
+        // flushed run, never per event.
+        const std::uint64_t now = monotonicNs();
+        const std::uint64_t first = coalesce_first_ns_[tuple];
+        if (first != 0 && now > first)
+            trace::histogramRecord(cb_->trace.coalesce_dwell, now - first);
+        trace::stamp(cb_->trace, trace::Stage::CoalesceFlush,
+                     static_cast<std::uint8_t>(config_.variant_id),
+                     static_cast<std::uint8_t>(tuple), 0, now,
+                     static_cast<std::uint64_t>(n));
+    }
+    coalesce_first_ns_[tuple] = 0;
 }
 
 std::uint64_t
@@ -471,8 +484,15 @@ Monitor::coalesceAdd(int tuple, ring::Event &event)
     publish_wait.timeout_ns = kPublishStallNs;
     if (!coalescers_[tuple].add(event, publish_wait))
         panic("coalesced publish stalled: follower wedged?");
-    coalesce_last_ns_[tuple].store(monotonicNs(),
-                                   std::memory_order_release);
+    const std::uint64_t now = monotonicNs();
+    coalesce_last_ns_[tuple].store(now, std::memory_order_release);
+    // Reuse the staleness timestamp for the trace layer: the dwell
+    // baseline (run's first add) and the sampled publish→dispatch lag
+    // mark cost no extra clock reads here.
+    if (coalescers_[tuple].pending() == 1)
+        coalesce_first_ns_[tuple] = now;
+    if (trace::enabled(cb_->trace) && trace::sampled(event.timestamp))
+        trace::lagMark(cb_->trace, event.timestamp, now);
     // A follower already asleep in the waitlock wants this event now;
     // holding the run back would trade its latency for nothing.
     if (rings_[tuple].consumersWaiting() > 0)
@@ -624,6 +644,34 @@ Monitor::publishEvent(int tuple, ring::Event &event, shmem::Offset payload)
 
     ring.commit({&event, 1});
     cb_->events_streamed.fetch_add(1, std::memory_order_relaxed);
+
+    if (trace::enabled(cb_->trace)) {
+        // Failover blackout: a pending leader-death mark means this is
+        // the first event the promoted leader pushed into the stream —
+        // the moment followers stop starving.
+        std::uint64_t death =
+            cb_->trace.leader_death_ns.load(std::memory_order_relaxed);
+        if (death != 0 &&
+            cb_->trace.leader_death_ns.compare_exchange_strong(
+                death, 0, std::memory_order_acq_rel)) {
+            const std::uint64_t now = monotonicNs();
+            if (now > death)
+                trace::histogramRecord(cb_->trace.blackout, now - death);
+            trace::stamp(cb_->trace, trace::Stage::Promotion,
+                         static_cast<std::uint8_t>(config_.variant_id),
+                         static_cast<std::uint8_t>(tuple),
+                         cb_->epoch.load(std::memory_order_relaxed), now,
+                         now - death);
+        }
+        if (trace::sampled(event.timestamp)) {
+            const std::uint64_t now = monotonicNs();
+            trace::lagMark(cb_->trace, event.timestamp, now);
+            trace::stamp(cb_->trace, trace::Stage::LeaderPublish,
+                         static_cast<std::uint8_t>(config_.variant_id),
+                         static_cast<std::uint8_t>(tuple), event.nr, now,
+                         event.timestamp, seq);
+        }
+    }
 }
 
 long
@@ -888,6 +936,33 @@ Monitor::receiveFds(const ring::Event &event,
     }
 }
 
+void
+Monitor::recordDivergence(const ring::Event &event, long nr,
+                          const std::uint64_t args[6],
+                          trace::DivergenceAction action)
+{
+    trace::DivergenceRecord rec = {};
+    rec.lamport = event.timestamp;
+    rec.arg_digest = fnv1a(args, 6 * sizeof(std::uint64_t));
+    rec.ns = monotonicNs();
+    rec.origin_id = 0; // local node; the wire relay overwrites this
+    rec.epoch = cb_->epoch.load(std::memory_order_acquire);
+    rec.expected_nr = event.nr;
+    rec.observed_nr = static_cast<std::uint32_t>(nr);
+    rec.expected_type = static_cast<std::uint16_t>(event.type);
+    rec.observed_type =
+        static_cast<std::uint16_t>(ring::EventType::Syscall);
+    rec.variant = static_cast<std::uint8_t>(config_.variant_id);
+    rec.tuple = static_cast<std::uint8_t>(currentTuple());
+    rec.action = static_cast<std::uint8_t>(action);
+    trace::ledgerAppend(cb_->trace, rec);
+    if (trace::enabled(cb_->trace)) {
+        trace::stamp(cb_->trace, trace::Stage::Divergence, rec.variant,
+                     rec.tuple, rec.observed_nr, rec.ns, rec.lamport,
+                     rec.expected_nr);
+    }
+}
+
 Monitor::DivergenceOutcome
 Monitor::resolveDivergence(const ring::Event &event, long nr,
                            const std::uint64_t args[6], long *result_out)
@@ -905,17 +980,24 @@ Monitor::resolveDivergence(const ring::Event &event, long nr,
         // (section 5.2); the leader's event stays queued.
         *result_out = sys::rawSyscall(nr, args[0], args[1], args[2],
                                       args[3], args[4], args[5]);
+        recordDivergence(event, nr, args,
+                         trace::DivergenceAction::Resolved);
         cb_->divergences_resolved.fetch_add(1, std::memory_order_relaxed);
         return DivergenceOutcome::ExecutedLocally;
       case bpf::RuleAction::Skip:
+        recordDivergence(event, nr, args,
+                         trace::DivergenceAction::Resolved);
         cb_->divergences_resolved.fetch_add(1, std::memory_order_relaxed);
         return DivergenceOutcome::SkippedEvent;
       case bpf::RuleAction::Errno:
         *result_out = -decision.err;
+        recordDivergence(event, nr, args,
+                         trace::DivergenceAction::Resolved);
         cb_->divergences_resolved.fetch_add(1, std::memory_order_relaxed);
         return DivergenceOutcome::SyntheticErrno;
       case bpf::RuleAction::Kill:
       default:
+        recordDivergence(event, nr, args, trace::DivergenceAction::Fatal);
         fatalDivergence(event, nr);
     }
 }
@@ -951,6 +1033,12 @@ Monitor::maybePromote()
     // variant records instead of replaying. Per-tuple backlogs drain
     // before each thread starts producing (see dispatch()).
     role_.store(Role::Leader, std::memory_order_release);
+    if (trace::enabled(cb_->trace)) {
+        trace::stamp(cb_->trace, trace::Stage::Promotion,
+                     static_cast<std::uint8_t>(config_.variant_id), 0,
+                     cb_->epoch.load(std::memory_order_acquire),
+                     monotonicNs());
+    }
     // Same line for a local election and a cross-node promotion (an
     // external-leader engine whose receiver elected this variant): the
     // generation tells an operator which stream identity this leader
@@ -1070,8 +1158,11 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
             std::uint32_t my_hash = fnv1a(
                 reinterpret_cast<const void *>(args[1]),
                 event.payload_size);
-            if (my_hash != event.payload)
+            if (my_hash != event.payload) {
+                recordDivergence(event, nr, args,
+                                 trace::DivergenceAction::Fatal);
                 fatalDivergence(event, nr);
+            }
         }
 
         applyPayload(event, info, args);
@@ -1081,6 +1172,19 @@ Monitor::dispatchFollower(int tuple, long nr, const std::uint64_t args[6],
         // stay mirrored.
         if (nr == SYS_close)
             sys::rawSyscall(SYS_close, args[0]);
+
+        if (trace::enabled(cb_->trace) &&
+            trace::sampled(event.timestamp)) {
+            // Same 1-in-64 predicate as the leader's lagMark: the pair
+            // meets on the shared table and yields one publish→dispatch
+            // sample with no cross-process coordination.
+            const std::uint64_t now = monotonicNs();
+            trace::lagMatch(cb_->trace, event.timestamp, now);
+            trace::stamp(cb_->trace, trace::Stage::FollowerDispatch,
+                         static_cast<std::uint8_t>(config_.variant_id),
+                         static_cast<std::uint8_t>(tuple), event.nr, now,
+                         event.timestamp);
+        }
 
         ring.advance(slot);
         ++cache.pos;

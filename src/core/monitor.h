@@ -209,6 +209,13 @@ class Monitor : public sys::Dispatcher
     /** Check for and perform leader promotion; true if promoted. */
     bool maybePromote();
 
+    /** Append a structured record to the shared divergence ledger
+     *  (always — the ledger feeds the on_divergence hook even when
+     *  the flight recorder is off). */
+    void recordDivergence(const ring::Event &event, long nr,
+                          const std::uint64_t args[6],
+                          trace::DivergenceAction action);
+
     void installCrashHandlers();
     void notifyCoordinator(CtrlMsg::Type type, std::int64_t value);
 
@@ -241,6 +248,11 @@ class Monitor : public sys::Dispatcher
     ring::PublishCoalescer coalescers_[kMaxTuples];
     TupleRef tuple_refs_[kMaxTuples];
     std::atomic<std::uint64_t> coalesce_last_ns_[kMaxTuples] = {};
+    /** monotonicNs() of the first add of the pending run (guarded by
+     *  coalesce_mutex_); flush time minus this is the coalesce-dwell
+     *  histogram sample. Reuses the timestamp coalesceAdd already
+     *  takes, so the dwell measurement is free on the hot path. */
+    std::uint64_t coalesce_first_ns_[kMaxTuples] = {};
 
     /** Per-nr fast-path eligibility, cached on first use
      *  (0 = unknown, 1 = eligible, -1 = not). */

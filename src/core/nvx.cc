@@ -8,6 +8,8 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "netio/socketio.h"
+#include "wire/io.h"
+#include "wire/protocol.h"
 #include "wire/shipper.h"
 
 namespace varan::core {
@@ -25,6 +27,11 @@ Nvx::~Nvx()
 {
     if (started_ && !finished_)
         shutdownZygote();
+    status_stop_.store(true, std::memory_order_release);
+    if (status_thread_.joinable())
+        status_thread_.join();
+    if (status_listen_fd_ >= 0)
+        ::close(status_listen_fd_);
     if (monitor_thread_.joinable())
         monitor_thread_.join();
     if (zygote_pid_ > 0) {
@@ -121,10 +128,12 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
             static_cast<std::uint32_t>(specs_[v].role),
             std::memory_order_release);
 
-    // Seed the live knob surface from the shim-resolved initial Tuning.
+    // Seed the live knob surface from the configured initial Tuning.
     // Seeding is first-writer-wins, so a pre_spawn hook (or anyone
     // else) writing through Nvx::tuning() afterwards still overrides.
-    seedTuning(cb->tuning, config_.effectiveTuning());
+    seedTuning(cb->tuning, config_.tuning);
+    cb->trace.enabled.store(config_.trace_enabled ? 1 : 0,
+                            std::memory_order_release);
 
     if (pre_spawn)
         pre_spawn(*this);
@@ -135,10 +144,9 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
     // serves all configured peers (fan-out).
     const std::vector<std::string> peers = config_.remote.allEndpoints();
     if (!peers.empty()) {
-        const Tuning initial = config_.effectiveTuning();
         wire::Shipper::Options ship;
-        ship.ship_batch = initial.ship_batch;
-        ship.credit_window = initial.credit_window;
+        ship.ship_batch = config_.tuning.ship_batch;
+        ship.credit_window = config_.tuning.credit_window;
         ship.status_push_ns = config_.remote.status_push_interval_ns;
         shipper_ = std::make_unique<wire::Shipper>(&region_, &layout_, ship);
         Status taps = shipper_->attachTaps();
@@ -153,6 +161,17 @@ Nvx::start(const std::function<void(Nvx &)> &pre_spawn)
                 return shaken;
         }
         shipper_->start();
+    }
+
+    // Out-of-process inspection: serve the wire Status RPC on the
+    // configured abstract socket so `varanctl dial <name>` works
+    // without any peer shipping configured.
+    if (!config_.remote.status_endpoint.empty()) {
+        auto listen = netio::listenAbstract(config_.remote.status_endpoint);
+        if (!listen.ok())
+            return Status(listen.error());
+        status_listen_fd_ = listen.value();
+        status_thread_ = std::thread([this] { statusServeLoop(); });
     }
 
     auto channels = ChannelSet::create(num_variants_);
@@ -340,10 +359,9 @@ Nvx::zygoteMain()
                                      config_.rewrite_rules.end());
             config.progress_timeout_ns = config_.ring.progress_timeout_ns;
             config.tick_ns = config_.ring.tick_ns;
-            const Tuning initial = config_.effectiveTuning();
             config.coalesce_publish = config_.coalesce.enabled;
-            config.coalesce_max = initial.coalesce_run;
-            config.coalesce_window_ns = initial.coalesce_window_ns;
+            config.coalesce_max = config_.tuning.coalesce_run;
+            config.coalesce_window_ns = config_.tuning.coalesce_window_ns;
             config.resync_clock = restart_spawn;
             Monitor *monitor =
                 Monitor::initVariant(&region_, layout_, &channels_,
@@ -388,6 +406,13 @@ Nvx::markVariantDead(std::uint32_t variant, bool crashed)
     // are never promoted; with no candidate left the stream simply
     // ends and the remaining followers drain what was published.
     if (cb->leader_id.load(std::memory_order_acquire) == variant) {
+        // Arm the failover-blackout measurement: the promoted leader's
+        // first publish consumes this mark and records death→dispatch.
+        if (trace::enabled(cb->trace)) {
+            std::uint64_t expected = 0;
+            cb->trace.leader_death_ns.compare_exchange_strong(
+                expected, monotonicNs(), std::memory_order_acq_rel);
+        }
         std::uint32_t remaining = live & ~bit;
         std::uint32_t candidates = 0;
         for (std::uint32_t v = 0; v < num_variants_; ++v) {
@@ -410,6 +435,11 @@ Nvx::markVariantDead(std::uint32_t variant, bool crashed)
             // over publishing).
             cb->promotions.fetch_add(1, std::memory_order_acq_rel);
             cb->leader_id.store(new_leader, std::memory_order_release);
+            if (trace::enabled(cb->trace)) {
+                trace::stamp(cb->trace, trace::Stage::Election,
+                             static_cast<std::uint8_t>(new_leader), 0,
+                             epoch, monotonicNs(), variant);
+            }
             inform("leader %u %s; elected variant %u", variant,
                    crashed ? "crashed" : "exited", new_leader);
             if (config_.on_failover)
@@ -528,9 +558,27 @@ Nvx::restartVariant(std::uint32_t variant)
 void
 Nvx::observeDivergences()
 {
-    if (!config_.on_divergence)
+    if (!config_.on_divergence && !config_.on_divergence_record)
         return;
     ControlBlock *cb = controlBlock();
+
+    // Structured form: drain the shared ledger from the last-seen
+    // cursor. Records shipped back from remote follower nodes land in
+    // the same ledger (tagged with their origin receiver id), so one
+    // hook covers the whole deployment.
+    if (config_.on_divergence_record) {
+        trace::DivergenceRecord batch[16];
+        std::size_t n;
+        while ((n = trace::ledgerRead(cb->trace, &ledger_cursor_, batch,
+                                      16)) > 0) {
+            for (std::size_t i = 0; i < n; ++i)
+                config_.on_divergence_record(batch[i]);
+        }
+    }
+
+    // Deprecated counter form (one release of compat).
+    if (!config_.on_divergence)
+        return;
     std::uint64_t resolved =
         cb->divergences_resolved.load(std::memory_order_relaxed);
     std::uint64_t fatal =
@@ -540,6 +588,37 @@ Nvx::observeDivergences()
         seen_divergences_resolved_ = resolved;
         seen_divergences_fatal_ = fatal;
         config_.on_divergence(resolved, fatal);
+    }
+}
+
+void
+Nvx::statusServeLoop()
+{
+    while (!status_stop_.load(std::memory_order_acquire)) {
+        struct pollfd pfd = {status_listen_fd_, POLLIN, 0};
+        int n = ::poll(&pfd, 1, 100);
+        if (n <= 0)
+            continue;
+        long conn = netio::acceptConnection(status_listen_fd_, false);
+        if (conn < 0)
+            continue;
+        const int fd = static_cast<int>(conn);
+        // One request, one reply, hang up. Timeouts bound a stuck
+        // client so it can never wedge the serve thread.
+        struct timeval tv = {5, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        wire::FrameHeader header = {};
+        if (wire::readFull(fd, &header, sizeof(header)) &&
+            wire::headerValid(header) &&
+            header.type ==
+                static_cast<std::uint16_t>(wire::FrameType::Status) &&
+            header.body_len == 0) {
+            std::uint8_t frame[wire::kStatusFrameBytes];
+            wire::encodeStatusFrame(status(), frame);
+            wire::writeFull(fd, frame, wire::kStatusFrameBytes);
+        }
+        ::close(fd);
     }
 }
 

@@ -166,12 +166,10 @@ struct RingConfig {
  */
 struct CoalesceConfig {
     bool enabled = false;
-    /** @deprecated Seeds Tuning::coalesce_run for one more release;
-     *  set EngineConfig::tuning (or retune live via Nvx::tuning()). */
-    std::uint32_t max_run = 16;        ///< events per run cap
-    /** @deprecated Seeds Tuning::coalesce_window_ns for one more
-     *  release; set EngineConfig::tuning instead. */
-    std::uint64_t window_ns = 200000;  ///< staleness cap (200 µs)
+    // The run cap and staleness window are Tuning knobs
+    // (EngineConfig::tuning.coalesce_run / .coalesce_window_ns); the
+    // deprecated max_run/window_ns seed shims were removed after their
+    // one-release grace period.
 };
 
 /**
@@ -188,17 +186,21 @@ struct CoalesceConfig {
 struct RemoteConfig {
     std::string endpoint;              ///< single peer (legacy spelling)
     std::vector<std::string> endpoints; ///< fan-out peers (appended)
-    /** @deprecated Seeds Tuning::ship_batch for one more release; set
-     *  EngineConfig::tuning (or retune live via Nvx::tuning()). */
-    std::uint32_t ship_batch = 16;     ///< events per wire frame
-    /** @deprecated Seeds Tuning::credit_window for one more release;
-     *  set EngineConfig::tuning instead. */
-    std::uint32_t credit_window = 4096; ///< max unacked events per peer
+    // Frame batching and flow control are Tuning knobs
+    // (EngineConfig::tuning.ship_batch / .credit_window); the
+    // deprecated ship_batch/credit_window seed shims were removed
+    // after their one-release grace period.
     /** Unsolicited Status-frame broadcast cadence to every connected
      *  peer (0 = off, the classic request/response RPC only). The
      *  receiver needs no opt-in: any incoming Status frame refreshes
      *  its remoteStatus() snapshot. */
     std::uint64_t status_push_interval_ns = 0;
+
+    /** Serve the wire Status RPC on this abstract-socket name (empty =
+     *  off). Out-of-process inspectors (`varanctl dial <name>`) connect,
+     *  send an empty Status frame, and receive one StatusReport — no
+     *  event shipping, no session, works with or without remote peers. */
+    std::string status_endpoint;
 
     /** Every configured peer endpoint (endpoint + endpoints). */
     std::vector<std::string>
@@ -260,10 +262,6 @@ struct EngineConfig {
      * memory — retune them at runtime through Nvx::tuning() without
      * restarting anything.
      *
-     * Shim rule (one release): a legacy field (coalesce.max_run,
-     * coalesce.window_ns, remote.ship_batch, remote.credit_window)
-     * that was moved off its historical default still wins over the
-     * corresponding field here — see effectiveTuning().
      */
     Tuning tuning;
 
@@ -273,29 +271,28 @@ struct EngineConfig {
     AdaptConfig adapt;
 
     /**
-     * The initial Tuning that actually seeds the engine: `tuning`
-     * overlaid with any deprecated legacy field that differs from its
-     * historical default (explicit legacy settings keep working for
-     * one release; remove them in favour of `tuning`).
+     * The observability layer (src/trace/): flight recorder, latency
+     * histograms and the sampled publish→dispatch lag pairing. On by
+     * default (batch-granular + 1-in-64 sampling keeps the cost <5%
+     * on the hot paths — bench/sec57_trace.cc); also togglable live
+     * through ControlBlock::trace.enabled. The divergence ledger is
+     * NOT gated by this: divergences are rare and always recorded.
      */
-    Tuning
-    effectiveTuning() const
-    {
-        Tuning t = tuning;
-        if (coalesce.max_run != CoalesceConfig{}.max_run)
-            t.coalesce_run = coalesce.max_run;
-        if (coalesce.window_ns != CoalesceConfig{}.window_ns)
-            t.coalesce_window_ns = coalesce.window_ns;
-        if (remote.ship_batch != RemoteConfig{}.ship_batch)
-            t.ship_batch = remote.ship_batch;
-        if (remote.credit_window != RemoteConfig{}.credit_window)
-            t.credit_window = remote.credit_window;
-        return t;
-    }
+    bool trace_enabled = true;
+
+    /**
+     * A divergence was recorded: the full structured record (tuple,
+     * variant, expected vs observed syscall, arg digest, Lamport
+     * clock, epoch, resolution). Delivered by the coordinator from the
+     * shared ledger at monitor-tick granularity, including records
+     * shipped back from remote follower nodes (origin != 0).
+     */
+    std::function<void(const trace::DivergenceRecord &record)>
+        on_divergence_record;
 
     /** Observed divergence counters changed: (resolved, fatal) totals.
-     *  Divergences resolve inside variant processes; the coordinator
-     *  reports them at monitor-tick granularity. */
+     *  @deprecated Counter-form compat hook, kept for one release —
+     *  use on_divergence_record for the structured form. */
     std::function<void(std::uint64_t resolved, std::uint64_t fatal)>
         on_divergence;
 
@@ -440,6 +437,10 @@ class Nvx
     /** Poll divergence counters and fire on_divergence on change. */
     void observeDivergences();
 
+    /** Accept loop of the wire Status RPC listener
+     *  (RemoteConfig::status_endpoint). */
+    void statusServeLoop();
+
     EngineConfig config_;
     std::vector<VariantSpec> specs_;
     shmem::Region region_;
@@ -460,8 +461,14 @@ class Nvx
     /** Divergence totals last reported through on_divergence. */
     std::uint64_t seen_divergences_resolved_ = 0;
     std::uint64_t seen_divergences_fatal_ = 0;
+    /** Ledger records already delivered through on_divergence_record. */
+    std::uint64_t ledger_cursor_ = 0;
     /** Zygote messages that raced ahead of the spawn acknowledgements. */
     std::vector<CtrlMsg> early_zygote_msgs_;
+    /** Wire Status RPC listener (RemoteConfig::status_endpoint). */
+    int status_listen_fd_ = -1;
+    std::thread status_thread_;
+    std::atomic<bool> status_stop_{false};
     /** Multi-node event shipping (EngineConfig::remote). */
     std::unique_ptr<wire::Shipper> shipper_;
     /** Adaptive knob controller (EngineConfig::adapt). */
@@ -557,6 +564,14 @@ class Nvx::Builder
         return *this;
     }
 
+    /** Serve the wire Status RPC on an abstract socket (varanctl). */
+    Builder &
+    statusEndpoint(std::string name)
+    {
+        config_.remote.status_endpoint = std::move(name);
+        return *this;
+    }
+
     /** Seed the unified live knob surface (EngineConfig::tuning). */
     Builder &
     tuning(Tuning initial)
@@ -581,6 +596,25 @@ class Nvx::Builder
         return *this;
     }
 
+    /** Toggle the trace layer (flight recorder + histograms). */
+    Builder &
+    tracing(bool on)
+    {
+        config_.trace_enabled = on;
+        return *this;
+    }
+
+    /** Structured divergence hook (full DivergenceRecords). */
+    Builder &
+    onDivergenceRecord(
+        std::function<void(const trace::DivergenceRecord &)> hook)
+    {
+        config_.on_divergence_record = std::move(hook);
+        return *this;
+    }
+
+    /** @deprecated Counter-form compat overload (one release); use
+     *  onDivergenceRecord. */
     Builder &
     onDivergence(
         std::function<void(std::uint64_t, std::uint64_t)> hook)

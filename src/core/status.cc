@@ -2,6 +2,19 @@
 
 namespace varan::core {
 
+namespace {
+
+void
+snapshotHistogram(const trace::Histogram &h, HistogramStatus &out)
+{
+    for (std::size_t i = 0; i < trace::kHistogramBuckets; ++i)
+        out.buckets[i] = h.buckets[i].load(std::memory_order_relaxed);
+    out.sum = h.sum.load(std::memory_order_relaxed);
+    out.count = h.count.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
 StatusReport
 collectStatus(const shmem::Region *region, const EngineLayout &layout)
 {
@@ -95,6 +108,24 @@ collectStatus(const shmem::Region *region, const EngineLayout &layout)
         report.adapt.fastpath_nrs[i] =
             tuning.fastpath_nrs[i].load(std::memory_order_relaxed);
     }
+
+    const trace::TraceBlock &tb = cb->trace;
+    report.trace.enabled = tb.enabled.load(std::memory_order_relaxed);
+    report.trace.trace_records =
+        tb.trace_head.load(std::memory_order_relaxed);
+    report.trace.ledger_records =
+        tb.ledger_head.load(std::memory_order_relaxed);
+    snapshotHistogram(tb.publish_lag, report.trace.publish_lag);
+    snapshotHistogram(tb.coalesce_dwell, report.trace.coalesce_dwell);
+    snapshotHistogram(tb.credit_stall, report.trace.credit_stall);
+    snapshotHistogram(tb.blackout, report.trace.blackout);
+    // Tail of the divergence ledger, oldest first.
+    std::uint64_t cursor = report.trace.ledger_records;
+    cursor = cursor > TraceStatus::kRecent ? cursor - TraceStatus::kRecent
+                                           : 0;
+    report.trace.recent_count = static_cast<std::uint32_t>(
+        trace::ledgerRead(tb, &cursor, report.trace.recent,
+                          TraceStatus::kRecent));
     return report;
 }
 
@@ -116,6 +147,46 @@ metric(std::string &out, const char *name, const char *type,
     out += name;
     out += ' ';
     out += std::to_string(value);
+    out += '\n';
+}
+
+/** Render one log2 histogram as cumulative Prometheus buckets: 31
+ *  finite `le` bounds (2^i - 1 ns — the last shared-memory bucket
+ *  absorbs overflow and only appears under `+Inf`), then the
+ *  `_sum`/`_count` pair. */
+void
+histogramMetric(std::string &out, const char *name, const char *help,
+                const HistogramStatus &h)
+{
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i + 1 < trace::kHistogramBuckets; ++i) {
+        cumulative += h.buckets[i];
+        out += name;
+        out += "_bucket{le=\"";
+        out += std::to_string(trace::histogramBound(i));
+        out += "\"} ";
+        out += std::to_string(cumulative);
+        out += '\n';
+    }
+    cumulative += h.buckets[trace::kHistogramBuckets - 1];
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    out += std::to_string(h.sum);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    out += std::to_string(h.count);
     out += '\n';
 }
 
@@ -285,6 +356,31 @@ statusText(const StatusReport &report)
     metric(out, "varan_tuning_fastpath_top_k", "gauge",
            "Live hot-syscall fast-path width (0 = off)",
            report.adapt.fastpath_top_k);
+
+    // Observability: flight recorder, latency histograms, divergence
+    // ledger. Every metric name added here must be documented in
+    // docs/OBSERVABILITY.md (CI greps for it).
+    metric(out, "varan_trace_enabled", "gauge",
+           "Flight recorder and latency histograms are on",
+           report.trace.enabled);
+    metric(out, "varan_trace_records_total", "counter",
+           "Flight-recorder stamps written (ring keeps the last 2048)",
+           report.trace.trace_records);
+    metric(out, "varan_divergence_records_total", "counter",
+           "Structured divergence ledger appends",
+           report.trace.ledger_records);
+    histogramMetric(out, "varan_publish_lag_ns",
+                    "Event creation to follower dispatch (sampled 1-in-64)",
+                    report.trace.publish_lag);
+    histogramMetric(out, "varan_coalesce_dwell_ns",
+                    "First coalesced add to batch flush",
+                    report.trace.coalesce_dwell);
+    histogramMetric(out, "varan_credit_stall_ns",
+                    "Wire drain stalled on a closed credit window",
+                    report.trace.credit_stall);
+    histogramMetric(out, "varan_blackout_ns",
+                    "Leader death to first post-promotion publish",
+                    report.trace.blackout);
     return out;
 }
 

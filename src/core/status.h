@@ -110,6 +110,33 @@ struct AdaptStatus {
     std::uint32_t fastpath_nrs[kFastPathSlots];
 };
 
+/** One log2-bucket latency histogram, snapshotted from the shared
+ *  TraceBlock. Bucket i counts samples whose value fits in i bits
+ *  (inclusive upper bound 2^i - 1 ns); the last bucket absorbs
+ *  overflow. Rendered as Prometheus `_bucket`/`_sum`/`_count` series
+ *  by statusText(). */
+struct HistogramStatus {
+    std::uint64_t buckets[trace::kHistogramBuckets];
+    std::uint64_t sum;
+    std::uint64_t count;
+};
+
+/** Observability snapshot: flight-recorder state, the four event-path
+ *  latency histograms and the tail of the divergence ledger. */
+struct TraceStatus {
+    std::uint32_t enabled;        ///< flight recorder + histograms on
+    std::uint32_t recent_count;   ///< valid entries in recent[]
+    std::uint64_t trace_records;  ///< flight-recorder stamps written
+    std::uint64_t ledger_records; ///< divergence ledger appends
+    HistogramStatus publish_lag;    ///< event creation -> follower dispatch
+    HistogramStatus coalesce_dwell; ///< first add -> coalesced flush
+    HistogramStatus credit_stall;   ///< wire credit-window stall spans
+    HistogramStatus blackout;       ///< leader death -> first dispatch
+    /** The most recent divergence ledger entries, oldest first. */
+    static constexpr std::uint32_t kRecent = 4;
+    trace::DivergenceRecord recent[kRecent];
+};
+
 /** The unified coordinator status snapshot. */
 struct StatusReport {
     // Geometry + election state.
@@ -136,6 +163,7 @@ struct StatusReport {
     ReceiverWireStatus receiver;
     RecorderStatus recorder;
     AdaptStatus adapt;               ///< live knobs + controller state
+    TraceStatus trace;               ///< histograms + divergence ledger
 };
 
 static_assert(std::is_trivially_copyable_v<StatusReport>,

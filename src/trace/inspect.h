@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Out-of-process engine inspection: the library behind `varanctl`.
+ *
+ * Two attachment paths cover every deployment shape:
+ *
+ *  - attach <pid>: find the engine memfd ("varan-shm") in the target
+ *    coordinator's /proc/<pid>/fd table, map it with Region::fromFd
+ *    and reconstruct the layout with EngineLayout::attach(). This
+ *    reads the *live* shared block — full flight recorder, full
+ *    divergence ledger, histograms as they tick.
+ *  - dial <endpoint>: connect to the abstract socket a coordinator
+ *    serves via RemoteConfig::status_endpoint and run the wire Status
+ *    RPC (an empty Status frame in, a StatusReport out). Works across
+ *    machines; carries the histogram snapshots and the ledger tail.
+ *
+ * The render helpers are exposed so tests can assert on the exact
+ * output varanctl prints.
+ */
+
+#ifndef VARAN_TRACE_INSPECT_H
+#define VARAN_TRACE_INSPECT_H
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "core/status.h"
+#include "shmem/region.h"
+#include "trace/trace.h"
+
+namespace varan::trace {
+
+/** Map the engine region of a live coordinator by scanning its
+ *  /proc/<pid>/fd table for the "varan-shm" memfd. Fails with ENOENT
+ *  when the process holds no engine region (or already exited), and
+ *  with EACCES when /proc denies the open (different user). */
+Result<shmem::Region> attachProcessRegion(int pid);
+
+/** Human-readable engine summary (geometry, election state, stream
+ *  counters, per-variant health, trace/ledger totals). */
+std::string renderStatus(const core::StatusReport &report);
+
+/** Human-readable latency histograms (non-empty buckets only). */
+std::string renderHistograms(const core::StatusReport &report);
+
+/** The live tuning-knob values carried in the report. */
+std::string renderTuning(const core::StatusReport &report);
+
+/** One line per divergence record, oldest first. */
+std::string renderLedger(const DivergenceRecord *records,
+                         std::size_t count);
+
+/** One line per flight-recorder record, oldest first. */
+std::string renderTrace(const TraceRecord *records, std::size_t count);
+
+/** `varanctl` entry point (argv[0] is the program name). */
+int varanctlMain(int argc, char **argv);
+
+} // namespace varan::trace
+
+#endif // VARAN_TRACE_INSPECT_H

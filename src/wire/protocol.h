@@ -47,6 +47,13 @@
  *             core::StatusReport — the same consolidated snapshot
  *             Nvx::status() serves locally. Receivers also use it as a
  *             liveness probe before cross-node promotion.
+ *   Divergence receiver -> shipper: structured divergence records a
+ *             remote follower appended to its node's ledger, relayed
+ *             upstream so the leader's coordinator (and its
+ *             on_divergence hook) sees divergences fleet-wide. The
+ *             body is `count` trace::DivergenceRecord structs; the
+ *             shipper appends them to the leader's ledger tagged with
+ *             the sending receiver's identity.
  *   Bye       either side: orderly end of stream.
  *   Error     either side: a decodable rejection (stale epoch or
  *             generation, geometry mismatch, resume cursor behind the
@@ -75,7 +82,11 @@
 namespace varan::wire {
 
 inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
-/** v4: the Status frame body (core::StatusReport) grew the live-tuning
+/** v5: the Divergence frame ships structured divergence records
+ *  (trace::DivergenceRecord) from a remote follower node back to the
+ *  leader's coordinator, and the Status body grew the TraceStatus
+ *  observability section (latency histograms + ledger tail).
+ *  v4: the Status frame body (core::StatusReport) grew the live-tuning
  *  AdaptStatus section and extended shipper statistics, and the
  *  shipper may broadcast unsolicited Status frames on a configured
  *  push interval (the receiver's decode path is unchanged — any
@@ -87,7 +98,7 @@ inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
  *  v2: the Status frame became the status RPC (empty body = request,
  *  core::StatusReport body = reply); in v1 it carried a HelloBody and
  *  nothing ever sent it. */
-inline constexpr std::uint16_t kProtocolVersion = 4;
+inline constexpr std::uint16_t kProtocolVersion = 5;
 
 /** Upper bound on a frame body; anything larger is corruption. */
 inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
@@ -101,6 +112,10 @@ enum class FrameType : std::uint16_t {
     Status,
     Bye,
     Error,
+    /** receiver -> shipper: `count` trace::DivergenceRecord entries a
+     *  remote follower appended to its local ledger, relayed so the
+     *  leader's coordinator sees divergences fleet-wide (v5). */
+    Divergence,
 };
 
 /** Why a peer refused the link (ErrorBody::code). */
@@ -228,7 +243,8 @@ headerValid(const FrameHeader &h)
 {
     if (h.magic != kFrameMagic || h.version != kProtocolVersion)
         return false;
-    if (h.type == 0 || h.type > static_cast<std::uint16_t>(FrameType::Error))
+    if (h.type == 0 ||
+        h.type > static_cast<std::uint16_t>(FrameType::Divergence))
         return false;
     if (h.body_len > kMaxBodyBytes)
         return false;
@@ -311,6 +327,59 @@ decodeErrorFrame(const FrameHeader &header, const void *body,
         return false;
     std::memcpy(out, body, sizeof(ErrorBody));
     return true;
+}
+
+/** Most DivergenceRecords one Divergence frame carries — the ledger
+ *  itself only retains kLedgerSlots, so one frame always suffices. */
+inline constexpr std::uint32_t kDivergenceFrameMaxRecords =
+    static_cast<std::uint32_t>(trace::kLedgerSlots);
+
+/** Wire size of a maximal Divergence frame. */
+inline constexpr std::size_t kDivergenceFrameMaxBytes =
+    sizeof(FrameHeader) +
+    kDivergenceFrameMaxRecords * sizeof(trace::DivergenceRecord);
+
+/**
+ * Serialize @p count divergence records into a wire-ready Divergence
+ * frame. @p out must hold sizeof(FrameHeader) + count * 56 bytes.
+ * @return the frame's total wire size.
+ */
+inline std::size_t
+encodeDivergenceFrame(const trace::DivergenceRecord *records,
+                      std::uint32_t count, std::uint8_t *out)
+{
+    const std::uint32_t body_len = static_cast<std::uint32_t>(
+        count * sizeof(trace::DivergenceRecord));
+    FrameHeader header = makeHeader(FrameType::Divergence, body_len);
+    header.count = count;
+    header.body_crc = bodyChecksum(records, body_len);
+    std::memcpy(out, &header, sizeof(header));
+    std::memcpy(out + sizeof(header), records, body_len);
+    return sizeof(header) + body_len;
+}
+
+/**
+ * Decode a Divergence frame body received with @p header into @p out
+ * (capacity @p max records). @return the number of records decoded,
+ * or SIZE_MAX on type, length, count or checksum mismatch.
+ */
+inline std::size_t
+decodeDivergenceFrame(const FrameHeader &header, const void *body,
+                      std::size_t body_len, trace::DivergenceRecord *out,
+                      std::size_t max)
+{
+    if (static_cast<FrameType>(header.type) != FrameType::Divergence)
+        return SIZE_MAX;
+    if (header.count > kDivergenceFrameMaxRecords || header.count > max)
+        return SIZE_MAX;
+    if (body_len != header.count * sizeof(trace::DivergenceRecord) ||
+        header.body_len != body_len) {
+        return SIZE_MAX;
+    }
+    if (header.body_crc != bodyChecksum(body, body_len))
+        return SIZE_MAX;
+    std::memcpy(out, body, body_len);
+    return header.count;
 }
 
 /**

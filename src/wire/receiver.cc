@@ -316,6 +316,12 @@ Receiver::publishRun(std::uint32_t tuple, ring::Event *events,
         done += chunk;
     }
     cb->events_streamed.fetch_add(done, std::memory_order_relaxed);
+    if (done > 0 && trace::enabled(cb->trace)) {
+        trace::stamp(cb->trace, trace::Stage::ReceiverPublish, 0,
+                     static_cast<std::uint8_t>(tuple),
+                     static_cast<std::uint32_t>(done), monotonicNs(),
+                     count);
+    }
     return done;
 }
 
@@ -577,6 +583,17 @@ Receiver::promoteLocked(std::uint32_t *epoch_out,
 
     dropLink();
 
+    // Arm the failover-blackout clock: the span from here to the
+    // promoted leader's first publish is the cross-node blackout (the
+    // actual leader death happened at least promote_after_ns earlier,
+    // but this is the first moment this node *knows*). The first
+    // post-promotion publishEvent consumes the mark.
+    if (trace::enabled(cb->trace)) {
+        std::uint64_t expected = 0;
+        cb->trace.leader_death_ns.compare_exchange_strong(
+            expected, monotonicNs(), std::memory_order_acq_rel);
+    }
+
     // Standby shipping: attach the taps *before* the election so the
     // promoted stream is complete from its first event (nothing can
     // publish until leader_id flips).
@@ -602,6 +619,11 @@ Receiver::promoteLocked(std::uint32_t *epoch_out,
     last_epoch_ = epoch;
     last_generation_ = generation;
     promoted_.store(true, std::memory_order_release);
+    if (trace::enabled(cb->trace)) {
+        trace::stamp(cb->trace, trace::Stage::Election,
+                     static_cast<std::uint8_t>(new_leader), 0, epoch,
+                     monotonicNs(), generation);
+    }
     inform("wire receiver: leader node lost — promoted local variant %u "
            "(epoch %u, stream generation %u)",
            new_leader, epoch, generation);
@@ -651,6 +673,29 @@ Receiver::promoteNow()
 }
 
 void
+Receiver::shipDivergences()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!link_up_.load(std::memory_order_acquire))
+        return;
+    core::ControlBlock *cb = layout_->controlBlock(region_);
+    trace::DivergenceRecord records[kDivergenceFrameMaxRecords];
+    const std::size_t n =
+        trace::ledgerRead(cb->trace, &ledger_ship_cursor_, records,
+                          kDivergenceFrameMaxRecords);
+    if (n == 0)
+        return;
+    std::uint8_t frame[kDivergenceFrameMaxBytes];
+    const std::size_t len = encodeDivergenceFrame(
+        records, static_cast<std::uint32_t>(n), frame);
+    if (!writeFull(socket_fd_, frame, len)) {
+        dropLink();
+        return;
+    }
+    stats_.divergence_records_sent += n;
+}
+
+void
 Receiver::serveLoop()
 {
     // quiet = no frame arrived and no adopt() succeeded. Once it
@@ -671,6 +716,10 @@ Receiver::serveLoop()
         }
         if (link_up_.load(std::memory_order_acquire)) {
             int frames = serveOnce(options_.tick_ms);
+            // Local followers replaying the remote stream append their
+            // divergences to this node's ledger; relay anything new
+            // upstream so the leader's coordinator sees it.
+            shipDivergences();
             if (frames > 0) {
                 quiet_since = monotonicNs();
                 probe_sent = false;

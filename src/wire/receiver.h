@@ -135,6 +135,7 @@ class Receiver
         std::uint64_t errors_received = 0; ///< rejections from shippers
         std::uint64_t rebases = 0;         ///< generations adopted
         std::uint64_t logged_events = 0;   ///< records in the file sink
+        std::uint64_t divergence_records_sent = 0; ///< relayed upstream
         std::int32_t log_errno = 0;        ///< first file-sink failure
     };
 
@@ -241,6 +242,9 @@ class Receiver
      *  bumped epoch and elected leader in the out-params. */
     bool promoteLocked(std::uint32_t *epoch_out,
                        std::uint32_t *leader_out);
+    /** Relay local divergence-ledger records the upstream leader has
+     *  not seen yet as one Divergence frame (v5). */
+    void shipDivergences();
     void serveLoop();
     void dropLink();
 
@@ -265,6 +269,9 @@ class Receiver
     std::unique_ptr<Shipper> promoted_shipper_;
 
     rr::LogWriter log_; ///< optional file sink (Options::record_path)
+
+    /** Ledger records already relayed upstream (shipDivergences). */
+    std::uint64_t ledger_ship_cursor_ = 0;
 
     std::uint64_t next_seq_[core::kMaxTuples] = {};
     std::uint64_t credited_[core::kMaxTuples] = {};

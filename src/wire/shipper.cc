@@ -546,6 +546,34 @@ Shipper::handlePeerInput(int fd)
         dropPeerLink(*peer);
         break;
       }
+      case FrameType::Divergence: {
+        // A remote follower diverged: relay its ledger records into the
+        // leader's ledger, tagged with the sending receiver, so the
+        // coordinator's on_divergence hook fires fleet-wide.
+        std::uint8_t body[kDivergenceFrameMaxRecords *
+                          sizeof(trace::DivergenceRecord)];
+        trace::DivergenceRecord records[kDivergenceFrameMaxRecords];
+        if (header.body_len > sizeof(body) ||
+            !readFull(fd, body, header.body_len)) {
+            dropPeerLink(*peer);
+            return;
+        }
+        const std::size_t n = decodeDivergenceFrame(
+            header, body, header.body_len, records,
+            kDivergenceFrameMaxRecords);
+        if (n == SIZE_MAX) {
+            dropPeerLink(*peer);
+            return;
+        }
+        core::ControlBlock *cb = layout_->controlBlock(region_);
+        for (std::size_t i = 0; i < n; ++i) {
+            records[i].origin = 1;
+            records[i].origin_id = peer->receiver_id;
+            trace::ledgerAppend(cb->trace, records[i]);
+        }
+        stats_.divergence_records += n;
+        break;
+      }
       case FrameType::Bye:
         dropPeerLink(*peer);
         break;
@@ -637,11 +665,23 @@ Shipper::drainTuple(std::uint32_t tuple)
     // retransmit buffer. Both the window and the batch size are live
     // `Tuning` knobs, re-read here — at the batch boundary — so a
     // retune applies to the very next frame.
+    core::ControlBlock *cb = layout_->controlBlock(region_);
     const std::size_t credit_window = liveCreditWindow();
     const std::uint64_t unacked = ship.next_seq - fastestAcked(tuple);
     if (unacked >= credit_window) {
         ++stats_.credit_stalls;
+        if (trace::enabled(cb->trace) && ship.stall_since_ns == 0)
+            ship.stall_since_ns = monotonicNs();
         return 0;
+    }
+    if (ship.stall_since_ns != 0) {
+        // The window reopened: the whole closed span is one sample.
+        const std::uint64_t now = monotonicNs();
+        if (now > ship.stall_since_ns) {
+            trace::histogramRecord(cb->trace.credit_stall,
+                                   now - ship.stall_since_ns);
+        }
+        ship.stall_since_ns = 0;
     }
     std::size_t budget = credit_window - unacked;
     const std::size_t ship_batch = liveShipBatch();
@@ -696,6 +736,13 @@ Shipper::drainTuple(std::uint32_t tuple)
     ship.next_seq += n;
     stats_.events += n;
     stats_.payload_bytes += payload_bytes;
+
+    if (trace::enabled(cb->trace)) {
+        trace::stamp(cb->trace, trace::Stage::ShipperDrain, 0,
+                     static_cast<std::uint8_t>(tuple),
+                     static_cast<std::uint32_t>(n), monotonicNs(),
+                     frame.seq, payload_bytes);
+    }
 
     unacked_.push_back(std::move(frame));
     return n;

@@ -117,6 +117,7 @@ class Shipper
         std::uint64_t errors_received = 0; ///< Error frames decoded
         std::uint64_t drain_passes = 0;    ///< drainTuple passes with work
         std::uint64_t credit_stalls = 0;   ///< passes gated by the window
+        std::uint64_t divergence_records = 0; ///< relayed from receivers
         std::uint32_t peers = 0;           ///< registered sessions
         std::uint32_t peers_evicted = 0;   ///< sessions dropped as behind
     };
@@ -194,6 +195,10 @@ class Shipper
         int tap_slot = -1;
         std::uint64_t next_seq = 0;  ///< next ring seq to drain
         std::uint64_t floor_seq = 0; ///< oldest seq this shipper can serve
+        /** monotonicNs() when the credit window first gated this tuple;
+         *  0 while draining. The span until the window reopens is one
+         *  credit_stall histogram sample. */
+        std::uint64_t stall_since_ns = 0;
     };
 
     /** A serialized frame kept until every session credits past it. */

@@ -633,25 +633,20 @@ TEST(AdaptEngineTest, LiveTuningVisibleInStatusWithoutRestart)
     ::close(gate[1]);
 }
 
-TEST(AdaptEngineTest, DeprecatedConfigFieldsSeedTuning)
+TEST(AdaptEngineTest, TuningStructSeedsTheLiveKnobs)
 {
-    // The one-release shim: legacy CoalesceConfig/RemoteConfig knob
-    // fields moved off their defaults still seed the live Tuning.
+    // The unified Tuning struct is the only knob surface (the legacy
+    // CoalesceConfig/RemoteConfig spellings are gone): values set
+    // there are what the engine actually runs with.
     core::EngineConfig config = fastConfig();
-    config.coalesce.max_run = 48;       // deprecated spelling
-    config.remote.credit_window = 1024; // deprecated spelling
-    config.tuning.ship_batch = 8;       // new spelling, same surface
-
-    Tuning initial = config.effectiveTuning();
-    EXPECT_EQ(initial.coalesce_run, 48u);
-    EXPECT_EQ(initial.credit_window, 1024u);
-    EXPECT_EQ(initial.ship_batch, 8u);
+    config.tuning.coalesce_run = 48;
+    config.tuning.credit_window = 1024;
+    config.tuning.ship_batch = 8;
 
     core::Nvx nvx(config);
     auto results = nvx.run({[]() -> int { return 0; }});
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].status, 0);
-    // The seeded knobs are what the engine actually ran with.
     core::StatusReport report = nvx.status();
     EXPECT_EQ(report.adapt.coalesce_run, 48u);
     EXPECT_EQ(report.adapt.credit_window, 1024u);

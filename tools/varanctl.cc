@@ -1,0 +1,15 @@
+/**
+ * @file
+ * varanctl — inspect a running VARAN engine from outside the process:
+ * attach to its shared region via /proc, or dial its wire status
+ * endpoint. All logic lives in src/trace/inspect.cc so tests can link
+ * it directly.
+ */
+
+#include "trace/inspect.h"
+
+int
+main(int argc, char **argv)
+{
+    return varan::trace::varanctlMain(argc, argv);
+}
