@@ -210,8 +210,8 @@ class Monitor : public sys::Dispatcher
     bool maybePromote();
 
     /** Append a structured record to the shared divergence ledger
-     *  (always — the ledger feeds the on_divergence hook even when
-     *  the flight recorder is off). */
+     *  (always — the ledger feeds the on_divergence_record hook even
+     *  when the flight recorder is off). */
     void recordDivergence(const ring::Event &event, long nr,
                           const std::uint64_t args[6],
                           trace::DivergenceAction action);

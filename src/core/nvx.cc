@@ -558,36 +558,21 @@ Nvx::restartVariant(std::uint32_t variant)
 void
 Nvx::observeDivergences()
 {
-    if (!config_.on_divergence && !config_.on_divergence_record)
+    if (!config_.on_divergence_record)
         return;
     ControlBlock *cb = controlBlock();
 
-    // Structured form: drain the shared ledger from the last-seen
-    // cursor. Records shipped back from remote follower nodes land in
-    // the same ledger (tagged with their origin receiver id), so one
-    // hook covers the whole deployment.
-    if (config_.on_divergence_record) {
-        trace::DivergenceRecord batch[16];
-        std::size_t n;
-        while ((n = trace::ledgerRead(cb->trace, &ledger_cursor_, batch,
-                                      16)) > 0) {
-            for (std::size_t i = 0; i < n; ++i)
-                config_.on_divergence_record(batch[i]);
-        }
-    }
-
-    // Deprecated counter form (one release of compat).
-    if (!config_.on_divergence)
-        return;
-    std::uint64_t resolved =
-        cb->divergences_resolved.load(std::memory_order_relaxed);
-    std::uint64_t fatal =
-        cb->divergences_fatal.load(std::memory_order_relaxed);
-    if (resolved != seen_divergences_resolved_ ||
-        fatal != seen_divergences_fatal_) {
-        seen_divergences_resolved_ = resolved;
-        seen_divergences_fatal_ = fatal;
-        config_.on_divergence(resolved, fatal);
+    // Drain the shared ledger from the last-seen cursor. Records
+    // shipped back from remote follower nodes land in the same ledger
+    // (tagged with their origin receiver id), so one hook covers the
+    // whole deployment. The counter-form on_divergence hook was
+    // removed after its one-release grace period.
+    trace::DivergenceRecord batch[16];
+    std::size_t n;
+    while ((n = trace::ledgerRead(cb->trace, &ledger_cursor_, batch,
+                                  16)) > 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            config_.on_divergence_record(batch[i]);
     }
 }
 

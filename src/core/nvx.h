@@ -18,7 +18,8 @@
  *    and an on-exit restart policy;
  *  - EngineConfig groups the engine knobs into RingConfig /
  *    CoalesceConfig / RemoteConfig sub-structs and carries the
- *    lifecycle hooks (on_divergence, on_failover, on_variant_exit);
+ *    lifecycle hooks (on_divergence_record, on_failover,
+ *    on_variant_exit);
  *  - StatusReport (core/status.h) is the single consolidated snapshot
  *    replacing the grab-bag of counter getters, also served to remote
  *    peers over the wire Status RPC.
@@ -202,6 +203,21 @@ struct RemoteConfig {
      *  event shipping, no session, works with or without remote peers. */
     std::string status_endpoint;
 
+    /**
+     * Quorum control plane (wire v6) for the receiver nodes consuming
+     * this deployment's stream: the abstract-socket quorum endpoint of
+     * every member, indexed by quorum node id, plus this node's own
+     * id. quorum::membershipFromRemote() turns the pair into the
+     * quorum::Config a wire::Receiver arms promotion with — every
+     * receiver may then set promote_after_ns, and a partitioned
+     * minority fences instead of split-braining. Empty = no quorum
+     * (the legacy single-watchdog promotion). Membership sizing and
+     * fencing behavior: README, "Operating a multi-node deployment".
+     */
+    std::vector<std::string> quorum_members;
+    /** This node's index into quorum_members (its quorum identity). */
+    std::uint32_t quorum_node_id = 0xffffffffu;
+
     /** Every configured peer endpoint (endpoint + endpoints). */
     std::vector<std::string>
     allEndpoints() const
@@ -289,12 +305,6 @@ struct EngineConfig {
      */
     std::function<void(const trace::DivergenceRecord &record)>
         on_divergence_record;
-
-    /** Observed divergence counters changed: (resolved, fatal) totals.
-     *  @deprecated Counter-form compat hook, kept for one release —
-     *  use on_divergence_record for the structured form. */
-    std::function<void(std::uint64_t resolved, std::uint64_t fatal)>
-        on_divergence;
 
     /** A leader election completed: the new epoch and leader id. */
     std::function<void(std::uint32_t epoch, std::uint32_t new_leader)>
@@ -434,7 +444,7 @@ class Nvx
      *  @return false when the respawn could not be requested. */
     bool restartVariant(std::uint32_t variant);
 
-    /** Poll divergence counters and fire on_divergence on change. */
+    /** Drain the shared ledger and fire on_divergence_record. */
     void observeDivergences();
 
     /** Accept loop of the wire Status RPC listener
@@ -458,9 +468,6 @@ class Nvx
     std::vector<std::atomic<bool>> reaped_;
     /** Respawns performed per variant (coordinator-side ledger). */
     std::vector<std::uint32_t> restarts_;
-    /** Divergence totals last reported through on_divergence. */
-    std::uint64_t seen_divergences_resolved_ = 0;
-    std::uint64_t seen_divergences_fatal_ = 0;
     /** Ledger records already delivered through on_divergence_record. */
     std::uint64_t ledger_cursor_ = 0;
     /** Zygote messages that raced ahead of the spawn acknowledgements. */
@@ -572,6 +579,17 @@ class Nvx::Builder
         return *this;
     }
 
+    /** Quorum membership (wire v6): the quorum endpoint of every
+     *  member indexed by node id, and this node's own id. */
+    Builder &
+    quorumMembership(std::uint32_t node_id,
+                     std::vector<std::string> members)
+    {
+        config_.remote.quorum_node_id = node_id;
+        config_.remote.quorum_members = std::move(members);
+        return *this;
+    }
+
     /** Seed the unified live knob surface (EngineConfig::tuning). */
     Builder &
     tuning(Tuning initial)
@@ -610,16 +628,6 @@ class Nvx::Builder
         std::function<void(const trace::DivergenceRecord &)> hook)
     {
         config_.on_divergence_record = std::move(hook);
-        return *this;
-    }
-
-    /** @deprecated Counter-form compat overload (one release); use
-     *  onDivergenceRecord. */
-    Builder &
-    onDivergence(
-        std::function<void(std::uint64_t, std::uint64_t)> hook)
-    {
-        config_.on_divergence = std::move(hook);
         return *this;
     }
 

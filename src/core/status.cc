@@ -321,6 +321,36 @@ statusText(const StatusReport &report)
            "Events materialized from the wire", report.receiver.events);
     metric(out, "varan_receiver_promoted", "gauge",
            "This node took over leadership", report.receiver.promoted);
+    metric(out, "varan_receiver_fenced", "gauge",
+           "This node fenced itself off the quorum (buffering only)",
+           report.receiver.fenced);
+
+    // Quorum control plane (wire v6).
+    metric(out, "varan_quorum_active", "gauge",
+           "A quorum lease manager runs on this node",
+           report.quorum.active);
+    metric(out, "varan_quorum_members", "gauge",
+           "Configured quorum membership size (incl. this node)",
+           report.quorum.members);
+    metric(out, "varan_quorum_live_members", "gauge",
+           "Members currently heard from (incl. this node)",
+           report.quorum.live_members);
+    metric(out, "varan_quorum_term", "gauge",
+           "Current lease term", report.quorum.term);
+    metric(out, "varan_quorum_holder", "gauge",
+           "Live lease holder node id (4294967295 = none)",
+           report.quorum.holder);
+    metric(out, "varan_quorum_elections_total", "counter",
+           "Election rounds started by this node",
+           report.quorum.elections);
+    metric(out, "varan_quorum_leases_won_total", "counter",
+           "Election rounds that reached a quorum of grants",
+           report.quorum.leases_won);
+    metric(out, "varan_quorum_votes_granted_total", "counter",
+           "Vote grants this node handed to peer candidates",
+           report.quorum.votes_granted);
+    metric(out, "varan_quorum_fences_total", "counter",
+           "Fence orders received by this node", report.quorum.fences);
 
     // Recorder.
     metric(out, "varan_recorder_active", "gauge",

@@ -68,6 +68,8 @@ struct ReceiverWireStatus {
     std::uint32_t link_up;
     std::uint32_t promoted;      ///< this node took over leadership
     std::uint32_t errors;        ///< Error frames sent + received
+    std::uint32_t fenced;        ///< partitioned off a quorum: not serving
+    std::uint32_t reserved;
     std::uint64_t frames;
     std::uint64_t events;
     std::uint64_t payload_bytes;
@@ -75,6 +77,22 @@ struct ReceiverWireStatus {
     std::uint64_t corrupt_frames;
     std::uint64_t credits_sent;
     std::uint64_t reconnects;
+};
+
+/** Quorum control-plane state (v6): the lease/membership view of this
+ *  node's LeaseManager. Zeros when no quorum is configured. */
+struct QuorumStatus {
+    std::uint32_t active;       ///< a lease manager runs on this node
+    std::uint32_t node_id;      ///< this node's quorum identity
+    std::uint32_t members;      ///< configured membership size (incl. self)
+    std::uint32_t live_members; ///< members currently heard from (incl. self)
+    std::uint32_t holder;       ///< live lease holder, kNoQuorumNode if none
+    std::uint32_t fenced;       ///< this node fenced itself off
+    std::uint64_t term;         ///< current lease term
+    std::uint64_t elections;    ///< election rounds this node started
+    std::uint64_t leases_won;   ///< rounds that reached a quorum of grants
+    std::uint64_t votes_granted; ///< grants this node handed to peers
+    std::uint64_t fences;       ///< fence orders received by this node
 };
 
 /** Record-replay sink statistics (zeros when no recorder ever ran).
@@ -161,6 +179,7 @@ struct StatusReport {
     shmem::PoolStats pool;           ///< per-arena pressure + spills
     ShipperWireStatus shipper;
     ReceiverWireStatus receiver;
+    QuorumStatus quorum;             ///< lease/membership control plane
     RecorderStatus recorder;
     AdaptStatus adapt;               ///< live knobs + controller state
     TraceStatus trace;               ///< histograms + divergence ledger

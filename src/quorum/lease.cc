@@ -1,0 +1,777 @@
+#include "quorum/lease.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "netio/socketio.h"
+#include "wire/io.h"
+
+namespace varan::quorum {
+
+using wire::FrameHeader;
+using wire::FrameType;
+
+namespace {
+
+/** Peer silence past this many heartbeat periods counts as down. */
+constexpr std::uint64_t kPeerDownPeriods = 3;
+
+/** Bound every read on a readable quorum link: a peer wedged
+ *  mid-frame becomes a dropped link, never a stuck control plane. */
+void
+boundSocketIo(int fd)
+{
+    struct timeval io_timeout = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+}
+
+} // namespace
+
+bool
+Config::valid() const
+{
+    if (node_id == wire::kNoQuorumNode || members.size() < 2)
+        return false;
+    for (const Member &m : members) {
+        if (m.id == node_id)
+            return true;
+    }
+    return false;
+}
+
+Config
+membershipFromRemote(std::uint32_t node_id,
+                     const std::vector<std::string> &members)
+{
+    Config config;
+    config.node_id = node_id;
+    for (std::uint32_t i = 0; i < members.size(); ++i)
+        config.members.push_back(Member{i, members[i]});
+    if (node_id < members.size())
+        config.listen_endpoint = members[node_id];
+    return config;
+}
+
+LeaseManager::LeaseManager(Config config) : config_(std::move(config))
+{
+    VARAN_CHECK(config_.valid(),
+                "quorum: membership must include this node and a peer");
+}
+
+LeaseManager::~LeaseManager()
+{
+    stop();
+}
+
+void
+LeaseManager::adoptPeerLink(std::uint32_t peer_id, int fd)
+{
+    boundSocketIo(fd);
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = links_.find(peer_id);
+    if (it != links_.end() && it->second.fd >= 0)
+        ::close(it->second.fd);
+    links_[peer_id] = Link{fd, monotonicNs()};
+}
+
+Status
+LeaseManager::listen()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (listen_fd_ >= 0)
+        return Status::ok();
+    auto fd = netio::listenAbstract(config_.listen_endpoint);
+    if (!fd.ok())
+        return Status(Errno{fd.error().code});
+    listen_fd_ = fd.value();
+    return Status::ok();
+}
+
+void
+LeaseManager::dialPeersLocked()
+{
+    for (const Member &m : config_.members) {
+        // One link per pair: the lower id dials, the higher accepts.
+        if (m.id == config_.node_id || m.id < config_.node_id)
+            continue;
+        if (m.endpoint.empty() || links_.count(m.id))
+            continue;
+        auto sock = netio::connectAbstract(m.endpoint, 100);
+        if (!sock.ok())
+            continue; // down peer: retried on the next call
+        boundSocketIo(sock.value());
+        links_[m.id] = Link{sock.value(), monotonicNs()};
+        // Identify ourselves so the acceptor can register the link.
+        const wire::LeaseBody hb = makeHeartbeatLocked(monotonicNs());
+        std::uint8_t frame[wire::kLeaseFrameBytes];
+        wire::encodeLeaseFrame(hb, frame);
+        sendToLocked(m.id, frame, sizeof(frame));
+    }
+}
+
+void
+LeaseManager::dialPeers()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    dialPeersLocked();
+}
+
+void
+LeaseManager::dropLinkLocked(std::uint32_t peer_id)
+{
+    auto it = links_.find(peer_id);
+    if (it == links_.end())
+        return;
+    if (it->second.fd >= 0)
+        ::close(it->second.fd);
+    links_.erase(it);
+    ++stats_.links_dropped;
+}
+
+void
+LeaseManager::sendToLocked(std::uint32_t peer_id, const void *frame,
+                           std::size_t len)
+{
+    auto it = links_.find(peer_id);
+    if (it == links_.end())
+        return;
+    if (!wire::writeFull(it->second.fd, frame, len))
+        dropLinkLocked(peer_id);
+}
+
+void
+LeaseManager::broadcastLocked(const void *frame, std::size_t len)
+{
+    std::vector<std::uint32_t> dead;
+    for (auto &[peer_id, link] : links_) {
+        if (!wire::writeFull(link.fd, frame, len))
+            dead.push_back(peer_id);
+    }
+    for (std::uint32_t peer_id : dead)
+        dropLinkLocked(peer_id);
+}
+
+bool
+LeaseManager::leaseLiveLocked(std::uint64_t now) const
+{
+    return lease_holder_ != wire::kNoQuorumNode &&
+           now < lease_expiry_ns_;
+}
+
+std::uint32_t
+LeaseManager::quorumSize() const
+{
+    return static_cast<std::uint32_t>(config_.members.size() / 2 + 1);
+}
+
+std::uint32_t
+LeaseManager::liveMembersLocked(std::uint64_t now) const
+{
+    const std::uint64_t down_after =
+        config_.heartbeat_ns * kPeerDownPeriods;
+    std::uint32_t live = 1; // self
+    for (const auto &entry : links_) {
+        if (now - entry.second.last_heard_ns <= down_after)
+            ++live;
+    }
+    return live;
+}
+
+wire::LeaseBody
+LeaseManager::makeHeartbeatLocked(std::uint64_t now) const
+{
+    wire::LeaseBody hb = {};
+    hb.term = lease_term_;
+    hb.node_id = config_.node_id;
+    hb.holder_id =
+        leaseLiveLocked(now) ? lease_holder_ : wire::kNoQuorumNode;
+    hb.generation = lease_generation_;
+    hb.fenced = fenced_ ? 1 : 0;
+    hb.ttl_ns = leaseLiveLocked(now) ? lease_expiry_ns_ - now : 0;
+    return hb;
+}
+
+void
+LeaseManager::stampLocked(ElectionState outcome, std::uint64_t term,
+                          std::uint64_t grants)
+{
+    if (config_.trace == nullptr || !trace::enabled(*config_.trace))
+        return;
+    trace::stamp(*config_.trace, trace::Stage::Election,
+                 static_cast<std::uint8_t>(config_.node_id), 0,
+                 static_cast<std::uint32_t>(outcome), monotonicNs(),
+                 term, grants);
+}
+
+std::uint64_t
+LeaseManager::startElection(std::uint32_t generation)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    // Past anything seen or promised: a term is never reused, so a
+    // grant collected for it can never collide with another winner.
+    const std::uint64_t term =
+        std::max(lease_term_, voted_term_) + 1;
+    voted_term_ = term; // the self-vote is a promise like any other
+    elect_state_ = ElectionState::Pending;
+    elect_term_ = term;
+    elect_generation_ = generation;
+    elect_grants_.assign(1, config_.node_id);
+    elect_responders_ = 0;
+    ++stats_.elections;
+    stampLocked(ElectionState::Pending, term, 1);
+
+    wire::VoteBody request = {};
+    request.term = term;
+    request.node_id = config_.node_id;
+    request.candidate_id = config_.node_id;
+    request.generation = generation;
+    request.kind = static_cast<std::uint8_t>(wire::VoteKind::Request);
+    std::uint8_t frame[wire::kVoteFrameBytes];
+    wire::encodeVoteFrame(request, frame);
+    broadcastLocked(frame, sizeof(frame));
+
+    // A one-node partition decides immediately: nobody can answer.
+    if (elect_grants_.size() >= quorumSize())
+        finishElectionLocked(ElectionState::Won);
+    return term;
+}
+
+void
+LeaseManager::finishElectionLocked(ElectionState outcome)
+{
+    const std::uint64_t now = monotonicNs();
+    if (outcome == ElectionState::Won) {
+        lease_term_ = elect_term_;
+        lease_holder_ = config_.node_id;
+        lease_expiry_ns_ = now + config_.lease_ttl_ns;
+        lease_generation_ = elect_generation_;
+        fenced_ = false;
+        ++stats_.leases_won;
+        // Announce immediately so followers refresh before their own
+        // promote deadlines fire.
+        const wire::LeaseBody hb = makeHeartbeatLocked(now);
+        std::uint8_t frame[wire::kLeaseFrameBytes];
+        wire::encodeLeaseFrame(hb, frame);
+        broadcastLocked(frame, sizeof(frame));
+    } else if (outcome == ElectionState::Lost) {
+        // Could this node even *reach* a quorum? Replies (grants and
+        // denies alike) prove connectivity; too few means this side of
+        // a partition is the minority — fence: stop serving, keep
+        // buffering, wait to hear a holder again.
+        if (elect_responders_ + 1 < quorumSize()) {
+            if (!fenced_) {
+                warn("quorum node %u: only %u of %zu members reachable "
+                     "— fencing",
+                     config_.node_id, elect_responders_ + 1,
+                     config_.members.size());
+            }
+            fenced_ = true;
+        }
+    }
+    stampLocked(outcome, elect_term_, elect_grants_.size());
+    elect_state_ = outcome;
+}
+
+void
+LeaseManager::handleVoteLocked(std::uint32_t peer_id,
+                               const wire::VoteBody &v)
+{
+    const std::uint64_t now = monotonicNs();
+    switch (static_cast<wire::VoteKind>(v.kind)) {
+      case wire::VoteKind::Request: {
+        // One grant per term, and never against a live lease held by
+        // somebody else (the holder itself may re-elect to renew).
+        const bool lease_blocks =
+            leaseLiveLocked(now) && lease_holder_ != v.candidate_id;
+        const bool grant = v.term > voted_term_ && !lease_blocks;
+        wire::VoteBody reply = {};
+        reply.term = v.term;
+        reply.node_id = config_.node_id;
+        reply.candidate_id = v.candidate_id;
+        reply.generation = v.generation;
+        reply.kind = static_cast<std::uint8_t>(
+            grant ? wire::VoteKind::Grant : wire::VoteKind::Deny);
+        reply.voter_term = std::max(lease_term_, voted_term_);
+        if (grant) {
+            voted_term_ = v.term;
+            ++stats_.votes_granted;
+        }
+        std::uint8_t frame[wire::kVoteFrameBytes];
+        wire::encodeVoteFrame(reply, frame);
+        sendToLocked(peer_id, frame, sizeof(frame));
+        return;
+      }
+      case wire::VoteKind::Grant:
+      case wire::VoteKind::Deny: {
+        if (elect_state_ != ElectionState::Pending ||
+            v.term != elect_term_) {
+            return; // stale reply from an earlier round
+        }
+        ++elect_responders_;
+        if (static_cast<wire::VoteKind>(v.kind) ==
+                wire::VoteKind::Grant &&
+            std::find(elect_grants_.begin(), elect_grants_.end(),
+                      v.node_id) == elect_grants_.end()) {
+            elect_grants_.push_back(v.node_id);
+        }
+        if (elect_grants_.size() >= quorumSize()) {
+            finishElectionLocked(ElectionState::Won);
+        } else if (elect_grants_.size() +
+                       (config_.members.size() - 1 -
+                        elect_responders_) <
+                   quorumSize()) {
+            // Even unanimous support from the silent rest cannot
+            // reach a quorum any more.
+            finishElectionLocked(ElectionState::Lost);
+        }
+        return;
+      }
+    }
+}
+
+void
+LeaseManager::handleLeaseLocked(std::uint32_t peer_id,
+                                const wire::LeaseBody &l)
+{
+    const std::uint64_t now = monotonicNs();
+    if (l.holder_id != wire::kNoQuorumNode && l.term >= lease_term_) {
+        // A lease at least as new as anything this node has seen:
+        // adopt it. Hearing a quorum-backed holder is also exactly
+        // what un-fences a healed minority node.
+        const bool superseded =
+            lease_holder_ == config_.node_id && l.term > lease_term_;
+        if (superseded) {
+            inform("quorum node %u: lease term %llu superseded by "
+                   "node %u term %llu",
+                   config_.node_id,
+                   static_cast<unsigned long long>(lease_term_),
+                   l.holder_id,
+                   static_cast<unsigned long long>(l.term));
+        }
+        lease_term_ = l.term;
+        lease_holder_ = l.holder_id;
+        lease_generation_ = l.generation;
+        lease_expiry_ns_ =
+            now + (l.node_id == l.holder_id ? config_.lease_ttl_ns
+                                            : l.ttl_ns);
+        voted_term_ = std::max(voted_term_, l.term);
+        // Hearing a live holder's own heartbeat proves this node is
+        // connected to the quorum that elected it (or to a holder
+        // whose stale lease will expire in one TTL — a promotion
+        // attempt would just re-fence). A failed candidacy must not
+        // block the rejoin, so the node's own voted_term_ promise is
+        // deliberately not compared here.
+        if (fenced_ && l.node_id == l.holder_id) {
+            inform("quorum node %u: rejoined the majority (holder %u "
+                   "term %llu) — unfencing",
+                   config_.node_id, l.holder_id,
+                   static_cast<unsigned long long>(l.term));
+            fenced_ = false;
+        }
+    } else if (l.node_id == l.holder_id && l.term < lease_term_ &&
+               lease_holder_ == config_.node_id &&
+               leaseLiveLocked(now)) {
+        // A healed node still announcing holdership of a stale term:
+        // order it aside. This is the split-brain closer for a
+        // minority that won an old lease before the partition.
+        wire::FenceBody fence = {};
+        fence.term = lease_term_;
+        fence.node_id = config_.node_id;
+        fence.target_id = l.node_id;
+        fence.generation = lease_generation_;
+        fence.reason =
+            static_cast<std::uint32_t>(wire::FenceReason::StaleTerm);
+        std::uint8_t frame[wire::kFenceFrameBytes];
+        wire::encodeFenceFrame(fence, frame);
+        sendToLocked(peer_id, frame, sizeof(frame));
+        ++stats_.fences_sent;
+    }
+}
+
+void
+LeaseManager::handleFenceLocked(const wire::FenceBody &f)
+{
+    if (f.target_id != config_.node_id || f.term < lease_term_)
+        return;
+    warn("quorum node %u: fenced by node %u (term %llu, reason %u)",
+         config_.node_id, f.node_id,
+         static_cast<unsigned long long>(f.term), f.reason);
+    lease_term_ = f.term;
+    lease_holder_ = f.node_id;
+    lease_generation_ = f.generation;
+    lease_expiry_ns_ = monotonicNs() + config_.lease_ttl_ns;
+    voted_term_ = std::max(voted_term_, f.term);
+    fenced_ = true;
+    ++stats_.fences_received;
+    stampLocked(ElectionState::Lost, f.term, 0);
+}
+
+bool
+LeaseManager::readFrameLocked(std::uint32_t peer_id)
+{
+    auto it = links_.find(peer_id);
+    if (it == links_.end())
+        return false;
+    const int fd = it->second.fd;
+    FrameHeader header = {};
+    if (!wire::readFull(fd, &header, sizeof(header)))
+        return false;
+    if (!wire::headerValid(header))
+        return false;
+    std::uint8_t body[64];
+    if (header.body_len > sizeof(body))
+        return false;
+    if (header.body_len > 0 &&
+        !wire::readFull(fd, body, header.body_len)) {
+        return false;
+    }
+    it->second.last_heard_ns = monotonicNs();
+    ++stats_.frames;
+    switch (static_cast<FrameType>(header.type)) {
+      case FrameType::Vote: {
+        wire::VoteBody v = {};
+        if (!wire::decodeVoteFrame(header, body, header.body_len, &v))
+            return false;
+        handleVoteLocked(peer_id, v);
+        return true;
+      }
+      case FrameType::Lease: {
+        wire::LeaseBody l = {};
+        if (!wire::decodeLeaseFrame(header, body, header.body_len, &l))
+            return false;
+        handleLeaseLocked(peer_id, l);
+        return true;
+      }
+      case FrameType::Fence: {
+        wire::FenceBody f = {};
+        if (!wire::decodeFenceFrame(header, body, header.body_len, &f))
+            return false;
+        handleFenceLocked(f);
+        return true;
+      }
+      default:
+        // Data-plane frames do not belong on a quorum link.
+        return false;
+    }
+}
+
+bool
+LeaseManager::identifyLocked(int fd, std::uint32_t *peer_out)
+{
+    // Every quorum body leads with (term, node_id): peek the header,
+    // read the body, and register the sender. The frame itself is then
+    // handled normally so nothing is lost.
+    FrameHeader header = {};
+    if (!wire::readFull(fd, &header, sizeof(header)))
+        return false;
+    if (!wire::headerValid(header) || header.body_len > 64 ||
+        header.body_len < 16) {
+        return false;
+    }
+    std::uint8_t body[64];
+    if (!wire::readFull(fd, body, header.body_len))
+        return false;
+    if (header.body_crc != wire::bodyChecksum(body, header.body_len))
+        return false;
+    std::uint32_t peer_id = wire::kNoQuorumNode;
+    std::memcpy(&peer_id, body + sizeof(std::uint64_t),
+                sizeof(peer_id));
+    bool known = false;
+    for (const Member &m : config_.members)
+        known = known || (m.id == peer_id && m.id != config_.node_id);
+    if (!known)
+        return false;
+    auto it = links_.find(peer_id);
+    if (it != links_.end() && it->second.fd >= 0)
+        ::close(it->second.fd);
+    links_[peer_id] = Link{fd, monotonicNs()};
+    ++stats_.frames;
+    switch (static_cast<FrameType>(header.type)) {
+      case FrameType::Vote: {
+        wire::VoteBody v = {};
+        if (wire::decodeVoteFrame(header, body, header.body_len, &v))
+            handleVoteLocked(peer_id, v);
+        break;
+      }
+      case FrameType::Lease: {
+        wire::LeaseBody l = {};
+        if (wire::decodeLeaseFrame(header, body, header.body_len, &l))
+            handleLeaseLocked(peer_id, l);
+        break;
+      }
+      case FrameType::Fence: {
+        wire::FenceBody f = {};
+        if (wire::decodeFenceFrame(header, body, header.body_len, &f))
+            handleFenceLocked(f);
+        break;
+      }
+      default:
+        break;
+    }
+    *peer_out = peer_id;
+    return true;
+}
+
+void
+LeaseManager::pumpLocked(int timeout_ms)
+{
+    // One poll set: the listener, identified peers, pending inbounds.
+    std::vector<struct pollfd> pfds;
+    std::vector<std::uint32_t> owners; // peer id, or sentinels below
+    constexpr std::uint32_t kListener = 0xfffffffe;
+    for (const auto &[peer_id, link] : links_) {
+        pfds.push_back({link.fd, POLLIN, 0});
+        owners.push_back(peer_id);
+    }
+    for (int fd : unidentified_) {
+        pfds.push_back({fd, POLLIN, 0});
+        owners.push_back(wire::kNoQuorumNode);
+    }
+    if (listen_fd_ >= 0) {
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        owners.push_back(kListener);
+    }
+    if (pfds.empty())
+        return;
+    int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n <= 0)
+        return;
+
+    std::vector<std::uint32_t> dead_peers;
+    std::vector<int> dead_inbound;
+    std::vector<int> identified;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (!(pfds[i].revents & (POLLIN | POLLERR | POLLHUP)))
+            continue;
+        if (owners[i] == kListener) {
+            long conn = netio::acceptConnection(listen_fd_, false);
+            if (conn >= 0) {
+                boundSocketIo(static_cast<int>(conn));
+                unidentified_.push_back(static_cast<int>(conn));
+            }
+            continue;
+        }
+        if (owners[i] == wire::kNoQuorumNode) {
+            std::uint32_t peer_id = wire::kNoQuorumNode;
+            if (!identifyLocked(pfds[i].fd, &peer_id))
+                dead_inbound.push_back(pfds[i].fd);
+            else
+                identified.push_back(pfds[i].fd);
+            continue;
+        }
+        // Drain everything already buffered on this link so a burst
+        // of votes is handled in one pump.
+        for (;;) {
+            if (!readFrameLocked(owners[i])) {
+                dead_peers.push_back(owners[i]);
+                break;
+            }
+            struct pollfd again = {pfds[i].fd, POLLIN, 0};
+            if (::poll(&again, 1, 0) <= 0 || !(again.revents & POLLIN))
+                break;
+        }
+    }
+    for (std::uint32_t peer_id : dead_peers)
+        dropLinkLocked(peer_id);
+    for (int fd : dead_inbound) {
+        ::close(fd);
+        unidentified_.erase(std::remove(unidentified_.begin(),
+                                        unidentified_.end(), fd),
+                            unidentified_.end());
+    }
+    for (int fd : identified) {
+        unidentified_.erase(std::remove(unidentified_.begin(),
+                                        unidentified_.end(), fd),
+                            unidentified_.end());
+    }
+}
+
+void
+LeaseManager::pumpOnce(int timeout_ms)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    pumpLocked(timeout_ms);
+}
+
+void
+LeaseManager::heartbeatLocked()
+{
+    const wire::LeaseBody hb = makeHeartbeatLocked(monotonicNs());
+    std::uint8_t frame[wire::kLeaseFrameBytes];
+    wire::encodeLeaseFrame(hb, frame);
+    broadcastLocked(frame, sizeof(frame));
+    ++stats_.heartbeats_sent;
+}
+
+void
+LeaseManager::heartbeat()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    heartbeatLocked();
+}
+
+std::uint64_t
+LeaseManager::acquire(std::uint32_t generation)
+{
+    const std::uint64_t term = startElection(generation);
+    const std::uint64_t deadline =
+        monotonicNs() + config_.vote_timeout_ns;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (elect_state_ == ElectionState::Won)
+                return term;
+            if (elect_state_ == ElectionState::Lost)
+                return 0;
+            if (monotonicNs() >= deadline) {
+                finishElectionLocked(ElectionState::Lost);
+                return 0;
+            }
+        }
+        pumpOnce(5);
+    }
+}
+
+void
+LeaseManager::serveLoop()
+{
+    std::uint64_t last_beat = 0;
+    while (!stopping_.load(std::memory_order_acquire)) {
+        bool renew = false;
+        std::uint32_t generation = 0;
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            const std::uint64_t now = monotonicNs();
+            if (now - last_beat >= config_.heartbeat_ns) {
+                dialPeersLocked();
+                heartbeatLocked();
+                last_beat = now;
+            }
+            pumpLocked(0);
+            // A holder must *re-earn* its lease from the quorum before
+            // expiry — never self-extend. A healthy holder renews
+            // seamlessly (peers always grant the incumbent a fresh
+            // term); a partitioned holder fails renewal, fences, and
+            // its stale lease lapses within one TTL.
+            if (lease_holder_ == config_.node_id &&
+                leaseLiveLocked(now) &&
+                lease_expiry_ns_ - now <= config_.lease_ttl_ns / 2 &&
+                elect_state_ != ElectionState::Pending) {
+                renew = true;
+                generation = lease_generation_;
+            }
+        }
+        if (renew)
+            acquire(generation);
+        sleepNs(2'000'000);
+    }
+}
+
+void
+LeaseManager::start()
+{
+    VARAN_CHECK(!thread_.joinable());
+    stopping_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+void
+LeaseManager::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &entry : links_) {
+        if (entry.second.fd >= 0)
+            ::close(entry.second.fd);
+    }
+    links_.clear();
+    for (int fd : unidentified_)
+        ::close(fd);
+    unidentified_.clear();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+LeaseManager::ElectionState
+LeaseManager::electionState() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return elect_state_;
+}
+
+bool
+LeaseManager::holdsLease() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return lease_holder_ == config_.node_id &&
+           leaseLiveLocked(monotonicNs());
+}
+
+bool
+LeaseManager::fenced() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return fenced_;
+}
+
+std::uint64_t
+LeaseManager::term() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return lease_term_;
+}
+
+std::uint32_t
+LeaseManager::holder() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return leaseLiveLocked(monotonicNs()) ? lease_holder_
+                                          : wire::kNoQuorumNode;
+}
+
+std::uint32_t
+LeaseManager::liveMembers() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return liveMembersLocked(monotonicNs());
+}
+
+void
+LeaseManager::fillStatus(core::QuorumStatus *out) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const std::uint64_t now = monotonicNs();
+    out->active = 1;
+    out->node_id = config_.node_id;
+    out->members = static_cast<std::uint32_t>(config_.members.size());
+    out->live_members = liveMembersLocked(now);
+    out->holder =
+        leaseLiveLocked(now) ? lease_holder_ : wire::kNoQuorumNode;
+    out->fenced = fenced_ ? 1 : 0;
+    out->term = lease_term_;
+    out->elections = stats_.elections;
+    out->leases_won = stats_.leases_won;
+    out->votes_granted = stats_.votes_granted;
+    out->fences = stats_.fences_received;
+}
+
+LeaseManager::Stats
+LeaseManager::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+}
+
+} // namespace varan::quorum

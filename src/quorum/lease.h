@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The quorum control plane (wire protocol v6): a lease-based leader
+ * election among receiver nodes.
+ *
+ * Cross-node promotion (wire/receiver.h) used to be a per-node
+ * watchdog: whichever receiver's `promote_after` deadline fired first
+ * bumped the stream generation, and arming it on two nodes could
+ * split-brain the fleet into divergent generations. The LeaseManager
+ * closes that hole with the smallest state machine that does the job:
+ *
+ *  - Every member of a configured, fixed membership heartbeats a
+ *    Lease frame to every peer, carrying the lease holder and term it
+ *    believes in. The holder's own heartbeat is what refreshes the
+ *    lease fleet-wide.
+ *  - A candidate wanting to promote runs one election round: it picks
+ *    a fresh term (past anything it has seen or promised), votes for
+ *    itself, and sends Vote Requests to every peer. A peer grants at
+ *    most one candidate per term and denies while an unexpired lease
+ *    is held by someone else — so two dueling candidates can never
+ *    both collect a quorum for the same term.
+ *  - Only a candidate holding grants from a quorum (a strict majority
+ *    of the membership, counting itself) may bump epoch/generation —
+ *    the receiver's promotion path calls acquire() *before* the bump.
+ *  - A node that cannot reach a quorum fences itself: it stops
+ *    serving (refuses promotion, reports `fenced` in StatusReport)
+ *    but keeps buffering, so a healed partition rejoins by rebasing
+ *    instead of fighting. A quorum-backed holder also sends explicit
+ *    Fence orders to any healed minority node still announcing a
+ *    stale lease.
+ *
+ * Elections are split-phase (startElection / pumpOnce / electionState)
+ * precisely so tests can drive every message interleaving by hand
+ * through the FaultLink harness; acquire() is the blocking wrapper the
+ * receiver uses. Peer links are ordinary framed sockets — injected
+ * directly (adoptPeerLink) in tests and benches, or dialed/accepted
+ * over abstract-namespace endpoints in a deployment (listen/dialPeers,
+ * where the lower node id dials so each pair keeps one link).
+ */
+
+#ifndef VARAN_QUORUM_LEASE_H
+#define VARAN_QUORUM_LEASE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "core/status.h"
+#include "trace/trace.h"
+#include "wire/protocol.h"
+
+namespace varan::quorum {
+
+/** One member of the fixed quorum membership. */
+struct Member {
+    std::uint32_t id = wire::kNoQuorumNode;
+    std::string endpoint; ///< abstract-socket name (may be empty in tests)
+};
+
+struct Config {
+    std::uint32_t node_id = wire::kNoQuorumNode; ///< this node's identity
+    /** The full membership, this node included. Quorum is a strict
+     *  majority of its size; sizing guidance lives in the README
+     *  ("Operating a multi-node deployment"). */
+    std::vector<Member> members;
+    /** Abstract-socket endpoint this node accepts peer links on; empty
+     *  when links are injected (adoptPeerLink). */
+    std::string listen_endpoint;
+    std::uint64_t lease_ttl_ns = 2'000'000'000;  ///< lease validity
+    std::uint64_t heartbeat_ns = 200'000'000;    ///< Lease broadcast period
+    std::uint64_t vote_timeout_ns = 500'000'000; ///< acquire() round bound
+    /** Optional flight recorder: election rounds stamp Stage::Election
+     *  records here (a = term, b = grants, code = outcome). */
+    trace::TraceBlock *trace = nullptr;
+
+    /** A usable membership: this node is one of at least two members. */
+    bool valid() const;
+};
+
+/**
+ * Build a Config from the engine-level membership spelling
+ * (core::RemoteConfig::quorum_members / quorum_node_id): one quorum
+ * endpoint per node id, this node's id as the index. The returned
+ * config listens on its own member endpoint.
+ */
+Config membershipFromRemote(std::uint32_t node_id,
+                            const std::vector<std::string> &members);
+
+class LeaseManager
+{
+  public:
+    /** Election-round outcome codes, also the `code` field of the
+     *  Stage::Election trace stamps this class writes. */
+    enum class ElectionState : std::uint32_t {
+        Idle = 0,    ///< no round in flight
+        Pending = 1, ///< requests sent, quorum not yet decided
+        Won = 2,     ///< a quorum granted the term
+        Lost = 3,    ///< denied, superseded, or timed out
+    };
+
+    struct Stats {
+        std::uint64_t elections = 0;     ///< rounds started
+        std::uint64_t leases_won = 0;    ///< rounds that reached quorum
+        std::uint64_t votes_granted = 0; ///< grants handed to peers
+        std::uint64_t fences_received = 0;
+        std::uint64_t fences_sent = 0;
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t frames = 0;        ///< quorum frames processed
+        std::uint64_t links_dropped = 0;
+    };
+
+    explicit LeaseManager(Config config);
+    ~LeaseManager();
+
+    VARAN_NO_COPY_NO_MOVE(LeaseManager);
+
+    /** Use @p fd (owned from here on) as the link to peer @p peer_id.
+     *  Replaces and closes any existing link to that peer. */
+    void adoptPeerLink(std::uint32_t peer_id, int fd);
+
+    /** Open Config::listen_endpoint for inbound peer links. */
+    Status listen();
+
+    /** Dial every member this node has no live link to (lower id
+     *  dials, so each pair keeps exactly one link). Safe to call
+     *  repeatedly; failures are retried on the next call. */
+    void dialPeers();
+
+    /** Start the background pump + heartbeat thread. A lease-holding
+     *  node also renews through it: the holder re-runs the quorum
+     *  before its lease half-expires (it never self-extends), so a
+     *  holder partitioned away fences and lapses within one TTL. */
+    void start();
+
+    /** Stop the background thread and close every link. */
+    void stop();
+
+    /**
+     * One blocking election round: startElection(), then pump until
+     * the round is decided or Config::vote_timeout_ns passes.
+     * @return the granted term, or 0 when no quorum granted it. A
+     * round that could not even *reach* a quorum of the membership
+     * fences this node.
+     */
+    std::uint64_t acquire(std::uint32_t generation);
+
+    // --- split-phase election (deterministic test drivers) ---
+
+    /** Send Vote Requests for a fresh term to every peer (self-vote
+     *  included). @return the term proposed. */
+    std::uint64_t startElection(std::uint32_t generation);
+
+    /** Accept inbound links and process pending quorum frames; waits
+     *  up to @p timeout_ms for the first readable link. */
+    void pumpOnce(int timeout_ms);
+
+    /** Broadcast one Lease heartbeat now. */
+    void heartbeat();
+
+    ElectionState electionState() const;
+
+    // --- lease + fence state ---
+
+    bool holdsLease() const;  ///< self holds an unexpired lease
+    bool fenced() const;      ///< partitioned off the quorum: not serving
+    std::uint64_t term() const;   ///< highest lease term seen
+    std::uint32_t holder() const; ///< live holder, kNoQuorumNode if none
+    std::uint32_t quorumSize() const; ///< strict majority of the membership
+    std::uint32_t liveMembers() const; ///< members heard from, incl. self
+
+    void fillStatus(core::QuorumStatus *out) const;
+    Stats stats() const;
+
+  private:
+    struct Link {
+        int fd = -1;
+        std::uint64_t last_heard_ns = 0;
+    };
+
+    void pumpLocked(int timeout_ms);
+    void heartbeatLocked();
+    void dialPeersLocked();
+    bool readFrameLocked(std::uint32_t peer_id);
+    /** Read one frame from a not-yet-identified inbound link; registers
+     *  the peer on success. @return false when the link must close. */
+    bool identifyLocked(int fd, std::uint32_t *peer_out);
+    void handleVoteLocked(std::uint32_t peer_id, const wire::VoteBody &v);
+    void handleLeaseLocked(std::uint32_t peer_id, const wire::LeaseBody &l);
+    void handleFenceLocked(const wire::FenceBody &f);
+    void finishElectionLocked(ElectionState outcome);
+    bool leaseLiveLocked(std::uint64_t now) const;
+    std::uint32_t liveMembersLocked(std::uint64_t now) const;
+    void sendToLocked(std::uint32_t peer_id, const void *frame,
+                      std::size_t len);
+    void broadcastLocked(const void *frame, std::size_t len);
+    void dropLinkLocked(std::uint32_t peer_id);
+    wire::LeaseBody makeHeartbeatLocked(std::uint64_t now) const;
+    void stampLocked(ElectionState outcome, std::uint64_t term,
+                     std::uint64_t grants);
+    void serveLoop();
+
+    Config config_;
+    std::map<std::uint32_t, Link> links_;
+    /** Accepted inbound links whose first frame has not arrived yet. */
+    std::vector<int> unidentified_;
+    int listen_fd_ = -1;
+
+    // Lease view: the newest (term, holder) this node believes in.
+    std::uint64_t lease_term_ = 0;
+    std::uint32_t lease_holder_ = wire::kNoQuorumNode;
+    std::uint64_t lease_expiry_ns_ = 0;
+    std::uint32_t lease_generation_ = 0; ///< quorum-stamped generation
+    /** Highest term this node promised (granted or self-voted): the
+     *  one-grant-per-term invariant lives here. */
+    std::uint64_t voted_term_ = 0;
+    bool fenced_ = false;
+
+    // The in-flight election round, if any.
+    ElectionState elect_state_ = ElectionState::Idle;
+    std::uint64_t elect_term_ = 0;
+    std::uint32_t elect_generation_ = 0;
+    std::vector<std::uint32_t> elect_grants_; ///< voters incl. self
+    std::uint32_t elect_responders_ = 0;      ///< replies received
+
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+    mutable std::mutex mutex_;
+    Stats stats_;
+};
+
+} // namespace varan::quorum
+
+#endif // VARAN_QUORUM_LEASE_H

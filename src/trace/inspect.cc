@@ -159,9 +159,44 @@ renderStatus(const core::StatusReport &report)
                 report.shipper.credit_stalls);
     if (report.receiver.active)
         appendf(out,
-                "receiver: link %s, promoted=%u, %" PRIu64 " frames\n",
+                "receiver: link %s, promoted=%u%s, %" PRIu64 " frames\n",
                 report.receiver.link_up ? "up" : "down",
-                report.receiver.promoted, report.receiver.frames);
+                report.receiver.promoted,
+                report.receiver.fenced ? ", FENCED" : "",
+                report.receiver.frames);
+    return out;
+}
+
+std::string
+renderQuorum(const core::StatusReport &report)
+{
+    const core::QuorumStatus &q = report.quorum;
+    std::string out;
+    if (!q.active) {
+        appendf(out, "quorum: not configured (single-node watchdog "
+                     "promotion)\n");
+        return out;
+    }
+    appendf(out, "quorum: node %u of %u member(s), %u live, term %" PRIu64
+                 "\n",
+            q.node_id, q.members, q.live_members, q.term);
+    if (q.holder == wire::kNoQuorumNode)
+        appendf(out, "lease: none held (term %" PRIu64 " expired or never "
+                     "granted)\n",
+                q.term);
+    else
+        appendf(out, "lease: held by node %u%s\n", q.holder,
+                q.holder == q.node_id ? " (this node)" : "");
+    appendf(out, "health: %s\n",
+            q.fenced ? "FENCED — minority side of a partition, "
+                       "buffering only"
+                     : (q.live_members * 2 > q.members
+                            ? "quorate"
+                            : "degraded — below strict majority"));
+    appendf(out, "elections: %" PRIu64 " started, %" PRIu64 " won, "
+                 "%" PRIu64 " vote(s) granted to peers, %" PRIu64
+                 " fence order(s)\n",
+            q.elections, q.leases_won, q.votes_granted, q.fences);
     return out;
 }
 
@@ -237,6 +272,7 @@ struct Sections {
     bool status = false;
     bool metrics = false;
     bool tuning = false;
+    bool quorum = false;
     bool ledger = false;
     bool trace = false;
 };
@@ -246,7 +282,8 @@ parseSections(int argc, char **argv, int first, Sections *out)
 {
     if (first >= argc) {
         // Default: everything except the (long) raw flight recorder.
-        out->status = out->metrics = out->tuning = out->ledger = true;
+        out->status = out->metrics = out->tuning = out->quorum =
+            out->ledger = true;
         return true;
     }
     for (int i = first; i < argc; ++i) {
@@ -256,6 +293,8 @@ parseSections(int argc, char **argv, int first, Sections *out)
             out->metrics = true;
         else if (std::strcmp(argv[i], "tuning") == 0)
             out->tuning = true;
+        else if (std::strcmp(argv[i], "quorum") == 0)
+            out->quorum = true;
         else if (std::strcmp(argv[i], "ledger") == 0)
             out->ledger = true;
         else if (std::strcmp(argv[i], "trace") == 0)
@@ -289,6 +328,8 @@ printAttached(const shmem::Region &region, const Sections &sections)
         std::fputs(core::statusText(report).c_str(), stdout);
     if (sections.tuning)
         std::fputs(renderTuning(report).c_str(), stdout);
+    if (sections.quorum)
+        std::fputs(renderQuorum(report).c_str(), stdout);
     if (sections.ledger) {
         // Attached mode reads the *full* retained ledger, not just the
         // report's tail: start the cursor one window back.
@@ -382,6 +423,8 @@ commandDial(int argc, char **argv)
         std::fputs(core::statusText(report).c_str(), stdout);
     if (sections.tuning)
         std::fputs(renderTuning(report).c_str(), stdout);
+    if (sections.quorum)
+        std::fputs(renderQuorum(report).c_str(), stdout);
     if (sections.ledger)
         std::fputs(renderLedger(report.trace.recent,
                                 report.trace.recent_count)
@@ -519,7 +562,7 @@ varanctlMain(int argc, char **argv)
             "status endpoint\n"
             "  selftest                     run + inspect an in-process "
             "engine\n"
-            "sections: status metrics tuning ledger trace "
+            "sections: status metrics tuning quorum ledger trace "
             "(default: all but trace)\n");
         return 2;
     }

@@ -47,6 +47,10 @@ std::string renderHistograms(const core::StatusReport &report);
 /** The live tuning-knob values carried in the report. */
 std::string renderTuning(const core::StatusReport &report);
 
+/** The quorum control plane: membership health, lease holder and term,
+ *  fencing state, election counters (wire v6). */
+std::string renderQuorum(const core::StatusReport &report);
+
 /** One line per divergence record, oldest first. */
 std::string renderLedger(const DivergenceRecord *records,
                          std::size_t count);

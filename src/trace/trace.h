@@ -183,7 +183,7 @@ struct LagPair {
  * Placement-new value-initialization zeroes every atomic; the engine
  * seeds `enabled` at start-up (on by default) and it can be toggled
  * live. The divergence ledger is *not* gated by `enabled` — it feeds
- * the on_divergence hooks, which must fire regardless.
+ * the on_divergence_record hook, which must fire regardless.
  */
 struct TraceBlock {
     /** Live on/off switch (not a Tuning knob: flipping it must never

@@ -50,7 +50,7 @@
  *   Divergence receiver -> shipper: structured divergence records a
  *             remote follower appended to its node's ledger, relayed
  *             upstream so the leader's coordinator (and its
- *             on_divergence hook) sees divergences fleet-wide. The
+ *             on_divergence_record hook) sees divergences fleet-wide. The
  *             body is `count` trace::DivergenceRecord structs; the
  *             shipper appends them to the leader's ledger tagged with
  *             the sending receiver's identity.
@@ -60,6 +60,20 @@
  *             retained tail). Carries both sides' (epoch, generation)
  *             so the operator can see *why* the link was refused. The
  *             sender drops the link after an Error.
+ *   Lease     receiver <-> receiver (v6): quorum-plane heartbeat and
+ *             lease announcement. Every member broadcasts one
+ *             periodically carrying the lease holder and term it
+ *             believes in; a holder's heartbeat refreshes the lease on
+ *             every peer that hears it.
+ *   Vote      receiver <-> receiver (v6): one election round-trip. A
+ *             candidate sends a Request for a fresh term; each peer
+ *             answers Grant or Deny. A candidate needs grants from a
+ *             quorum of the configured membership before it may bump
+ *             epoch/generation and promote.
+ *   Fence     receiver <-> receiver (v6): an authoritative order to
+ *             step aside, sent by a quorum-backed holder to a node
+ *             still claiming a stale lease term. The target stops
+ *             serving (keeps buffering) until it rejoins the majority.
  *
  * Integers are native-endian (x86-64 on both ends, matching the event
  * layout itself which is memcpy'd); the body is integrity-checked with
@@ -82,7 +96,12 @@
 namespace varan::wire {
 
 inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
-/** v5: the Divergence frame ships structured divergence records
+/** v6: the quorum control plane — Lease/Vote/Fence frames carry
+ *  lease-based leader election between receiver nodes, so promotion
+ *  is gated on a quorum of the configured membership instead of a
+ *  single hand-armed watchdog. The Status body grew the QuorumStatus
+ *  section and the receiver's `fenced` flag.
+ *  v5: the Divergence frame ships structured divergence records
  *  (trace::DivergenceRecord) from a remote follower node back to the
  *  leader's coordinator, and the Status body grew the TraceStatus
  *  observability section (latency histograms + ledger tail).
@@ -98,7 +117,7 @@ inline constexpr std::uint32_t kFrameMagic = 0x31525756; // "VWR1"
  *  v2: the Status frame became the status RPC (empty body = request,
  *  core::StatusReport body = reply); in v1 it carried a HelloBody and
  *  nothing ever sent it. */
-inline constexpr std::uint16_t kProtocolVersion = 5;
+inline constexpr std::uint16_t kProtocolVersion = 6;
 
 /** Upper bound on a frame body; anything larger is corruption. */
 inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
@@ -116,6 +135,15 @@ enum class FrameType : std::uint16_t {
      *  remote follower appended to its local ledger, relayed so the
      *  leader's coordinator sees divergences fleet-wide (v5). */
     Divergence,
+    /** receiver <-> receiver (v6): quorum heartbeat + lease
+     *  announcement (LeaseBody). */
+    Lease,
+    /** receiver <-> receiver (v6): election request/grant/deny
+     *  (VoteBody). */
+    Vote,
+    /** receiver <-> receiver (v6): authoritative step-aside order from
+     *  a quorum-backed lease holder (FenceBody). */
+    Fence,
 };
 
 /** Why a peer refused the link (ErrorBody::code). */
@@ -244,7 +272,7 @@ headerValid(const FrameHeader &h)
     if (h.magic != kFrameMagic || h.version != kProtocolVersion)
         return false;
     if (h.type == 0 ||
-        h.type > static_cast<std::uint16_t>(FrameType::Divergence))
+        h.type > static_cast<std::uint16_t>(FrameType::Fence))
         return false;
     if (h.body_len > kMaxBodyBytes)
         return false;
@@ -380,6 +408,159 @@ decodeDivergenceFrame(const FrameHeader &header, const void *body,
         return SIZE_MAX;
     std::memcpy(out, body, body_len);
     return header.count;
+}
+
+// --- quorum control plane (v6) ---------------------------------------
+
+/** "No node" sentinel for quorum node ids (LeaseBody::holder_id when
+ *  no lease is known). */
+inline constexpr std::uint32_t kNoQuorumNode = 0xffffffffu;
+
+/** What a Vote frame means (VoteBody::kind). */
+enum class VoteKind : std::uint8_t {
+    Request = 0, ///< candidate asks for the lease at `term`
+    Grant = 1,   ///< voter promises `term` to the candidate
+    Deny = 2,    ///< voter already promised `term`, or a lease is live
+};
+
+/** One election round-trip message (Vote body). A candidate sends a
+ *  Request carrying the term it wants and the stream generation it
+ *  will stamp if elected; each peer answers Grant or Deny with its own
+ *  current term in `voter_term` so a losing candidate learns how far
+ *  ahead the membership is. */
+struct VoteBody {
+    std::uint64_t term;         ///< lease term requested / answered
+    std::uint32_t node_id;      ///< sender's quorum node id
+    std::uint32_t candidate_id; ///< node asking for the lease
+    std::uint32_t generation;   ///< generation the candidate will stamp
+    std::uint8_t kind;          ///< VoteKind
+    std::uint8_t reserved[3];
+    std::uint64_t voter_term;   ///< responder's current term (0 on Request)
+};
+
+static_assert(sizeof(VoteBody) == 32, "wire-visible layout");
+
+/** Quorum heartbeat + lease announcement (Lease body). Broadcast by
+ *  every member on its heartbeat tick; the holder's own heartbeat is
+ *  what refreshes the lease fleet-wide. */
+struct LeaseBody {
+    std::uint64_t term;        ///< current lease term (0 = none known)
+    std::uint32_t node_id;     ///< sender's quorum node id
+    std::uint32_t holder_id;   ///< believed holder, kNoQuorumNode if none
+    std::uint32_t generation;  ///< quorum-stamped stream generation
+    std::uint32_t fenced;      ///< sender fenced itself (diagnostics)
+    std::uint64_t ttl_ns;      ///< lease validity left, sender's view
+};
+
+static_assert(sizeof(LeaseBody) == 32, "wire-visible layout");
+
+/** Why a node was ordered to fence (FenceBody::reason). */
+enum class FenceReason : std::uint32_t {
+    None = 0,
+    /** The target announced holdership of a term older than the live
+     *  lease — a healed minority winner stepping on the majority. */
+    StaleTerm = 1,
+    /** The target lost contact with a quorum of the membership. */
+    LostQuorum = 2,
+};
+
+/** Authoritative step-aside order (Fence body): sent by a node holding
+ *  a quorum-backed lease to a peer still claiming a stale one. The
+ *  target stops serving, keeps buffering, and rejoins as a follower
+ *  of `term`. */
+struct FenceBody {
+    std::uint64_t term;       ///< the live lease term the target must adopt
+    std::uint32_t node_id;    ///< sender (the quorum-backed holder)
+    std::uint32_t target_id;  ///< node being fenced
+    std::uint32_t generation; ///< the live quorum-stamped generation
+    std::uint32_t reason;     ///< FenceReason
+};
+
+static_assert(sizeof(FenceBody) == 24, "wire-visible layout");
+
+inline constexpr std::size_t kVoteFrameBytes =
+    sizeof(FrameHeader) + sizeof(VoteBody);
+inline constexpr std::size_t kLeaseFrameBytes =
+    sizeof(FrameHeader) + sizeof(LeaseBody);
+inline constexpr std::size_t kFenceFrameBytes =
+    sizeof(FrameHeader) + sizeof(FenceBody);
+
+/** Serialize a quorum Vote message into a wire-ready frame. */
+inline void
+encodeVoteFrame(const VoteBody &vote, std::uint8_t out[kVoteFrameBytes])
+{
+    FrameHeader header = makeHeader(FrameType::Vote, sizeof(VoteBody));
+    header.body_crc = bodyChecksum(&vote, sizeof(vote));
+    std::memcpy(out, &header, sizeof(header));
+    std::memcpy(out + sizeof(header), &vote, sizeof(vote));
+}
+
+/** Decode a Vote body received with @p header.
+ *  @return false on type, length or checksum mismatch. */
+inline bool
+decodeVoteFrame(const FrameHeader &header, const void *body,
+                std::size_t body_len, VoteBody *out)
+{
+    if (static_cast<FrameType>(header.type) != FrameType::Vote)
+        return false;
+    if (body_len != sizeof(VoteBody) || header.body_len != body_len)
+        return false;
+    if (header.body_crc != bodyChecksum(body, body_len))
+        return false;
+    std::memcpy(out, body, sizeof(VoteBody));
+    return true;
+}
+
+/** Serialize a quorum heartbeat into a wire-ready Lease frame. */
+inline void
+encodeLeaseFrame(const LeaseBody &lease, std::uint8_t out[kLeaseFrameBytes])
+{
+    FrameHeader header = makeHeader(FrameType::Lease, sizeof(LeaseBody));
+    header.body_crc = bodyChecksum(&lease, sizeof(lease));
+    std::memcpy(out, &header, sizeof(header));
+    std::memcpy(out + sizeof(header), &lease, sizeof(lease));
+}
+
+/** Decode a Lease body received with @p header.
+ *  @return false on type, length or checksum mismatch. */
+inline bool
+decodeLeaseFrame(const FrameHeader &header, const void *body,
+                 std::size_t body_len, LeaseBody *out)
+{
+    if (static_cast<FrameType>(header.type) != FrameType::Lease)
+        return false;
+    if (body_len != sizeof(LeaseBody) || header.body_len != body_len)
+        return false;
+    if (header.body_crc != bodyChecksum(body, body_len))
+        return false;
+    std::memcpy(out, body, sizeof(LeaseBody));
+    return true;
+}
+
+/** Serialize a step-aside order into a wire-ready Fence frame. */
+inline void
+encodeFenceFrame(const FenceBody &fence, std::uint8_t out[kFenceFrameBytes])
+{
+    FrameHeader header = makeHeader(FrameType::Fence, sizeof(FenceBody));
+    header.body_crc = bodyChecksum(&fence, sizeof(fence));
+    std::memcpy(out, &header, sizeof(header));
+    std::memcpy(out + sizeof(header), &fence, sizeof(fence));
+}
+
+/** Decode a Fence body received with @p header.
+ *  @return false on type, length or checksum mismatch. */
+inline bool
+decodeFenceFrame(const FrameHeader &header, const void *body,
+                 std::size_t body_len, FenceBody *out)
+{
+    if (static_cast<FrameType>(header.type) != FrameType::Fence)
+        return false;
+    if (body_len != sizeof(FenceBody) || header.body_len != body_len)
+        return false;
+    if (header.body_crc != bodyChecksum(body, body_len))
+        return false;
+    std::memcpy(out, body, sizeof(FenceBody));
+    return true;
 }
 
 /**

@@ -45,6 +45,17 @@ Receiver::Receiver(const shmem::Region *region,
     receiver_id_ =
         (static_cast<std::uint64_t>(::getpid()) << 32) ^ monotonicNs() ^
         reinterpret_cast<std::uintptr_t>(this);
+    // The quorum control plane (v6): a configured membership gates
+    // promotion on a granted lease. Election rounds stamp the shared
+    // flight recorder unless the caller pointed them elsewhere.
+    if (options_.quorum.valid()) {
+        if (options_.quorum.trace == nullptr) {
+            options_.quorum.trace =
+                &layout_->controlBlock(region_)->trace;
+        }
+        lease_ =
+            std::make_unique<quorum::LeaseManager>(options_.quorum);
+    }
 }
 
 Receiver::~Receiver()
@@ -581,6 +592,30 @@ Receiver::promoteLocked(std::uint32_t *epoch_out,
         return false;
     }
 
+    // The quorum gate (v6): win a lease for the bumped generation from
+    // a majority of the membership *before* any side effect. A denied
+    // or unreachable quorum means another receiver is promoting (or
+    // this node is the partitioned minority, in which case acquire()
+    // fenced it) — either way, nothing here may bump the stream.
+    std::uint64_t lease_term = 0;
+    if (lease_) {
+        lease_term = lease_->acquire(last_generation_ + 1);
+        if (lease_term == 0) {
+            if (lease_->fenced()) {
+                warn("wire receiver: promotion refused — fenced off "
+                     "the quorum (term %llu); buffering until the "
+                     "partition heals",
+                     static_cast<unsigned long long>(lease_->term()));
+            } else {
+                inform("wire receiver: promotion lost the election "
+                       "(term %llu held by node %u) — staying standby",
+                       static_cast<unsigned long long>(lease_->term()),
+                       lease_->holder());
+            }
+            return false;
+        }
+    }
+
     dropLink();
 
     // Arm the failover-blackout clock: the span from here to the
@@ -622,11 +657,12 @@ Receiver::promoteLocked(std::uint32_t *epoch_out,
     if (trace::enabled(cb->trace)) {
         trace::stamp(cb->trace, trace::Stage::Election,
                      static_cast<std::uint8_t>(new_leader), 0, epoch,
-                     monotonicNs(), generation);
+                     monotonicNs(), generation, lease_term);
     }
     inform("wire receiver: leader node lost — promoted local variant %u "
-           "(epoch %u, stream generation %u)",
-           new_leader, epoch, generation);
+           "(epoch %u, stream generation %u, lease term %llu)",
+           new_leader, epoch, generation,
+           static_cast<unsigned long long>(lease_term));
 
     // Ship the promoted stream to the surviving nodes. A standby that
     // cannot be reached just misses the new stream — promotion itself
@@ -736,14 +772,23 @@ Receiver::serveLoop()
                 requestStatus();
                 probe_sent = true;
             }
-            if (now - quiet_since > promote_after)
-                promoteNow();
+            if (now - quiet_since > promote_after &&
+                !promoteNow()) {
+                // Lost the election or fenced: another receiver is
+                // taking (or holds) the lease. Back off a full
+                // deadline before contending again.
+                quiet_since = monotonicNs();
+                probe_sent = false;
+            }
         } else {
             // Link down: wait for an adopt() from the failover path —
             // or take over when nobody re-connects in time.
             if (promote_after != 0 &&
                 monotonicNs() - quiet_since > promote_after) {
-                promoteNow();
+                if (!promoteNow()) {
+                    quiet_since = monotonicNs();
+                    probe_sent = false;
+                }
                 continue;
             }
             sleepNs(1000000);
@@ -759,6 +804,18 @@ void
 Receiver::start()
 {
     VARAN_CHECK(!thread_.joinable());
+    if (lease_) {
+        if (!options_.quorum.listen_endpoint.empty()) {
+            Status listening = lease_->listen();
+            if (!listening.isOk()) {
+                warn("wire receiver: quorum listen on '%s' failed: %s",
+                     options_.quorum.listen_endpoint.c_str(),
+                     listening.error().message().c_str());
+            }
+        }
+        lease_->dialPeers();
+        lease_->start();
+    }
     thread_ = std::thread([this] { serveLoop(); });
 }
 
@@ -768,6 +825,8 @@ Receiver::finish()
     stopping_.store(true, std::memory_order_release);
     if (thread_.joinable())
         thread_.join();
+    if (lease_)
+        lease_->stop();
     if (promoted_shipper_)
         promoted_shipper_->finish();
     std::lock_guard<std::mutex> guard(mutex_);
@@ -819,6 +878,7 @@ Receiver::localStatus() const
         link_up_.load(std::memory_order_acquire) ? 1 : 0;
     report.receiver.promoted =
         promoted_.load(std::memory_order_acquire) ? 1 : 0;
+    report.receiver.fenced = lease_ && lease_->fenced() ? 1 : 0;
     report.receiver.errors = static_cast<std::uint32_t>(
         stats_.errors_sent + stats_.errors_received);
     report.receiver.frames = stats_.frames;
@@ -828,6 +888,8 @@ Receiver::localStatus() const
     report.receiver.corrupt_frames = stats_.corrupt_frames;
     report.receiver.credits_sent = stats_.credits_sent;
     report.receiver.reconnects = stats_.reconnects;
+    if (lease_)
+        lease_->fillStatus(&report.quorum);
     return report;
 }
 

@@ -71,6 +71,7 @@
 #include <vector>
 
 #include "core/layout.h"
+#include "quorum/lease.h"
 #include "rr/log.h"
 #include "wire/protocol.h"
 #include "wire/shipper.h"
@@ -104,6 +105,17 @@ class Receiver
         std::vector<std::string> standby_peers;
         /** Options for the post-promotion shipper. */
         Shipper::Options promoted_ship;
+        /**
+         * The quorum control plane (v6): this receiver's identity and
+         * the full standby membership. When configured (valid()), the
+         * promotion path must first win a lease from a quorum of the
+         * membership — every receiver may then safely arm
+         * promote_after_ns, and a partitioned minority fences itself
+         * (keeps buffering, refuses promotion, reports `fenced`)
+         * instead of split-braining. Default-empty keeps the legacy
+         * single-watchdog behavior.
+         */
+        quorum::Config quorum;
         /** Promotion completed: the bumped epoch and elected leader.
          *  Runs on the receiver's serve thread. */
         std::function<void(std::uint32_t epoch, std::uint32_t leader)>
@@ -208,6 +220,15 @@ class Receiver
      *  nullptr before promotion or without standby_peers. */
     Shipper *promotedShipper() const { return promoted_shipper_.get(); }
 
+    /** This node fenced itself off the quorum: it keeps buffering but
+     *  refuses promotion until it rejoins the majority. Always false
+     *  without a configured quorum. */
+    bool fenced() const { return lease_ && lease_->fenced(); }
+
+    /** The quorum lease manager; nullptr without a configured
+     *  membership. Tests drive its split-phase election directly. */
+    quorum::LeaseManager *leaseManager() const { return lease_.get(); }
+
     /** Force the promotion decision now (tests and operators; the
      *  serve thread calls this when the deadline passes).
      *  @return true if this call promoted the engine. */
@@ -267,6 +288,9 @@ class Receiver
     std::uint32_t last_epoch_ = 0;
     std::uint32_t last_generation_ = 0;
     std::unique_ptr<Shipper> promoted_shipper_;
+    /** The quorum control plane (Options::quorum); promotion gates on
+     *  lease_->acquire() before any epoch/generation bump. */
+    std::unique_ptr<quorum::LeaseManager> lease_;
 
     rr::LogWriter log_; ///< optional file sink (Options::record_path)
 

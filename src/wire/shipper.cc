@@ -549,7 +549,7 @@ Shipper::handlePeerInput(int fd)
       case FrameType::Divergence: {
         // A remote follower diverged: relay its ledger records into the
         // leader's ledger, tagged with the sending receiver, so the
-        // coordinator's on_divergence hook fires fleet-wide.
+        // coordinator's on_divergence_record hook fires fleet-wide.
         std::uint8_t body[kDivergenceFrameMaxRecords *
                           sizeof(trace::DivergenceRecord)];
         trace::DivergenceRecord records[kDivergenceFrameMaxRecords];
@@ -575,6 +575,18 @@ Shipper::handlePeerInput(int fd)
         break;
       }
       case FrameType::Bye:
+        dropPeerLink(*peer);
+        break;
+      case FrameType::Lease:
+      case FrameType::Vote:
+      case FrameType::Fence:
+        // Quorum traffic rides dedicated receiver<->receiver links
+        // (quorum/lease.h), never a data session: a peer mixing the
+        // planes is confused enough to drop.
+        warn("wire shipper: peer %#llx sent quorum frame type %u on a "
+             "data session",
+             static_cast<unsigned long long>(peer->receiver_id),
+             header.type);
         dropPeerLink(*peer);
         break;
       default:

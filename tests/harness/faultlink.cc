@@ -1,0 +1,308 @@
+#include "harness/faultlink.h"
+
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "wire/io.h"
+
+namespace varan::testing {
+
+namespace {
+
+/** Big enough that a stalled test-side reader never wedges the pump. */
+void
+wideBuffers(int fd)
+{
+    const int bytes = 1 << 20;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
+} // namespace
+
+FaultLink::FaultLink()
+{
+    int a[2] = {-1, -1};
+    int b[2] = {-1, -1};
+    VARAN_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, a) == 0);
+    VARAN_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, b) == 0);
+    a_outer_ = a[0];
+    a_inner_ = a[1];
+    b_outer_ = b[0];
+    b_inner_ = b[1];
+    for (int fd : {a[0], a[1], b[0], b[1]})
+        wideBuffers(fd);
+    thread_ = std::thread([this] { pump(); });
+}
+
+FaultLink::FaultLink(int adopt_a)
+{
+    int b[2] = {-1, -1};
+    VARAN_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, b) == 0);
+    a_inner_ = adopt_a; // the wire itself; no local A endpoint
+    own_a_ = false;
+    b_outer_ = b[0];
+    b_inner_ = b[1];
+    for (int fd : {adopt_a, b[0], b[1]})
+        wideBuffers(fd);
+    thread_ = std::thread([this] { pump(); });
+}
+
+FaultLink::~FaultLink()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopping_ = true;
+        cutLocked(); // wakes the pump's poll with EOFs
+    }
+    if (thread_.joinable())
+        thread_.join();
+    if (own_a_ && a_outer_ >= 0)
+        ::close(a_outer_);
+    if (own_b_ && b_outer_ >= 0)
+        ::close(b_outer_);
+    ::close(a_inner_);
+    ::close(b_inner_);
+}
+
+int
+FaultLink::releaseA()
+{
+    own_a_ = false;
+    return a_outer_;
+}
+
+int
+FaultLink::releaseB()
+{
+    own_b_ = false;
+    return b_outer_;
+}
+
+void
+FaultLink::script(const Rule &rule)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    rules_.push_back(rule);
+}
+
+void
+FaultLink::partition(Dir dir)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (dir == Dir::AtoB || dir == Dir::Both)
+        partitioned_[0] = true;
+    if (dir == Dir::BtoA || dir == Dir::Both)
+        partitioned_[1] = true;
+}
+
+void
+FaultLink::heal()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    partitioned_[0] = partitioned_[1] = false;
+    rules_.clear();
+    for (int dir = 0; dir < 2; ++dir) {
+        while (!held_[dir].empty()) {
+            Held held = std::move(held_[dir].front());
+            held_[dir].pop_front();
+            deliverLocked(dir, held.frame.data(), held.frame.size());
+        }
+    }
+}
+
+void
+FaultLink::cut()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    cutLocked();
+}
+
+bool
+FaultLink::isCut() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return dead_;
+}
+
+FaultLink::Stats
+FaultLink::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+}
+
+std::uint64_t
+FaultLink::clock(Dir dir) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_.clock[static_cast<int>(dir)];
+}
+
+bool
+FaultLink::waitClock(Dir dir, std::uint64_t n, std::uint64_t timeout_ns)
+{
+    const std::uint64_t deadline = monotonicNs() + timeout_ns;
+    while (clock(dir) < n) {
+        if (monotonicNs() >= deadline)
+            return false;
+        sleepNs(200000); // 0.2 ms
+    }
+    return true;
+}
+
+void
+FaultLink::cutLocked()
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    // Frame-boundary severance: both outer peers read EOF, the pump's
+    // poll wakes with EOF on both inner fds and exits.
+    ::shutdown(a_inner_, SHUT_RDWR);
+    ::shutdown(b_inner_, SHUT_RDWR);
+}
+
+void
+FaultLink::deliverLocked(int dir, const std::uint8_t *frame,
+                         std::size_t len)
+{
+    const int dst = dir == 0 ? b_inner_ : a_inner_;
+    if (wire::writeFull(dst, frame, len))
+        ++stats_.forwarded[dir];
+    else
+        cutLocked();
+}
+
+void
+FaultLink::releaseHeldLocked(int dir)
+{
+    while (!held_[dir].empty() &&
+           held_[dir].front().release_clock <= stats_.clock[dir]) {
+        Held held = std::move(held_[dir].front());
+        held_[dir].pop_front();
+        deliverLocked(dir, held.frame.data(), held.frame.size());
+    }
+}
+
+bool
+FaultLink::shuttle(int dir)
+{
+    const int src = dir == 0 ? a_inner_ : b_inner_;
+
+    wire::FrameHeader header = {};
+    if (!wire::readFull(src, &header, sizeof(header)))
+        return false;
+    if (!wire::headerValid(header)) {
+        warn("faultlink: unparseable frame header (magic %#x type %u) — "
+             "cutting the link",
+             header.magic, static_cast<unsigned>(header.type));
+        std::lock_guard<std::mutex> guard(mutex_);
+        cutLocked();
+        return false;
+    }
+    std::vector<std::uint8_t> frame(sizeof(header) + header.body_len);
+    std::memcpy(frame.data(), &header, sizeof(header));
+    if (header.body_len > 0 &&
+        !wire::readFull(src, frame.data() + sizeof(header),
+                        header.body_len))
+        return false;
+
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (dead_)
+        return false;
+    ++stats_.clock[dir];
+
+    // Scripted rules outrank the imperative partition, so a script can
+    // still cut or duplicate a frame "inside" a partition window.
+    Action action = Action::Drop;
+    bool matched = false;
+    for (Rule &rule : rules_) {
+        const int rule_dir = static_cast<int>(rule.dir);
+        if (rule.dir != Dir::Both && rule_dir != dir)
+            continue;
+        if (rule.type != wire::FrameType::Invalid &&
+            rule.type != static_cast<wire::FrameType>(header.type))
+            continue;
+        if (stats_.clock[dir] < rule.at_clock || rule.count == 0)
+            continue;
+        if (rule.skip > 0) {
+            --rule.skip;
+            continue;
+        }
+        --rule.count;
+        matched = true;
+        action = rule.action;
+        if (action == Action::Delay) {
+            ++stats_.delayed[dir];
+            held_[dir].push_back(
+                {std::move(frame),
+                 stats_.clock[dir] + rule.hold_frames});
+        }
+        break;
+    }
+
+    if (!matched) {
+        if (partitioned_[dir])
+            ++stats_.dropped[dir];
+        else
+            deliverLocked(dir, frame.data(), frame.size());
+    } else {
+        switch (action) {
+          case Action::Drop:
+            ++stats_.dropped[dir];
+            break;
+          case Action::Delay:
+            break; // held above
+          case Action::Duplicate:
+            ++stats_.duplicated[dir];
+            deliverLocked(dir, frame.data(), frame.size());
+            deliverLocked(dir, frame.data(), frame.size());
+            break;
+          case Action::Cut:
+            cutLocked();
+            return false;
+        }
+    }
+    releaseHeldLocked(dir);
+    return !dead_;
+}
+
+void
+FaultLink::pump()
+{
+    bool live[2] = {true, true};
+    while (live[0] || live[1]) {
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (stopping_ || dead_)
+                return;
+        }
+        struct pollfd fds[2] = {
+            {a_inner_, static_cast<short>(live[0] ? POLLIN : 0), 0},
+            {b_inner_, static_cast<short>(live[1] ? POLLIN : 0), 0},
+        };
+        const int n = ::poll(fds, 2, 50);
+        if (n <= 0)
+            continue;
+        for (int dir = 0; dir < 2; ++dir) {
+            if (!live[dir] ||
+                (fds[dir].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            if (!shuttle(dir)) {
+                live[dir] = false;
+                // Half of the link died: propagate as full link death,
+                // the way a node loss looks to both peers.
+                std::lock_guard<std::mutex> guard(mutex_);
+                cutLocked();
+                live[0] = live[1] = false;
+            }
+        }
+    }
+}
+
+} // namespace varan::testing

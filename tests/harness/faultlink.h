@@ -1,0 +1,153 @@
+/**
+ * @file
+ * FaultLink: a deterministic fault-injection proxy for framed wire
+ * links (tests/benches only).
+ *
+ * Consensus and failover bugs only show up under adversarial message
+ * schedules, and real SIGKILL / kernel-FIN / reconnect timing makes
+ * those schedules irreproducible. FaultLink replaces the raw socket
+ * between two wire peers with a pair of socketpairs joined by a pump
+ * thread that parses every FrameHeader and applies *scripted* faults:
+ *
+ *  - faults are keyed off the frame type and a per-direction logical
+ *    clock (the count of frames observed in that direction), never off
+ *    wall time — the same script always hits the same frames;
+ *  - drop / delay (reorder by N frames) / duplicate / cut are the
+ *    scriptable actions; partition() and heal() flip whole directions
+ *    imperatively for partition-matrix tests;
+ *  - cut() closes the link from both sides at a frame boundary, which
+ *    is how tests model node loss without a SIGKILL race.
+ *
+ * The two outer fds (a() / b()) speak the ordinary wire protocol; code
+ * under test cannot tell it is talking through the proxy. Ownership of
+ * an outer fd transfers to the callee via releaseA()/releaseB() (e.g.
+ * Receiver::adopt or LeaseManager::adoptPeerLink).
+ */
+
+#ifndef VARAN_TESTS_HARNESS_FAULTLINK_H
+#define VARAN_TESTS_HARNESS_FAULTLINK_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "wire/protocol.h"
+
+namespace varan::testing {
+
+class FaultLink
+{
+  public:
+    enum class Dir : int {
+        AtoB = 0, ///< frames written on a(), delivered to b()
+        BtoA = 1, ///< frames written on b(), delivered to a()
+        Both = 2, ///< rule shorthand: match either direction
+    };
+
+    enum class Action : int {
+        Drop,      ///< swallow the frame
+        Delay,     ///< hold it until `hold_frames` later frames pass
+        Duplicate, ///< deliver it twice back to back
+        Cut,       ///< sever the link (both directions, both ends)
+    };
+
+    /** One scripted fault. A rule arms once the direction's logical
+     *  clock reaches `at_clock`, lets `skip` matching frames pass, and
+     *  then fires on the next `count` frames whose type matches
+     *  (`FrameType::Invalid` matches any type). */
+    struct Rule {
+        Dir dir = Dir::Both;
+        wire::FrameType type = wire::FrameType::Invalid;
+        std::uint64_t at_clock = 0;
+        std::uint64_t skip = 0; ///< matching frames to let through first
+        std::uint64_t count = ~0ull;
+        Action action = Action::Drop;
+        /** Delay only: deliver after this many further frames in the
+         *  same direction have been forwarded (reordering). */
+        std::uint64_t hold_frames = 1;
+    };
+
+    struct Stats {
+        std::uint64_t clock[2] = {0, 0}; ///< frames observed per Dir
+        std::uint64_t forwarded[2] = {0, 0};
+        std::uint64_t dropped[2] = {0, 0};
+        std::uint64_t duplicated[2] = {0, 0};
+        std::uint64_t delayed[2] = {0, 0};
+    };
+
+    FaultLink();
+
+    /** Interpose on an existing connection: @p adopt_a (owned from
+     *  here on) becomes side A — typically a just-accepted socket
+     *  whose far end lives in another process — and b() is handed to
+     *  the local peer. Only releaseB() is meaningful in this mode. */
+    explicit FaultLink(int adopt_a);
+
+    ~FaultLink();
+
+    VARAN_NO_COPY_NO_MOVE(FaultLink);
+
+    int a() const { return a_outer_; } ///< endpoint A (FaultLink owns)
+    int b() const { return b_outer_; } ///< endpoint B (FaultLink owns)
+    int releaseA(); ///< transfer ownership of a() to the caller
+    int releaseB(); ///< transfer ownership of b() to the caller
+
+    /** Append a scripted fault (applies from the current clock on). */
+    void script(const Rule &rule);
+
+    /** Imperative partition: drop every frame in @p dir (clocks keep
+     *  ticking so scripts stay aligned). */
+    void partition(Dir dir = Dir::Both);
+
+    /** Lift every partition, clear pending rules, release held
+     *  (delayed) frames in order. */
+    void heal();
+
+    /** Sever the link now: both outer fds see EOF at the next read, a
+     *  deterministic stand-in for node death. */
+    void cut();
+
+    bool isCut() const;
+    Stats stats() const;
+    std::uint64_t clock(Dir dir) const;
+
+    /** Spin until @p dir has observed @p n frames (true) or
+     *  @p timeout_ns passes (false). The deterministic replacement for
+     *  "sleep and hope the stream got there". */
+    bool waitClock(Dir dir, std::uint64_t n, std::uint64_t timeout_ns);
+
+  private:
+    struct Held {
+        std::vector<std::uint8_t> frame;
+        std::uint64_t release_clock; ///< forward when clock reaches this
+    };
+
+    void pump();
+    /** @return false when the link died (EOF or cut). */
+    bool shuttle(int dir);
+    void deliverLocked(int dir, const std::uint8_t *frame,
+                       std::size_t len);
+    void releaseHeldLocked(int dir);
+    void cutLocked();
+
+    int a_outer_ = -1, a_inner_ = -1;
+    int b_outer_ = -1, b_inner_ = -1;
+    bool own_a_ = true, own_b_ = true;
+    bool dead_ = false;
+
+    std::vector<Rule> rules_;
+    bool partitioned_[2] = {false, false};
+    std::deque<Held> held_[2];
+    Stats stats_;
+
+    std::thread thread_;
+    mutable std::mutex mutex_;
+    bool stopping_ = false;
+};
+
+} // namespace varan::testing
+
+#endif // VARAN_TESTS_HARNESS_FAULTLINK_H

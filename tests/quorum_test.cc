@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Partition-matrix tests for the quorum control plane (wire v6),
+ * driven end to end through the FaultLink harness so every partition,
+ * duel and reorder is a scripted, reproducible message schedule — no
+ * test below depends on SIGKILL or reconnect timing.
+ *
+ * The split-phase suites (symmetric partition, asymmetric partition,
+ * dueling candidates) pump three LeaseManagers by hand and re-run the
+ * full scenario kRepeats times, asserting the identical outcome every
+ * time. The end-to-end suite stands up the acceptance topology — a
+ * forked leader node shipping to two receiver nodes that BOTH arm
+ * promotion, plus a witness — cuts the leader at a frame boundary,
+ * fences the minority receiver, and heals it back in without loss or
+ * duplication.
+ */
+
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/nvx.h"
+#include "harness/faultlink.h"
+#include "netio/socketio.h"
+#include "quorum/lease.h"
+#include "syscalls/sys.h"
+#include "trace/inspect.h"
+#include "wire/receiver.h"
+
+namespace varan::quorum {
+namespace {
+
+using testing::FaultLink;
+using Dir = FaultLink::Dir;
+using State = LeaseManager::ElectionState;
+
+/** Every split-phase scenario must reproduce bit-identically. */
+constexpr int kRepeats = 10;
+
+Config
+nodeConfig(std::uint32_t node_id)
+{
+    Config config;
+    config.node_id = node_id;
+    config.members = {{0, ""}, {1, ""}, {2, ""}};
+    config.lease_ttl_ns = 2'000'000'000;
+    config.heartbeat_ns = 20'000'000;
+    config.vote_timeout_ns = 150'000'000;
+    return config;
+}
+
+/** Three nodes, one FaultLink per pair, links injected — the whole
+ *  message fabric is scriptable. */
+struct Trio {
+    LeaseManager n0{nodeConfig(0)};
+    LeaseManager n1{nodeConfig(1)};
+    LeaseManager n2{nodeConfig(2)};
+    FaultLink l01; ///< A = node 0, B = node 1
+    FaultLink l02; ///< A = node 0, B = node 2
+    FaultLink l12; ///< A = node 1, B = node 2
+
+    Trio()
+    {
+        n0.adoptPeerLink(1, l01.releaseA());
+        n1.adoptPeerLink(0, l01.releaseB());
+        n0.adoptPeerLink(2, l02.releaseA());
+        n2.adoptPeerLink(0, l02.releaseB());
+        n1.adoptPeerLink(2, l12.releaseA());
+        n2.adoptPeerLink(1, l12.releaseB());
+    }
+
+    LeaseManager &node(int i) { return i == 0 ? n0 : i == 1 ? n1 : n2; }
+};
+
+/** Wait until @p link has *delivered* @p n frames in @p dir. */
+void
+waitForwarded(FaultLink &link, Dir dir, std::uint64_t n)
+{
+    const std::uint64_t deadline = monotonicNs() + 5'000'000'000ULL;
+    while (link.stats().forwarded[static_cast<int>(dir)] < n) {
+        ASSERT_LT(monotonicNs(), deadline) << "frame never arrived";
+        sleepNs(200'000);
+    }
+}
+
+TEST(QuorumPartitionTest, SymmetricPartitionMinorityFencesMajorityElects)
+{
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        SCOPED_TRACE(rep);
+        Trio t;
+        // Node 0 alone on the minority side of a symmetric partition.
+        t.l01.partition();
+        t.l02.partition();
+
+        // Its promotion attempt cannot reach anybody: no replies, no
+        // quorum — the round is lost and the node fences itself.
+        EXPECT_EQ(t.n0.acquire(1), 0u);
+        EXPECT_TRUE(t.n0.fenced());
+        EXPECT_FALSE(t.n0.holdsLease());
+
+        // The majority side elects: node 1 wins with node 2's grant.
+        const std::uint64_t term = t.n1.startElection(1);
+        EXPECT_EQ(term, 1u);
+        waitForwarded(t.l12, Dir::AtoB, 1);
+        t.n2.pumpOnce(0); // grant
+        waitForwarded(t.l12, Dir::BtoA, 1);
+        t.n1.pumpOnce(0); // quorum reached
+        EXPECT_EQ(t.n1.electionState(), State::Won);
+        EXPECT_TRUE(t.n1.holdsLease());
+        EXPECT_FALSE(t.n1.fenced());
+        waitForwarded(t.l12, Dir::AtoB, 2); // the Lease announce
+        t.n2.pumpOnce(0);
+        EXPECT_EQ(t.n2.holder(), 1u);
+        EXPECT_EQ(t.n2.stats().votes_granted, 1u);
+
+        // Exactly one granted lease for the term, fleet-wide.
+        EXPECT_EQ(t.n1.stats().leases_won, 1u);
+        EXPECT_EQ(t.n0.stats().leases_won, 0u);
+        EXPECT_EQ(t.n2.stats().leases_won, 0u);
+
+        // The fenced state is what StatusReport surfaces.
+        core::QuorumStatus status = {};
+        t.n0.fillStatus(&status);
+        EXPECT_EQ(status.active, 1u);
+        EXPECT_EQ(status.fenced, 1u);
+        EXPECT_EQ(status.members, 3u);
+
+        // Heal: hearing the holder's own heartbeat is the rejoin
+        // signal — node 0 unfences and adopts the majority's lease.
+        t.l01.heal();
+        t.l02.heal();
+        t.n1.heartbeat();
+        waitForwarded(t.l01, Dir::BtoA, 1);
+        t.n0.pumpOnce(1000);
+        EXPECT_FALSE(t.n0.fenced());
+        EXPECT_EQ(t.n0.holder(), 1u);
+        EXPECT_EQ(t.n0.term(), term);
+    }
+}
+
+TEST(QuorumPartitionTest, AsymmetricPartitionCandidateSendsButCannotReceive)
+{
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        SCOPED_TRACE(rep);
+        Trio t;
+        // Node 0's outbound frames arrive; everything toward node 0 is
+        // dropped — the nastier half-open failure.
+        t.l01.partition(Dir::BtoA);
+        t.l02.partition(Dir::BtoA);
+
+        // Round 1, split-phase: the requests land and both peers spend
+        // their term-1 vote on node 0 — but the grants die on the way
+        // back, so no quorum ever assembles anywhere for term 1.
+        EXPECT_EQ(t.n0.startElection(1), 1u);
+        waitForwarded(t.l01, Dir::AtoB, 1);
+        waitForwarded(t.l02, Dir::AtoB, 1);
+        t.n1.pumpOnce(0);
+        t.n2.pumpOnce(0);
+        EXPECT_EQ(t.n1.stats().votes_granted, 1u);
+        EXPECT_EQ(t.n2.stats().votes_granted, 1u);
+        t.n0.pumpOnce(20); // nothing can arrive
+        EXPECT_EQ(t.n0.electionState(), State::Pending);
+        EXPECT_EQ(t.l01.stats().forwarded[static_cast<int>(Dir::BtoA)],
+                  0u);
+
+        // Round 2 through the blocking wrapper: same half-open link,
+        // so the round times out reply-less and node 0 fences.
+        EXPECT_EQ(t.n0.acquire(1), 0u);
+        EXPECT_TRUE(t.n0.fenced());
+
+        // Drain node 0's round-2 requests at the peers (grants again
+        // go into the void) so the majority's next term is past them.
+        waitForwarded(t.l01, Dir::AtoB, 2);
+        waitForwarded(t.l02, Dir::AtoB, 2);
+        t.n1.pumpOnce(0);
+        t.n2.pumpOnce(0);
+
+        // The majority still elects cleanly above every spent term.
+        const std::uint64_t term = t.n1.startElection(1);
+        EXPECT_EQ(term, 3u);
+        waitForwarded(t.l12, Dir::AtoB, 1);
+        t.n2.pumpOnce(0);
+        waitForwarded(t.l12, Dir::BtoA, 1);
+        t.n1.pumpOnce(0);
+        EXPECT_EQ(t.n1.electionState(), State::Won);
+        EXPECT_TRUE(t.n1.holdsLease());
+        EXPECT_EQ(t.n1.stats().leases_won, 1u);
+        EXPECT_EQ(t.n0.stats().leases_won, 0u);
+
+        // Heal the half-open side: the holder's heartbeat unfences.
+        t.l01.heal();
+        t.l02.heal();
+        t.n1.heartbeat();
+        waitForwarded(t.l01, Dir::BtoA, 1);
+        t.n0.pumpOnce(1000);
+        EXPECT_FALSE(t.n0.fenced());
+        EXPECT_EQ(t.n0.holder(), 1u);
+        EXPECT_EQ(t.n0.term(), term);
+    }
+}
+
+TEST(QuorumPartitionTest, DuelingCandidatesExactlyOneLeasePerTerm)
+{
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        SCOPED_TRACE(rep);
+        Trio t;
+        // Both candidates start the same term; node 2 is the swing
+        // vote and hears node 0 first (links drain in id order).
+        EXPECT_EQ(t.n0.startElection(7), 1u);
+        EXPECT_EQ(t.n1.startElection(7), 1u);
+        waitForwarded(t.l01, Dir::AtoB, 1); // n0's request at n1
+        waitForwarded(t.l01, Dir::BtoA, 1); // n1's request at n0
+        waitForwarded(t.l02, Dir::AtoB, 1); // n0's request at n2
+        waitForwarded(t.l12, Dir::AtoB, 1); // n1's request at n2
+
+        t.n2.pumpOnce(0); // one grant (n0), one deny (n1)
+        EXPECT_EQ(t.n2.stats().votes_granted, 1u);
+
+        waitForwarded(t.l02, Dir::BtoA, 1); // swing grant reaches n0
+        t.n0.pumpOnce(0); // denies n1's duel, collects the win
+        EXPECT_EQ(t.n0.electionState(), State::Won);
+        EXPECT_TRUE(t.n0.holdsLease());
+
+        // n1 hears: its own duel denied by n0 and n2, plus the
+        // winner's Lease announce — Lost, but connected, so unfenced.
+        waitForwarded(t.l01, Dir::AtoB, 3); // request + deny + announce
+        waitForwarded(t.l12, Dir::BtoA, 1); // n2's deny
+        t.n1.pumpOnce(0);
+        EXPECT_EQ(t.n1.electionState(), State::Lost);
+        EXPECT_FALSE(t.n1.fenced());
+        EXPECT_EQ(t.n1.holder(), 0u);
+
+        // The invariant under test: one term, one lease, fleet-wide.
+        EXPECT_EQ(t.n0.stats().leases_won, 1u);
+        EXPECT_EQ(t.n1.stats().leases_won, 0u);
+        EXPECT_EQ(t.n2.stats().leases_won, 0u);
+        EXPECT_EQ(t.n0.term(), 1u);
+        EXPECT_EQ(t.n1.term(), 1u);
+    }
+}
+
+TEST(QuorumPartitionTest, DuelingCandidatesScriptedReorderFlipsWinner)
+{
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        SCOPED_TRACE(rep);
+        Trio t;
+        // Same duel, but node 0's request to the swing voter is held
+        // back one frame — the interleaving every timing-based test
+        // only hits by luck, pinned down as a script.
+        FaultLink::Rule hold;
+        hold.dir = Dir::AtoB;
+        hold.type = wire::FrameType::Vote;
+        hold.count = 1;
+        hold.action = FaultLink::Action::Delay;
+        hold.hold_frames = 1;
+        t.l02.script(hold);
+
+        EXPECT_EQ(t.n0.startElection(7), 1u);
+        EXPECT_EQ(t.n1.startElection(7), 1u);
+        waitForwarded(t.l12, Dir::AtoB, 1); // n1's request at n2
+        ASSERT_TRUE(t.l02.waitClock(Dir::AtoB, 1, 5'000'000'000ULL));
+
+        t.n2.pumpOnce(0); // only n1's request is visible: grant n1
+        EXPECT_EQ(t.n2.stats().votes_granted, 1u);
+        waitForwarded(t.l12, Dir::BtoA, 1);
+        waitForwarded(t.l01, Dir::BtoA, 1); // n1's request at n0
+        t.n1.pumpOnce(0); // denies n0's duel, collects the win
+        EXPECT_EQ(t.n1.electionState(), State::Won);
+        EXPECT_TRUE(t.n1.holdsLease());
+
+        // A later frame in the same direction releases the held
+        // request — it arrives after the term is already decided.
+        t.n0.heartbeat();
+        waitForwarded(t.l02, Dir::AtoB, 2); // heartbeat + held request
+        t.n2.pumpOnce(0);                   // stale duel: deny
+        waitForwarded(t.l02, Dir::BtoA, 1);
+        waitForwarded(t.l01, Dir::BtoA, 3); // request + deny + announce
+        t.n0.pumpOnce(0);
+        EXPECT_EQ(t.n0.electionState(), State::Lost);
+        EXPECT_FALSE(t.n0.fenced());
+        EXPECT_EQ(t.n0.holder(), 1u);
+
+        // Mirror outcome of the duel above — still one lease, term 1.
+        EXPECT_EQ(t.n1.stats().leases_won, 1u);
+        EXPECT_EQ(t.n0.stats().leases_won, 0u);
+        EXPECT_EQ(t.n2.stats().votes_granted, 1u);
+        EXPECT_EQ(t.l02.stats().delayed[static_cast<int>(Dir::AtoB)],
+                  1u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The acceptance topology, end to end.
+// ---------------------------------------------------------------------
+
+TEST(QuorumEndToEndTest, FencedMinorityReceiverHealsWithoutLossOrDup)
+{
+    // A leader node ships to receiver nodes r1 (quorum node 0) and r2
+    // (quorum node 1); node 2 is a witness LeaseManager. BOTH
+    // receivers arm promote_after — the configuration the pre-quorum
+    // design forbade. r2 is partitioned off the control plane, so when
+    // the leader link is cut: r2's (earlier) promotion attempt fences;
+    // r1 wins the witness's grant and promotes; healing the partition
+    // rejoins r2, which rebases onto the promoted generation and
+    // finishes the stream with zero loss or duplication.
+    int gate[2];
+    ASSERT_EQ(::pipe(gate), 0);
+
+    auto app = [gate]() -> int {
+        for (int i = 0; i < 8; ++i)
+            sys::vgetpid();
+        char go = 0;
+        sys::vread(gate[0], &go, 1); // parks the leader mid-stream
+        for (int i = 0; i < 4; ++i)
+            sys::vgetpid();
+        return 42;
+    };
+
+    const std::string ep1 =
+        "varan-quorum-e2e1-" + std::to_string(::getpid());
+    const std::string ep2 =
+        "varan-quorum-e2e2-" + std::to_string(::getpid());
+    auto listening1 = netio::listenAbstract(ep1);
+    auto listening2 = netio::listenAbstract(ep2);
+    ASSERT_TRUE(listening1.ok());
+    ASSERT_TRUE(listening2.ok());
+
+    pid_t leader_node = ::fork();
+    ASSERT_GE(leader_node, 0);
+    if (leader_node == 0) {
+        core::EngineConfig config;
+        config.ring.capacity = 128;
+        config.shm_bytes = 16 << 20;
+        config.remote.endpoints = {ep1, ep2};
+        config.tuning.ship_batch = 8;
+        core::Nvx nvx(config);
+        if (!nvx.start({core::VariantSpec(app).named("leader")}).isOk())
+            ::_exit(1);
+        nvx.wait(); // parked on the gate until the link is cut
+        ::_exit(0);
+    }
+
+    core::EngineConfig remote_config;
+    remote_config.ring.capacity = 128;
+    remote_config.shm_bytes = 16 << 20;
+    remote_config.external_leader = true;
+    remote_config.ring.progress_timeout_ns = 20000000000ULL;
+
+    // r1: quorum node 0, the eventual winner.
+    core::Nvx remote1(remote_config);
+    ASSERT_TRUE(
+        remote1.start({core::VariantSpec(app).named("standby1")}).isOk());
+    wire::Receiver::Options r1_opts;
+    r1_opts.promote_after_ns = 600000000ULL; // after r2's attempt
+    r1_opts.standby_peers = {ep2};
+    r1_opts.promoted_ship.ship_batch = 8;
+    r1_opts.quorum = nodeConfig(0);
+    wire::Receiver receiver1(remote1.region(), &remote1.layout(),
+                             r1_opts);
+
+    // r2: quorum node 1, promotion armed TOO — fencing, not config
+    // discipline, is what prevents the split brain.
+    core::Nvx remote2(remote_config);
+    ASSERT_TRUE(
+        remote2.start({core::VariantSpec(app).named("standby2")}).isOk());
+    wire::Receiver::Options r2_opts;
+    r2_opts.promote_after_ns = 200000000ULL; // fires first
+    r2_opts.quorum = nodeConfig(1);
+    wire::Receiver receiver2(remote2.region(), &remote2.layout(),
+                             r2_opts);
+
+    // The witness (node 2) and the scriptable control-plane fabric.
+    LeaseManager witness(nodeConfig(2));
+    FaultLink q01, q02, q12; // A = lower quorum node id
+    receiver1.leaseManager()->adoptPeerLink(1, q01.releaseA());
+    receiver2.leaseManager()->adoptPeerLink(0, q01.releaseB());
+    receiver1.leaseManager()->adoptPeerLink(2, q02.releaseA());
+    witness.adoptPeerLink(0, q02.releaseB());
+    receiver2.leaseManager()->adoptPeerLink(2, q12.releaseA());
+    witness.adoptPeerLink(1, q12.releaseB());
+    witness.start();
+
+    // r2 is partitioned off the control plane from the start.
+    q01.partition();
+    q12.partition();
+
+    // Data plane: both leader links run through cut-scriptable
+    // FaultLinks, so "node death" is a frame-boundary event.
+    ASSERT_TRUE(netio::waitReadable(
+        static_cast<int>(listening1.value()), 15000));
+    long conn1 = netio::acceptConnection(
+        static_cast<int>(listening1.value()), false);
+    ASSERT_GE(conn1, 0);
+    FaultLink data1(static_cast<int>(conn1));
+    ASSERT_TRUE(receiver1.adopt(data1.releaseB()).isOk());
+    receiver1.start();
+    ASSERT_TRUE(netio::waitReadable(
+        static_cast<int>(listening2.value()), 15000));
+    long conn2 = netio::acceptConnection(
+        static_cast<int>(listening2.value()), false);
+    ASSERT_GE(conn2, 0);
+    FaultLink data2(static_cast<int>(conn2));
+    ASSERT_TRUE(receiver2.adopt(data2.releaseB()).isOk());
+    receiver2.start();
+
+    // Let the pre-gate stream (8 events) reach both receiver nodes.
+    std::uint64_t deadline = monotonicNs() + 15000000000ULL;
+    while ((receiver1.nextSeq(0) < 8 || receiver2.nextSeq(0) < 8) &&
+           monotonicNs() < deadline) {
+        sleepNs(5000000);
+    }
+    ASSERT_GE(receiver1.nextSeq(0), 8u);
+    ASSERT_GE(receiver2.nextSeq(0), 8u);
+
+    // The leader node "dies": both links sever at a frame boundary,
+    // deterministically. The SIGKILL afterwards is mere cleanup — no
+    // timing rides on it.
+    data1.cut();
+    data2.cut();
+    ASSERT_EQ(::kill(leader_node, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(leader_node, &wstatus, 0), leader_node);
+
+    // r2's promotion deadline fires first; partitioned off the
+    // quorum, the election round dies reply-less and r2 fences.
+    deadline = monotonicNs() + 15000000000ULL;
+    while (!receiver2.fenced() && monotonicNs() < deadline)
+        sleepNs(5000000);
+    ASSERT_TRUE(receiver2.fenced());
+    EXPECT_FALSE(receiver2.promoted());
+
+    // The fence is operator-visible: StatusReport and varanctl.
+    core::StatusReport fenced_status = receiver2.localStatus();
+    EXPECT_EQ(fenced_status.receiver.fenced, 1u);
+    EXPECT_EQ(fenced_status.quorum.active, 1u);
+    EXPECT_EQ(fenced_status.quorum.fenced, 1u);
+    EXPECT_NE(trace::renderQuorum(fenced_status).find("FENCED"),
+              std::string::npos);
+    EXPECT_NE(trace::renderStatus(fenced_status).find("FENCED"),
+              std::string::npos);
+
+    // r1 collects the witness's grant, wins the lease, promotes, and
+    // ships the promoted stream toward r2.
+    ASSERT_TRUE(netio::waitReadable(
+        static_cast<int>(listening2.value()), 15000));
+    long conn3 = netio::acceptConnection(
+        static_cast<int>(listening2.value()), false);
+    ASSERT_GE(conn3, 0);
+    ASSERT_TRUE(receiver2.adopt(static_cast<int>(conn3)).isOk());
+    ASSERT_TRUE(receiver1.promoted());
+    EXPECT_FALSE(receiver1.fenced());
+    EXPECT_TRUE(receiver1.leaseManager()->holdsLease());
+
+    // Exactly one granted lease: r2 never won one.
+    EXPECT_GE(receiver1.leaseManager()->stats().leases_won, 1u);
+    EXPECT_EQ(receiver2.leaseManager()->stats().leases_won, 0u);
+    EXPECT_GE(witness.stats().votes_granted, 1u);
+
+    // Heal the partition: hearing the holder's heartbeat unfences r2.
+    q01.heal();
+    q12.heal();
+    deadline = monotonicNs() + 15000000000ULL;
+    while (receiver2.fenced() && monotonicNs() < deadline)
+        sleepNs(5000000);
+    EXPECT_FALSE(receiver2.fenced());
+
+    // Release the gate: the promoted leader (r1's variant) resumes
+    // from the exact replay point and ships the tail to healed r2.
+    ASSERT_EQ(::write(gate[1], "g", 1), 1);
+
+    auto results1 = remote1.waitFor(30000000000ULL);
+    ASSERT_EQ(results1.size(), 1u);
+    EXPECT_FALSE(results1[0].crashed);
+    EXPECT_EQ(results1[0].status, 42);
+    auto results2 = remote2.waitFor(30000000000ULL);
+    ASSERT_EQ(results2.size(), 1u);
+    EXPECT_FALSE(results2[0].crashed);
+    EXPECT_EQ(results2[0].status, 42);
+
+    // Bit-exact rejoin: r2's engine saw exactly the events r1's did —
+    // nothing lost, nothing double-applied, one generation rebase.
+    EXPECT_EQ(remote2.eventsStreamed(), remote1.eventsStreamed());
+    EXPECT_EQ(receiver2.stats().duplicates_dropped, 0u);
+    EXPECT_EQ(receiver2.stats().corrupt_frames, 0u);
+    EXPECT_EQ(receiver2.stats().rebases, 1u);
+    EXPECT_FALSE(receiver2.promoted());
+
+    // The quorum section of both nodes' status agrees on the holder.
+    core::StatusReport s1 = receiver1.localStatus();
+    core::StatusReport s2 = receiver2.localStatus();
+    EXPECT_EQ(s1.quorum.holder, 0u);
+    EXPECT_EQ(s2.quorum.holder, 0u);
+    EXPECT_EQ(s1.receiver.fenced, 0u);
+    EXPECT_EQ(s2.receiver.fenced, 0u);
+    EXPECT_EQ(s1.stream_generation, 2u);
+
+    witness.stop();
+    ASSERT_TRUE(receiver1.finish().isOk());
+    ASSERT_TRUE(receiver2.finish().isOk());
+    ::close(gate[0]);
+    ::close(gate[1]);
+    sys::vclose(static_cast<int>(listening1.value()));
+    sys::vclose(static_cast<int>(listening2.value()));
+}
+
+} // namespace
+} // namespace varan::quorum

@@ -4,11 +4,12 @@
  * the event stream losslessly; the replayer drives fresh followers
  * from the log; the in-band (Scribe-like) baseline logs synchronously.
  *
- * The crash-consistency suite exercises log format v2: a recorder
- * SIGKILLed mid-stream leaves a log whose valid prefix replays in
- * full, write failures surface through finish() instead of silently
- * corrupting the log, and version/checksum validation rejects garbage
- * with decodable errors.
+ * The crash-consistency suite exercises log format v2: a recording
+ * node whose leader link is severed mid-stream (a scripted FaultLink
+ * cut — reproducible, unlike the SIGKILL race it replaced) leaves a
+ * log whose valid prefix replays in full, write failures surface
+ * through finish() instead of silently corrupting the log, and
+ * version/checksum validation rejects garbage with decodable errors.
  */
 
 #include <cstdio>
@@ -21,17 +22,22 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "core/nvx.h"
+#include "harness/faultlink.h"
+#include "netio/socketio.h"
 #include "ring/ring_buffer.h"
 #include "rr/log.h"
 #include "rr/recorder.h"
 #include "rr/replayer.h"
 #include "shmem/region.h"
 #include "syscalls/sys.h"
+#include "wire/receiver.h"
 
 namespace varan::rr {
 namespace {
@@ -235,59 +241,92 @@ TEST(RecorderTest, AttachFailureUnlinksLog)
     nvx.wait();
 }
 
-TEST(RecorderTest, SigkillMidStreamLeavesReplayablePrefix)
+TEST(RecorderTest, LinkCutMidStreamLeavesReplayablePrefix)
 {
+    // The crash-consistency scenario, retrofitted onto FaultLink: the
+    // recording node is a wire receiver (record_path) whose leader
+    // link is severed by a *script* — at the 40th Events frame, a
+    // frame boundary — instead of SIGKILLing a recorder process and
+    // racing its file writes. Same property, reproducible schedule:
+    // whatever prefix was delivered must parse and replay in full.
     std::string path = tempLogPath();
     ::unlink(path.c_str());
 
-    pid_t child = ::fork();
-    ASSERT_GE(child, 0);
-    if (child == 0) {
-        // ---- recorder process, killed mid-stream by the parent ----
-        core::Nvx nvx(engineConfig());
-        LogSink sink(nvx.region(), &nvx.layout(), path, {});
-        auto app = []() -> int {
-            struct timespec tick = {0, 500000}; // 0.5 ms
-            for (int i = 0; i < 4000; ++i) {
-                sys::vgetpid();
-                if (i % 8 == 0)
-                    sys::vnanosleep(&tick, nullptr);
-            }
-            return 0;
-        };
-        Status started = nvx.start({app}, [&](core::Nvx &) {
-            if (!sink.attachTaps().isOk())
-                ::_exit(11);
-            sink.startDraining();
-        });
-        if (!started.isOk())
-            ::_exit(12);
-        nvx.wait();
-        (void)sink.finish();
-        ::_exit(0);
-    }
+    const std::string ep = "varan-rr-cut-" + std::to_string(::getpid());
+    auto listening = netio::listenAbstract(ep);
+    ASSERT_TRUE(listening.ok());
 
-    // Wait until a few dozen records are durable, then SIGKILL the
-    // whole recorder engine mid-record.
-    const auto armed =
-        sizeof(LogHeader) + 32 * sizeof(RecordHeader);
-    bool reached = false;
-    for (int i = 0; i < 20000 && !reached; ++i) {
-        struct stat st = {};
-        reached = ::stat(path.c_str(), &st) == 0 &&
-                  static_cast<std::size_t>(st.st_size) >= armed;
-        if (!reached)
-            ::usleep(1000);
-    }
-    ASSERT_TRUE(reached) << "recorder never produced 32 records";
-    ASSERT_EQ(::kill(child, SIGKILL), 0);
-    int status = 0;
-    ASSERT_EQ(::waitpid(child, &status, 0), child);
-    ASSERT_TRUE(WIFSIGNALED(status));
-    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+    core::EngineConfig config = engineConfig();
+    config.remote.endpoints = {ep};
+    config.tuning.ship_batch = 4;
+    // The run outlives the cut: with the sole peer gone, the drain
+    // gates at acked + credit_window, so the window must cover the
+    // whole stream or the leader wedges on ring backpressure.
+    config.tuning.credit_window = 65536;
+    core::Nvx nvx(config);
+    auto app = []() -> int {
+        struct timespec tick = {0, 500000}; // 0.5 ms
+        for (int i = 0; i < 4000; ++i) {
+            sys::vgetpid();
+            if (i % 8 == 0)
+                sys::vnanosleep(&tick, nullptr);
+        }
+        return 0;
+    };
+    // The recording node: an external-leader region whose pre-attached
+    // cursor is detached so publishing never gates on a consumer.
+    auto created = shmem::Region::create(8 << 20);
+    ASSERT_TRUE(created.ok());
+    shmem::Region record_region = std::move(created.value());
+    core::EngineLayout record_layout =
+        core::EngineLayout::create(&record_region, 1, core::kNoLeader, 64);
+    record_layout.tupleRing(&record_region, 0).detachConsumer(0);
+    wire::Receiver::Options opts;
+    opts.record_path = path;
+    wire::Receiver receiver(&record_region, &record_layout, opts);
 
-    // Torn tail or not, the log must parse to a valid prefix — a
-    // whole-log EPROTO here is exactly the bug v2 fixes.
+    // The engine's start blocks on the shipper handshake, so the
+    // accept + adopt side runs concurrently — as a real remote node
+    // would.
+    std::unique_ptr<varan::testing::FaultLink> link;
+    std::thread accepting([&] {
+        if (!netio::waitReadable(static_cast<int>(listening.value()),
+                                 15000))
+            return;
+        long conn = netio::acceptConnection(
+            static_cast<int>(listening.value()), false);
+        if (conn < 0)
+            return;
+        link = std::make_unique<varan::testing::FaultLink>(
+            static_cast<int>(conn));
+        varan::testing::FaultLink::Rule cut;
+        cut.dir = varan::testing::FaultLink::Dir::AtoB;
+        cut.type = wire::FrameType::Events;
+        cut.skip = 39; // the 40th Events frame severs the link
+        cut.count = 1;
+        cut.action = varan::testing::FaultLink::Action::Cut;
+        link->script(cut);
+        if (receiver.adopt(link->releaseB()).isOk())
+            receiver.start();
+    });
+    ASSERT_TRUE(nvx.start({app}).isOk());
+    accepting.join();
+    ASSERT_NE(link, nullptr);
+
+    // The script fires mid-stream, on schedule, without us timing
+    // anything; the leader engine finishes its run regardless.
+    std::uint64_t deadline = monotonicNs() + 30000000000ULL;
+    while (!link->isCut() && monotonicNs() < deadline)
+        sleepNs(1000000);
+    ASSERT_TRUE(link->isCut());
+    auto results = nvx.waitFor(30000000000ULL);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].crashed);
+    ASSERT_TRUE(receiver.finish().isOk());
+    EXPECT_EQ(receiver.stats().log_errno, 0);
+
+    // Cut or not, the log must parse to a valid prefix — a whole-log
+    // EPROTO here is exactly the bug v2 fixes.
     auto log = readLog(path);
     ASSERT_TRUE(log.ok());
     const auto &records = log.value().records;
@@ -299,9 +338,9 @@ TEST(RecorderTest, SigkillMidStreamLeavesReplayablePrefix)
     }
 
     // ...and that prefix replays in full through the streaming reader.
-    auto created = shmem::Region::create(8 << 20);
-    ASSERT_TRUE(created.ok());
-    shmem::Region region = std::move(created.value());
+    auto replay_created = shmem::Region::create(8 << 20);
+    ASSERT_TRUE(replay_created.ok());
+    shmem::Region region = std::move(replay_created.value());
     core::EngineLayout layout =
         core::EngineLayout::create(&region, 1, 0, 64);
     // No follower in this harness: detach the pre-attached cursor so

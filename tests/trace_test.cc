@@ -256,13 +256,21 @@ TEST(TraceEngineTest, StructuredDivergenceHookDeliversRecord)
     EXPECT_NE(rec.arg_digest, 0u);
 }
 
-TEST(TraceEngineTest, DeprecatedCounterHookStillFires)
+/** The migration target for the removed counter-form `on_divergence`
+ *  hook: counter-style accounting is a fold over the structured
+ *  records (see the README migration note). */
+TEST(TraceEngineTest, CounterAccountingViaRecordHook)
 {
     core::EngineConfig config = fastConfig();
     config.rewrite_rules.push_back(kAllowGetuidRule);
     std::atomic<std::uint64_t> resolved{0};
-    config.on_divergence = [&](std::uint64_t r, std::uint64_t) {
-        resolved.store(r);
+    std::atomic<std::uint64_t> fatal{0};
+    config.on_divergence_record = [&](const DivergenceRecord &rec) {
+        if (rec.action == static_cast<std::uint8_t>(
+                              DivergenceAction::Resolved))
+            resolved.fetch_add(1);
+        else
+            fatal.fetch_add(1);
     };
     auto app = []() -> int {
         if (core::Monitor::instance() &&
@@ -276,6 +284,7 @@ TEST(TraceEngineTest, DeprecatedCounterHookStillFires)
     EXPECT_FALSE(results[0].crashed);
     EXPECT_FALSE(results[1].crashed);
     EXPECT_GE(resolved.load(), 1u);
+    EXPECT_EQ(fatal.load(), 0u);
 }
 
 TEST(TraceEngineTest, DisabledTraceStillRecordsLedger)
@@ -323,6 +332,11 @@ const char *const kMetricNames[] = {
     "varan_shipper_drain_passes_total",
     "varan_shipper_status_pushes_total", "varan_receiver_active",
     "varan_receiver_events_total", "varan_receiver_promoted",
+    "varan_receiver_fenced", "varan_quorum_active",
+    "varan_quorum_members", "varan_quorum_live_members",
+    "varan_quorum_term", "varan_quorum_holder",
+    "varan_quorum_elections_total", "varan_quorum_leases_won_total",
+    "varan_quorum_votes_granted_total", "varan_quorum_fences_total",
     "varan_recorder_active", "varan_recorder_events_total",
     "varan_adapt_active", "varan_adapt_samples_total",
     "varan_adapt_decisions_total", "varan_adapt_pinned_mask",

@@ -10,7 +10,9 @@
  * across leader generations, decodable stale-Hello rejection,
  * one-shipper/N-receiver fan-out with per-peer credit isolation, and
  * cross-node promotion (unit-level election plus the full
- * kill-the-leader-node end-to-end scenario).
+ * leader-node-death end-to-end scenario, whose links run through the
+ * FaultLink harness so the death is a scripted frame-boundary cut
+ * rather than a SIGKILL/reconnect race).
  */
 
 #include <csignal>
@@ -22,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "core/nvx.h"
+#include "harness/faultlink.h"
 #include "netio/socketio.h"
 #include "syscalls/sys.h"
 #include "wire/protocol.h"
@@ -1170,19 +1173,24 @@ TEST(WireEndToEndTest, CrossNodePromotionAfterLeaderNodeDeath)
         remote2.start({core::VariantSpec(app).named("standby2")}).isOk());
     Receiver receiver2(remote2.region(), &remote2.layout());
 
+    // Both leader links run through FaultLink proxies: "node death"
+    // below is a scripted frame-boundary cut, not a race against the
+    // kernel tearing down a SIGKILLed process's sockets.
     ASSERT_TRUE(netio::waitReadable(
         static_cast<int>(listening1.value()), 15000));
     long conn1 = netio::acceptConnection(
         static_cast<int>(listening1.value()), false);
     ASSERT_GE(conn1, 0);
-    ASSERT_TRUE(receiver1.adopt(static_cast<int>(conn1)).isOk());
+    testing::FaultLink link1(static_cast<int>(conn1));
+    ASSERT_TRUE(receiver1.adopt(link1.releaseB()).isOk());
     receiver1.start();
     ASSERT_TRUE(netio::waitReadable(
         static_cast<int>(listening2.value()), 15000));
     long conn2 = netio::acceptConnection(
         static_cast<int>(listening2.value()), false);
     ASSERT_GE(conn2, 0);
-    ASSERT_TRUE(receiver2.adopt(static_cast<int>(conn2)).isOk());
+    testing::FaultLink link2(static_cast<int>(conn2));
+    ASSERT_TRUE(receiver2.adopt(link2.releaseB()).isOk());
     receiver2.start();
 
     // Let the pre-gate stream (8 events) reach both receiver nodes.
@@ -1194,8 +1202,13 @@ TEST(WireEndToEndTest, CrossNodePromotionAfterLeaderNodeDeath)
     ASSERT_GE(receiver1.nextSeq(0), 8u);
     ASSERT_GE(receiver2.nextSeq(0), 8u);
 
-    // The leader node dies mid-stream.
+    // The leader node dies mid-stream: both links sever at a frame
+    // boundary the instant cut() returns, so the failover clock below
+    // starts from a deterministic event. The SIGKILL afterwards only
+    // reaps the parked child — no timing rides on it.
     const std::uint64_t killed_at = monotonicNs();
+    link1.cut();
+    link2.cut();
     ASSERT_EQ(::kill(leader_node, SIGKILL), 0);
     int wstatus = 0;
     ASSERT_EQ(::waitpid(leader_node, &wstatus, 0), leader_node);
